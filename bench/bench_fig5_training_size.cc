@@ -1,0 +1,123 @@
+// Fig. 5: metric vs training-set size. The paper subsamples 10%..100% of
+// the NYC training timelines and plots recall/F1 of the ten non-trivial
+// approaches. Here: one fixed dataset whose *training split* is subsampled
+// by user (the test split and the word vectors stay fixed, isolating the
+// labeled-data effect), four fractions x all approaches at a reduced
+// per-point budget — trends, not absolute values, are the point.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace hisrect::bench {
+namespace {
+
+/// Rebuilds a training split containing only the given fraction of its
+/// users (timelines), with pairs re-enumerated.
+data::DataSplit SubsampleTrain(const data::DataSplit& full, double fraction,
+                               data::Timestamp delta_t, util::Rng& rng) {
+  std::set<data::UserId> users;
+  for (const data::Profile& profile : full.profiles) users.insert(profile.uid);
+  std::vector<data::UserId> all_users(users.begin(), users.end());
+  rng.Shuffle(all_users);
+  size_t keep = static_cast<size_t>(all_users.size() * fraction);
+  keep = std::max<size_t>(keep, 1);
+  std::set<data::UserId> kept(all_users.begin(), all_users.begin() + keep);
+
+  data::DataSplit split;
+  split.num_timelines = keep;
+  for (const data::Profile& profile : full.profiles) {
+    if (kept.contains(profile.uid)) split.profiles.push_back(profile);
+  }
+  for (size_t i = 0; i < split.profiles.size(); ++i) {
+    if (split.profiles[i].labeled()) split.labeled_indices.push_back(i);
+  }
+  for (const data::Pair& pair :
+       data::BuildPairs(split.profiles, delta_t, /*include_unlabeled=*/true)) {
+    switch (pair.co_label) {
+      case data::CoLabel::kPositive:
+        split.positive_pairs.push_back(pair);
+        break;
+      case data::CoLabel::kNegative:
+        split.negative_pairs.push_back(pair);
+        break;
+      case data::CoLabel::kUnlabeled:
+        split.unlabeled_pairs.push_back(pair);
+        break;
+    }
+  }
+  return split;
+}
+
+int Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  const std::vector<double> fractions = {0.25, 0.5, 0.75, 1.0};
+
+  BenchDataset nyc = MakeNyc(env);
+
+  std::vector<std::string> header = {"Approach"};
+  for (double f : fractions) {
+    header.push_back(util::Table::Fmt(f * 100.0, 0) + "%");
+  }
+  util::Table table(header);
+  util::CsvWriter csv({"approach", "fraction", "f1", "recall"});
+
+  // Pre-build the subsampled datasets (same user subsets for every
+  // approach; the test split is always the full one).
+  std::vector<data::Dataset> datasets;
+  for (double fraction : fractions) {
+    data::Dataset dataset;
+    dataset.name = nyc.dataset.name;
+    dataset.pois = nyc.dataset.pois;
+    dataset.delta_t = nyc.dataset.delta_t;
+    util::Rng rng(env.seed ^ 0x5a5a);
+    dataset.train = SubsampleTrain(nyc.dataset.train, fraction,
+                                   nyc.dataset.delta_t, rng);
+    dataset.validation = nyc.dataset.validation;
+    dataset.test = nyc.dataset.test;
+    std::fprintf(stderr, "[fig5] fraction %.0f%%: %zu train profiles, "
+                 "%zu positives\n", fraction * 100.0,
+                 dataset.train.profiles.size(),
+                 dataset.train.positive_pairs.size());
+    datasets.push_back(std::move(dataset));
+  }
+
+  for (baselines::ApproachKind kind : baselines::AllApproachKinds()) {
+    if (kind == baselines::ApproachKind::kComp2Loc) continue;  // As in Fig 5.
+    std::vector<std::string> row = {baselines::ApproachName(kind)};
+    for (size_t fi = 0; fi < fractions.size(); ++fi) {
+      util::Stopwatch stopwatch;
+      auto approach = baselines::MakeApproach(kind, env.Budget(0.25));
+      approach->Fit(datasets[fi], nyc.text_model);
+      util::Rng rng(env.seed ^ 0x77);
+      eval::BinaryMetrics metrics = eval::EvaluateTenFold(
+          datasets[fi].test, JudgeOf(*approach), rng);
+      row.push_back(util::Table::Fmt(metrics.f1, 3));
+      csv.AddRow({approach->name(), util::Table::Fmt(fractions[fi], 2),
+                  util::Table::Fmt(metrics.f1, 4),
+                  util::Table::Fmt(metrics.recall, 4)});
+      std::fprintf(stderr, "[fig5] %-14s %.0f%% f1=%.3f (%.1fs)\n",
+                   approach->name().c_str(), fractions[fi] * 100.0,
+                   metrics.f1, stopwatch.ElapsedSeconds());
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::printf("== Fig 5: F1 vs training-set fraction (NYC-like, fixed test "
+              "set) ==\n");
+  table.Print(std::cout);
+  util::Status status = csv.WriteFile("fig5_training_size.csv");
+  std::printf("series: fig5_training_size.csv (%s)\n",
+              status.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hisrect::bench
+
+int main() { return hisrect::bench::Run(); }

@@ -1,0 +1,99 @@
+// §6.4.4 micro-benchmarks (google-benchmark): per-profile feature
+// construction, per-pair co-location judgement, POI inference and raw
+// profile encoding. The paper claims each completes within ~1 ms, enabling
+// online use.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/hisrect_approach.h"
+#include "bench/bench_common.h"
+
+namespace hisrect::bench {
+namespace {
+
+/// One trained model shared by all benchmarks (training excluded from
+/// timing).
+struct SharedModel {
+  BenchDataset data;
+  std::unique_ptr<baselines::HisRectApproach> approach;
+
+  SharedModel() {
+    BenchEnv env = BenchEnv::FromEnv();
+    env.ssl_steps = 1500;  // Quality irrelevant for latency measurements.
+    env.judge_steps = 1000;
+    data = MakeBenchDataset(data::NycLikeConfig({.users = 0.3}), env.seed);
+    approach = std::make_unique<baselines::HisRectApproach>(
+        "HisRect", baselines::BaseModelConfig(env.Budget()));
+    approach->Fit(data.dataset, data.text_model);
+  }
+};
+
+SharedModel& Model() {
+  static SharedModel* model = new SharedModel();
+  return *model;
+}
+
+void BM_ProfileEncode(benchmark::State& state) {
+  SharedModel& shared = Model();
+  const auto& profiles = shared.data.dataset.test.profiles;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        shared.approach->model()->Encode(profiles[i % profiles.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ProfileEncode);
+
+void BM_FeatureConstruction(benchmark::State& state) {
+  SharedModel& shared = Model();
+  const auto& profiles = shared.data.dataset.test.profiles;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        shared.approach->model()->Feature(profiles[i % profiles.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_FeatureConstruction);
+
+void BM_CoLocationJudgement(benchmark::State& state) {
+  SharedModel& shared = Model();
+  const auto& profiles = shared.data.dataset.test.profiles;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shared.approach->Score(
+        profiles[i % profiles.size()], profiles[(i + 7) % profiles.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CoLocationJudgement);
+
+void BM_PoiInferenceTop5(benchmark::State& state) {
+  SharedModel& shared = Model();
+  const auto& profiles = shared.data.dataset.test.profiles;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        shared.approach->InferTopKPois(profiles[i % profiles.size()], 5));
+    ++i;
+  }
+}
+BENCHMARK(BM_PoiInferenceTop5);
+
+void BM_VisitFeaturizerOnly(benchmark::State& state) {
+  SharedModel& shared = Model();
+  core::VisitFeaturizer featurizer(&shared.data.dataset.pois);
+  const auto& profiles = shared.data.dataset.test.profiles;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        featurizer.Featurize(profiles[i % profiles.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_VisitFeaturizerOnly);
+
+}  // namespace
+}  // namespace hisrect::bench

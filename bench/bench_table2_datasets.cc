@@ -1,0 +1,46 @@
+// Table 2 analogue: statistics of the two synthetic datasets (the paper
+// reports timelines, labeled profiles, average visits per profile, and
+// positive / negative / unlabeled pair counts per split).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+namespace hisrect::bench {
+namespace {
+
+void PrintDataset(const data::Dataset& dataset) {
+  util::Table table({"Split", "#timeline", "#labeled profiles",
+                     "#avg visits/profile", "#pos-pairs", "#neg-pairs",
+                     "#unlabeled pairs"});
+  auto add = [&table](const char* name, const data::DataSplit& split) {
+    data::SplitStats stats = data::ComputeSplitStats(split);
+    table.AddRow({name, std::to_string(stats.num_timelines),
+                  std::to_string(stats.num_labeled_profiles),
+                  util::Table::Fmt(stats.avg_visits_per_profile, 2),
+                  std::to_string(stats.num_positive_pairs),
+                  std::to_string(stats.num_negative_pairs),
+                  split.unlabeled_pairs.empty()
+                      ? "None"
+                      : std::to_string(stats.num_unlabeled_pairs)});
+  };
+  add("Training", dataset.train);
+  add("Validation", dataset.validation);
+  add("Testing", dataset.test);
+  std::printf("== Table 2 (%s) ==\n", dataset.name.c_str());
+  table.Print(std::cout);
+  std::printf("\n");
+}
+
+int Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  PrintDataset(MakeNyc(env).dataset);
+  PrintDataset(MakeLv(env).dataset);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hisrect::bench
+
+int main() { return hisrect::bench::Run(); }

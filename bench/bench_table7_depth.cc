@@ -1,0 +1,65 @@
+// Table 7: recall and accuracy of HisRect as a function of network depth —
+// Qf (fully connected layers in the featurizer) x Ql (stacked BiLSTM
+// layers). The paper's finding: deeper is not necessarily better, with an
+// interior optimum (Qf = 2, Ql = 3 at their scale).
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "baselines/hisrect_approach.h"
+#include "bench/bench_common.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace hisrect::bench {
+namespace {
+
+int Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  data::CityConfig config = data::NycLikeConfig({.users = env.nyc_scale * 0.7});
+  BenchDataset nyc = MakeBenchDataset(config, env.seed);
+
+  const std::vector<size_t> qf_values = {1, 2, 3};
+  const std::vector<size_t> ql_values = {1, 2, 3, 4};
+
+  std::vector<std::string> header = {"Rec"};
+  for (size_t ql : ql_values) header.push_back("Ql=" + std::to_string(ql));
+  util::Table recall_table(header);
+  header[0] = "Acc";
+  util::Table accuracy_table(header);
+
+  for (size_t qf : qf_values) {
+    std::vector<std::string> recall_row = {"Qf=" + std::to_string(qf)};
+    std::vector<std::string> accuracy_row = recall_row;
+    for (size_t ql : ql_values) {
+      util::Stopwatch stopwatch;
+      core::HisRectModelConfig model_config =
+          baselines::BaseModelConfig(env.Budget(0.4));
+      model_config.featurizer.qf = qf;
+      model_config.featurizer.num_lstm_layers = ql;
+      baselines::HisRectApproach approach("HisRect", model_config);
+      approach.Fit(nyc.dataset, nyc.text_model);
+      util::Rng rng(env.seed ^ 0x99);
+      eval::BinaryMetrics metrics =
+          eval::EvaluateTenFold(nyc.dataset.test, ScoreOf(approach), rng);
+      recall_row.push_back(util::Table::Fmt(metrics.recall));
+      accuracy_row.push_back(util::Table::Fmt(metrics.accuracy));
+      std::fprintf(stderr, "[table7] Qf=%zu Ql=%zu acc=%.3f rec=%.3f (%.1fs)\n",
+                   qf, ql, metrics.accuracy, metrics.recall,
+                   stopwatch.ElapsedSeconds());
+    }
+    recall_table.AddRow(std::move(recall_row));
+    accuracy_table.AddRow(std::move(accuracy_row));
+  }
+
+  std::printf("== Table 7: recall and accuracy vs depth (NYC-like) ==\n");
+  recall_table.Print(std::cout);
+  std::printf("\n");
+  accuracy_table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hisrect::bench
+
+int main() { return hisrect::bench::Run(); }

@@ -1,0 +1,76 @@
+// Community detection / group analysis (paper §1 and §5): given a set of
+// profiles posted in the same time window, cluster the users who appear to
+// be at the same POI using the co-location judge and connected components —
+// no cluster count needs to be specified.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/clustering.h"
+#include "core/hisrect_model.h"
+#include "core/text_model.h"
+#include "data/presets.h"
+
+using namespace hisrect;
+
+int main() {
+  data::CityConfig config;
+  config.name = "community-demo";
+  config.num_pois = 6;
+  config.num_users = 100;
+  config.timespan_seconds = 7 * 24 * 3600;
+  data::Dataset dataset = data::MakeDataset(config, 23);
+
+  core::TextModelOptions text_options;
+  text_options.skipgram.dim = 12;
+  core::TextModel text_model = core::TrainTextModel(dataset, text_options, 3);
+
+  core::HisRectModelConfig model_config;
+  model_config.ssl.steps = 1800;
+  model_config.judge_trainer.steps = 1500;
+  core::HisRectModel model(model_config);
+  model.Fit(dataset, text_model);
+
+  // Pick a time window of held-out labeled profiles (<= 12 users).
+  std::vector<const data::Profile*> group;
+  {
+    const data::DataSplit& test = dataset.test;
+    for (size_t anchor : test.labeled_indices) {
+      group.clear();
+      data::Timestamp t0 = test.profiles[anchor].tweet.ts;
+      std::map<data::UserId, bool> seen;
+      for (size_t index : test.labeled_indices) {
+        const data::Profile& profile = test.profiles[index];
+        if (profile.tweet.ts < t0 ||
+            profile.tweet.ts - t0 >= dataset.delta_t) {
+          continue;
+        }
+        if (seen[profile.uid]) continue;
+        seen[profile.uid] = true;
+        group.push_back(&profile);
+        if (group.size() >= 12) break;
+      }
+      if (group.size() >= 8) break;
+    }
+  }
+  std::printf("clustering %zu users who tweeted within one hour...\n\n",
+              group.size());
+
+  std::vector<int> clusters = core::ClusterByCoLocation(
+      group.size(),
+      [&](size_t i, size_t j) { return model.ScorePair(*group[i], *group[j]); },
+      0.5);
+
+  std::map<int, std::vector<size_t>> by_cluster;
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    by_cluster[clusters[i]].push_back(i);
+  }
+  for (const auto& [cluster, members] : by_cluster) {
+    std::printf("community %d:\n", cluster);
+    for (size_t i : members) {
+      std::printf("  user %-3d (actually at %s)\n", group[i]->uid,
+                  dataset.pois.poi(group[i]->pid).name.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+#ifndef HISRECT_BASELINES_APPROACH_H_
+#define HISRECT_BASELINES_APPROACH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/text_model.h"
+#include "data/dataset.h"
+#include "geo/poi.h"
+
+namespace hisrect::baselines {
+
+/// The common surface of all eleven co-location approaches (Table 3), so the
+/// benchmark harnesses are loops over a registry rather than copy-pasted
+/// pipelines.
+class CoLocationApproach {
+ public:
+  virtual ~CoLocationApproach() = default;
+
+  /// The paper's approach name, e.g. "HisRect", "TG-TI-C".
+  virtual std::string name() const = 0;
+
+  /// Trains on the dataset's training split. `text_model` is the shared
+  /// skip-gram substrate for the dataset (ignored by approaches that do not
+  /// use word vectors).
+  virtual void Fit(const data::Dataset& dataset,
+                   const core::TextModel& text_model) = 0;
+
+  /// Co-location score in [0, 1]; higher = more likely co-located. For
+  /// naive approaches this is a pseudo-probability (same-POI agreement), and
+  /// the paper accordingly excludes them from ROC analysis.
+  virtual double Score(const data::Profile& a,
+                       const data::Profile& b) const = 0;
+
+  /// Binary judgement; default thresholds Score at 0.5. Naive approaches
+  /// override this with their exact same-inferred-POI rule.
+  virtual bool Judge(const data::Profile& a, const data::Profile& b) const {
+    return Score(a, b) > 0.5;
+  }
+
+  /// Whether Score is a calibrated, threshold-sweepable quantity (false for
+  /// the naive approaches — they are excluded from Fig. 2).
+  virtual bool supports_roc() const { return true; }
+
+  /// POI inference support (Fig. 4). Approaches that cannot rank POIs
+  /// return false / an empty list.
+  virtual bool supports_poi_inference() const { return false; }
+  virtual std::vector<geo::PoiId> InferTopKPois(const data::Profile& profile,
+                                                size_t k) const {
+    (void)profile;
+    (void)k;
+    return {};
+  }
+};
+
+}  // namespace hisrect::baselines
+
+#endif  // HISRECT_BASELINES_APPROACH_H_

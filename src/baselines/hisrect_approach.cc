@@ -1,0 +1,80 @@
+#include "baselines/hisrect_approach.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace hisrect::baselines {
+
+HisRectApproach::HisRectApproach(std::string name,
+                                 core::HisRectModelConfig config)
+    : name_(std::move(name)), config_(std::move(config)) {}
+
+void HisRectApproach::Fit(const data::Dataset& dataset,
+                          const core::TextModel& text_model) {
+  model_ = std::make_shared<core::HisRectModel>(config_);
+  model_->Fit(dataset, text_model);
+}
+
+double HisRectApproach::Score(const data::Profile& a,
+                              const data::Profile& b) const {
+  CHECK(model_ != nullptr) << "Fit must be called before Score";
+  return model_->ScorePair(a, b);
+}
+
+std::vector<geo::PoiId> HisRectApproach::InferTopKPois(
+    const data::Profile& profile, size_t k) const {
+  CHECK(model_ != nullptr) << "Fit must be called before inference";
+  std::vector<geo::PoiId> out;
+  for (const auto& [pid, probability] : model_->InferPoi(profile, k)) {
+    out.push_back(pid);
+  }
+  return out;
+}
+
+Comp2LocApproach::Comp2LocApproach(core::HisRectModelConfig config)
+    : config_(std::move(config)) {}
+
+Comp2LocApproach::Comp2LocApproach(
+    std::shared_ptr<const core::HisRectModel> model)
+    : model_(std::move(model)) {
+  CHECK(model_ != nullptr);
+  CHECK(model_->fitted()) << "shared model must be fitted";
+}
+
+void Comp2LocApproach::Fit(const data::Dataset& dataset,
+                           const core::TextModel& text_model) {
+  if (model_ != nullptr) return;  // Sharing an already-fitted model.
+  owned_model_ = std::make_shared<core::HisRectModel>(config_);
+  owned_model_->Fit(dataset, text_model);
+  model_ = owned_model_;
+}
+
+double Comp2LocApproach::Score(const data::Profile& a,
+                               const data::Profile& b) const {
+  CHECK(model_ != nullptr);
+  // P(same POI) under independence: sum_p P(p|a) P(p|b).
+  auto pa = model_->InferPoi(a, std::numeric_limits<size_t>::max());
+  auto pb = model_->InferPoi(b, std::numeric_limits<size_t>::max());
+  std::vector<float> probs_b(pb.size(), 0.0f);
+  for (const auto& [pid, probability] : pb) {
+    probs_b[static_cast<size_t>(pid)] = probability;
+  }
+  double score = 0.0;
+  for (const auto& [pid, probability] : pa) {
+    score += static_cast<double>(probability) *
+             probs_b[static_cast<size_t>(pid)];
+  }
+  return score;
+}
+
+bool Comp2LocApproach::Judge(const data::Profile& a,
+                             const data::Profile& b) const {
+  CHECK(model_ != nullptr);
+  auto top_a = model_->InferPoi(a, 1);
+  auto top_b = model_->InferPoi(b, 1);
+  if (top_a.empty() || top_b.empty()) return false;
+  return top_a[0].first == top_b[0].first;
+}
+
+}  // namespace hisrect::baselines

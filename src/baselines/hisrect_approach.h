@@ -1,0 +1,71 @@
+#ifndef HISRECT_BASELINES_HISRECT_APPROACH_H_
+#define HISRECT_BASELINES_HISRECT_APPROACH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/approach.h"
+#include "core/hisrect_model.h"
+
+namespace hisrect::baselines {
+
+/// Adapter exposing a HisRectModel configuration as a CoLocationApproach.
+/// All the learned approaches of Table 3 (HisRect, HisRect-SL, One-phase,
+/// History-only, Tweet-only, One-hot, BLSTM, ConvLSTM) are instances of this
+/// class with different configs — see registry.h.
+class HisRectApproach : public CoLocationApproach {
+ public:
+  HisRectApproach(std::string name, core::HisRectModelConfig config);
+
+  std::string name() const override { return name_; }
+  void Fit(const data::Dataset& dataset,
+           const core::TextModel& text_model) override;
+  double Score(const data::Profile& a, const data::Profile& b) const override;
+
+  bool supports_poi_inference() const override { return true; }
+  std::vector<geo::PoiId> InferTopKPois(const data::Profile& profile,
+                                        size_t k) const override;
+
+  /// The underlying model (valid after Fit); shared so Comp2Loc can reuse
+  /// the trained featurizer and classifier.
+  std::shared_ptr<const core::HisRectModel> model() const { return model_; }
+
+ private:
+  std::string name_;
+  core::HisRectModelConfig config_;
+  std::shared_ptr<core::HisRectModel> model_;
+};
+
+/// Comp2Loc (paper §5): infer the POI of both profiles with the classifier P
+/// and judge co-located iff the two argmax POIs coincide. Reuses the model
+/// trained by a HisRectApproach when one is supplied; otherwise trains its
+/// own on Fit.
+class Comp2LocApproach : public CoLocationApproach {
+ public:
+  /// Self-training constructor.
+  explicit Comp2LocApproach(core::HisRectModelConfig config);
+  /// Shares an already-fitted model (no work in Fit).
+  explicit Comp2LocApproach(std::shared_ptr<const core::HisRectModel> model);
+
+  std::string name() const override { return "Comp2Loc"; }
+  void Fit(const data::Dataset& dataset,
+           const core::TextModel& text_model) override;
+
+  /// Pseudo-probability that both profiles are in the same POI:
+  /// sum_p P(p | r_i) * P(p | r_j).
+  double Score(const data::Profile& a, const data::Profile& b) const override;
+  /// Exact rule: same argmax POI.
+  bool Judge(const data::Profile& a, const data::Profile& b) const override;
+
+  bool supports_roc() const override { return false; }
+
+ private:
+  core::HisRectModelConfig config_;
+  std::shared_ptr<const core::HisRectModel> model_;
+  std::shared_ptr<core::HisRectModel> owned_model_;
+};
+
+}  // namespace hisrect::baselines
+
+#endif  // HISRECT_BASELINES_HISRECT_APPROACH_H_

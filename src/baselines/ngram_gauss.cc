@@ -1,0 +1,119 @@
+#include "baselines/ngram_gauss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "geo/latlon.h"
+#include "text/ngram.h"
+#include "util/logging.h"
+
+namespace hisrect::baselines {
+
+NGramGaussApproach::NGramGaussApproach(NGramGaussOptions options)
+    : options_(options) {}
+
+void NGramGaussApproach::Fit(const data::Dataset& dataset,
+                             const core::TextModel& text_model) {
+  (void)text_model;  // Works on raw tokens; word vectors not used.
+  pois_ = &dataset.pois;
+  grams_.clear();
+
+  struct Accumulator {
+    double lat_sum = 0.0;
+    double lon_sum = 0.0;
+    std::vector<geo::LatLon> samples;
+  };
+  std::unordered_map<std::string, Accumulator> accumulators;
+
+  double lat_total = 0.0;
+  double lon_total = 0.0;
+  size_t geo_count = 0;
+  for (const data::Profile& profile : dataset.train.profiles) {
+    if (!profile.tweet.has_geo) continue;
+    ++geo_count;
+    lat_total += profile.tweet.location.lat;
+    lon_total += profile.tweet.location.lon;
+    std::vector<std::string> tokens =
+        tokenizer_.Tokenize(profile.tweet.content);
+    for (std::string& gram :
+         text::ExtractNGrams(tokens, options_.max_ngram_order)) {
+      Accumulator& acc = accumulators[std::move(gram)];
+      acc.lat_sum += profile.tweet.location.lat;
+      acc.lon_sum += profile.tweet.location.lon;
+      acc.samples.push_back(profile.tweet.location);
+    }
+  }
+  if (geo_count > 0) {
+    global_centroid_ = geo::LatLon{lat_total / geo_count,
+                                   lon_total / geo_count};
+  }
+
+  for (auto& [gram, acc] : accumulators) {
+    if (acc.samples.size() < options_.min_count) continue;
+    geo::LatLon mean{acc.lat_sum / acc.samples.size(),
+                     acc.lon_sum / acc.samples.size()};
+    double sq_sum = 0.0;
+    for (const geo::LatLon& sample : acc.samples) {
+      double d = geo::ApproxDistanceMeters(sample, mean);
+      sq_sum += d * d;
+    }
+    double spread = std::sqrt(sq_sum / acc.samples.size());
+    if (spread > options_.max_spread_meters) continue;
+    grams_.emplace(gram,
+                   GramModel{mean, spread, acc.samples.size()});
+  }
+}
+
+geo::LatLon NGramGaussApproach::EstimateLocation(
+    const data::Profile& profile) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(profile.tweet.content);
+  double weight_sum = 0.0;
+  double lat = 0.0;
+  double lon = 0.0;
+  for (const std::string& gram :
+       text::ExtractNGrams(tokens, options_.max_ngram_order)) {
+    auto it = grams_.find(gram);
+    if (it == grams_.end()) continue;
+    const GramModel& model = it->second;
+    // Focused (low-spread), frequent n-grams dominate the estimate.
+    double weight = static_cast<double>(model.count) /
+                    (1.0 + model.spread_meters * model.spread_meters / 1e4);
+    lat += weight * model.mean.lat;
+    lon += weight * model.mean.lon;
+    weight_sum += weight;
+  }
+  if (weight_sum <= 0.0) return global_centroid_;
+  return geo::LatLon{lat / weight_sum, lon / weight_sum};
+}
+
+double NGramGaussApproach::Score(const data::Profile& a,
+                                 const data::Profile& b) const {
+  // Distance-based pseudo-probability of being in the same place.
+  double d = geo::ApproxDistanceMeters(EstimateLocation(a),
+                                       EstimateLocation(b));
+  return 200.0 / (200.0 + d);
+}
+
+bool NGramGaussApproach::Judge(const data::Profile& a,
+                               const data::Profile& b) const {
+  CHECK(pois_ != nullptr) << "Fit must be called first";
+  return pois_->Nearest(EstimateLocation(a)) ==
+         pois_->Nearest(EstimateLocation(b));
+}
+
+std::vector<geo::PoiId> NGramGaussApproach::InferTopKPois(
+    const data::Profile& profile, size_t k) const {
+  CHECK(pois_ != nullptr);
+  geo::LatLon estimate = EstimateLocation(profile);
+  std::vector<geo::PoiId> order(pois_->size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](geo::PoiId a, geo::PoiId b) {
+    return pois_->DistanceToPoi(estimate, a) <
+           pois_->DistanceToPoi(estimate, b);
+  });
+  if (k < order.size()) order.resize(k);
+  return order;
+}
+
+}  // namespace hisrect::baselines

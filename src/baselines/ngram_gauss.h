@@ -1,0 +1,63 @@
+#ifndef HISRECT_BASELINES_NGRAM_GAUSS_H_
+#define HISRECT_BASELINES_NGRAM_GAUSS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/approach.h"
+#include "text/tokenizer.h"
+
+namespace hisrect::baselines {
+
+struct NGramGaussOptions {
+  size_t max_ngram_order = 2;
+  /// Minimum occurrences of an n-gram among geo-tagged training tweets for a
+  /// Gaussian to be fitted.
+  size_t min_count = 3;
+  /// N-grams whose positional standard deviation exceeds this (meters) are
+  /// considered non-geo-specific and ignored.
+  double max_spread_meters = 3000.0;
+};
+
+/// The N-Gram-Gauss baseline (Flatow et al., WSDM 2015): fit a 2-D Gaussian
+/// over the geo-tagged occurrences of each n-gram; a tweet's location
+/// estimate is the spread-weighted mean of its geo-specific n-grams'
+/// centers. Co-location = both estimates resolve to the same nearest POI.
+/// Naive (excluded from ROC).
+class NGramGaussApproach : public CoLocationApproach {
+ public:
+  explicit NGramGaussApproach(NGramGaussOptions options = {});
+
+  std::string name() const override { return "N-Gram-Gauss"; }
+  void Fit(const data::Dataset& dataset,
+           const core::TextModel& text_model) override;
+  double Score(const data::Profile& a, const data::Profile& b) const override;
+  bool Judge(const data::Profile& a, const data::Profile& b) const override;
+  bool supports_roc() const override { return false; }
+
+  bool supports_poi_inference() const override { return true; }
+  std::vector<geo::PoiId> InferTopKPois(const data::Profile& profile,
+                                        size_t k) const override;
+
+  /// The location estimate for a profile's content; falls back to the
+  /// global training centroid when no geo-specific n-gram matches.
+  geo::LatLon EstimateLocation(const data::Profile& profile) const;
+
+ private:
+  struct GramModel {
+    geo::LatLon mean;
+    double spread_meters = 0.0;  // RMS distance from the mean.
+    size_t count = 0;
+  };
+
+  NGramGaussOptions options_;
+  text::Tokenizer tokenizer_;
+  std::unordered_map<std::string, GramModel> grams_;
+  geo::LatLon global_centroid_;
+  const geo::PoiSet* pois_ = nullptr;
+};
+
+}  // namespace hisrect::baselines
+
+#endif  // HISRECT_BASELINES_NGRAM_GAUSS_H_

@@ -1,0 +1,104 @@
+#include "baselines/registry.h"
+
+#include "baselines/hisrect_approach.h"
+#include "baselines/ngram_gauss.h"
+#include "baselines/tg_ti_c.h"
+#include "util/logging.h"
+
+namespace hisrect::baselines {
+
+std::vector<ApproachKind> AllApproachKinds() {
+  return {
+      ApproachKind::kTgTiC,      ApproachKind::kNGramGauss,
+      ApproachKind::kComp2Loc,   ApproachKind::kHistoryOnly,
+      ApproachKind::kTweetOnly,  ApproachKind::kOnePhase,
+      ApproachKind::kHisRectSl,  ApproachKind::kOneHot,
+      ApproachKind::kBlstm,      ApproachKind::kConvLstm,
+      ApproachKind::kHisRect,
+  };
+}
+
+std::string ApproachName(ApproachKind kind) {
+  switch (kind) {
+    case ApproachKind::kNGramGauss:
+      return "N-Gram-Gauss";
+    case ApproachKind::kTgTiC:
+      return "TG-TI-C";
+    case ApproachKind::kComp2Loc:
+      return "Comp2Loc";
+    case ApproachKind::kOnePhase:
+      return "One-phase";
+    case ApproachKind::kHistoryOnly:
+      return "History-only";
+    case ApproachKind::kTweetOnly:
+      return "Tweet-only";
+    case ApproachKind::kHisRectSl:
+      return "HisRect-SL";
+    case ApproachKind::kOneHot:
+      return "One-hot";
+    case ApproachKind::kBlstm:
+      return "BLSTM";
+    case ApproachKind::kConvLstm:
+      return "ConvLSTM";
+    case ApproachKind::kHisRect:
+      return "HisRect";
+  }
+  return "?";
+}
+
+core::HisRectModelConfig BaseModelConfig(const TrainBudget& budget) {
+  core::HisRectModelConfig config;
+  config.featurizer.hidden_dim = budget.hidden_dim;
+  config.featurizer.num_lstm_layers = budget.num_lstm_layers;
+  config.featurizer.feature_dim = budget.feature_dim;
+  config.ssl.steps = budget.ssl_steps;
+  config.ssl.batch_size = budget.batch_size;
+  config.judge_trainer.steps = budget.judge_steps;
+  config.judge_trainer.batch_size = budget.batch_size;
+  config.seed = budget.seed;
+  return config;
+}
+
+std::unique_ptr<CoLocationApproach> MakeApproach(
+    ApproachKind kind, const TrainBudget& budget,
+    std::shared_ptr<const core::HisRectModel> shared_hisrect) {
+  core::HisRectModelConfig config = BaseModelConfig(budget);
+  switch (kind) {
+    case ApproachKind::kNGramGauss:
+      return std::make_unique<NGramGaussApproach>();
+    case ApproachKind::kTgTiC:
+      return std::make_unique<TgTiCApproach>();
+    case ApproachKind::kComp2Loc:
+      if (shared_hisrect != nullptr) {
+        return std::make_unique<Comp2LocApproach>(shared_hisrect);
+      }
+      return std::make_unique<Comp2LocApproach>(config);
+    case ApproachKind::kOnePhase:
+      config.one_phase = true;
+      return std::make_unique<HisRectApproach>("One-phase", config);
+    case ApproachKind::kHistoryOnly:
+      config.featurizer.use_tweet = false;
+      return std::make_unique<HisRectApproach>("History-only", config);
+    case ApproachKind::kTweetOnly:
+      config.featurizer.use_history = false;
+      return std::make_unique<HisRectApproach>("Tweet-only", config);
+    case ApproachKind::kHisRectSl:
+      config.ssl.use_unlabeled_pairs = false;
+      return std::make_unique<HisRectApproach>("HisRect-SL", config);
+    case ApproachKind::kOneHot:
+      config.featurizer.visit_encoding = core::VisitEncodingKind::kOneHot;
+      return std::make_unique<HisRectApproach>("One-hot", config);
+    case ApproachKind::kBlstm:
+      config.featurizer.tweet_encoder = core::TweetEncoderKind::kBLstm;
+      return std::make_unique<HisRectApproach>("BLSTM", config);
+    case ApproachKind::kConvLstm:
+      config.featurizer.tweet_encoder = core::TweetEncoderKind::kConvLstm;
+      return std::make_unique<HisRectApproach>("ConvLSTM", config);
+    case ApproachKind::kHisRect:
+      return std::make_unique<HisRectApproach>("HisRect", config);
+  }
+  LOG(FATAL) << "unknown approach kind";
+  return nullptr;
+}
+
+}  // namespace hisrect::baselines

@@ -1,0 +1,58 @@
+#ifndef HISRECT_BASELINES_REGISTRY_H_
+#define HISRECT_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/approach.h"
+#include "core/hisrect_model.h"
+
+namespace hisrect::baselines {
+
+/// The eleven approaches of Table 3.
+enum class ApproachKind {
+  kNGramGauss,
+  kTgTiC,
+  kComp2Loc,
+  kOnePhase,
+  kHistoryOnly,
+  kTweetOnly,
+  kHisRectSl,
+  kOneHot,
+  kBlstm,
+  kConvLstm,
+  kHisRect,
+};
+
+/// All kinds in the paper's Table 4 row order.
+std::vector<ApproachKind> AllApproachKinds();
+
+std::string ApproachName(ApproachKind kind);
+
+/// Knobs that scale training cost without changing any approach's structure.
+/// Benches shrink these for the sweep experiments.
+struct TrainBudget {
+  size_t ssl_steps = 6000;
+  size_t judge_steps = 4000;
+  size_t batch_size = 8;
+  size_t hidden_dim = 16;
+  size_t num_lstm_layers = 1;
+  size_t feature_dim = 32;
+  uint64_t seed = 7;
+};
+
+/// The shared base HisRect configuration under a budget (the paper's
+/// hyperparameters, scaled).
+core::HisRectModelConfig BaseModelConfig(const TrainBudget& budget);
+
+/// Instantiates one approach. For kComp2Loc, pass the fitted HisRect model
+/// via `shared_hisrect` to reuse its featurizer/classifier (the approach is
+/// defined on the same trained P); pass nullptr to make it train its own.
+std::unique_ptr<CoLocationApproach> MakeApproach(
+    ApproachKind kind, const TrainBudget& budget,
+    std::shared_ptr<const core::HisRectModel> shared_hisrect = nullptr);
+
+}  // namespace hisrect::baselines
+
+#endif  // HISRECT_BASELINES_REGISTRY_H_

@@ -1,0 +1,118 @@
+#include "baselines/tg_ti_c.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace hisrect::baselines {
+
+namespace {
+
+constexpr double kSecondsPerDay = 24.0 * 3600.0;
+
+/// Circular time-of-day distance in seconds.
+double TimeOfDayDistance(data::Timestamp a, data::Timestamp b) {
+  double ta = std::fmod(static_cast<double>(a), kSecondsPerDay);
+  double tb = std::fmod(static_cast<double>(b), kSecondsPerDay);
+  double d = std::fabs(ta - tb);
+  return std::min(d, kSecondsPerDay - d);
+}
+
+}  // namespace
+
+TgTiCApproach::TgTiCApproach(TgTiCOptions options) : options_(options) {}
+
+void TgTiCApproach::Fit(const data::Dataset& dataset,
+                        const core::TextModel& text_model) {
+  vocab_ = &text_model.vocab;
+  num_pois_ = dataset.pois.size();
+  reference_pids_.clear();
+  reference_ts_.clear();
+
+  std::vector<std::vector<text::WordId>> documents;
+  for (size_t index : dataset.train.labeled_indices) {
+    const data::Profile& profile = dataset.train.profiles[index];
+    documents.push_back(
+        vocab_->Encode(tokenizer_.Tokenize(profile.tweet.content)));
+    reference_pids_.push_back(profile.pid);
+    reference_ts_.push_back(profile.tweet.ts);
+  }
+  index_ = std::make_unique<text::TfIdfIndex>(documents);
+}
+
+std::vector<double> TgTiCApproach::PoiScores(
+    const data::Profile& profile) const {
+  CHECK(index_ != nullptr) << "Fit must be called first";
+  std::vector<double> scores(num_pois_, 0.0);
+  text::SparseVector query = index_->Vectorize(
+      vocab_->Encode(tokenizer_.Tokenize(profile.tweet.content)));
+
+  // Gather the top-N most similar reference tweets.
+  struct Hit {
+    double weight;
+    geo::PoiId pid;
+  };
+  std::vector<Hit> hits;
+  hits.reserve(index_->num_documents());
+  for (size_t d = 0; d < index_->num_documents(); ++d) {
+    float similarity =
+        text::TfIdfIndex::Cosine(query, index_->document_vector(d));
+    if (similarity <= 0.0f) continue;
+    double tod = TimeOfDayDistance(profile.tweet.ts, reference_ts_[d]);
+    double time_weight = std::exp(-tod / options_.time_decay_seconds);
+    hits.push_back(Hit{similarity * time_weight, reference_pids_[d]});
+  }
+  size_t keep = std::min(options_.top_neighbors, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + keep, hits.end(),
+                    [](const Hit& a, const Hit& b) {
+                      return a.weight > b.weight;
+                    });
+  for (size_t h = 0; h < keep; ++h) {
+    scores[static_cast<size_t>(hits[h].pid)] += hits[h].weight;
+  }
+  double total = std::accumulate(scores.begin(), scores.end(), 0.0);
+  if (total > 0.0) {
+    for (double& s : scores) s /= total;
+  }
+  return scores;
+}
+
+double TgTiCApproach::Score(const data::Profile& a,
+                            const data::Profile& b) const {
+  std::vector<double> sa = PoiScores(a);
+  std::vector<double> sb = PoiScores(b);
+  double agreement = 0.0;
+  for (size_t p = 0; p < sa.size(); ++p) agreement += sa[p] * sb[p];
+  return agreement;
+}
+
+bool TgTiCApproach::Judge(const data::Profile& a,
+                          const data::Profile& b) const {
+  std::vector<double> sa = PoiScores(a);
+  std::vector<double> sb = PoiScores(b);
+  auto argmax = [](const std::vector<double>& v) {
+    return std::distance(v.begin(), std::max_element(v.begin(), v.end()));
+  };
+  // No signal on either side -> cannot claim co-location.
+  double max_a = *std::max_element(sa.begin(), sa.end());
+  double max_b = *std::max_element(sb.begin(), sb.end());
+  if (max_a <= 0.0 || max_b <= 0.0) return false;
+  return argmax(sa) == argmax(sb);
+}
+
+std::vector<geo::PoiId> TgTiCApproach::InferTopKPois(
+    const data::Profile& profile, size_t k) const {
+  std::vector<double> scores = PoiScores(profile);
+  std::vector<geo::PoiId> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](geo::PoiId a, geo::PoiId b) {
+    return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+  });
+  if (k < order.size()) order.resize(k);
+  return order;
+}
+
+}  // namespace hisrect::baselines

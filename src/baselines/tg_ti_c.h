@@ -1,0 +1,57 @@
+#ifndef HISRECT_BASELINES_TG_TI_C_H_
+#define HISRECT_BASELINES_TG_TI_C_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/approach.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace hisrect::baselines {
+
+struct TgTiCOptions {
+  /// Number of most-similar reference tweets whose POIs vote.
+  size_t top_neighbors = 10;
+  /// Time-of-day decay constant (seconds) for the "time-evolution" weight:
+  /// reference tweets posted at a similar time of day count more.
+  double time_decay_seconds = 4.0 * 3600.0;
+};
+
+/// The TG-TI-C baseline (Paraskevopoulos & Palpanas): infer a tweet's
+/// location by content similarity (tf-idf cosine) against the geo-tagged
+/// reference tweets, weighting references posted at a similar time of day.
+/// Co-location = both profiles infer the same POI. Naive (feature-free,
+/// excluded from ROC).
+class TgTiCApproach : public CoLocationApproach {
+ public:
+  explicit TgTiCApproach(TgTiCOptions options = {});
+
+  std::string name() const override { return "TG-TI-C"; }
+  void Fit(const data::Dataset& dataset,
+           const core::TextModel& text_model) override;
+  double Score(const data::Profile& a, const data::Profile& b) const override;
+  bool Judge(const data::Profile& a, const data::Profile& b) const override;
+  bool supports_roc() const override { return false; }
+
+  bool supports_poi_inference() const override { return true; }
+  std::vector<geo::PoiId> InferTopKPois(const data::Profile& profile,
+                                        size_t k) const override;
+
+ private:
+  /// Per-POI normalized scores for a profile.
+  std::vector<double> PoiScores(const data::Profile& profile) const;
+
+  TgTiCOptions options_;
+  const text::Vocab* vocab_ = nullptr;
+  text::Tokenizer tokenizer_;
+  std::unique_ptr<text::TfIdfIndex> index_;
+  std::vector<geo::PoiId> reference_pids_;
+  std::vector<data::Timestamp> reference_ts_;
+  size_t num_pois_ = 0;
+};
+
+}  // namespace hisrect::baselines
+
+#endif  // HISRECT_BASELINES_TG_TI_C_H_

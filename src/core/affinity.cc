@@ -1,0 +1,34 @@
+#include "core/affinity.h"
+
+#include "geo/latlon.h"
+
+namespace hisrect::core {
+
+std::vector<WeightedPair> BuildAffinityPairs(const data::DataSplit& split,
+                                             const geo::PoiSet& pois,
+                                             const AffinityOptions& options) {
+  std::vector<WeightedPair> out;
+  out.reserve(split.positive_pairs.size() + split.negative_pairs.size() +
+              split.unlabeled_pairs.size());
+  for (const data::Pair& pair : split.positive_pairs) {
+    out.push_back(WeightedPair{pair.i, pair.j, 1.0f, true});
+  }
+  for (const data::Pair& pair : split.negative_pairs) {
+    out.push_back(WeightedPair{pair.i, pair.j, -1.0f, true});
+  }
+  for (const data::Pair& pair : split.unlabeled_pairs) {
+    const data::Profile& a = split.profiles[pair.i];
+    const data::Profile& b = split.profiles[pair.j];
+    if (!a.tweet.has_geo || !b.tweet.has_geo) continue;
+    double d = geo::ApproxDistanceMeters(a.tweet.location, b.tweet.location);
+    if (d >= options.rho) continue;
+    if (pois.DistanceToNearest(a.tweet.location) >= options.rho) continue;
+    if (pois.DistanceToNearest(b.tweet.location) >= options.rho) continue;
+    float weight = static_cast<float>(options.epsilon_d_prime /
+                                      (options.epsilon_d_prime + d));
+    out.push_back(WeightedPair{pair.i, pair.j, weight, false});
+  }
+  return out;
+}
+
+}  // namespace hisrect::core

@@ -1,0 +1,40 @@
+#ifndef HISRECT_CORE_AFFINITY_H_
+#define HISRECT_CORE_AFFINITY_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "geo/poi.h"
+
+namespace hisrect::core {
+
+struct AffinityOptions {
+  /// Spatial threshold rho (paper: 1000 m).
+  double rho = 1000.0;
+  /// Smoothing factor epsilon_d' (paper: 50 m).
+  double epsilon_d_prime = 50.0;
+};
+
+/// One nonzero entry a_ij of the affinity matrix A (paper §4.4). Indices
+/// refer to the split's profile vector.
+struct WeightedPair {
+  size_t i = 0;
+  size_t j = 0;
+  float weight = 0.0f;
+  bool labeled = false;
+};
+
+/// Builds the sparse affinity entries from a split's pairs:
+///   * positive pairs  -> +1
+///   * negative pairs  -> -1
+///   * unlabeled pairs -> eps'_d / (eps'_d + d(r_i, r_j)) when both profiles
+///     are geo-tagged, within rho of each other and within rho of some POI;
+///     dropped (weight 0) otherwise.
+/// The |ts_i - ts_j| < delta_t condition already holds by pair construction.
+std::vector<WeightedPair> BuildAffinityPairs(const data::DataSplit& split,
+                                             const geo::PoiSet& pois,
+                                             const AffinityOptions& options);
+
+}  // namespace hisrect::core
+
+#endif  // HISRECT_CORE_AFFINITY_H_

@@ -1,0 +1,67 @@
+#include "core/clustering.h"
+
+#include <numeric>
+
+namespace hisrect::core {
+
+namespace {
+
+/// Union-find with path compression.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<int> ClusterByCoLocation(size_t n, const PairScoreFn& score,
+                                     double threshold) {
+  DisjointSets sets(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (score(i, j) > threshold) sets.Union(i, j);
+    }
+  }
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(sets.Find(i));
+  }
+  return CanonicalizeLabels(labels);
+}
+
+std::vector<int> CanonicalizeLabels(const std::vector<int>& labels) {
+  std::vector<int> canonical(labels.size());
+  std::vector<int> seen;  // seen[k] = original label of canonical cluster k.
+  for (size_t i = 0; i < labels.size(); ++i) {
+    int mapped = -1;
+    for (size_t k = 0; k < seen.size(); ++k) {
+      if (seen[k] == labels[i]) {
+        mapped = static_cast<int>(k);
+        break;
+      }
+    }
+    if (mapped < 0) {
+      mapped = static_cast<int>(seen.size());
+      seen.push_back(labels[i]);
+    }
+    canonical[i] = mapped;
+  }
+  return canonical;
+}
+
+}  // namespace hisrect::core

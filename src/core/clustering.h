@@ -1,0 +1,27 @@
+#ifndef HISRECT_CORE_CLUSTERING_H_
+#define HISRECT_CORE_CLUSTERING_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace hisrect::core {
+
+/// Pairwise co-location score in [0, 1] for items `i` and `j`.
+using PairScoreFn = std::function<double(size_t, size_t)>;
+
+/// Clusters N items by co-location judgement (paper §5, end): build an
+/// undirected graph with an edge wherever score(i, j) > threshold, then
+/// return connected-component labels in [0, num_components). Labels are
+/// canonicalized to first-appearance order, so identical partitions compare
+/// equal with ==.
+std::vector<int> ClusterByCoLocation(size_t n, const PairScoreFn& score,
+                                     double threshold = 0.5);
+
+/// Canonicalizes arbitrary cluster labels to first-appearance order (helper
+/// for comparing partitions).
+std::vector<int> CanonicalizeLabels(const std::vector<int>& labels);
+
+}  // namespace hisrect::core
+
+#endif  // HISRECT_CORE_CLUSTERING_H_

@@ -1,0 +1,126 @@
+#include "core/featurizer.h"
+
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace hisrect::core {
+
+namespace {
+
+/// Looks up frozen word vectors as constant leaf tensors.
+std::vector<nn::Tensor> EmbedWords(const std::vector<text::WordId>& words,
+                                   const text::SkipGramModel& embeddings) {
+  std::vector<nn::Tensor> out;
+  out.reserve(words.size());
+  for (text::WordId w : words) {
+    out.push_back(nn::Tensor::FromMatrix(
+        nn::Matrix::RowVector(embeddings.Embedding(w))));
+  }
+  return out;
+}
+
+}  // namespace
+
+HisRectFeaturizer::HisRectFeaturizer(const FeaturizerConfig& config,
+                                     size_t num_pois,
+                                     const text::SkipGramModel* embeddings,
+                                     util::Rng& rng)
+    : config_(config), num_pois_(num_pois), embeddings_(embeddings) {
+  CHECK(config_.use_history || config_.use_tweet)
+      << "featurizer needs at least one input source";
+  size_t tweet_dim = 0;
+  if (config_.use_tweet) {
+    CHECK(embeddings_ != nullptr);
+    size_t word_dim = embeddings_->dim();
+    switch (config_.tweet_encoder) {
+      case TweetEncoderKind::kBiLstmC:
+        bilstm_.emplace(word_dim, config_.hidden_dim, config_.num_lstm_layers,
+                        rng, config_.dropout_rate);
+        conv_.emplace(config_.hidden_dim, config_.conv_taps, rng);
+        tweet_dim = config_.hidden_dim;
+        break;
+      case TweetEncoderKind::kBLstm:
+        bilstm_.emplace(word_dim, config_.hidden_dim, config_.num_lstm_layers,
+                        rng, config_.dropout_rate);
+        tweet_dim = 2 * config_.hidden_dim;
+        break;
+      case TweetEncoderKind::kConvLstm:
+        conv_lstm_.emplace(word_dim, config_.conv_lstm_kernel, rng);
+        tweet_dim = 2 * word_dim;
+        break;
+    }
+  }
+  size_t history_dim = config_.use_history ? num_pois_ : 0;
+
+  std::vector<size_t> dims;
+  dims.push_back(history_dim + tweet_dim);
+  for (size_t i = 0; i < config_.qf; ++i) dims.push_back(config_.feature_dim);
+  nn::MlpOptions mlp_options;
+  mlp_options.relu_after_last = true;  // Paper: ReLU after every FC in F.
+  mlp_options.dropout_rate = config_.dropout_rate;
+  fusion_.emplace(dims, rng, mlp_options);
+}
+
+nn::Tensor HisRectFeaturizer::EncodeTweet(
+    const std::vector<text::WordId>& words, util::Rng& rng,
+    bool training) const {
+  std::vector<nn::Tensor> inputs = EmbedWords(words, *embeddings_);
+  switch (config_.tweet_encoder) {
+    case TweetEncoderKind::kBiLstmC: {
+      nn::BiLstm::Output states = bilstm_->Forward(inputs, rng, training);
+      return conv_->FeatureVector(states.forward, states.backward);
+    }
+    case TweetEncoderKind::kBLstm: {
+      nn::BiLstm::Output states = bilstm_->Forward(inputs, rng, training);
+      return nn::ConcatCols(nn::MeanRows(nn::RowStack(states.forward)),
+                            nn::MeanRows(nn::RowStack(states.backward)));
+    }
+    case TweetEncoderKind::kConvLstm: {
+      nn::BiConvLstm::Output states = conv_lstm_->Forward(inputs);
+      return nn::ConcatCols(nn::MeanRows(nn::RowStack(states.forward)),
+                            nn::MeanRows(nn::RowStack(states.backward)));
+    }
+  }
+  LOG(FATAL) << "unreachable tweet encoder kind";
+  return nn::Tensor();
+}
+
+nn::Tensor HisRectFeaturizer::Featurize(const EncodedProfile& profile,
+                                        util::Rng& rng, bool training) const {
+  nn::Tensor combined;
+  if (config_.use_history) {
+    const std::vector<float>& visit =
+        config_.visit_encoding == VisitEncodingKind::kHisRect
+            ? profile.visit_hisrect
+            : profile.visit_onehot;
+    CHECK_EQ(visit.size(), num_pois_);
+    combined = nn::Tensor::FromMatrix(nn::Matrix::RowVector(visit));
+  }
+  if (config_.use_tweet) {
+    nn::Tensor tweet_feature = EncodeTweet(profile.words, rng, training);
+    combined = combined.defined() ? nn::ConcatCols(combined, tweet_feature)
+                                  : tweet_feature;
+  }
+  return fusion_->Forward(combined, rng, training);
+}
+
+nn::Tensor HisRectFeaturizer::Featurize(const EncodedProfile& profile) const {
+  util::Rng unused(0);
+  return Featurize(profile, unused, /*training=*/false);
+}
+
+void HisRectFeaturizer::CollectParameters(
+    const std::string& prefix, std::vector<nn::NamedParameter>& out) const {
+  if (bilstm_.has_value()) {
+    bilstm_->CollectParameters(nn::JoinName(prefix, "bilstm"), out);
+  }
+  if (conv_.has_value()) {
+    conv_->CollectParameters(nn::JoinName(prefix, "conv"), out);
+  }
+  if (conv_lstm_.has_value()) {
+    conv_lstm_->CollectParameters(nn::JoinName(prefix, "convlstm"), out);
+  }
+  fusion_->CollectParameters(nn::JoinName(prefix, "fusion"), out);
+}
+
+}  // namespace hisrect::core

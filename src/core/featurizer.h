@@ -1,0 +1,99 @@
+#ifndef HISRECT_CORE_FEATURIZER_H_
+#define HISRECT_CORE_FEATURIZER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/profile_encoder.h"
+#include "nn/conv_lstm.h"
+#include "nn/lstm.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "nn/temporal_conv.h"
+#include "text/skipgram.h"
+#include "util/rng.h"
+
+namespace hisrect::core {
+
+/// How the recent-tweet content is encoded (paper §6.1.3 model variants).
+enum class TweetEncoderKind {
+  kBiLstmC,   // BiLSTM + temporal conv (the paper's HisRect).
+  kBLstm,     // BiLSTM only, mean-pooled (the BLSTM baseline).
+  kConvLstm,  // Bidirectional ConvLSTM (the ConvLSTM baseline).
+};
+
+/// How the visit history is encoded.
+enum class VisitEncodingKind {
+  kHisRect,  // Eq. 1-2 spatio-temporal feature.
+  kOneHot,   // Normalized POI-visit histogram (the One-hot baseline).
+};
+
+struct FeaturizerConfig {
+  bool use_history = true;
+  bool use_tweet = true;
+  VisitEncodingKind visit_encoding = VisitEncodingKind::kHisRect;
+  TweetEncoderKind tweet_encoder = TweetEncoderKind::kBiLstmC;
+  /// BiLSTM hidden width (the paper's N).
+  size_t hidden_dim = 16;
+  /// Stacked BiLSTM layers (the paper's Ql; their best is 3, default kept
+  /// small for CPU budget).
+  size_t num_lstm_layers = 1;
+  /// Temporal conv extent (the paper's 3 x N filter).
+  size_t conv_taps = 3;
+  /// ConvLSTM gate kernel width.
+  size_t conv_lstm_kernel = 5;
+  /// Fully connected layers fusing [F_v, F_c] (the paper's Qf).
+  size_t qf = 2;
+  /// Output feature dimensionality of F(r).
+  size_t feature_dim = 32;
+  /// Dropout rate. The paper uses keep probability 0.8 (rate 0.2); at this
+  /// library's smaller widths 0.1 trains markedly more stably.
+  float dropout_rate = 0.1f;
+};
+
+/// The HisRect featurizer F (paper §4): combines the visit feature F_v and
+/// the tweet-content feature F_c through a feed-forward stack. Degenerate
+/// configurations implement the History-only / Tweet-only / One-hot / BLSTM /
+/// ConvLSTM baselines.
+class HisRectFeaturizer : public nn::Module {
+ public:
+  /// `embeddings` (frozen skip-gram word vectors) must outlive the module.
+  HisRectFeaturizer(const FeaturizerConfig& config, size_t num_pois,
+                    const text::SkipGramModel* embeddings, util::Rng& rng);
+
+  /// Builds the feature graph F(r) for one encoded profile. Output is a
+  /// 1 x feature_dim tensor attached to this module's parameters.
+  nn::Tensor Featurize(const EncodedProfile& profile, util::Rng& rng,
+                       bool training) const;
+
+  /// Inference-only convenience (no dropout, detached RNG).
+  nn::Tensor Featurize(const EncodedProfile& profile) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParameter>& out) const override;
+
+  size_t feature_dim() const { return config_.feature_dim; }
+  const FeaturizerConfig& config() const { return config_; }
+
+ private:
+  nn::Tensor EncodeTweet(const std::vector<text::WordId>& words,
+                         util::Rng& rng, bool training) const;
+
+  FeaturizerConfig config_;
+  size_t num_pois_;
+  const text::SkipGramModel* embeddings_;
+
+  // Tweet path (present when use_tweet).
+  std::optional<nn::BiLstm> bilstm_;
+  std::optional<nn::TemporalConv> conv_;
+  std::optional<nn::BiConvLstm> conv_lstm_;
+
+  // Fusion MLP.
+  std::optional<nn::Mlp> fusion_;
+};
+
+}  // namespace hisrect::core
+
+#endif  // HISRECT_CORE_FEATURIZER_H_

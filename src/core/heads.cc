@@ -1,0 +1,100 @@
+#include "core/heads.h"
+
+#include "util/logging.h"
+
+namespace hisrect::core {
+
+namespace {
+
+std::vector<size_t> StackDims(size_t in_dim, size_t hidden, size_t out_dim,
+                              size_t num_layers) {
+  CHECK_GE(num_layers, 1u);
+  std::vector<size_t> dims;
+  dims.push_back(in_dim);
+  for (size_t i = 0; i + 1 < num_layers; ++i) dims.push_back(hidden);
+  dims.push_back(out_dim);
+  return dims;
+}
+
+/// `final_stddev` > 0 keeps the initial outputs near zero — used for logit
+/// heads so softmax/sigmoid do not saturate at step 0. Embedding heads keep
+/// the fan-in default (their scale is normalized away, and a tiny initial
+/// norm would amplify the normalization backward).
+nn::MlpOptions HeadOptions(float dropout_rate, float final_stddev) {
+  nn::MlpOptions options;
+  options.relu_after_last = false;  // Heads end in logits / embeddings.
+  options.dropout_rate = dropout_rate;
+  options.final_layer_stddev = final_stddev;
+  return options;
+}
+
+}  // namespace
+
+PoiClassifier::PoiClassifier(size_t feature_dim, size_t num_pois,
+                             size_t num_layers, util::Rng& rng,
+                             float dropout_rate)
+    : mlp_(StackDims(feature_dim, feature_dim, num_pois, num_layers), rng,
+           HeadOptions(dropout_rate, /*final_stddev=*/0.05f)) {}
+
+nn::Tensor PoiClassifier::Logits(const nn::Tensor& feature, util::Rng& rng,
+                                 bool training) const {
+  return mlp_.Forward(feature, rng, training);
+}
+
+nn::Tensor PoiClassifier::Logits(const nn::Tensor& feature) const {
+  return mlp_.Forward(feature);
+}
+
+void PoiClassifier::CollectParameters(
+    const std::string& prefix, std::vector<nn::NamedParameter>& out) const {
+  mlp_.CollectParameters(nn::JoinName(prefix, "poi_classifier"), out);
+}
+
+Embedder::Embedder(size_t feature_dim, size_t embed_dim, size_t num_layers,
+                   util::Rng& rng, float dropout_rate)
+    : mlp_(StackDims(feature_dim, feature_dim, embed_dim, num_layers), rng,
+           HeadOptions(dropout_rate, /*final_stddev=*/-1.0f)) {}
+
+nn::Tensor Embedder::Embed(const nn::Tensor& feature, util::Rng& rng,
+                           bool training) const {
+  return nn::L2NormalizeRow(mlp_.Forward(feature, rng, training));
+}
+
+nn::Tensor Embedder::Embed(const nn::Tensor& feature) const {
+  return nn::L2NormalizeRow(mlp_.Forward(feature));
+}
+
+void Embedder::CollectParameters(const std::string& prefix,
+                                 std::vector<nn::NamedParameter>& out) const {
+  mlp_.CollectParameters(nn::JoinName(prefix, "embedder"), out);
+}
+
+JudgeHead::JudgeHead(size_t feature_dim, size_t embed_dim, size_t qe,
+                     size_t qc, util::Rng& rng, float dropout_rate)
+    : embed_(StackDims(feature_dim, feature_dim, embed_dim, qe), rng,
+             HeadOptions(dropout_rate, /*final_stddev=*/-1.0f)),
+      classifier_(StackDims(embed_dim, embed_dim, 1, qc), rng,
+                  HeadOptions(dropout_rate, /*final_stddev=*/0.05f)) {}
+
+nn::Tensor JudgeHead::CoLocationLogit(const nn::Tensor& feature_i,
+                                      const nn::Tensor& feature_j,
+                                      util::Rng& rng, bool training) const {
+  nn::Tensor ei = embed_.Forward(feature_i, rng, training);
+  nn::Tensor ej = embed_.Forward(feature_j, rng, training);
+  nn::Tensor diff = nn::Abs(nn::Sub(ei, ej));
+  return classifier_.Forward(diff, rng, training);
+}
+
+nn::Tensor JudgeHead::CoLocationLogit(const nn::Tensor& feature_i,
+                                      const nn::Tensor& feature_j) const {
+  util::Rng unused(0);
+  return CoLocationLogit(feature_i, feature_j, unused, /*training=*/false);
+}
+
+void JudgeHead::CollectParameters(const std::string& prefix,
+                                  std::vector<nn::NamedParameter>& out) const {
+  embed_.CollectParameters(nn::JoinName(prefix, "judge_embed"), out);
+  classifier_.CollectParameters(nn::JoinName(prefix, "judge_classifier"), out);
+}
+
+}  // namespace hisrect::core

@@ -1,0 +1,81 @@
+#ifndef HISRECT_CORE_HEADS_H_
+#define HISRECT_CORE_HEADS_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace hisrect::core {
+
+/// The POI classifier P (paper §4.4): feed-forward logits over POIs, trained
+/// with cross entropy (L_poi).
+class PoiClassifier : public nn::Module {
+ public:
+  /// `num_layers` FC layers; hidden widths equal feature_dim.
+  PoiClassifier(size_t feature_dim, size_t num_pois, size_t num_layers,
+                util::Rng& rng, float dropout_rate = 0.2f);
+
+  /// Returns 1 x num_pois logits for a feature F(r).
+  nn::Tensor Logits(const nn::Tensor& feature, util::Rng& rng,
+                    bool training) const;
+  nn::Tensor Logits(const nn::Tensor& feature) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParameter>& out) const override;
+
+  size_t num_pois() const { return mlp_.out_dim(); }
+
+ private:
+  nn::Mlp mlp_;
+};
+
+/// The normalized embedding E (paper Eq. 4): feed-forward stack followed by
+/// L2 normalization, used inside the unsupervised SSL loss.
+class Embedder : public nn::Module {
+ public:
+  Embedder(size_t feature_dim, size_t embed_dim, size_t num_layers,
+           util::Rng& rng, float dropout_rate = 0.2f);
+
+  /// Unit-norm 1 x embed_dim embedding.
+  nn::Tensor Embed(const nn::Tensor& feature, util::Rng& rng,
+                   bool training) const;
+  nn::Tensor Embed(const nn::Tensor& feature) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParameter>& out) const override;
+
+ private:
+  nn::Mlp mlp_;
+};
+
+/// The co-location judge (paper §5): embedding layer E' plus a classifier C
+/// over the absolute embedding difference, ending in one logit whose sigmoid
+/// is p_co.
+class JudgeHead : public nn::Module {
+ public:
+  /// `qe` = layers in E' (paper optimum 2), `qc` = layers in C (optimum 3).
+  JudgeHead(size_t feature_dim, size_t embed_dim, size_t qe, size_t qc,
+            util::Rng& rng, float dropout_rate = 0.2f);
+
+  /// The logit of p_co for two features. sigmoid(logit) > 0.5 <=> judged
+  /// co-located.
+  nn::Tensor CoLocationLogit(const nn::Tensor& feature_i,
+                             const nn::Tensor& feature_j, util::Rng& rng,
+                             bool training) const;
+  nn::Tensor CoLocationLogit(const nn::Tensor& feature_i,
+                             const nn::Tensor& feature_j) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParameter>& out) const override;
+
+ private:
+  nn::Mlp embed_;       // E'
+  nn::Mlp classifier_;  // C (+ final logit layer)
+};
+
+}  // namespace hisrect::core
+
+#endif  // HISRECT_CORE_HEADS_H_

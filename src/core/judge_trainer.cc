@@ -1,0 +1,97 @@
+#include "core/judge_trainer.h"
+
+#include <algorithm>
+
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace hisrect::core {
+
+JudgeTrainer::JudgeTrainer(HisRectFeaturizer* featurizer, JudgeHead* judge,
+                           const JudgeTrainerOptions& options)
+    : featurizer_(featurizer), judge_(judge), options_(options) {
+  CHECK(featurizer_ != nullptr);
+  CHECK(judge_ != nullptr);
+  CHECK_GT(options_.batch_size, 0u);
+}
+
+JudgeTrainStats JudgeTrainer::Train(const std::vector<EncodedProfile>& encoded,
+                                    const data::DataSplit& split,
+                                    util::Rng& rng) {
+  CHECK_EQ(encoded.size(), split.profiles.size());
+  CHECK(!split.positive_pairs.empty() || !split.negative_pairs.empty())
+      << "judge training requires labeled pairs";
+
+  std::vector<nn::NamedParameter> params;
+  judge_->CollectParameters("judge", params);
+  if (options_.train_featurizer) {
+    featurizer_->CollectParameters("featurizer", params);
+  }
+  nn::Adam optimizer(params, options_.adam);
+
+  struct LabeledPair {
+    size_t i;
+    size_t j;
+    float label;
+  };
+  // Per-epoch pool: all positives + subsampled negatives.
+  std::vector<LabeledPair> pool;
+  size_t cursor = 0;
+  auto refill_pool = [&] {
+    pool.clear();
+    for (const data::Pair& pair : split.positive_pairs) {
+      pool.push_back(LabeledPair{pair.i, pair.j, 1.0f});
+    }
+    if (!split.negative_pairs.empty()) {
+      size_t keep = static_cast<size_t>(
+          static_cast<double>(split.negative_pairs.size()) *
+          options_.negative_keep_fraction);
+      keep = std::max<size_t>(keep, 1);
+      for (size_t index :
+           rng.SampleIndices(split.negative_pairs.size(), keep)) {
+        const data::Pair& pair = split.negative_pairs[index];
+        pool.push_back(LabeledPair{pair.i, pair.j, 0.0f});
+      }
+    }
+    rng.Shuffle(pool);
+    cursor = 0;
+  };
+  refill_pool();
+  CHECK(!pool.empty());
+
+  JudgeTrainStats stats;
+  size_t tail_begin = options_.steps - options_.steps / 10;
+  double tail_loss = 0.0;
+  size_t tail_count = 0;
+
+  for (size_t step = 0; step < options_.steps; ++step) {
+    nn::Tensor loss;
+    for (size_t b = 0; b < options_.batch_size; ++b) {
+      if (cursor >= pool.size()) refill_pool();
+      const LabeledPair& pair = pool[cursor++];
+      // Theta_F fixed in the two-phase approach: featurize in eval mode so
+      // no featurizer dropout perturbs the fixed features.
+      bool featurizer_training = options_.train_featurizer;
+      nn::Tensor fi =
+          featurizer_->Featurize(encoded[pair.i], rng, featurizer_training);
+      nn::Tensor fj =
+          featurizer_->Featurize(encoded[pair.j], rng, featurizer_training);
+      nn::Tensor logit = judge_->CoLocationLogit(fi, fj, rng, true);
+      nn::Tensor sample_loss =
+          nn::SigmoidBinaryCrossEntropy(logit, pair.label);
+      loss = loss.defined() ? nn::Add(loss, sample_loss) : sample_loss;
+    }
+    loss = nn::Scale(loss, 1.0f / static_cast<float>(options_.batch_size));
+    loss.Backward();
+    optimizer.Step();
+    if (step >= tail_begin) {
+      tail_loss += loss.value().At(0, 0);
+      ++tail_count;
+    }
+  }
+  stats.final_loss =
+      tail_count > 0 ? tail_loss / static_cast<double>(tail_count) : 0.0;
+  return stats;
+}
+
+}  // namespace hisrect::core

@@ -1,0 +1,50 @@
+#ifndef HISRECT_CORE_JUDGE_TRAINER_H_
+#define HISRECT_CORE_JUDGE_TRAINER_H_
+
+#include <vector>
+
+#include "core/featurizer.h"
+#include "core/heads.h"
+#include "core/profile_encoder.h"
+#include "data/dataset.h"
+#include "nn/adam.h"
+#include "util/rng.h"
+
+namespace hisrect::core {
+
+struct JudgeTrainerOptions {
+  size_t steps = 3000;
+  size_t batch_size = 8;
+  /// Fraction of negative pairs sampled per epoch (paper: 1/10).
+  double negative_keep_fraction = 0.1;
+  /// true implements the One-phase baseline: the featurizer F is trained
+  /// jointly with E' and C on L_co (no separate HisRect feature training).
+  /// false is the paper's two-phase approach (Theta_F fixed).
+  bool train_featurizer = false;
+  nn::AdamOptions adam;
+};
+
+struct JudgeTrainStats {
+  /// Mean L_co over the final 10% of steps.
+  double final_loss = 0.0;
+};
+
+/// Trains the co-location judge (E', C) on the labeled pairs Gamma_L with
+/// the log loss L_co (paper §5).
+class JudgeTrainer {
+ public:
+  JudgeTrainer(HisRectFeaturizer* featurizer, JudgeHead* judge,
+               const JudgeTrainerOptions& options);
+
+  JudgeTrainStats Train(const std::vector<EncodedProfile>& encoded,
+                        const data::DataSplit& split, util::Rng& rng);
+
+ private:
+  HisRectFeaturizer* featurizer_;
+  JudgeHead* judge_;
+  JudgeTrainerOptions options_;
+};
+
+}  // namespace hisrect::core
+
+#endif  // HISRECT_CORE_JUDGE_TRAINER_H_

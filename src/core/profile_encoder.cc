@@ -1,0 +1,41 @@
+#include "core/profile_encoder.h"
+
+#include "util/logging.h"
+
+namespace hisrect::core {
+
+ProfileEncoder::ProfileEncoder(const geo::PoiSet* pois,
+                               const TextModel* text_model,
+                               VisitFeaturizerOptions visit_options,
+                               size_t min_words)
+    : text_model_(text_model),
+      visit_featurizer_(pois, visit_options),
+      min_words_(min_words) {
+  CHECK(text_model_ != nullptr);
+}
+
+EncodedProfile ProfileEncoder::Encode(const data::Profile& profile) const {
+  EncodedProfile encoded;
+  encoded.words =
+      text_model_->vocab.Encode(tokenizer_.Tokenize(profile.tweet.content));
+  while (encoded.words.size() < min_words_) {
+    encoded.words.push_back(text::Vocab::kSentinelId);
+  }
+  encoded.visit_hisrect = visit_featurizer_.Featurize(profile);
+  encoded.visit_onehot = visit_featurizer_.FeaturizeOneHot(profile);
+  encoded.ts = profile.tweet.ts;
+  encoded.has_geo = profile.tweet.has_geo;
+  encoded.location = profile.tweet.location;
+  encoded.pid = profile.pid;
+  return encoded;
+}
+
+std::vector<EncodedProfile> ProfileEncoder::EncodeAll(
+    const std::vector<data::Profile>& profiles) const {
+  std::vector<EncodedProfile> out;
+  out.reserve(profiles.size());
+  for (const data::Profile& profile : profiles) out.push_back(Encode(profile));
+  return out;
+}
+
+}  // namespace hisrect::core

@@ -1,0 +1,56 @@
+#ifndef HISRECT_CORE_PROFILE_ENCODER_H_
+#define HISRECT_CORE_PROFILE_ENCODER_H_
+
+#include <vector>
+
+#include "core/text_model.h"
+#include "core/visit_featurizer.h"
+#include "data/dataset.h"
+#include "data/types.h"
+#include "geo/poi.h"
+#include "text/vocab.h"
+
+namespace hisrect::core {
+
+/// A profile preprocessed for the neural featurizer: tokenized + id-encoded
+/// tweet content (padded to at least `min_words` with the sentinel so the
+/// BiLSTM-C conv window always fits) and both visit encodings.
+struct EncodedProfile {
+  std::vector<text::WordId> words;
+  std::vector<float> visit_hisrect;  // Eq. 1-2 feature, |P| dims.
+  std::vector<float> visit_onehot;   // One-hot baseline encoding, |P| dims.
+  data::Timestamp ts = 0;
+  bool has_geo = false;
+  geo::LatLon location;
+  geo::PoiId pid = geo::kInvalidPoiId;
+
+  bool labeled() const { return pid != geo::kInvalidPoiId; }
+};
+
+/// Converts raw profiles into EncodedProfiles. Encoding is deterministic and
+/// done once per dataset split (tokenization and the O(|visits| x |P|) visit
+/// feature are the expensive parts of the pipeline).
+class ProfileEncoder {
+ public:
+  /// `pois` and `text_model` must outlive the encoder.
+  ProfileEncoder(const geo::PoiSet* pois, const TextModel* text_model,
+                 VisitFeaturizerOptions visit_options = {},
+                 size_t min_words = 3);
+
+  EncodedProfile Encode(const data::Profile& profile) const;
+
+  std::vector<EncodedProfile> EncodeAll(
+      const std::vector<data::Profile>& profiles) const;
+
+  const VisitFeaturizer& visit_featurizer() const { return visit_featurizer_; }
+
+ private:
+  const TextModel* text_model_;
+  VisitFeaturizer visit_featurizer_;
+  text::Tokenizer tokenizer_;
+  size_t min_words_;
+};
+
+}  // namespace hisrect::core
+
+#endif  // HISRECT_CORE_PROFILE_ENCODER_H_

@@ -1,0 +1,180 @@
+#include "core/ssl_trainer.h"
+
+#include <algorithm>
+
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace hisrect::core {
+
+SslTrainer::SslTrainer(HisRectFeaturizer* featurizer,
+                       PoiClassifier* classifier, Embedder* embedder,
+                       const SslTrainerOptions& options)
+    : featurizer_(featurizer),
+      classifier_(classifier),
+      embedder_(embedder),
+      options_(options) {
+  CHECK(featurizer_ != nullptr);
+  CHECK(classifier_ != nullptr);
+  CHECK(!options_.use_embedding || embedder_ != nullptr)
+      << "use_embedding requires an embedder";
+  CHECK_GT(options_.batch_size, 0u);
+}
+
+SslTrainStats SslTrainer::Train(const std::vector<EncodedProfile>& encoded,
+                                const data::DataSplit& split,
+                                const geo::PoiSet& pois, util::Rng& rng) {
+  CHECK_EQ(encoded.size(), split.profiles.size());
+
+  // Affinity entries (positives / negatives / unlabeled-with-weight).
+  std::vector<WeightedPair> positives;
+  std::vector<WeightedPair> negatives;
+  std::vector<WeightedPair> unlabeled;
+  for (const WeightedPair& pair :
+       BuildAffinityPairs(split, pois, options_.affinity)) {
+    if (pair.labeled && pair.weight > 0.0f) {
+      positives.push_back(pair);
+    } else if (pair.labeled) {
+      negatives.push_back(pair);
+    } else if (options_.use_unlabeled_pairs) {
+      unlabeled.push_back(pair);
+    }
+  }
+
+  // Optimizers: one for (F, P) on L_poi, one for (F, E) on L_u.
+  std::vector<nn::NamedParameter> poi_params;
+  featurizer_->CollectParameters("featurizer", poi_params);
+  classifier_->CollectParameters("classifier", poi_params);
+  nn::Adam poi_optimizer(poi_params, options_.adam);
+
+  std::vector<nn::NamedParameter> unsup_params;
+  featurizer_->CollectParameters("featurizer", unsup_params);
+  if (options_.use_embedding) {
+    embedder_->CollectParameters("embedder", unsup_params);
+  }
+  nn::Adam unsup_optimizer(unsup_params, options_.adam);
+
+  const std::vector<size_t>& labeled = split.labeled_indices;
+  CHECK(!labeled.empty()) << "SSL training requires labeled profiles";
+
+  // Per-epoch pair pool: all positives + a pair_keep_fraction sample of
+  // negatives and unlabeled (paper §6.1.2).
+  std::vector<WeightedPair> pool;
+  size_t pool_cursor = 0;
+  auto refill_pool = [&] {
+    pool.clear();
+    pool.insert(pool.end(), positives.begin(), positives.end());
+    auto sample_from = [&](const std::vector<WeightedPair>& source) {
+      if (source.empty()) return;
+      size_t keep = static_cast<size_t>(
+          static_cast<double>(source.size()) * options_.pair_keep_fraction);
+      keep = std::max<size_t>(keep, std::min<size_t>(source.size(), 1));
+      for (size_t index : rng.SampleIndices(source.size(), keep)) {
+        pool.push_back(source[index]);
+      }
+    };
+    sample_from(negatives);
+    sample_from(unlabeled);
+    rng.Shuffle(pool);
+    pool_cursor = 0;
+  };
+  refill_pool();
+
+  // Mixing ratio gamma_poi = |R_L| / (|R_L| + |Gamma_L u Gamma_U|)
+  // (Algorithm 1, line 2), computed over the per-epoch pool (the sets the
+  // batches are actually drawn from after the 1/10 subsampling), floored so
+  // the POI classifier still receives enough supervised steps at small
+  // scale.
+  double gamma_poi =
+      static_cast<double>(labeled.size()) /
+      std::max(1.0,
+               static_cast<double>(labeled.size()) +
+                   static_cast<double>(pool.size()));
+  gamma_poi = std::max(gamma_poi, options_.min_poi_step_fraction);
+  // Degenerate guard: with no pairs at all, always take POI steps.
+  if (pool.empty()) gamma_poi = 1.0;
+
+  SslTrainStats stats;
+  size_t tail_begin = options_.steps - options_.steps / 10;
+  double tail_poi_loss = 0.0;
+  size_t tail_poi_count = 0;
+  double tail_unsup_loss = 0.0;
+  size_t tail_unsup_count = 0;
+
+  for (size_t step = 0; step < options_.steps; ++step) {
+    bool take_poi_step = rng.Uniform() < gamma_poi;
+    if (take_poi_step) {
+      // Supervised step: L_poi = cross entropy of P(F(r)) vs r.pid.
+      nn::Tensor loss;
+      for (size_t b = 0; b < options_.batch_size; ++b) {
+        size_t index = labeled[rng.UniformInt(labeled.size())];
+        const EncodedProfile& profile = encoded[index];
+        nn::Tensor feature = featurizer_->Featurize(profile, rng, true);
+        nn::Tensor logits = classifier_->Logits(feature, rng, true);
+        nn::Tensor sample_loss = nn::SoftmaxCrossEntropy(
+            logits, static_cast<size_t>(profile.pid));
+        loss = loss.defined() ? nn::Add(loss, sample_loss) : sample_loss;
+      }
+      loss = nn::Scale(loss, 1.0f / static_cast<float>(options_.batch_size));
+      loss.Backward();
+      poi_optimizer.Step();
+      ++stats.poi_steps;
+      if (step >= tail_begin) {
+        tail_poi_loss += loss.value().At(0, 0);
+        ++tail_poi_count;
+      }
+    } else {
+      // Unsupervised step over affinity pairs.
+      nn::Tensor loss;
+      for (size_t b = 0; b < options_.batch_size; ++b) {
+        if (pool_cursor >= pool.size()) refill_pool();
+        const WeightedPair& pair = pool[pool_cursor++];
+        nn::Tensor fi = featurizer_->Featurize(encoded[pair.i], rng, true);
+        nn::Tensor fj = featurizer_->Featurize(encoded[pair.j], rng, true);
+        nn::Tensor ei = options_.use_embedding
+                            ? embedder_->Embed(fi, rng, true)
+                            : nn::L2NormalizeRow(fi);
+        nn::Tensor ej = options_.use_embedding
+                            ? embedder_->Embed(fj, rng, true)
+                            : nn::L2NormalizeRow(fj);
+        nn::Tensor sample_loss;
+        switch (options_.unsup_loss) {
+          case UnsupLossKind::kCosine: {
+            // a_ij * (1 - <e_i, e_j>): build as a_ij - a_ij * dot.
+            nn::Tensor dot = nn::Dot(ei, ej);
+            nn::Tensor scaled = nn::Scale(dot, -pair.weight);
+            // Constant a_ij contributes nothing to gradients; add it so the
+            // reported loss matches Eq. 4.
+            sample_loss = nn::Add(
+                scaled, nn::Tensor::FromMatrix(nn::Matrix(1, 1, pair.weight)));
+            break;
+          }
+          case UnsupLossKind::kSquaredL2:
+            sample_loss = nn::Scale(nn::SquaredL2Diff(ei, ej), pair.weight);
+            break;
+        }
+        loss = loss.defined() ? nn::Add(loss, sample_loss) : sample_loss;
+      }
+      loss = nn::Scale(loss, options_.unsup_weight /
+                                 static_cast<float>(options_.batch_size));
+      loss.Backward();
+      unsup_optimizer.Step();
+      ++stats.pair_steps;
+      if (step >= tail_begin) {
+        tail_unsup_loss += loss.value().At(0, 0);
+        ++tail_unsup_count;
+      }
+    }
+  }
+
+  stats.final_poi_loss =
+      tail_poi_count > 0 ? tail_poi_loss / static_cast<double>(tail_poi_count)
+                         : 0.0;
+  stats.final_unsup_loss =
+      tail_unsup_count > 0
+          ? tail_unsup_loss / static_cast<double>(tail_unsup_count)
+          : 0.0;
+  return stats;
+}
+
+}  // namespace hisrect::core

@@ -1,0 +1,25 @@
+#include "core/text_model.h"
+
+#include <vector>
+
+namespace hisrect::core {
+
+TextModel TrainTextModel(const data::Dataset& dataset,
+                         const TextModelOptions& options, uint64_t seed) {
+  TextModel model;
+  model.vocab = text::Vocab::Build(dataset.train_corpus,
+                                   options.min_word_count);
+  util::Rng rng(seed);
+  model.embeddings = std::make_unique<text::SkipGramModel>(
+      model.vocab, options.skipgram, rng);
+
+  std::vector<std::vector<text::WordId>> encoded;
+  encoded.reserve(dataset.train_corpus.size());
+  for (const auto& sentence : dataset.train_corpus) {
+    encoded.push_back(model.vocab.Encode(sentence));
+  }
+  model.embeddings->Train(encoded, rng);
+  return model;
+}
+
+}  // namespace hisrect::core

@@ -1,0 +1,38 @@
+#ifndef HISRECT_CORE_TEXT_MODEL_H_
+#define HISRECT_CORE_TEXT_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "data/dataset.h"
+#include "text/skipgram.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace hisrect::core {
+
+/// The text substrate shared by all approaches on a dataset: the vocabulary
+/// (built from the training corpus) and the skip-gram word vectors trained
+/// on it. Train once per dataset; approaches borrow a const reference.
+struct TextModel {
+  text::Vocab vocab;
+  std::unique_ptr<text::SkipGramModel> embeddings;
+
+  size_t word_dim() const { return embeddings->dim(); }
+};
+
+struct TextModelOptions {
+  /// Minimum corpus frequency for a word to enter the vocabulary (the paper
+  /// keeps words appearing more than 10 times).
+  size_t min_word_count = 5;
+  text::SkipGramOptions skipgram;
+};
+
+/// Builds the vocabulary from `dataset.train_corpus` and trains skip-gram
+/// word vectors on it.
+TextModel TrainTextModel(const data::Dataset& dataset,
+                         const TextModelOptions& options, uint64_t seed);
+
+}  // namespace hisrect::core
+
+#endif  // HISRECT_CORE_TEXT_MODEL_H_

@@ -1,0 +1,73 @@
+#include "core/visit_featurizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hisrect::core {
+
+namespace {
+
+void L2NormalizeInPlace(std::vector<float>& v) {
+  double norm_sq = 0.0;
+  for (float x : v) norm_sq += static_cast<double>(x) * x;
+  if (norm_sq <= 0.0) return;
+  float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+  for (float& x : v) x *= inv;
+}
+
+std::vector<float> UniformFeature(size_t dim) {
+  std::vector<float> v(dim, 1.0f);
+  L2NormalizeInPlace(v);
+  return v;
+}
+
+}  // namespace
+
+VisitFeaturizer::VisitFeaturizer(const geo::PoiSet* pois,
+                                 VisitFeaturizerOptions options)
+    : pois_(pois), options_(options) {
+  CHECK(pois_ != nullptr);
+  CHECK_GT(pois_->size(), 0u);
+  CHECK_GT(options_.epsilon_d, 0.0);
+  CHECK_GT(options_.epsilon_t, 0.0);
+}
+
+std::vector<float> VisitFeaturizer::Featurize(
+    const data::Profile& profile) const {
+  size_t n = pois_->size();
+  if (profile.visit_history.empty()) return UniformFeature(n);
+
+  std::vector<float> acc(n, 0.0f);
+  for (const data::Visit& visit : profile.visit_history) {
+    double age = static_cast<double>(profile.tweet.ts - visit.ts);
+    if (age < 0.0) age = 0.0;  // Defensive: histories are pre-tweet.
+    double time_weight = options_.epsilon_t / (options_.epsilon_t + age);
+    for (size_t i = 0; i < n; ++i) {
+      double d =
+          pois_->DistanceToPoi(visit.location, static_cast<geo::PoiId>(i));
+      acc[i] += static_cast<float>(time_weight * options_.epsilon_d /
+                                   (options_.epsilon_d + d));
+    }
+  }
+  L2NormalizeInPlace(acc);
+  return acc;
+}
+
+std::vector<float> VisitFeaturizer::FeaturizeOneHot(
+    const data::Profile& profile) const {
+  size_t n = pois_->size();
+  std::vector<float> counts(n, 0.0f);
+  bool any = false;
+  for (const data::Visit& visit : profile.visit_history) {
+    if (auto pid = pois_->FindContaining(visit.location); pid.has_value()) {
+      counts[static_cast<size_t>(*pid)] += 1.0f;
+      any = true;
+    }
+  }
+  if (!any) return UniformFeature(n);
+  L2NormalizeInPlace(counts);
+  return counts;
+}
+
+}  // namespace hisrect::core

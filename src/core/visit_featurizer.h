@@ -1,0 +1,50 @@
+#ifndef HISRECT_CORE_VISIT_FEATURIZER_H_
+#define HISRECT_CORE_VISIT_FEATURIZER_H_
+
+#include <vector>
+
+#include "data/types.h"
+#include "geo/poi.h"
+
+namespace hisrect::core {
+
+struct VisitFeaturizerOptions {
+  /// Distance smoothing factor epsilon_d in meters (paper: 1000 m).
+  double epsilon_d = 1000.0;
+  /// Time smoothing factor epsilon_t in seconds. The paper leaves the value
+  /// unspecified; one day matches the intuition that same-day visits matter
+  /// much more than last week's.
+  double epsilon_t = 86400.0;
+};
+
+/// The historical-visit feature F_v(r) of the paper (Eq. 1-2):
+///
+///   w(v)[i]  = eps_d / (eps_d + d(v, p_i))
+///   F_v(r)   = l2norm( sum_v  eps_t / (eps_t + r.ts - v.ts) * w(v) )
+///
+/// For a profile without visits, F_v is the normalized all-ones vector so
+/// the model can handle timelines without POI tweets.
+class VisitFeaturizer {
+ public:
+  /// `pois` must outlive the featurizer.
+  VisitFeaturizer(const geo::PoiSet* pois, VisitFeaturizerOptions options = {});
+
+  /// Returns the |P|-dimensional feature for `profile`.
+  std::vector<float> Featurize(const data::Profile& profile) const;
+
+  /// The alternative one-hot-style encoding used by the One-hot baseline:
+  /// the l2-normalized histogram of POIs the user's visits fall inside
+  /// (visits outside every POI are ignored; an empty histogram yields the
+  /// normalized all-ones vector).
+  std::vector<float> FeaturizeOneHot(const data::Profile& profile) const;
+
+  size_t dim() const { return pois_->size(); }
+
+ private:
+  const geo::PoiSet* pois_;
+  VisitFeaturizerOptions options_;
+};
+
+}  // namespace hisrect::core
+
+#endif  // HISRECT_CORE_VISIT_FEATURIZER_H_

@@ -1,0 +1,225 @@
+#include "data/city_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/logging.h"
+
+namespace hisrect::data {
+
+namespace {
+
+/// Zipf-like weights: weight(rank) = 1 / (rank + 1)^skew.
+std::vector<double> ZipfWeights(size_t n, double skew) {
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), skew);
+  }
+  return weights;
+}
+
+geo::LatLon RandomPointInDisk(const geo::LatLon& center, double radius_meters,
+                              util::Rng& rng) {
+  // Uniform over the disk: radius ~ sqrt(u) * R.
+  double r = radius_meters * std::sqrt(rng.Uniform());
+  double theta = rng.Uniform(0.0, 2.0 * 3.14159265358979323846);
+  return geo::Offset(center, r * std::cos(theta), r * std::sin(theta));
+}
+
+std::string PoiWord(int poi_index, int word_index) {
+  return "poi" + std::to_string(poi_index) + "w" + std::to_string(word_index);
+}
+
+std::string CategoryWord(int category, int word_index) {
+  return "cat" + std::to_string(category) + "w" + std::to_string(word_index);
+}
+
+std::string CommonWord(int word_index) {
+  return "w" + std::to_string(word_index);
+}
+
+}  // namespace
+
+City GenerateCity(const CityConfig& config, uint64_t seed) {
+  CHECK_GT(config.num_pois, 0);
+  CHECK_GT(config.num_users, 0);
+  CHECK_GE(config.tweets_per_user_max, config.tweets_per_user_min);
+  CHECK_GE(config.tweet_words_max, config.tweet_words_min);
+
+  util::Rng rng(seed);
+  City city;
+  city.config = config;
+
+  // --- POIs: regular polygons scattered in the urban disk. ---
+  std::vector<geo::Poi> pois;
+  pois.reserve(static_cast<size_t>(config.num_pois));
+  for (int p = 0; p < config.num_pois; ++p) {
+    geo::LatLon center =
+        RandomPointInDisk(config.center, config.city_radius_meters, rng);
+    double radius = rng.Uniform(config.poi_radius_min_meters,
+                                config.poi_radius_max_meters);
+    int sides = static_cast<int>(4 + rng.UniformInt(5));  // 4..8 sides.
+    geo::Poi poi;
+    poi.name = "poi" + std::to_string(p);
+    poi.bounding_polygon = geo::Polygon::RegularNGon(center, radius, sides);
+    pois.push_back(std::move(poi));
+  }
+  city.pois = geo::PoiSet(std::move(pois));
+
+  // POI -> category assignment (round-robin keeps categories balanced).
+  std::vector<int> poi_category(static_cast<size_t>(config.num_pois));
+  for (int p = 0; p < config.num_pois; ++p) {
+    poi_category[static_cast<size_t>(p)] =
+        config.num_poi_categories > 0 ? p % config.num_poi_categories : 0;
+  }
+
+  std::vector<double> popularity =
+      ZipfWeights(static_cast<size_t>(config.num_pois),
+                  config.poi_popularity_skew);
+  std::vector<double> common_word_weights =
+      ZipfWeights(static_cast<size_t>(config.common_vocab_size), 1.0);
+
+  // --- Users and timelines. ---
+  city.timelines.reserve(static_cast<size_t>(config.num_users));
+  for (int u = 0; u < config.num_users; ++u) {
+    util::Rng user_rng = rng.Fork();
+    UserTimeline timeline;
+    timeline.uid = u;
+
+    geo::LatLon home = RandomPointInDisk(config.center,
+                                         config.city_radius_meters, user_rng);
+
+    // Favorite POIs: popularity x distance decay from home. This is what
+    // makes visit history an informative prior for the current POI.
+    int num_favorites = static_cast<int>(
+        config.favorites_min +
+        user_rng.UniformInt(
+            static_cast<uint64_t>(config.favorites_max - config.favorites_min + 1)));
+    std::vector<double> favorite_weights(popularity.size());
+    for (size_t p = 0; p < popularity.size(); ++p) {
+      double d = geo::ApproxDistanceMeters(
+          home, city.pois.poi(static_cast<geo::PoiId>(p)).center);
+      favorite_weights[p] = popularity[p] * std::exp(-d / 3000.0);
+    }
+    std::vector<geo::PoiId> favorites;
+    {
+      std::vector<double> weights = favorite_weights;
+      for (int f = 0; f < num_favorites; ++f) {
+        size_t pick = user_rng.Categorical(weights);
+        favorites.push_back(static_cast<geo::PoiId>(pick));
+        weights[pick] = 0.0;  // Without replacement.
+      }
+    }
+
+    int num_tweets = static_cast<int>(
+        config.tweets_per_user_min +
+        user_rng.UniformInt(static_cast<uint64_t>(
+            config.tweets_per_user_max - config.tweets_per_user_min + 1)));
+    std::vector<Timestamp> times(static_cast<size_t>(num_tweets));
+    for (auto& t : times) {
+      t = static_cast<Timestamp>(
+          user_rng.UniformInt(static_cast<uint64_t>(config.timespan_seconds)));
+    }
+    std::sort(times.begin(), times.end());
+
+    timeline.tweets.reserve(times.size());
+    for (Timestamp ts : times) {
+      Tweet tweet;
+      tweet.ts = ts;
+
+      // Where is the user?
+      bool at_poi = user_rng.Bernoulli(config.at_poi_probability);
+      geo::PoiId current_poi = geo::kInvalidPoiId;
+      geo::LatLon location;
+      if (at_poi) {
+        if (!favorites.empty() && user_rng.Bernoulli(config.favorite_bias)) {
+          current_poi = favorites[user_rng.UniformInt(favorites.size())];
+        } else {
+          current_poi =
+              static_cast<geo::PoiId>(user_rng.Categorical(popularity));
+        }
+        // Uniform point near the POI center, well inside the polygon.
+        const geo::Poi& poi = city.pois.poi(current_poi);
+        const geo::BoundingBox& box = poi.bounding_polygon.bounds();
+        // Rejection-sample a point inside the polygon.
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          geo::LatLon candidate{user_rng.Uniform(box.min_lat, box.max_lat),
+                                user_rng.Uniform(box.min_lon, box.max_lon)};
+          if (poi.bounding_polygon.Contains(candidate)) {
+            location = candidate;
+            break;
+          }
+          location = poi.center;
+        }
+      } else {
+        // Off-POI: near home with occasional excursions.
+        double sigma = config.city_radius_meters / 3.0;
+        location = geo::Offset(home, user_rng.Normal(0.0, sigma),
+                               user_rng.Normal(0.0, sigma));
+      }
+
+      // Content.
+      int num_words = static_cast<int>(
+          config.tweet_words_min +
+          user_rng.UniformInt(static_cast<uint64_t>(
+              config.tweet_words_max - config.tweet_words_min + 1)));
+      std::string content;
+      for (int w = 0; w < num_words; ++w) {
+        std::string word;
+        if (current_poi != geo::kInvalidPoiId &&
+            user_rng.Bernoulli(config.poi_word_probability)) {
+          if (config.num_poi_categories > 0 &&
+              user_rng.Bernoulli(config.poi_shared_word_fraction)) {
+            word = CategoryWord(
+                poi_category[static_cast<size_t>(current_poi)],
+                static_cast<int>(user_rng.UniformInt(
+                    static_cast<uint64_t>(config.words_per_category))));
+          } else {
+            word = PoiWord(current_poi,
+                           static_cast<int>(user_rng.UniformInt(
+                               static_cast<uint64_t>(config.words_per_poi))));
+          }
+        } else {
+          word = CommonWord(
+              static_cast<int>(user_rng.Categorical(common_word_weights)));
+        }
+        if (!content.empty()) content += ' ';
+        content += word;
+      }
+      tweet.content = std::move(content);
+
+      // Geo-tag with GPS noise. At-POI tags sometimes drift outside the
+      // polygon (near_poi_miss_rate), producing unlabeled-but-informative
+      // profiles for the SSL graph.
+      if (user_rng.Bernoulli(config.geo_tag_rate)) {
+        tweet.has_geo = true;
+        if (current_poi != geo::kInvalidPoiId &&
+            user_rng.Bernoulli(config.near_poi_miss_rate)) {
+          const geo::Poi& poi = city.pois.poi(current_poi);
+          const geo::BoundingBox& box = poi.bounding_polygon.bounds();
+          double radius =
+              0.5 * geo::ApproxDistanceMeters(
+                        geo::LatLon{box.min_lat, box.min_lon},
+                        geo::LatLon{box.max_lat, box.max_lon});
+          double distance = radius * user_rng.Uniform(
+                                         config.miss_displacement_min,
+                                         config.miss_displacement_max);
+          double angle = user_rng.Uniform(0.0, 2.0 * 3.14159265358979323846);
+          tweet.location =
+              geo::Offset(poi.center, distance * std::cos(angle),
+                          distance * std::sin(angle));
+        } else {
+          tweet.location = geo::Offset(
+              location, user_rng.Normal(0.0, config.gps_noise_meters),
+              user_rng.Normal(0.0, config.gps_noise_meters));
+        }
+      }
+      timeline.tweets.push_back(std::move(tweet));
+    }
+    city.timelines.push_back(std::move(timeline));
+  }
+  return city;
+}
+
+}  // namespace hisrect::data

@@ -1,0 +1,100 @@
+#ifndef HISRECT_DATA_CITY_GENERATOR_H_
+#define HISRECT_DATA_CITY_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+#include "geo/latlon.h"
+#include "geo/poi.h"
+#include "util/rng.h"
+
+namespace hisrect::data {
+
+/// Configuration of the synthetic city (the substitution for the paper's
+/// crawled NYC / Las Vegas Twitter data — see DESIGN.md §2).
+///
+/// The generator preserves the statistical structure the HisRect model
+/// exploits:
+///   * POI popularity is Zipf-distributed; users have a few favorite POIs,
+///     so visit history is an informative prior on the current POI.
+///   * Tweets sent from a POI mix POI-specific vocabulary with global
+///     chatter, so recent content is an informative posterior.
+///   * Only a fraction of tweets are geo-tagged, and only some of those fall
+///     inside a POI polygon, so labels are scarce and unlabeled geo data is
+///     plentiful.
+struct CityConfig {
+  std::string name = "synthetic";
+  geo::LatLon center{40.75, -73.98};
+  /// Urban radius; POIs and off-POI activity happen within it.
+  double city_radius_meters = 8000.0;
+  int num_pois = 24;
+  double poi_radius_min_meters = 60.0;
+  double poi_radius_max_meters = 180.0;
+  /// Zipf skew of POI popularity (larger -> more head-heavy).
+  double poi_popularity_skew = 0.8;
+
+  int num_users = 400;
+  int tweets_per_user_min = 30;
+  int tweets_per_user_max = 80;
+  /// Total simulated time span.
+  Timestamp timespan_seconds = 60 * 24 * 3600;
+
+  /// Number of favorite POIs per user.
+  int favorites_min = 2;
+  int favorites_max = 3;
+  /// Probability a tweet is sent from a POI (one of the favorites with
+  /// probability favorite_bias, otherwise any POI by popularity).
+  double at_poi_probability = 0.62;
+  double favorite_bias = 0.85;
+
+  /// Probability a tweet carries a geo-tag. Real Twitter is ~2%; the
+  /// synthetic default is higher so that the (much smaller) corpus still
+  /// yields enough labeled data. The labeled:unlabeled imbalance is
+  /// preserved through at_poi_probability.
+  double geo_tag_rate = 0.55;
+  /// GPS noise added to geo-tags.
+  double gps_noise_meters = 15.0;
+  /// Probability that an at-POI tweet's geo-tag misses the POI polygon
+  /// (GPS drift, tweeting from the doorstep). These tweets become unlabeled
+  /// profiles that are genuinely at the POI — the mechanism that makes the
+  /// paper's graph-based SSL on unlabeled geo data informative.
+  double near_poi_miss_rate = 0.35;
+  /// Displacement range (as multiples of the POI circumradius) for missed
+  /// geo-tags.
+  double miss_displacement_min = 1.3;
+  double miss_displacement_max = 3.0;
+
+  /// Vocabulary: each POI owns `words_per_poi` specific words; everyone
+  /// shares `common_vocab_size` Zipf-distributed words. POIs additionally
+  /// belong to categories (cafe, park, ...) whose vocabulary is shared by
+  /// all same-category POIs — the paper's "statue" (ambiguous) vs "Statue of
+  /// Liberty" (unique) distinction. Content-only geolocalisers confuse
+  /// same-category POIs; visit history disambiguates.
+  int words_per_poi = 8;
+  int common_vocab_size = 300;
+  int num_poi_categories = 6;
+  int words_per_category = 12;
+  /// Probability a word of an at-POI tweet is drawn from the POI's specific
+  /// vocabulary (location signal strength).
+  double poi_word_probability = 0.35;
+  /// Given a location word, probability it is a shared category word rather
+  /// than a POI-unique word.
+  double poi_shared_word_fraction = 0.65;
+  int tweet_words_min = 4;
+  int tweet_words_max = 12;
+};
+
+/// Generator output: the POI set plus all user timelines.
+struct City {
+  CityConfig config;
+  geo::PoiSet pois;
+  std::vector<UserTimeline> timelines;
+};
+
+/// Generates a deterministic synthetic city from `config` and `seed`.
+City GenerateCity(const CityConfig& config, uint64_t seed);
+
+}  // namespace hisrect::data
+
+#endif  // HISRECT_DATA_CITY_GENERATOR_H_

@@ -1,0 +1,55 @@
+#ifndef HISRECT_DATA_DATASET_H_
+#define HISRECT_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+#include "geo/poi.h"
+
+namespace hisrect::data {
+
+/// One split (train / validation / test) of profiles and pairs. Pairs index
+/// into `profiles`.
+struct DataSplit {
+  std::vector<Profile> profiles;
+  /// Indices of labeled profiles (R_L of the paper).
+  std::vector<size_t> labeled_indices;
+  /// Gamma_L^+ and Gamma_L^-.
+  std::vector<Pair> positive_pairs;
+  std::vector<Pair> negative_pairs;
+  /// Gamma_U; populated only for the training split.
+  std::vector<Pair> unlabeled_pairs;
+  /// Number of user timelines contributing to this split.
+  size_t num_timelines = 0;
+};
+
+/// A complete benchmark dataset: POIs, splits and the tokenized training
+/// corpus for word-vector training.
+struct Dataset {
+  std::string name;
+  geo::PoiSet pois;
+  DataSplit train;
+  DataSplit validation;
+  DataSplit test;
+  /// Tokenized contents of every training-timeline tweet (C_train).
+  std::vector<std::vector<std::string>> train_corpus;
+  /// The pairing time window (the paper's delta-t; 1 hour by default).
+  Timestamp delta_t = 3600;
+};
+
+/// Table 2 style statistics for one split.
+struct SplitStats {
+  size_t num_timelines = 0;
+  size_t num_labeled_profiles = 0;
+  double avg_visits_per_profile = 0.0;
+  size_t num_positive_pairs = 0;
+  size_t num_negative_pairs = 0;
+  size_t num_unlabeled_pairs = 0;
+};
+
+SplitStats ComputeSplitStats(const DataSplit& split);
+
+}  // namespace hisrect::data
+
+#endif  // HISRECT_DATA_DATASET_H_

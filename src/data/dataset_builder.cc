@@ -1,0 +1,177 @@
+#include "data/dataset_builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hisrect::data {
+
+std::vector<Profile> BuildProfiles(const UserTimeline& timeline,
+                                   const geo::PoiSet& pois) {
+  std::vector<Profile> profiles;
+  std::vector<Visit> visits_so_far;
+  for (const Tweet& tweet : timeline.tweets) {
+    if (!tweet.has_geo) continue;
+    Profile profile;
+    profile.uid = timeline.uid;
+    profile.tweet = tweet;
+    profile.visit_history = visits_so_far;  // Strictly before this tweet.
+    if (auto pid = pois.FindContaining(tweet.location); pid.has_value()) {
+      profile.pid = *pid;
+    }
+    profiles.push_back(std::move(profile));
+    visits_so_far.push_back(Visit{tweet.ts, tweet.location});
+  }
+  return profiles;
+}
+
+std::vector<Pair> BuildPairs(const std::vector<Profile>& profiles,
+                             Timestamp delta_t, bool include_unlabeled) {
+  // Sort profile indices by timestamp and sweep a time window.
+  std::vector<size_t> order(profiles.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return profiles[a].tweet.ts < profiles[b].tweet.ts;
+  });
+
+  std::vector<Pair> pairs;
+  for (size_t a = 0; a < order.size(); ++a) {
+    const Profile& pa = profiles[order[a]];
+    for (size_t b = a + 1; b < order.size(); ++b) {
+      const Profile& pb = profiles[order[b]];
+      if (pb.tweet.ts - pa.tweet.ts >= delta_t) break;
+      if (pa.uid == pb.uid) continue;
+      Pair pair;
+      pair.i = order[a];
+      pair.j = order[b];
+      if (pa.labeled() && pb.labeled()) {
+        pair.co_label =
+            pa.pid == pb.pid ? CoLabel::kPositive : CoLabel::kNegative;
+      } else {
+        if (!include_unlabeled) continue;
+        pair.co_label = CoLabel::kUnlabeled;
+      }
+      pairs.push_back(pair);
+    }
+  }
+  return pairs;
+}
+
+namespace {
+
+/// Accumulates one timeline's profiles into a split.
+void AppendTimeline(const UserTimeline& timeline, const geo::PoiSet& pois,
+                    DataSplit& split) {
+  std::vector<Profile> profiles = BuildProfiles(timeline, pois);
+  split.profiles.insert(split.profiles.end(),
+                        std::make_move_iterator(profiles.begin()),
+                        std::make_move_iterator(profiles.end()));
+  split.num_timelines += 1;
+}
+
+void FinalizeSplit(DataSplit& split, Timestamp delta_t,
+                   bool include_unlabeled) {
+  split.labeled_indices.clear();
+  for (size_t i = 0; i < split.profiles.size(); ++i) {
+    if (split.profiles[i].labeled()) split.labeled_indices.push_back(i);
+  }
+  std::vector<Pair> pairs =
+      BuildPairs(split.profiles, delta_t, include_unlabeled);
+  for (const Pair& pair : pairs) {
+    switch (pair.co_label) {
+      case CoLabel::kPositive:
+        split.positive_pairs.push_back(pair);
+        break;
+      case CoLabel::kNegative:
+        split.negative_pairs.push_back(pair);
+        break;
+      case CoLabel::kUnlabeled:
+        split.unlabeled_pairs.push_back(pair);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+Dataset BuildDataset(const City& city, const BuilderOptions& options,
+                     uint64_t seed) {
+  Dataset dataset;
+  dataset.name = city.config.name;
+  dataset.pois = city.pois;
+  dataset.delta_t = options.delta_t;
+
+  // Keep timelines that contain at least one POI tweet (paper §6.1.1).
+  std::vector<const UserTimeline*> usable;
+  for (const UserTimeline& timeline : city.timelines) {
+    bool has_poi_tweet = false;
+    if (options.drop_timelines_without_poi_tweet) {
+      for (const Tweet& tweet : timeline.tweets) {
+        if (tweet.has_geo &&
+            city.pois.FindContaining(tweet.location).has_value()) {
+          has_poi_tweet = true;
+          break;
+        }
+      }
+    } else {
+      has_poi_tweet = true;
+    }
+    if (has_poi_tweet) usable.push_back(&timeline);
+  }
+
+  util::Rng rng(seed);
+  std::vector<size_t> order(usable.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  size_t num_test = static_cast<size_t>(
+      static_cast<double>(usable.size()) * options.test_fraction);
+  size_t num_validation = static_cast<size_t>(
+      static_cast<double>(usable.size() - num_test) *
+      options.validation_fraction);
+
+  text::Tokenizer tokenizer;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const UserTimeline& timeline = *usable[order[rank]];
+    if (rank < num_test) {
+      AppendTimeline(timeline, city.pois, dataset.test);
+    } else if (rank < num_test + num_validation) {
+      AppendTimeline(timeline, city.pois, dataset.validation);
+    } else {
+      AppendTimeline(timeline, city.pois, dataset.train);
+      for (const Tweet& tweet : timeline.tweets) {
+        dataset.train_corpus.push_back(tokenizer.Tokenize(tweet.content));
+      }
+    }
+  }
+
+  FinalizeSplit(dataset.train, options.delta_t, /*include_unlabeled=*/true);
+  FinalizeSplit(dataset.validation, options.delta_t,
+                /*include_unlabeled=*/false);
+  FinalizeSplit(dataset.test, options.delta_t, /*include_unlabeled=*/false);
+  return dataset;
+}
+
+SplitStats ComputeSplitStats(const DataSplit& split) {
+  SplitStats stats;
+  stats.num_timelines = split.num_timelines;
+  stats.num_labeled_profiles = split.labeled_indices.size();
+  size_t total_visits = 0;
+  for (size_t i : split.labeled_indices) {
+    total_visits += split.profiles[i].visit_history.size();
+  }
+  stats.avg_visits_per_profile =
+      split.labeled_indices.empty()
+          ? 0.0
+          : static_cast<double>(total_visits) /
+                static_cast<double>(split.labeled_indices.size());
+  stats.num_positive_pairs = split.positive_pairs.size();
+  stats.num_negative_pairs = split.negative_pairs.size();
+  stats.num_unlabeled_pairs = split.unlabeled_pairs.size();
+  return stats;
+}
+
+}  // namespace hisrect::data

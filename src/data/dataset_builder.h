@@ -1,0 +1,47 @@
+#ifndef HISRECT_DATA_DATASET_BUILDER_H_
+#define HISRECT_DATA_DATASET_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/city_generator.h"
+#include "data/dataset.h"
+
+namespace hisrect::data {
+
+struct BuilderOptions {
+  /// Pairing time window (the paper's delta-t = 1 hour).
+  Timestamp delta_t = 3600;
+  /// Fraction of timelines held out for testing (paper: 1/5).
+  double test_fraction = 0.2;
+  /// Fraction of the remaining timelines used for validation (paper: 9:1
+  /// train:validation).
+  double validation_fraction = 0.1;
+  /// Drop timelines without any POI tweet (the paper filters them out).
+  bool drop_timelines_without_poi_tweet = true;
+};
+
+/// Converts generated timelines into profiles, pairs and splits, following
+/// the paper's construction (§6.1.1):
+///   * every geo-tagged tweet yields a profile whose visit history is the
+///     user's earlier geo-tagged tweets;
+///   * a profile is labeled iff its tweet falls inside a POI polygon;
+///   * two profiles of different users within delta-t form a pair — positive
+///     if both labeled with the same POI, negative if both labeled with
+///     different POIs, unlabeled otherwise (training split only).
+Dataset BuildDataset(const City& city, const BuilderOptions& options,
+                     uint64_t seed);
+
+/// Builds profiles for one timeline against a POI set (exposed for tests and
+/// for online use in examples). Profiles are returned in tweet-time order.
+std::vector<Profile> BuildProfiles(const UserTimeline& timeline,
+                                   const geo::PoiSet& pois);
+
+/// Enumerates pairs over `profiles` (any order); see BuildDataset for the
+/// labeling rule. `include_unlabeled` controls Gamma_U generation.
+std::vector<Pair> BuildPairs(const std::vector<Profile>& profiles,
+                             Timestamp delta_t, bool include_unlabeled);
+
+}  // namespace hisrect::data
+
+#endif  // HISRECT_DATA_DATASET_BUILDER_H_

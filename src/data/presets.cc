@@ -1,0 +1,51 @@
+#include "data/presets.h"
+
+#include <algorithm>
+
+namespace hisrect::data {
+
+namespace {
+
+int ScaledUsers(int base, const PresetScale& scale) {
+  return std::max(8, static_cast<int>(base * scale.users));
+}
+
+}  // namespace
+
+CityConfig NycLikeConfig(PresetScale scale) {
+  CityConfig config;
+  config.name = "NYC-like";
+  config.center = geo::LatLon{40.75, -73.98};
+  config.city_radius_meters = 9000.0;
+  config.num_pois = 40;
+  config.num_users = ScaledUsers(500, scale);
+  config.tweets_per_user_min = 40;
+  config.tweets_per_user_max = 100;
+  config.timespan_seconds = 30 * 24 * 3600;
+  config.poi_popularity_skew = 0.9;
+  return config;
+}
+
+CityConfig LvLikeConfig(PresetScale scale) {
+  CityConfig config;
+  config.name = "LV-like";
+  config.center = geo::LatLon{36.17, -115.14};
+  config.city_radius_meters = 7000.0;
+  config.num_pois = 16;
+  config.num_users = ScaledUsers(220, scale);
+  config.tweets_per_user_min = 25;
+  config.tweets_per_user_max = 60;
+  config.timespan_seconds = 14 * 24 * 3600;
+  // The LV dataset in the paper has fewer visits per profile (Table 2).
+  config.at_poi_probability = 0.5;
+  config.poi_popularity_skew = 1.1;
+  return config;
+}
+
+Dataset MakeDataset(const CityConfig& config, uint64_t seed,
+                    const BuilderOptions& options) {
+  City city = GenerateCity(config, seed);
+  return BuildDataset(city, options, seed ^ 0xd1b54a32d192ed03ULL);
+}
+
+}  // namespace hisrect::data

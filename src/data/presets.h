@@ -1,0 +1,32 @@
+#ifndef HISRECT_DATA_PRESETS_H_
+#define HISRECT_DATA_PRESETS_H_
+
+#include <cstdint>
+
+#include "data/city_generator.h"
+#include "data/dataset.h"
+#include "data/dataset_builder.h"
+
+namespace hisrect::data {
+
+/// Scale multiplier applied to the preset user counts; 1.0 is the default
+/// benchmark scale (minutes of CPU), smaller values make tests fast.
+struct PresetScale {
+  double users = 1.0;
+};
+
+/// "NYC-like" preset: the larger, denser city (the paper's NYC dataset had
+/// 1000 POIs and ~59k timelines; this is the scaled-down analogue).
+CityConfig NycLikeConfig(PresetScale scale = {});
+
+/// "LV-like" preset: the smaller, sparser city (the paper's Las Vegas
+/// dataset had 250 POIs and ~11k timelines).
+CityConfig LvLikeConfig(PresetScale scale = {});
+
+/// Generates the city and builds the dataset in one call.
+Dataset MakeDataset(const CityConfig& config, uint64_t seed,
+                    const BuilderOptions& options = {});
+
+}  // namespace hisrect::data
+
+#endif  // HISRECT_DATA_PRESETS_H_

@@ -1,0 +1,71 @@
+#ifndef HISRECT_DATA_TYPES_H_
+#define HISRECT_DATA_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/latlon.h"
+#include "geo/poi.h"
+
+namespace hisrect::data {
+
+/// Seconds since the synthetic epoch (generation starts at 0).
+using Timestamp = int64_t;
+
+using UserId = int32_t;
+
+/// A tweet (Definition 2): timestamp, content, and an optional geo-tag.
+struct Tweet {
+  Timestamp ts = 0;
+  std::string content;
+  bool has_geo = false;
+  /// Valid only when has_geo (the paper's null lat/lon).
+  geo::LatLon location;
+};
+
+/// A visit (Definition 3): a user was at `location` at time `ts`, implied by
+/// a geo-tagged tweet.
+struct Visit {
+  Timestamp ts = 0;
+  geo::LatLon location;
+};
+
+/// A user profile (Definition 4): the recent tweet plus the visit history
+/// strictly before that tweet, and (for labeled profiles) the POI the tweet
+/// was sent from.
+struct Profile {
+  UserId uid = -1;
+  Tweet tweet;
+  /// Geo-tagged tweets of the same user with ts < tweet.ts, in time order.
+  std::vector<Visit> visit_history;
+  /// POI label; kInvalidPoiId means unlabeled.
+  geo::PoiId pid = geo::kInvalidPoiId;
+
+  bool labeled() const { return pid != geo::kInvalidPoiId; }
+};
+
+/// Co-location label of a pair (Definition 5).
+enum class CoLabel : int8_t {
+  kUnlabeled = -1,
+  kNegative = 0,
+  kPositive = 1,
+};
+
+/// A pair of profiles posted within the time window. Profiles are referenced
+/// by index into the owning split's profile vector.
+struct Pair {
+  size_t i = 0;
+  size_t j = 0;
+  CoLabel co_label = CoLabel::kUnlabeled;
+};
+
+/// A user's full synthetic timeline (generator output).
+struct UserTimeline {
+  UserId uid = -1;
+  std::vector<Tweet> tweets;  // In increasing ts order.
+};
+
+}  // namespace hisrect::data
+
+#endif  // HISRECT_DATA_TYPES_H_

@@ -1,0 +1,140 @@
+#include "eval/group_patterns.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/clustering.h"
+#include "util/logging.h"
+
+namespace hisrect::eval {
+
+std::vector<GroupPattern> StandardGroupPatterns() {
+  return {
+      {"5-0", {5}},          {"4-1", {4, 1}},    {"3-2", {3, 2}},
+      {"3-1-1", {3, 1, 1}},  {"2-2-1", {2, 2, 1}},
+  };
+}
+
+std::optional<ProfileGroup> SampleGroup(const data::DataSplit& split,
+                                        const GroupPattern& pattern,
+                                        data::Timestamp delta_t,
+                                        util::Rng& rng, int max_attempts) {
+  const std::vector<size_t>& labeled = split.labeled_indices;
+  if (labeled.empty()) return std::nullopt;
+
+  // Labeled profiles sorted by time (computed per call; cheap relative to
+  // scoring the groups).
+  std::vector<size_t> by_time = labeled;
+  std::sort(by_time.begin(), by_time.end(), [&](size_t a, size_t b) {
+    return split.profiles[a].tweet.ts < split.profiles[b].tweet.ts;
+  });
+
+  std::vector<int> sizes = pattern.part_sizes;
+  std::sort(sizes.rbegin(), sizes.rend());
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    size_t anchor = rng.UniformInt(by_time.size());
+    data::Timestamp t0 = split.profiles[by_time[anchor]].tweet.ts;
+
+    // Profiles in [t0, t0 + delta_t), grouped by POI, one per user per POI.
+    std::map<geo::PoiId, std::vector<size_t>> by_poi;
+    for (size_t w = anchor; w < by_time.size(); ++w) {
+      const data::Profile& profile = split.profiles[by_time[w]];
+      if (profile.tweet.ts - t0 >= delta_t) break;
+      by_poi[profile.pid].push_back(by_time[w]);
+    }
+
+    // Order candidate POIs by available distinct-user count, descending.
+    struct Candidate {
+      geo::PoiId pid;
+      std::vector<size_t> profiles;  // Distinct users.
+    };
+    std::vector<Candidate> candidates;
+    for (auto& [pid, indices] : by_poi) {
+      Candidate candidate;
+      candidate.pid = pid;
+      std::set<data::UserId> users;
+      for (size_t index : indices) {
+        if (users.insert(split.profiles[index].uid).second) {
+          candidate.profiles.push_back(index);
+        }
+      }
+      candidates.push_back(std::move(candidate));
+    }
+    if (candidates.size() < sizes.size()) continue;
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.profiles.size() > b.profiles.size();
+              });
+
+    // Greedy assignment, enforcing globally distinct users.
+    ProfileGroup group;
+    std::set<data::UserId> used_users;
+    bool ok = true;
+    size_t next_candidate = 0;
+    for (size_t part = 0; part < sizes.size() && ok; ++part) {
+      bool placed = false;
+      for (size_t c = next_candidate; c < candidates.size(); ++c) {
+        std::vector<size_t> picked;
+        for (size_t index : candidates[c].profiles) {
+          if (used_users.contains(split.profiles[index].uid)) continue;
+          picked.push_back(index);
+          if (picked.size() == static_cast<size_t>(sizes[part])) break;
+        }
+        if (picked.size() < static_cast<size_t>(sizes[part])) continue;
+        for (size_t index : picked) {
+          used_users.insert(split.profiles[index].uid);
+          group.profile_indices.push_back(index);
+          group.true_partition.push_back(static_cast<int>(part));
+        }
+        next_candidate = c + 1;  // Parts must use distinct POIs.
+        placed = true;
+        break;
+      }
+      ok = placed;
+    }
+    if (!ok) continue;
+
+    // Shuffle member order so cluster comparison is order-independent.
+    std::vector<size_t> order(group.profile_indices.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.Shuffle(order);
+    ProfileGroup shuffled;
+    for (size_t i : order) {
+      shuffled.profile_indices.push_back(group.profile_indices[i]);
+      shuffled.true_partition.push_back(group.true_partition[i]);
+    }
+    shuffled.true_partition = core::CanonicalizeLabels(shuffled.true_partition);
+    return shuffled;
+  }
+  return std::nullopt;
+}
+
+double GroupPatternAccuracy(const data::DataSplit& split,
+                            const GroupPattern& pattern,
+                            data::Timestamp delta_t, const PairScorer& scorer,
+                            size_t num_groups, util::Rng& rng,
+                            size_t* groups_sampled) {
+  size_t found = 0;
+  size_t correct = 0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    std::optional<ProfileGroup> group =
+        SampleGroup(split, pattern, delta_t, rng);
+    if (!group.has_value()) continue;
+    ++found;
+    std::vector<int> predicted = core::ClusterByCoLocation(
+        group->profile_indices.size(),
+        [&](size_t a, size_t b) {
+          return scorer(split.profiles[group->profile_indices[a]],
+                        split.profiles[group->profile_indices[b]]);
+        },
+        0.5);
+    if (predicted == group->true_partition) ++correct;
+  }
+  if (groups_sampled != nullptr) *groups_sampled = found;
+  if (found == 0) return 0.0;
+  return static_cast<double>(correct) / static_cast<double>(found);
+}
+
+}  // namespace hisrect::eval

@@ -1,0 +1,55 @@
+#ifndef HISRECT_EVAL_GROUP_PATTERNS_H_
+#define HISRECT_EVAL_GROUP_PATTERNS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/pair_evaluator.h"
+#include "util/rng.h"
+
+namespace hisrect::eval {
+
+/// A co-location group pattern (Table 8): sizes of the POI-sharing parts of
+/// a 5-profile group, e.g. {3, 2} = three profiles in one POI, two in
+/// another.
+struct GroupPattern {
+  std::string name;
+  std::vector<int> part_sizes;
+};
+
+/// The paper's five patterns: 5-0, 4-1, 3-2, 3-1-1, 2-2-1.
+std::vector<GroupPattern> StandardGroupPatterns();
+
+/// A sampled group: profile indices into the split plus the ground-truth
+/// partition labels (canonical first-appearance order).
+struct ProfileGroup {
+  std::vector<size_t> profile_indices;
+  std::vector<int> true_partition;
+};
+
+/// Samples one group matching `pattern` from the split's labeled profiles:
+/// all profiles within one delta_t window, distinct users, parts in distinct
+/// POIs. Returns nullopt if no group is found within `max_attempts` random
+/// anchor windows.
+std::optional<ProfileGroup> SampleGroup(const data::DataSplit& split,
+                                        const GroupPattern& pattern,
+                                        data::Timestamp delta_t,
+                                        util::Rng& rng,
+                                        int max_attempts = 200);
+
+/// The Table 8 experiment for one pattern: samples up to `num_groups`
+/// groups, clusters each with the scorer (connected components at the 0.5
+/// threshold) and returns the fraction of groups whose predicted partition
+/// equals the ground truth exactly. `groups_sampled` (optional out) reports
+/// how many groups were actually found.
+double GroupPatternAccuracy(const data::DataSplit& split,
+                            const GroupPattern& pattern,
+                            data::Timestamp delta_t, const PairScorer& scorer,
+                            size_t num_groups, util::Rng& rng,
+                            size_t* groups_sampled = nullptr);
+
+}  // namespace hisrect::eval
+
+#endif  // HISRECT_EVAL_GROUP_PATTERNS_H_

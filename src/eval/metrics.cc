@@ -1,0 +1,99 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace hisrect::eval {
+
+BinaryMetrics ComputeBinaryMetrics(const Confusion& confusion) {
+  BinaryMetrics metrics;
+  size_t total = confusion.total();
+  if (total > 0) {
+    metrics.accuracy =
+        static_cast<double>(confusion.tp + confusion.tn) / total;
+  }
+  if (confusion.tp + confusion.fp > 0) {
+    metrics.precision =
+        static_cast<double>(confusion.tp) / (confusion.tp + confusion.fp);
+  }
+  if (confusion.tp + confusion.fn > 0) {
+    metrics.recall =
+        static_cast<double>(confusion.tp) / (confusion.tp + confusion.fn);
+  }
+  if (metrics.precision + metrics.recall > 0.0) {
+    metrics.f1 = 2.0 * metrics.precision * metrics.recall /
+                 (metrics.precision + metrics.recall);
+  }
+  return metrics;
+}
+
+Confusion ConfusionAtThreshold(const std::vector<double>& scores,
+                               const std::vector<int>& labels,
+                               double threshold) {
+  CHECK_EQ(scores.size(), labels.size());
+  Confusion confusion;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    bool predicted = scores[i] > threshold;
+    bool actual = labels[i] != 0;
+    if (predicted && actual) ++confusion.tp;
+    if (predicted && !actual) ++confusion.fp;
+    if (!predicted && actual) ++confusion.fn;
+    if (!predicted && !actual) ++confusion.tn;
+  }
+  return confusion;
+}
+
+RocCurve ComputeRoc(const std::vector<double>& scores,
+                    const std::vector<int>& labels) {
+  CHECK_EQ(scores.size(), labels.size());
+  RocCurve curve;
+  size_t num_pos = 0;
+  size_t num_neg = 0;
+  for (int label : labels) {
+    label != 0 ? ++num_pos : ++num_neg;
+  }
+  if (num_pos == 0 || num_neg == 0) {
+    curve.auc = 0.0;
+    return curve;
+  }
+
+  // Sort by decreasing score; sweep thresholds at distinct score values.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+
+  curve.points.push_back(RocPoint{0.0, 0.0, 1.0});
+  size_t tp = 0;
+  size_t fp = 0;
+  double auc = 0.0;
+  double prev_fpr = 0.0;
+  double prev_tpr = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    double score = scores[order[i]];
+    // Consume ties together so the curve is well-defined.
+    while (i < order.size() && scores[order[i]] == score) {
+      labels[order[i]] != 0 ? ++tp : ++fp;
+      ++i;
+    }
+    double tpr = static_cast<double>(tp) / num_pos;
+    double fpr = static_cast<double>(fp) / num_neg;
+    auc += (fpr - prev_fpr) * (tpr + prev_tpr) / 2.0;
+    curve.points.push_back(RocPoint{fpr, tpr, score});
+    prev_fpr = fpr;
+    prev_tpr = tpr;
+  }
+  curve.auc = auc;
+  return curve;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+}  // namespace hisrect::eval

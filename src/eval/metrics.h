@@ -1,0 +1,55 @@
+#ifndef HISRECT_EVAL_METRICS_H_
+#define HISRECT_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hisrect::eval {
+
+/// Binary confusion counts (positive = co-located).
+struct Confusion {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t tn = 0;
+  size_t fn = 0;
+
+  size_t total() const { return tp + fp + tn + fn; }
+};
+
+/// The four metrics of Table 4. Precision/recall/F1 are 0 when undefined.
+struct BinaryMetrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+BinaryMetrics ComputeBinaryMetrics(const Confusion& confusion);
+
+/// Accumulates (score, label) observations at a fixed threshold.
+Confusion ConfusionAtThreshold(const std::vector<double>& scores,
+                               const std::vector<int>& labels,
+                               double threshold);
+
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 0.0;
+};
+
+struct RocCurve {
+  std::vector<RocPoint> points;  // Sorted by increasing fpr.
+  double auc = 0.0;
+};
+
+/// ROC curve and AUC by threshold sweep over the observed scores (ties
+/// handled by the trapezoid rule). `labels` are 0/1.
+RocCurve ComputeRoc(const std::vector<double>& scores,
+                    const std::vector<int>& labels);
+
+/// Mean of a metric vector (empty -> 0).
+double Mean(const std::vector<double>& values);
+
+}  // namespace hisrect::eval
+
+#endif  // HISRECT_EVAL_METRICS_H_

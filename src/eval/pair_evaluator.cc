@@ -1,0 +1,87 @@
+#include "eval/pair_evaluator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hisrect::eval {
+
+ScoredPairs ScoreLabeledPairs(const data::DataSplit& split,
+                              const PairScorer& scorer) {
+  ScoredPairs out;
+  out.scores.reserve(split.positive_pairs.size() +
+                     split.negative_pairs.size());
+  out.labels.reserve(out.scores.capacity());
+  for (const data::Pair& pair : split.positive_pairs) {
+    out.scores.push_back(
+        scorer(split.profiles[pair.i], split.profiles[pair.j]));
+    out.labels.push_back(1);
+  }
+  for (const data::Pair& pair : split.negative_pairs) {
+    out.scores.push_back(
+        scorer(split.profiles[pair.i], split.profiles[pair.j]));
+    out.labels.push_back(0);
+  }
+  return out;
+}
+
+BinaryMetrics TenFoldFromScores(const ScoredPairs& scored,
+                                size_t num_positives, util::Rng& rng,
+                                double threshold, size_t folds) {
+  CHECK_LE(num_positives, scored.scores.size());
+  CHECK_GE(folds, 1u);
+  size_t num_negatives = scored.scores.size() - num_positives;
+
+  // Shuffle negative indices and deal them into folds.
+  std::vector<size_t> negative_order(num_negatives);
+  for (size_t i = 0; i < num_negatives; ++i) {
+    negative_order[i] = num_positives + i;
+  }
+  rng.Shuffle(negative_order);
+
+  std::vector<double> accuracy;
+  std::vector<double> precision;
+  std::vector<double> recall;
+  std::vector<double> f1;
+  for (size_t fold = 0; fold < folds; ++fold) {
+    Confusion confusion;
+    auto add = [&](size_t index) {
+      bool predicted = scored.scores[index] > threshold;
+      bool actual = scored.labels[index] != 0;
+      if (predicted && actual) ++confusion.tp;
+      if (predicted && !actual) ++confusion.fp;
+      if (!predicted && actual) ++confusion.fn;
+      if (!predicted && !actual) ++confusion.tn;
+    };
+    for (size_t i = 0; i < num_positives; ++i) add(i);
+    for (size_t i = fold; i < negative_order.size(); i += folds) {
+      add(negative_order[i]);
+    }
+    BinaryMetrics metrics = ComputeBinaryMetrics(confusion);
+    accuracy.push_back(metrics.accuracy);
+    precision.push_back(metrics.precision);
+    recall.push_back(metrics.recall);
+    f1.push_back(metrics.f1);
+  }
+  BinaryMetrics mean;
+  mean.accuracy = Mean(accuracy);
+  mean.precision = Mean(precision);
+  mean.recall = Mean(recall);
+  mean.f1 = Mean(f1);
+  return mean;
+}
+
+BinaryMetrics EvaluateTenFold(const data::DataSplit& split,
+                              const PairScorer& scorer, util::Rng& rng,
+                              double threshold, size_t folds) {
+  ScoredPairs scored = ScoreLabeledPairs(split, scorer);
+  return TenFoldFromScores(scored, split.positive_pairs.size(), rng,
+                           threshold, folds);
+}
+
+RocCurve EvaluateRoc(const data::DataSplit& split, const PairScorer& scorer) {
+  ScoredPairs scored = ScoreLabeledPairs(split, scorer);
+  return ComputeRoc(scored.scores, scored.labels);
+}
+
+}  // namespace hisrect::eval

@@ -1,0 +1,46 @@
+#ifndef HISRECT_EVAL_PAIR_EVALUATOR_H_
+#define HISRECT_EVAL_PAIR_EVALUATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace hisrect::eval {
+
+/// Co-location score in [0, 1] for two raw profiles (higher = more likely
+/// co-located). All approaches expose this shape.
+using PairScorer =
+    std::function<double(const data::Profile&, const data::Profile&)>;
+
+/// Scores every labeled pair of the split once. Returns parallel vectors of
+/// scores and 0/1 labels (pair order: positives then negatives).
+struct ScoredPairs {
+  std::vector<double> scores;
+  std::vector<int> labels;
+};
+ScoredPairs ScoreLabeledPairs(const data::DataSplit& split,
+                              const PairScorer& scorer);
+
+/// The paper's evaluation protocol (§6.1.3): split the negative pairs into
+/// `folds` parts, merge each with all positive pairs, compute metrics per
+/// fold at `threshold`, and average. Scores each pair exactly once.
+BinaryMetrics EvaluateTenFold(const data::DataSplit& split,
+                              const PairScorer& scorer, util::Rng& rng,
+                              double threshold = 0.5, size_t folds = 10);
+
+/// Same protocol but on pre-computed scores (to reuse one scoring pass for
+/// both the metric table and the ROC curve). `num_positives` leading entries
+/// of `scored` must be the positive pairs.
+BinaryMetrics TenFoldFromScores(const ScoredPairs& scored,
+                                size_t num_positives, util::Rng& rng,
+                                double threshold = 0.5, size_t folds = 10);
+
+/// ROC/AUC over all labeled pairs of the split (Fig. 2).
+RocCurve EvaluateRoc(const data::DataSplit& split, const PairScorer& scorer);
+
+}  // namespace hisrect::eval
+
+#endif  // HISRECT_EVAL_PAIR_EVALUATOR_H_

@@ -1,0 +1,32 @@
+#include "eval/poi_inference.h"
+
+#include <algorithm>
+
+namespace hisrect::eval {
+
+double AccuracyAtK(const data::DataSplit& split, const PoiRanker& ranker,
+                   size_t k) {
+  if (split.labeled_indices.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t index : split.labeled_indices) {
+    const data::Profile& profile = split.profiles[index];
+    std::vector<geo::PoiId> top = ranker(profile, k);
+    if (std::find(top.begin(), top.end(), profile.pid) != top.end()) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(split.labeled_indices.size());
+}
+
+std::vector<bool> Top1Correct(const data::DataSplit& split,
+                              const PoiRanker& ranker) {
+  std::vector<bool> correct;
+  correct.reserve(split.labeled_indices.size());
+  for (size_t index : split.labeled_indices) {
+    const data::Profile& profile = split.profiles[index];
+    std::vector<geo::PoiId> top = ranker(profile, 1);
+    correct.push_back(!top.empty() && top[0] == profile.pid);
+  }
+  return correct;
+}
+
+}  // namespace hisrect::eval

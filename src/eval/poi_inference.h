@@ -1,0 +1,28 @@
+#ifndef HISRECT_EVAL_POI_INFERENCE_H_
+#define HISRECT_EVAL_POI_INFERENCE_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geo/poi.h"
+
+namespace hisrect::eval {
+
+/// Ranks POIs for a profile, best first, at most k entries.
+using PoiRanker =
+    std::function<std::vector<geo::PoiId>(const data::Profile&, size_t)>;
+
+/// Acc@K over the labeled profiles of `split` (Fig. 4): the fraction whose
+/// true POI appears in the ranker's top-k list.
+double AccuracyAtK(const data::DataSplit& split, const PoiRanker& ranker,
+                   size_t k);
+
+/// Per-profile top-1 correctness over labeled profiles (for the Table 6
+/// TR/FR split analysis). result[n] corresponds to split.labeled_indices[n].
+std::vector<bool> Top1Correct(const data::DataSplit& split,
+                              const PoiRanker& ranker);
+
+}  // namespace hisrect::eval
+
+#endif  // HISRECT_EVAL_POI_INFERENCE_H_

@@ -1,0 +1,179 @@
+#include "eval/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hisrect::eval {
+
+namespace {
+
+/// Squared Euclidean distances between all pairs.
+std::vector<double> PairwiseSquaredDistances(
+    const std::vector<std::vector<float>>& points) {
+  size_t n = points.size();
+  std::vector<double> d(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < points[i].size(); ++k) {
+        double diff = static_cast<double>(points[i][k]) - points[j][k];
+        acc += diff * diff;
+      }
+      d[i * n + j] = acc;
+      d[j * n + i] = acc;
+    }
+  }
+  return d;
+}
+
+/// Binary-searches the Gaussian bandwidth for row `i` to hit the target
+/// perplexity, then writes conditional probabilities p_{j|i}.
+void ComputeRow(const std::vector<double>& d2, size_t n, size_t i,
+                double target_perplexity, std::vector<double>& p) {
+  double beta = 1.0;  // 1 / (2 sigma^2).
+  double beta_lo = 0.0;
+  double beta_hi = std::numeric_limits<double>::infinity();
+  double log_target = std::log(target_perplexity);
+
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    double sum = 0.0;
+    double weighted = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double w = std::exp(-beta * d2[i * n + j]);
+      p[j] = w;
+      sum += w;
+      weighted += beta * d2[i * n + j] * w;
+    }
+    if (sum <= 0.0) sum = 1e-12;
+    double entropy = std::log(sum) + weighted / sum;  // Shannon entropy (nats).
+    double diff = entropy - log_target;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0.0) {
+      beta_lo = beta;
+      beta = std::isinf(beta_hi) ? beta * 2.0 : (beta + beta_hi) / 2.0;
+    } else {
+      beta_hi = beta;
+      beta = (beta + beta_lo) / 2.0;
+    }
+  }
+  double sum = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    if (j != i) sum += p[j];
+  }
+  if (sum <= 0.0) sum = 1e-12;
+  for (size_t j = 0; j < n; ++j) p[j] = (j == i) ? 0.0 : p[j] / sum;
+}
+
+}  // namespace
+
+std::vector<std::array<double, 2>> Tsne(
+    const std::vector<std::vector<float>>& points, const TsneOptions& options,
+    util::Rng& rng) {
+  size_t n = points.size();
+  std::vector<std::array<double, 2>> y(n);
+  if (n == 0) return y;
+  CHECK_GT(options.perplexity, 1.0);
+
+  std::vector<double> d2 = PairwiseSquaredDistances(points);
+
+  // Symmetrized joint probabilities P.
+  std::vector<double> p(n * n, 0.0);
+  {
+    std::vector<double> row(n, 0.0);
+    double perplexity =
+        std::min(options.perplexity, static_cast<double>(n) / 3.0 + 1.0);
+    for (size_t i = 0; i < n; ++i) {
+      ComputeRow(d2, n, i, perplexity, row);
+      for (size_t j = 0; j < n; ++j) p[i * n + j] = row[j];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double value = (p[i * n + j] + p[j * n + i]) / (2.0 * n);
+        value = std::max(value, 1e-12);
+        p[i * n + j] = value;
+        p[j * n + i] = value;
+      }
+      p[i * n + i] = 0.0;
+    }
+  }
+
+  // Init with small Gaussian noise.
+  for (auto& point : y) {
+    point[0] = rng.Normal(0.0, 1e-2);
+    point[1] = rng.Normal(0.0, 1e-2);
+  }
+
+  std::vector<std::array<double, 2>> velocity(n, {0.0, 0.0});
+  std::vector<double> q(n * n, 0.0);
+
+  for (size_t iteration = 0; iteration < options.iterations; ++iteration) {
+    double exaggeration =
+        iteration < options.exaggeration_iterations
+            ? options.early_exaggeration
+            : 1.0;
+
+    // Student-t affinities Q.
+    double q_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double dx = y[i][0] - y[j][0];
+        double dy = y[i][1] - y[j][1];
+        double w = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[i * n + j] = w;
+        q[j * n + i] = w;
+        q_sum += 2.0 * w;
+      }
+    }
+    if (q_sum <= 0.0) q_sum = 1e-12;
+
+    // Gradient and update (momentum 0.5 during early exaggeration, as in
+    // the reference implementation; per-point step clipping for stability).
+    double momentum =
+        iteration < options.exaggeration_iterations ? 0.5 : options.momentum;
+    for (size_t i = 0; i < n; ++i) {
+      double grad_x = 0.0;
+      double grad_y = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        double w = q[i * n + j];
+        double coefficient =
+            (exaggeration * p[i * n + j] - w / q_sum) * w;
+        grad_x += 4.0 * coefficient * (y[i][0] - y[j][0]);
+        grad_y += 4.0 * coefficient * (y[i][1] - y[j][1]);
+      }
+      velocity[i][0] =
+          momentum * velocity[i][0] - options.learning_rate * grad_x;
+      velocity[i][1] =
+          momentum * velocity[i][1] - options.learning_rate * grad_y;
+      double step = std::sqrt(velocity[i][0] * velocity[i][0] +
+                              velocity[i][1] * velocity[i][1]);
+      const double kMaxStep = 5.0;
+      if (step > kMaxStep) {
+        velocity[i][0] *= kMaxStep / step;
+        velocity[i][1] *= kMaxStep / step;
+      }
+      y[i][0] += velocity[i][0];
+      y[i][1] += velocity[i][1];
+    }
+
+    // Re-center.
+    double mean_x = 0.0;
+    double mean_y = 0.0;
+    for (const auto& point : y) {
+      mean_x += point[0];
+      mean_y += point[1];
+    }
+    mean_x /= static_cast<double>(n);
+    mean_y /= static_cast<double>(n);
+    for (auto& point : y) {
+      point[0] -= mean_x;
+      point[1] -= mean_y;
+    }
+  }
+  return y;
+}
+
+}  // namespace hisrect::eval

@@ -1,0 +1,32 @@
+#ifndef HISRECT_EVAL_TSNE_H_
+#define HISRECT_EVAL_TSNE_H_
+
+#include <array>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hisrect::eval {
+
+struct TsneOptions {
+  double perplexity = 20.0;
+  size_t iterations = 400;
+  double learning_rate = 20.0;
+  /// Momentum after the early-exaggeration phase (0.5 during it, as in the
+  /// reference implementation).
+  double momentum = 0.8;
+  /// Early-exaggeration factor and duration (van der Maaten & Hinton 2008).
+  double early_exaggeration = 4.0;
+  size_t exaggeration_iterations = 100;
+};
+
+/// Exact O(n^2) t-SNE to 2 dimensions — used to visualize HisRect features
+/// (paper Fig. 3). Deterministic given `rng`. Suitable for up to a few
+/// thousand points.
+std::vector<std::array<double, 2>> Tsne(
+    const std::vector<std::vector<float>>& points, const TsneOptions& options,
+    util::Rng& rng);
+
+}  // namespace hisrect::eval
+
+#endif  // HISRECT_EVAL_TSNE_H_

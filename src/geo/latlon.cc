@@ -1,0 +1,41 @@
+#include "geo/latlon.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace hisrect::geo {
+
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+
+}  // namespace
+
+double HaversineMeters(const LatLon& a, const LatLon& b) {
+  double lat1 = a.lat * kDegToRad;
+  double lat2 = b.lat * kDegToRad;
+  double dlat = (b.lat - a.lat) * kDegToRad;
+  double dlon = (b.lon - a.lon) * kDegToRad;
+  double s1 = std::sin(dlat / 2.0);
+  double s2 = std::sin(dlon / 2.0);
+  double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  h = std::min(1.0, h);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h));
+}
+
+double ApproxDistanceMeters(const LatLon& a, const LatLon& b) {
+  double mean_lat = 0.5 * (a.lat + b.lat) * kDegToRad;
+  double dx = (b.lon - a.lon) * kDegToRad * std::cos(mean_lat);
+  double dy = (b.lat - a.lat) * kDegToRad;
+  return kEarthRadiusMeters * std::sqrt(dx * dx + dy * dy);
+}
+
+LatLon Offset(const LatLon& origin, double east_meters, double north_meters) {
+  double dlat = north_meters / kEarthRadiusMeters / kDegToRad;
+  double dlon = east_meters /
+                (kEarthRadiusMeters * std::cos(origin.lat * kDegToRad)) /
+                kDegToRad;
+  return LatLon{origin.lat + dlat, origin.lon + dlon};
+}
+
+}  // namespace hisrect::geo

@@ -1,0 +1,34 @@
+#ifndef HISRECT_GEO_LATLON_H_
+#define HISRECT_GEO_LATLON_H_
+
+namespace hisrect::geo {
+
+/// Mean Earth radius in meters (IUGG).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// A WGS84-style coordinate. Latitude in degrees [-90, 90], longitude in
+/// degrees [-180, 180]. The library never wraps longitudes across the
+/// antimeridian; both synthetic cities live well inside one hemisphere.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  friend bool operator==(const LatLon& a, const LatLon& b) {
+    return a.lat == b.lat && a.lon == b.lon;
+  }
+};
+
+/// Great-circle distance in meters (haversine formula).
+double HaversineMeters(const LatLon& a, const LatLon& b);
+
+/// Fast planar approximation of the distance in meters (equirectangular
+/// projection). Accurate to well under 1% at city scale; used on hot paths
+/// such as the visit featurizer and the affinity graph.
+double ApproxDistanceMeters(const LatLon& a, const LatLon& b);
+
+/// Returns the point `east_meters` east and `north_meters` north of `origin`.
+LatLon Offset(const LatLon& origin, double east_meters, double north_meters);
+
+}  // namespace hisrect::geo
+
+#endif  // HISRECT_GEO_LATLON_H_

@@ -1,0 +1,120 @@
+#include "geo/poi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "util/logging.h"
+
+namespace hisrect::geo {
+
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+
+}  // namespace
+
+PoiSet::PoiSet(std::vector<Poi> pois, double grid_cell_meters)
+    : pois_(std::move(pois)) {
+  CHECK_GT(grid_cell_meters, 0.0);
+  for (size_t i = 0; i < pois_.size(); ++i) {
+    pois_[i].pid = static_cast<PoiId>(i);
+    if (!pois_[i].bounding_polygon.empty()) {
+      pois_[i].center = pois_[i].bounding_polygon.Centroid();
+    }
+  }
+  if (pois_.empty()) return;
+
+  double min_lat = std::numeric_limits<double>::infinity();
+  double max_lat = -std::numeric_limits<double>::infinity();
+  double min_lon = std::numeric_limits<double>::infinity();
+  double max_lon = -std::numeric_limits<double>::infinity();
+  for (const Poi& p : pois_) {
+    const BoundingBox& b = p.bounding_polygon.bounds();
+    min_lat = std::min(min_lat, b.min_lat);
+    max_lat = std::max(max_lat, b.max_lat);
+    min_lon = std::min(min_lon, b.min_lon);
+    max_lon = std::max(max_lon, b.max_lon);
+  }
+  origin_lat_ = min_lat;
+  origin_lon_ = min_lon;
+  double mean_lat = 0.5 * (min_lat + max_lat);
+  cell_lat_deg_ = grid_cell_meters / kEarthRadiusMeters / kDegToRad;
+  double cos_lat = std::max(0.05, std::cos(mean_lat * kDegToRad));
+  cell_lon_deg_ = grid_cell_meters / (kEarthRadiusMeters * cos_lat) / kDegToRad;
+
+  grid_rows_ =
+      static_cast<int64_t>((max_lat - min_lat) / cell_lat_deg_) + 1;
+  grid_cols_ =
+      static_cast<int64_t>((max_lon - min_lon) / cell_lon_deg_) + 1;
+  buckets_.assign(static_cast<size_t>(grid_rows_ * grid_cols_), {});
+
+  for (const Poi& p : pois_) {
+    const BoundingBox& b = p.bounding_polygon.bounds();
+    GridKey lo = KeyFor(LatLon{b.min_lat, b.min_lon});
+    GridKey hi = KeyFor(LatLon{b.max_lat, b.max_lon});
+    for (int64_t row = lo.row; row <= hi.row; ++row) {
+      for (int64_t col = lo.col; col <= hi.col; ++col) {
+        buckets_[BucketOf(row, col)].push_back(p.pid);
+      }
+    }
+  }
+}
+
+const Poi& PoiSet::poi(PoiId pid) const {
+  CHECK_GE(pid, 0);
+  CHECK_LT(static_cast<size_t>(pid), pois_.size());
+  return pois_[static_cast<size_t>(pid)];
+}
+
+PoiSet::GridKey PoiSet::KeyFor(const LatLon& point) const {
+  int64_t row =
+      static_cast<int64_t>(std::floor((point.lat - origin_lat_) / cell_lat_deg_));
+  int64_t col =
+      static_cast<int64_t>(std::floor((point.lon - origin_lon_) / cell_lon_deg_));
+  row = std::clamp<int64_t>(row, 0, grid_rows_ - 1);
+  col = std::clamp<int64_t>(col, 0, grid_cols_ - 1);
+  return GridKey{row, col};
+}
+
+size_t PoiSet::BucketOf(int64_t row, int64_t col) const {
+  return static_cast<size_t>(row * grid_cols_ + col);
+}
+
+std::optional<PoiId> PoiSet::FindContaining(const LatLon& point) const {
+  if (pois_.empty()) return std::nullopt;
+  GridKey key = KeyFor(point);
+  std::optional<PoiId> best;
+  for (PoiId pid : buckets_[BucketOf(key.row, key.col)]) {
+    if (pois_[static_cast<size_t>(pid)].bounding_polygon.Contains(point)) {
+      if (!best.has_value() || pid < *best) best = pid;
+    }
+  }
+  return best;
+}
+
+double PoiSet::DistanceToPoi(const LatLon& point, PoiId pid) const {
+  return ApproxDistanceMeters(point, poi(pid).center);
+}
+
+PoiId PoiSet::Nearest(const LatLon& point) const {
+  CHECK(!pois_.empty());
+  PoiId best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (const Poi& p : pois_) {
+    double d = ApproxDistanceMeters(point, p.center);
+    if (d < best_distance) {
+      best_distance = d;
+      best = p.pid;
+    }
+  }
+  return best;
+}
+
+double PoiSet::DistanceToNearest(const LatLon& point) const {
+  if (pois_.empty()) return std::numeric_limits<double>::infinity();
+  return ApproxDistanceMeters(point, poi(Nearest(point)).center);
+}
+
+}  // namespace hisrect::geo

@@ -1,0 +1,82 @@
+#ifndef HISRECT_GEO_POI_H_
+#define HISRECT_GEO_POI_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/latlon.h"
+#include "geo/polygon.h"
+
+namespace hisrect::geo {
+
+/// Identifier of a POI within a PoiSet; dense in [0, PoiSet::size()).
+using PoiId = int32_t;
+inline constexpr PoiId kInvalidPoiId = -1;
+
+/// Point of interest (Definition 1 in the paper): identifier, bounding
+/// polygon, and the polygon's central point.
+struct Poi {
+  PoiId pid = kInvalidPoiId;
+  std::string name;
+  Polygon bounding_polygon;
+  LatLon center;
+};
+
+/// An immutable collection of POIs with a uniform grid index supporting the
+/// spatial queries the pipeline needs:
+///   * which POI (if any) contains a point        -> FindContaining
+///   * distance from a point to a given POI        -> DistanceToPoi
+///   * distance from a point to the nearest POI    -> d(r, P) in the paper
+class PoiSet {
+ public:
+  PoiSet() = default;
+
+  /// Takes ownership of `pois`; pids are reassigned to be dense indices in
+  /// insertion order. `grid_cell_meters` controls index granularity.
+  explicit PoiSet(std::vector<Poi> pois, double grid_cell_meters = 500.0);
+
+  size_t size() const { return pois_.size(); }
+  bool empty() const { return pois_.empty(); }
+  const Poi& poi(PoiId pid) const;
+  const std::vector<Poi>& pois() const { return pois_; }
+
+  /// Returns the id of a POI whose polygon contains `point`, or nullopt.
+  /// If several overlap, the lowest pid wins (deterministic).
+  std::optional<PoiId> FindContaining(const LatLon& point) const;
+
+  /// Distance in meters from `point` to the center of POI `pid`.
+  double DistanceToPoi(const LatLon& point, PoiId pid) const;
+
+  /// Id of the POI whose center is nearest to `point`. Requires non-empty.
+  PoiId Nearest(const LatLon& point) const;
+
+  /// d(r, P): distance in meters from `point` to the nearest POI center.
+  /// Returns +inf when the set is empty.
+  double DistanceToNearest(const LatLon& point) const;
+
+ private:
+  struct GridKey {
+    int64_t row;
+    int64_t col;
+  };
+
+  GridKey KeyFor(const LatLon& point) const;
+  size_t BucketOf(int64_t row, int64_t col) const;
+
+  std::vector<Poi> pois_;
+  // Uniform grid over the POI bounding boxes; each bucket lists candidate
+  // pids for point-in-polygon tests.
+  double cell_lat_deg_ = 0.0;
+  double cell_lon_deg_ = 0.0;
+  double origin_lat_ = 0.0;
+  double origin_lon_ = 0.0;
+  int64_t grid_rows_ = 0;
+  int64_t grid_cols_ = 0;
+  std::vector<std::vector<PoiId>> buckets_;
+};
+
+}  // namespace hisrect::geo
+
+#endif  // HISRECT_GEO_POI_H_

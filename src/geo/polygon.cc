@@ -1,0 +1,73 @@
+#include "geo/polygon.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.h"
+
+namespace hisrect::geo {
+
+Polygon::Polygon(std::vector<LatLon> vertices)
+    : vertices_(std::move(vertices)) {
+  CHECK_GE(vertices_.size(), 3u) << "polygon needs at least 3 vertices";
+  bounds_.min_lat = bounds_.max_lat = vertices_[0].lat;
+  bounds_.min_lon = bounds_.max_lon = vertices_[0].lon;
+  for (const LatLon& v : vertices_) {
+    bounds_.min_lat = std::min(bounds_.min_lat, v.lat);
+    bounds_.max_lat = std::max(bounds_.max_lat, v.lat);
+    bounds_.min_lon = std::min(bounds_.min_lon, v.lon);
+    bounds_.max_lon = std::max(bounds_.max_lon, v.lon);
+  }
+}
+
+Polygon Polygon::Rectangle(const LatLon& center, double width_meters,
+                           double height_meters) {
+  double hw = width_meters / 2.0;
+  double hh = height_meters / 2.0;
+  return Polygon({Offset(center, -hw, -hh), Offset(center, hw, -hh),
+                  Offset(center, hw, hh), Offset(center, -hw, hh)});
+}
+
+Polygon Polygon::RegularNGon(const LatLon& center, double radius_meters,
+                             int sides) {
+  CHECK_GE(sides, 3);
+  std::vector<LatLon> vertices;
+  vertices.reserve(sides);
+  for (int i = 0; i < sides; ++i) {
+    double angle = 2.0 * std::numbers::pi * i / sides;
+    vertices.push_back(Offset(center, radius_meters * std::cos(angle),
+                              radius_meters * std::sin(angle)));
+  }
+  return Polygon(std::move(vertices));
+}
+
+bool Polygon::Contains(const LatLon& point) const {
+  if (vertices_.empty() || !bounds_.Contains(point)) return false;
+  // Ray casting: count crossings of a ray going in +lon direction.
+  bool inside = false;
+  size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const LatLon& vi = vertices_[i];
+    const LatLon& vj = vertices_[j];
+    bool crosses = (vi.lat > point.lat) != (vj.lat > point.lat);
+    if (!crosses) continue;
+    double lon_at_lat =
+        vj.lon + (point.lat - vj.lat) / (vi.lat - vj.lat) * (vi.lon - vj.lon);
+    if (point.lon < lon_at_lat) inside = !inside;
+  }
+  return inside;
+}
+
+LatLon Polygon::Centroid() const {
+  CHECK(!vertices_.empty());
+  double lat = 0.0;
+  double lon = 0.0;
+  for (const LatLon& v : vertices_) {
+    lat += v.lat;
+    lon += v.lon;
+  }
+  double n = static_cast<double>(vertices_.size());
+  return LatLon{lat / n, lon / n};
+}
+
+}  // namespace hisrect::geo

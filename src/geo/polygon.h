@@ -1,0 +1,61 @@
+#ifndef HISRECT_GEO_POLYGON_H_
+#define HISRECT_GEO_POLYGON_H_
+
+#include <vector>
+
+#include "geo/latlon.h"
+
+namespace hisrect::geo {
+
+/// Axis-aligned bounding box in (lat, lon) space.
+struct BoundingBox {
+  double min_lat = 0.0;
+  double max_lat = 0.0;
+  double min_lon = 0.0;
+  double max_lon = 0.0;
+
+  bool Contains(const LatLon& point) const {
+    return point.lat >= min_lat && point.lat <= max_lat &&
+           point.lon >= min_lon && point.lon <= max_lon;
+  }
+};
+
+/// A simple (non-self-intersecting) polygon over lat/lon vertices, matching
+/// the paper's POI "bounding polygon" bp (Definition 1). Vertices are stored
+/// without repeating the first vertex at the end.
+class Polygon {
+ public:
+  Polygon() = default;
+  /// Requires at least 3 vertices.
+  explicit Polygon(std::vector<LatLon> vertices);
+
+  /// Builds an axis-aligned rectangle centered on `center` with the given
+  /// extents in meters.
+  static Polygon Rectangle(const LatLon& center, double width_meters,
+                           double height_meters);
+
+  /// Builds a regular `sides`-gon of the given circumradius in meters.
+  static Polygon RegularNGon(const LatLon& center, double radius_meters,
+                             int sides);
+
+  /// Point-in-polygon via ray casting (boundary points count as inside on the
+  /// left/bottom edges, consistent with the half-open convention).
+  bool Contains(const LatLon& point) const;
+
+  /// Vertex-average centroid. For the small convex POI polygons used here
+  /// this is indistinguishable from the area centroid and matches the paper's
+  /// "central point of the polygon".
+  LatLon Centroid() const;
+
+  const BoundingBox& bounds() const { return bounds_; }
+  const std::vector<LatLon>& vertices() const { return vertices_; }
+  bool empty() const { return vertices_.empty(); }
+
+ private:
+  std::vector<LatLon> vertices_;
+  BoundingBox bounds_;
+};
+
+}  // namespace hisrect::geo
+
+#endif  // HISRECT_GEO_POLYGON_H_

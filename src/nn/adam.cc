@@ -1,0 +1,79 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hisrect::nn {
+
+Adam::Adam(std::vector<NamedParameter> parameters, AdamOptions options)
+    : options_(options) {
+  slots_.reserve(parameters.size());
+  for (NamedParameter& p : parameters) {
+    CHECK(p.tensor.requires_grad())
+        << "optimizer given a non-trainable tensor: " << p.name;
+    Slot slot;
+    slot.parameter = p.tensor;
+    slot.m = Matrix(p.tensor.rows(), p.tensor.cols());
+    slot.v = Matrix(p.tensor.rows(), p.tensor.cols());
+    slots_.push_back(std::move(slot));
+  }
+}
+
+float Adam::current_learning_rate() const {
+  if (options_.decay >= 1.0f || options_.decay_every == 0) {
+    return options_.learning_rate;
+  }
+  size_t epochs = step_ / options_.decay_every;
+  return options_.learning_rate *
+         std::pow(options_.decay, static_cast<float>(epochs));
+}
+
+void Adam::Step() {
+  ++step_;
+  float lr = current_learning_rate();
+  float decay_scale = lr / options_.learning_rate;
+  float l2 = options_.l2 * decay_scale;
+
+  // Global gradient-norm clipping across all parameters (paper: hard
+  // constraint on the norm of the gradient, threshold 5).
+  float clip_scale = 1.0f;
+  if (options_.clip_norm > 0.0f) {
+    double total_sq = 0.0;
+    for (Slot& slot : slots_) {
+      const Matrix& g = slot.parameter.grad();
+      for (size_t i = 0; i < g.size(); ++i) {
+        total_sq += static_cast<double>(g.data()[i]) * g.data()[i];
+      }
+    }
+    double norm = std::sqrt(total_sq);
+    if (norm > options_.clip_norm) {
+      clip_scale = static_cast<float>(options_.clip_norm / norm);
+    }
+  }
+
+  float bias1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  float bias2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+
+  for (Slot& slot : slots_) {
+    Matrix& value = slot.parameter.mutable_value();
+    Matrix& grad = slot.parameter.mutable_grad();
+    for (size_t i = 0; i < value.size(); ++i) {
+      float g = grad.data()[i] * clip_scale + l2 * value.data()[i];
+      slot.m.data()[i] =
+          options_.beta1 * slot.m.data()[i] + (1.0f - options_.beta1) * g;
+      slot.v.data()[i] =
+          options_.beta2 * slot.v.data()[i] + (1.0f - options_.beta2) * g * g;
+      float m_hat = slot.m.data()[i] / bias1;
+      float v_hat = slot.v.data()[i] / bias2;
+      value.data()[i] -= lr * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+  ZeroGrad();
+}
+
+void Adam::ZeroGrad() {
+  for (Slot& slot : slots_) slot.parameter.ZeroGrad();
+}
+
+}  // namespace hisrect::nn

@@ -1,0 +1,58 @@
+#ifndef HISRECT_NN_ADAM_H_
+#define HISRECT_NN_ADAM_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/tensor.h"
+
+namespace hisrect::nn {
+
+struct AdamOptions {
+  float learning_rate = 0.01f;  // Paper: initial lr 0.01 for all optimizers.
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  /// L2 regularization coefficient added to gradients (paper §6.1.2).
+  float l2 = 1e-5f;
+  /// Global gradient-norm clip threshold; <= 0 disables (paper clips to 5).
+  float clip_norm = 5.0f;
+  /// Multiplicative decay applied to lr and l2 every `decay_every` steps
+  /// ("coefficients ... all decrease with the number of training
+  /// iterations"). 1.0 disables.
+  float decay = 1.0f;
+  size_t decay_every = 1000;
+};
+
+/// Mini-batch Adam (Kingma & Ba) over a fixed parameter list. The caller
+/// accumulates gradients into the parameters (one or more Backward() calls),
+/// then calls Step(), which also zeroes the gradients.
+class Adam {
+ public:
+  Adam(std::vector<NamedParameter> parameters, AdamOptions options = {});
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  /// Zeroes all parameter gradients without updating.
+  void ZeroGrad();
+
+  size_t step_count() const { return step_; }
+  float current_learning_rate() const;
+  const AdamOptions& options() const { return options_; }
+
+ private:
+  struct Slot {
+    Tensor parameter;
+    Matrix m;  // First-moment estimate.
+    Matrix v;  // Second-moment estimate.
+  };
+
+  std::vector<Slot> slots_;
+  AdamOptions options_;
+  size_t step_ = 0;
+};
+
+}  // namespace hisrect::nn
+
+#endif  // HISRECT_NN_ADAM_H_

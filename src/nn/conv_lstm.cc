@@ -1,0 +1,88 @@
+#include "nn/conv_lstm.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace hisrect::nn {
+
+ConvLstmCell::ConvLstmCell(size_t dim, size_t kernel_width, util::Rng& rng,
+                           float stddev)
+    : dim_(dim), kernel_width_(kernel_width) {
+  CHECK_EQ(kernel_width_ % 2, 1u) << "kernel width must be odd";
+  // 1-row kernel shape would default the auto-init to std 1; the fan-in of
+  // one output element is kernel_width (per source).
+  if (stddev <= 0.0f) {
+    stddev = 1.0f / std::sqrt(static_cast<float>(kernel_width_));
+  }
+  for (size_t g = 0; g < kNumGates; ++g) {
+    kx_.push_back(GaussianParameter(1, kernel_width_, stddev, rng));
+    kh_.push_back(GaussianParameter(1, kernel_width_, stddev, rng));
+    bias_.push_back(ZeroParameter(1, dim_));
+  }
+  // Forget-gate bias = 1.
+  bias_[1].mutable_value().Fill(1.0f);
+}
+
+ConvLstmCell::State ConvLstmCell::InitialState() const {
+  return State{Tensor::Zeros(1, dim_), Tensor::Zeros(1, dim_)};
+}
+
+ConvLstmCell::State ConvLstmCell::Step(const Tensor& x,
+                                       const State& state) const {
+  CHECK_EQ(x.cols(), dim_);
+  auto gate_pre = [&](size_t g) {
+    return Add(Add(Conv1dSame(x, kx_[g]), Conv1dSame(state.h, kh_[g])),
+               bias_[g]);
+  };
+  Tensor i_gate = Sigmoid(gate_pre(0));
+  Tensor f_gate = Sigmoid(gate_pre(1));
+  Tensor g_cand = Tanh(gate_pre(2));
+  Tensor o_gate = Sigmoid(gate_pre(3));
+  Tensor c_next = Add(Mul(f_gate, state.c), Mul(i_gate, g_cand));
+  Tensor h_next = Mul(o_gate, Tanh(c_next));
+  return State{h_next, c_next};
+}
+
+void ConvLstmCell::CollectParameters(const std::string& prefix,
+                                     std::vector<NamedParameter>& out) const {
+  static const char* kGateNames[kNumGates] = {"i", "f", "g", "o"};
+  for (size_t g = 0; g < kNumGates; ++g) {
+    out.push_back({JoinName(prefix, std::string("kx_") + kGateNames[g]), kx_[g]});
+    out.push_back({JoinName(prefix, std::string("kh_") + kGateNames[g]), kh_[g]});
+    out.push_back({JoinName(prefix, std::string("b_") + kGateNames[g]), bias_[g]});
+  }
+}
+
+BiConvLstm::BiConvLstm(size_t dim, size_t kernel_width, util::Rng& rng)
+    : forward_cell_(dim, kernel_width, rng),
+      backward_cell_(dim, kernel_width, rng) {}
+
+BiConvLstm::Output BiConvLstm::Forward(const std::vector<Tensor>& inputs) const {
+  CHECK(!inputs.empty());
+  size_t t_len = inputs.size();
+  Output out;
+  out.forward.resize(t_len);
+  out.backward.resize(t_len);
+
+  ConvLstmCell::State state = forward_cell_.InitialState();
+  for (size_t t = 0; t < t_len; ++t) {
+    state = forward_cell_.Step(inputs[t], state);
+    out.forward[t] = state.h;
+  }
+  state = backward_cell_.InitialState();
+  for (size_t t = t_len; t-- > 0;) {
+    state = backward_cell_.Step(inputs[t], state);
+    out.backward[t] = state.h;
+  }
+  return out;
+}
+
+void BiConvLstm::CollectParameters(const std::string& prefix,
+                                   std::vector<NamedParameter>& out) const {
+  forward_cell_.CollectParameters(JoinName(prefix, "fwd"), out);
+  backward_cell_.CollectParameters(JoinName(prefix, "bwd"), out);
+}
+
+}  // namespace hisrect::nn

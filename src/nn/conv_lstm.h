@@ -1,0 +1,75 @@
+#ifndef HISRECT_NN_CONV_LSTM_H_
+#define HISRECT_NN_CONV_LSTM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace hisrect::nn {
+
+/// 1-D ConvLSTM cell (Shi et al., NIPS 2015), used by the paper's ConvLSTM
+/// baseline: the input-to-state and state-to-state transitions use
+/// convolutions over the feature axis instead of fully-connected matmuls.
+///
+/// The input x and hidden state h share the feature width `dim` (callers
+/// project word vectors to `dim` first when needed). Each gate g has two
+/// 1-D same-padded kernels (input and state) of width `kernel_width` plus a
+/// per-dimension bias:
+///
+///   pre_g = Conv1d(x, Kx_g) + Conv1d(h, Kh_g) + b_g
+class ConvLstmCell : public Module {
+ public:
+  ConvLstmCell(size_t dim, size_t kernel_width, util::Rng& rng,
+               float stddev = -1.0f);
+
+  struct State {
+    Tensor h;  // 1 x dim
+    Tensor c;  // 1 x dim
+  };
+
+  State InitialState() const;
+
+  State Step(const Tensor& x, const State& state) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParameter>& out) const override;
+
+  size_t dim() const { return dim_; }
+
+ private:
+  // Gate order: input, forget, cell-candidate, output.
+  static constexpr size_t kNumGates = 4;
+
+  size_t dim_;
+  size_t kernel_width_;
+  std::vector<Tensor> kx_;    // kNumGates kernels, each 1 x kernel_width
+  std::vector<Tensor> kh_;    // kNumGates kernels, each 1 x kernel_width
+  std::vector<Tensor> bias_;  // kNumGates biases, each 1 x dim
+};
+
+/// Bidirectional ConvLSTM encoder mirroring BiLstm's interface for the
+/// baseline comparison.
+class BiConvLstm : public Module {
+ public:
+  BiConvLstm(size_t dim, size_t kernel_width, util::Rng& rng);
+
+  struct Output {
+    std::vector<Tensor> forward;
+    std::vector<Tensor> backward;
+  };
+
+  Output Forward(const std::vector<Tensor>& inputs) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParameter>& out) const override;
+
+ private:
+  ConvLstmCell forward_cell_;
+  ConvLstmCell backward_cell_;
+};
+
+}  // namespace hisrect::nn
+
+#endif  // HISRECT_NN_CONV_LSTM_H_

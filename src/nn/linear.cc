@@ -1,0 +1,21 @@
+#include "nn/linear.h"
+
+namespace hisrect::nn {
+
+Linear::Linear(size_t in_dim, size_t out_dim, util::Rng& rng, float stddev)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weight_(GaussianParameter(in_dim, out_dim, stddev, rng)),
+      bias_(ZeroParameter(1, out_dim)) {}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  return AddBroadcastRow(MatMul(x, weight_), bias_);
+}
+
+void Linear::CollectParameters(const std::string& prefix,
+                               std::vector<NamedParameter>& out) const {
+  out.push_back({JoinName(prefix, "weight"), weight_});
+  out.push_back({JoinName(prefix, "bias"), bias_});
+}
+
+}  // namespace hisrect::nn

@@ -1,0 +1,39 @@
+#ifndef HISRECT_NN_LINEAR_H_
+#define HISRECT_NN_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace hisrect::nn {
+
+/// Fully connected layer: y = x * W + b with W in R^{in x out}, b in
+/// R^{1 x out}. Accepts batched input (B x in).
+class Linear : public Module {
+ public:
+  Linear(size_t in_dim, size_t out_dim, util::Rng& rng, float stddev = -1.0f);
+
+  Tensor Forward(const Tensor& x) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParameter>& out) const override;
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  Tensor weight_;
+  Tensor bias_;
+};
+
+}  // namespace hisrect::nn
+
+#endif  // HISRECT_NN_LINEAR_H_

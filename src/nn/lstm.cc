@@ -1,0 +1,113 @@
+#include "nn/lstm.h"
+
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace hisrect::nn {
+
+LstmCell::LstmCell(size_t in_dim, size_t hidden_dim, util::Rng& rng,
+                   float stddev)
+    : in_dim_(in_dim),
+      hidden_dim_(hidden_dim),
+      wx_(GaussianParameter(in_dim, 4 * hidden_dim, stddev, rng)),
+      wh_(GaussianParameter(hidden_dim, 4 * hidden_dim, stddev, rng)),
+      bias_(ZeroParameter(1, 4 * hidden_dim)) {
+  // Forget-gate bias = 1.
+  Matrix& b = bias_.mutable_value();
+  for (size_t j = hidden_dim_; j < 2 * hidden_dim_; ++j) b.At(0, j) = 1.0f;
+}
+
+LstmCell::State LstmCell::InitialState() const {
+  return State{Tensor::Zeros(1, hidden_dim_), Tensor::Zeros(1, hidden_dim_)};
+}
+
+LstmCell::State LstmCell::Step(const Tensor& x, const State& state) const {
+  CHECK_EQ(x.cols(), in_dim_);
+  Tensor pre = AddBroadcastRow(Add(MatMul(x, wx_), MatMul(state.h, wh_)),
+                               bias_);
+  size_t n = hidden_dim_;
+  Tensor i_gate = Sigmoid(SliceCols(pre, 0, n));
+  Tensor f_gate = Sigmoid(SliceCols(pre, n, n));
+  Tensor g_cand = Tanh(SliceCols(pre, 2 * n, n));
+  Tensor o_gate = Sigmoid(SliceCols(pre, 3 * n, n));
+  Tensor c_next = Add(Mul(f_gate, state.c), Mul(i_gate, g_cand));
+  Tensor h_next = Mul(o_gate, Tanh(c_next));
+  return State{h_next, c_next};
+}
+
+void LstmCell::CollectParameters(const std::string& prefix,
+                                 std::vector<NamedParameter>& out) const {
+  out.push_back({JoinName(prefix, "wx"), wx_});
+  out.push_back({JoinName(prefix, "wh"), wh_});
+  out.push_back({JoinName(prefix, "bias"), bias_});
+}
+
+BiLstm::BiLstm(size_t in_dim, size_t hidden_dim, size_t num_layers,
+               util::Rng& rng, float dropout_rate)
+    : hidden_dim_(hidden_dim), dropout_rate_(dropout_rate) {
+  CHECK_GE(num_layers, 1u);
+  layers_.reserve(num_layers);
+  for (size_t l = 0; l < num_layers; ++l) {
+    size_t layer_in = (l == 0) ? in_dim : 2 * hidden_dim;
+    layers_.push_back(Layer{LstmCell(layer_in, hidden_dim, rng),
+                            LstmCell(layer_in, hidden_dim, rng)});
+  }
+}
+
+BiLstm::Output BiLstm::Forward(const std::vector<Tensor>& inputs,
+                               util::Rng& rng, bool training) const {
+  CHECK(!inputs.empty()) << "BiLstm requires a non-empty sequence";
+  size_t t_len = inputs.size();
+
+  std::vector<Tensor> layer_inputs = inputs;
+  Output out;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<Tensor> fwd(t_len);
+    std::vector<Tensor> bwd(t_len);
+
+    LstmCell::State state = layer.forward_cell.InitialState();
+    for (size_t t = 0; t < t_len; ++t) {
+      state = layer.forward_cell.Step(layer_inputs[t], state);
+      fwd[t] = state.h;
+    }
+    state = layer.backward_cell.InitialState();
+    for (size_t t = t_len; t-- > 0;) {
+      state = layer.backward_cell.Step(layer_inputs[t], state);
+      bwd[t] = state.h;
+    }
+
+    if (dropout_rate_ > 0.0f && training) {
+      for (size_t t = 0; t < t_len; ++t) {
+        fwd[t] = Dropout(fwd[t], dropout_rate_, rng, training);
+        bwd[t] = Dropout(bwd[t], dropout_rate_, rng, training);
+      }
+    }
+
+    bool is_top = (l + 1 == layers_.size());
+    if (is_top) {
+      out.forward = std::move(fwd);
+      out.backward = std::move(bwd);
+    } else {
+      std::vector<Tensor> next(t_len);
+      for (size_t t = 0; t < t_len; ++t) {
+        next[t] = ConcatCols(fwd[t], bwd[t]);
+      }
+      layer_inputs = std::move(next);
+    }
+  }
+  return out;
+}
+
+void BiLstm::CollectParameters(const std::string& prefix,
+                               std::vector<NamedParameter>& out) const {
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    std::string layer_prefix = JoinName(prefix, "layer" + std::to_string(l));
+    layers_[l].forward_cell.CollectParameters(JoinName(layer_prefix, "fwd"),
+                                              out);
+    layers_[l].backward_cell.CollectParameters(JoinName(layer_prefix, "bwd"),
+                                               out);
+  }
+}
+
+}  // namespace hisrect::nn

@@ -1,0 +1,87 @@
+#ifndef HISRECT_NN_LSTM_H_
+#define HISRECT_NN_LSTM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace hisrect::nn {
+
+/// One LSTM step. Gate layout in the packed 4N pre-activation: input,
+/// forget, cell-candidate, output. The forget-gate bias is initialized to 1
+/// (standard trick for gradient flow on short sequences).
+class LstmCell : public Module {
+ public:
+  LstmCell(size_t in_dim, size_t hidden_dim, util::Rng& rng,
+           float stddev = -1.0f);
+
+  struct State {
+    Tensor h;  // 1 x N
+    Tensor c;  // 1 x N
+  };
+
+  /// Zero initial state (the paper initializes LSTM state with 0).
+  State InitialState() const;
+
+  State Step(const Tensor& x, const State& state) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParameter>& out) const override;
+
+  size_t in_dim() const { return in_dim_; }
+  size_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  size_t in_dim_;
+  size_t hidden_dim_;
+  Tensor wx_;  // in x 4N
+  Tensor wh_;  // N x 4N
+  Tensor bias_;  // 1 x 4N
+};
+
+/// Stacked bidirectional LSTM (the paper's BLSTM with Ql stacked layers).
+/// Layer 0 consumes the input sequence; layer l > 0 consumes the
+/// concatenated [forward; backward] hidden states of layer l - 1.
+class BiLstm : public Module {
+ public:
+  /// `num_layers` is the paper's Ql. Dropout (rate, not keep probability) is
+  /// applied to each layer's output sequence at training time.
+  BiLstm(size_t in_dim, size_t hidden_dim, size_t num_layers, util::Rng& rng,
+         float dropout_rate = 0.0f);
+
+  struct Output {
+    /// Top-layer hidden states, forward direction; forward[t] is 1 x N.
+    std::vector<Tensor> forward;
+    /// Top-layer hidden states, backward direction; backward[t] aligns with
+    /// input position t (i.e. already re-reversed).
+    std::vector<Tensor> backward;
+  };
+
+  /// Runs the stack over `inputs` (each 1 x in_dim). Requires a non-empty
+  /// sequence.
+  Output Forward(const std::vector<Tensor>& inputs, util::Rng& rng,
+                 bool training) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParameter>& out) const override;
+
+  size_t hidden_dim() const { return hidden_dim_; }
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  struct Layer {
+    LstmCell forward_cell;
+    LstmCell backward_cell;
+  };
+
+  size_t hidden_dim_;
+  float dropout_rate_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace hisrect::nn
+
+#endif  // HISRECT_NN_LSTM_H_

@@ -1,0 +1,107 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hisrect::nn {
+
+Matrix::Matrix(size_t rows, size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  CHECK_EQ(rows_ * cols_, data_.size());
+}
+
+Matrix Matrix::RowVector(std::vector<float> values) {
+  size_t n = values.size();
+  return Matrix(1, n, std::move(values));
+}
+
+float& Matrix::At(size_t row, size_t col) {
+  CHECK_LT(row, rows_);
+  CHECK_LT(col, cols_);
+  return data_[row * cols_ + col];
+}
+
+float Matrix::At(size_t row, size_t col) const {
+  CHECK_LT(row, rows_);
+  CHECK_LT(col, cols_);
+  return data_[row * cols_ + col];
+}
+
+void Matrix::Fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  CHECK_EQ(rows_, other.rows_);
+  CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AddScaled(const Matrix& other, float scale) {
+  CHECK_EQ(rows_, other.rows_);
+  CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+float Matrix::Norm() const {
+  double total = 0.0;
+  for (float x : data_) total += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(total));
+}
+
+Matrix MatMulValues(const Matrix& a, const Matrix& b) {
+  CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  const size_t n = b.cols();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* a_row = a.data() + i * a.cols();
+    float* out_row = out.data() + i * n;
+    for (size_t k = 0; k < a.cols(); ++k) {
+      float aik = a_row[k];
+      if (aik == 0.0f) continue;
+      const float* b_row = b.data() + k * n;
+      for (size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
+  CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* a_row = a.data() + i * a.cols();
+    float* out_row = out.data() + i * b.rows();
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const float* b_row = b.data() + j * b.cols();
+      float acc = 0.0f;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposedA(const Matrix& a, const Matrix& b) {
+  CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const float* a_row = a.data() + k * a.cols();
+    const float* b_row = b.data() + k * b.cols();
+    for (size_t i = 0; i < a.cols(); ++i) {
+      float aki = a_row[i];
+      if (aki == 0.0f) continue;
+      float* out_row = out.data() + i * out.cols();
+      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace hisrect::nn

@@ -1,0 +1,64 @@
+#ifndef HISRECT_NN_MATRIX_H_
+#define HISRECT_NN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hisrect::nn {
+
+/// Dense row-major float matrix — the numeric workhorse under the autograd
+/// tape. Row vectors (1 x n) represent feature/embedding vectors; a T x n
+/// matrix represents a length-T sequence of n-dim vectors.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, float fill = 0.0f);
+  Matrix(size_t rows, size_t cols, std::vector<float> data);
+
+  static Matrix RowVector(std::vector<float> values);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& At(size_t row, size_t col);
+  float At(size_t row, size_t col) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  const std::vector<float>& values() const { return data_; }
+
+  void Fill(float value);
+
+  /// this += other (same shape required).
+  void AddInPlace(const Matrix& other);
+  /// this += scale * other (same shape required).
+  void AddScaled(const Matrix& other, float scale);
+
+  /// Frobenius norm.
+  float Norm() const;
+
+  /// Element-wise equality (exact).
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a * b. Shapes: (r x k) * (k x c) -> (r x c).
+Matrix MatMulValues(const Matrix& a, const Matrix& b);
+
+/// out = a * b^T. Shapes: (r x k) * (c x k) -> (r x c).
+Matrix MatMulTransposedB(const Matrix& a, const Matrix& b);
+
+/// out = a^T * b. Shapes: (k x r) * (k x c) -> (r x c).
+Matrix MatMulTransposedA(const Matrix& a, const Matrix& b);
+
+}  // namespace hisrect::nn
+
+#endif  // HISRECT_NN_MATRIX_H_

@@ -1,0 +1,48 @@
+#include "nn/mlp.h"
+
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace hisrect::nn {
+
+Mlp::Mlp(const std::vector<size_t>& dims, util::Rng& rng, MlpOptions options)
+    : options_(options) {
+  CHECK_GE(dims.size(), 2u) << "Mlp needs at least input and output dims";
+  layers_.reserve(dims.size() - 1);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    bool is_last = (i + 2 == dims.size());
+    float stddev =
+        is_last && options_.final_layer_stddev > 0.0f
+            ? options_.final_layer_stddev
+            : -1.0f;
+    layers_.emplace_back(dims[i], dims[i + 1], rng, stddev);
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x, util::Rng& rng, bool training) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (options_.dropout_rate > 0.0f) {
+      h = Dropout(h, options_.dropout_rate, rng, training);
+    }
+    h = layers_[i].Forward(h);
+    bool is_last = (i + 1 == layers_.size());
+    if (!is_last || options_.relu_after_last) h = Relu(h);
+  }
+  return h;
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  util::Rng unused(0);
+  return Forward(x, unused, /*training=*/false);
+}
+
+void Mlp::CollectParameters(const std::string& prefix,
+                            std::vector<NamedParameter>& out) const {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].CollectParameters(JoinName(prefix, "fc" + std::to_string(i)),
+                                 out);
+  }
+}
+
+}  // namespace hisrect::nn

@@ -1,0 +1,51 @@
+#ifndef HISRECT_NN_MLP_H_
+#define HISRECT_NN_MLP_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace hisrect::nn {
+
+struct MlpOptions {
+  /// Apply ReLU after the final layer too (the paper's F and C stacks apply
+  /// a ReLU after every FC; set false for logit/embedding outputs).
+  bool relu_after_last = true;
+  /// Dropout rate applied to the input of every FC layer at training time
+  /// (the paper uses keep probability 0.8, i.e. rate 0.2).
+  float dropout_rate = 0.0f;
+  /// Init stddev for the final layer only; <= 0 keeps the default fan-in
+  /// init. Heads that end in logits use a small value so initial outputs
+  /// stay near zero (no sigmoid/softmax saturation at step 0).
+  float final_layer_stddev = -1.0f;
+};
+
+/// Feed-forward stack: FC -> ReLU -> ... -> FC [-> ReLU]. `dims` lists layer
+/// widths, e.g. {64, 32, 16} is two FC layers 64->32->16.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<size_t>& dims, util::Rng& rng, MlpOptions options = {});
+
+  /// `training` enables dropout; `rng` is only consumed when training.
+  Tensor Forward(const Tensor& x, util::Rng& rng, bool training) const;
+
+  /// Inference-only forward (no dropout).
+  Tensor Forward(const Tensor& x) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParameter>& out) const override;
+
+  size_t in_dim() const { return layers_.front().in_dim(); }
+  size_t out_dim() const { return layers_.back().out_dim(); }
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<Linear> layers_;
+  MlpOptions options_;
+};
+
+}  // namespace hisrect::nn
+
+#endif  // HISRECT_NN_MLP_H_

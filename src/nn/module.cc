@@ -1,0 +1,40 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+namespace hisrect::nn {
+
+std::vector<NamedParameter> Module::Parameters() const {
+  std::vector<NamedParameter> out;
+  CollectParameters("", out);
+  return out;
+}
+
+size_t Module::NumParameterValues() const {
+  size_t total = 0;
+  for (const NamedParameter& p : Parameters()) total += p.tensor.value().size();
+  return total;
+}
+
+Tensor GaussianParameter(size_t rows, size_t cols, float stddev,
+                         util::Rng& rng) {
+  if (stddev <= 0.0f) {
+    stddev = 1.0f / std::sqrt(static_cast<float>(rows > 0 ? rows : 1));
+  }
+  Matrix values(rows, cols);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values.data()[i] = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return Tensor::FromMatrix(std::move(values), /*requires_grad=*/true);
+}
+
+Tensor ZeroParameter(size_t rows, size_t cols) {
+  return Tensor::Zeros(rows, cols, /*requires_grad=*/true);
+}
+
+std::string JoinName(const std::string& prefix, const std::string& name) {
+  if (prefix.empty()) return name;
+  return prefix + "/" + name;
+}
+
+}  // namespace hisrect::nn

@@ -1,0 +1,93 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <unordered_map>
+
+namespace hisrect::nn {
+
+namespace {
+
+constexpr char kMagic[] = "HRCT1\n";
+constexpr size_t kMagicLen = 6;
+
+template <typename T>
+void WritePod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+util::Status SaveParameters(const std::vector<NamedParameter>& parameters,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::IoError("cannot open " + path);
+  out.write(kMagic, kMagicLen);
+  WritePod<uint64_t>(out, parameters.size());
+  for (const NamedParameter& p : parameters) {
+    WritePod<uint32_t>(out, static_cast<uint32_t>(p.name.size()));
+    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    const Matrix& m = p.tensor.value();
+    WritePod<uint64_t>(out, m.rows());
+    WritePod<uint64_t>(out, m.cols());
+    out.write(reinterpret_cast<const char*>(m.data()),
+              static_cast<std::streamsize>(m.size() * sizeof(float)));
+  }
+  if (!out) return util::Status::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+util::Status LoadParameters(std::vector<NamedParameter>& parameters,
+                            const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IoError("cannot open " + path);
+  char magic[kMagicLen];
+  in.read(magic, kMagicLen);
+  if (!in || std::string(magic, kMagicLen) != std::string(kMagic, kMagicLen)) {
+    return util::Status::InvalidArgument("bad magic in " + path);
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, count)) return util::Status::IoError("truncated " + path);
+
+  std::unordered_map<std::string, Matrix> loaded;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, name_len)) return util::Status::IoError("truncated " + path);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint64_t rows = 0;
+    uint64_t cols = 0;
+    if (!ReadPod(in, rows) || !ReadPod(in, cols)) {
+      return util::Status::IoError("truncated " + path);
+    }
+    Matrix m(rows, cols);
+    in.read(reinterpret_cast<char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+    if (!in) return util::Status::IoError("truncated " + path);
+    loaded.emplace(std::move(name), std::move(m));
+  }
+
+  // Validate everything before mutating anything.
+  for (const NamedParameter& p : parameters) {
+    auto it = loaded.find(p.name);
+    if (it == loaded.end()) {
+      return util::Status::NotFound("parameter not in file: " + p.name);
+    }
+    if (it->second.rows() != p.tensor.rows() ||
+        it->second.cols() != p.tensor.cols()) {
+      return util::Status::InvalidArgument("shape mismatch for " + p.name);
+    }
+  }
+  for (NamedParameter& p : parameters) {
+    p.tensor.mutable_value() = loaded.at(p.name);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace hisrect::nn

@@ -1,0 +1,26 @@
+#ifndef HISRECT_NN_SERIALIZE_H_
+#define HISRECT_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace hisrect::nn {
+
+/// Saves the parameters to a simple binary container:
+///   magic "HRCT1\n", u64 count, then per parameter:
+///   u32 name_len, name bytes, u64 rows, u64 cols, rows*cols f32 values.
+util::Status SaveParameters(const std::vector<NamedParameter>& parameters,
+                            const std::string& path);
+
+/// Loads values saved by SaveParameters into `parameters`, matching by name.
+/// Fails (without partial application) if a name is missing in the file or a
+/// shape mismatches.
+util::Status LoadParameters(std::vector<NamedParameter>& parameters,
+                            const std::string& path);
+
+}  // namespace hisrect::nn
+
+#endif  // HISRECT_NN_SERIALIZE_H_

@@ -1,0 +1,58 @@
+#include "nn/temporal_conv.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace hisrect::nn {
+
+TemporalConv::TemporalConv(size_t hidden_dim, size_t taps, util::Rng& rng,
+                           float stddev)
+    : hidden_dim_(hidden_dim), taps_(taps), bias_(ZeroParameter(1, hidden_dim)) {
+  CHECK_GE(taps_, 1u);
+  // Fan-in of one output element is taps x 2 channels (the 1-row parameter
+  // shape would otherwise default the auto-init to std 1).
+  if (stddev <= 0.0f) stddev = 1.0f / std::sqrt(2.0f * taps_);
+  kernel_fwd_.reserve(taps_);
+  kernel_bwd_.reserve(taps_);
+  for (size_t d = 0; d < taps_; ++d) {
+    kernel_fwd_.push_back(GaussianParameter(1, hidden_dim, stddev, rng));
+    kernel_bwd_.push_back(GaussianParameter(1, hidden_dim, stddev, rng));
+  }
+}
+
+Tensor TemporalConv::Forward(const std::vector<Tensor>& fwd,
+                             const std::vector<Tensor>& bwd) const {
+  CHECK_EQ(fwd.size(), bwd.size());
+  CHECK_GE(fwd.size(), taps_) << "sequence shorter than conv taps";
+  size_t t_len = fwd.size();
+  size_t out_len = t_len - taps_ + 1;
+
+  Tensor hf = RowStack(fwd);
+  Tensor hb = RowStack(bwd);
+
+  Tensor acc;
+  for (size_t d = 0; d < taps_; ++d) {
+    Tensor term = Add(MulBroadcastRow(SliceRows(hf, d, out_len), kernel_fwd_[d]),
+                      MulBroadcastRow(SliceRows(hb, d, out_len), kernel_bwd_[d]));
+    acc = acc.defined() ? Add(acc, term) : term;
+  }
+  return AddBroadcastRow(acc, bias_);
+}
+
+Tensor TemporalConv::FeatureVector(const std::vector<Tensor>& fwd,
+                                   const std::vector<Tensor>& bwd) const {
+  return MeanRows(Relu(Forward(fwd, bwd)));
+}
+
+void TemporalConv::CollectParameters(const std::string& prefix,
+                                     std::vector<NamedParameter>& out) const {
+  for (size_t d = 0; d < taps_; ++d) {
+    out.push_back({JoinName(prefix, "kf" + std::to_string(d)), kernel_fwd_[d]});
+    out.push_back({JoinName(prefix, "kb" + std::to_string(d)), kernel_bwd_[d]});
+  }
+  out.push_back({JoinName(prefix, "bias"), bias_});
+}
+
+}  // namespace hisrect::nn

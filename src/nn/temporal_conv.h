@@ -1,0 +1,55 @@
+#ifndef HISRECT_NN_TEMPORAL_CONV_H_
+#define HISRECT_NN_TEMPORAL_CONV_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace hisrect::nn {
+
+/// The convolution layer of BiLSTM-C (paper §4.2).
+///
+/// The paper describes a filter K in R^{3 x N} applied to the 2-channel
+/// T x N "image" of bidirectional hidden states, producing a (T-2) x N
+/// feature map. A literal 3 x N filter would produce (T-2) x 1, so — to match
+/// the stated output shape and the intent of extracting word-group features —
+/// this implements a depthwise temporal convolution: for each hidden
+/// dimension j, a 3-tap kernel over time applied to both direction channels:
+///
+///   O[t, j] = sum_d kf[d, j] * Hf[t + d, j] + kb[d, j] * Hb[t + d, j] + b[j]
+///
+/// See DESIGN.md ("interpretation note").
+class TemporalConv : public Module {
+ public:
+  /// `taps` is the temporal extent (the paper uses 3).
+  TemporalConv(size_t hidden_dim, size_t taps, util::Rng& rng,
+               float stddev = -1.0f);
+
+  /// `fwd`/`bwd` are aligned sequences of 1 x N hidden states with
+  /// length T >= taps. Returns the (T - taps + 1) x N pre-activation map.
+  Tensor Forward(const std::vector<Tensor>& fwd,
+                 const std::vector<Tensor>& bwd) const;
+
+  /// Full BiLSTM-C head: Mean(Relu(conv)) -> 1 x N feature (Eq. 3).
+  Tensor FeatureVector(const std::vector<Tensor>& fwd,
+                       const std::vector<Tensor>& bwd) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParameter>& out) const override;
+
+  size_t hidden_dim() const { return hidden_dim_; }
+  size_t taps() const { return taps_; }
+
+ private:
+  size_t hidden_dim_;
+  size_t taps_;
+  std::vector<Tensor> kernel_fwd_;  // taps entries, each 1 x N
+  std::vector<Tensor> kernel_bwd_;  // taps entries, each 1 x N
+  Tensor bias_;                     // 1 x N
+};
+
+}  // namespace hisrect::nn
+
+#endif  // HISRECT_NN_TEMPORAL_CONV_H_

@@ -1,0 +1,90 @@
+#ifndef HISRECT_NN_TENSOR_H_
+#define HISRECT_NN_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace hisrect::nn {
+
+/// A node in a dynamically built computation graph (reverse-mode autograd).
+///
+/// `Tensor` is a cheap shared handle: ops (see ops.h) produce new tensors that
+/// remember their parents and a backward closure. Calling `Backward()` on a
+/// scalar result walks the tape in reverse topological order and accumulates
+/// gradients into every tensor with `requires_grad() == true`.
+///
+/// Parameters are long-lived tensors created with `requires_grad = true`;
+/// graphs built on top of them are freed when the intermediate handles go out
+/// of scope, while accumulated parameter gradients persist until `ZeroGrad()`.
+/// Not thread-safe; the library trains single-threaded by design.
+class Tensor {
+ public:
+  struct Node {
+    Matrix value;
+    Matrix grad;  // Sized lazily; empty until first accumulation.
+    bool requires_grad = false;
+    std::vector<std::shared_ptr<Node>> parents;
+    // Propagates this->grad into parents' grads. Null for leaves.
+    std::function<void(Node&)> backward;
+
+    /// Sizes `grad` to match `value` (zero-filled) if not yet allocated.
+    void EnsureGrad();
+  };
+
+  /// Null handle; most APIs require a defined tensor.
+  Tensor() = default;
+
+  /// Leaf tensor from a value matrix.
+  static Tensor FromMatrix(Matrix value, bool requires_grad = false);
+  static Tensor Zeros(size_t rows, size_t cols, bool requires_grad = false);
+  static Tensor RowVector(std::vector<float> values,
+                          bool requires_grad = false);
+
+  /// Internal: creates an op node. `backward` may be null when no parent
+  /// requires grad.
+  static Tensor MakeOp(Matrix value, std::vector<Tensor> parents,
+                       std::function<void(Node&)> backward);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Matrix& value() const&;
+  /// Rvalue overload returns by value: `SomeOp(...).value()` would otherwise
+  /// dangle once the temporary handle releases the node.
+  Matrix value() &&;
+  /// Direct mutation of the value (optimizer updates). Must not be called on
+  /// tensors that participate in a live graph other than as leaves.
+  Matrix& mutable_value();
+
+  /// Gradient accumulated by Backward(); zero matrix if never touched.
+  const Matrix& grad() const;
+  Matrix& mutable_grad();
+
+  bool requires_grad() const;
+  size_t rows() const { return value().rows(); }
+  size_t cols() const { return value().cols(); }
+
+  /// Resets the accumulated gradient to zero (keeps allocation).
+  void ZeroGrad();
+
+  /// Runs reverse-mode differentiation from this tensor, which must be a
+  /// 1x1 scalar; seeds its gradient with 1.
+  void Backward();
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+  friend bool operator==(const Tensor& a, const Tensor& b) {
+    return a.node_ == b.node_;
+  }
+
+ private:
+  explicit Tensor(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<Node> node_;
+};
+
+}  // namespace hisrect::nn
+
+#endif  // HISRECT_NN_TENSOR_H_

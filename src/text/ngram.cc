@@ -1,0 +1,32 @@
+#include "text/ngram.h"
+
+#include "text/tokenizer.h"
+
+namespace hisrect::text {
+
+std::vector<std::string> ExtractNGrams(const std::vector<std::string>& tokens,
+                                       size_t max_order) {
+  std::vector<std::string> ngrams;
+  for (size_t order = 1; order <= max_order; ++order) {
+    if (tokens.size() < order) break;
+    for (size_t start = 0; start + order <= tokens.size(); ++start) {
+      bool has_sentinel = false;
+      for (size_t k = 0; k < order; ++k) {
+        if (tokens[start + k] == kSentinelToken) {
+          has_sentinel = true;
+          break;
+        }
+      }
+      if (has_sentinel) continue;
+      std::string joined = tokens[start];
+      for (size_t k = 1; k < order; ++k) {
+        joined += ' ';
+        joined += tokens[start + k];
+      }
+      ngrams.push_back(std::move(joined));
+    }
+  }
+  return ngrams;
+}
+
+}  // namespace hisrect::text

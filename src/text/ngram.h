@@ -1,0 +1,18 @@
+#ifndef HISRECT_TEXT_NGRAM_H_
+#define HISRECT_TEXT_NGRAM_H_
+
+#include <string>
+#include <vector>
+
+namespace hisrect::text {
+
+/// Extracts contiguous word n-grams of orders [1, max_order] from a token
+/// sequence, joined with single spaces. N-grams containing the sentinel
+/// token are skipped (stopwords carry no geographic signal). Used by the
+/// N-Gram-Gauss baseline.
+std::vector<std::string> ExtractNGrams(const std::vector<std::string>& tokens,
+                                       size_t max_order);
+
+}  // namespace hisrect::text
+
+#endif  // HISRECT_TEXT_NGRAM_H_

@@ -1,0 +1,149 @@
+#include "text/skipgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace hisrect::text {
+
+namespace {
+
+constexpr size_t kNegativeTableSize = 1 << 16;
+
+}  // namespace
+
+SkipGramModel::SkipGramModel(const Vocab& vocab, SkipGramOptions options,
+                             util::Rng& rng)
+    : vocab_size_(vocab.size()),
+      options_(options),
+      input_embeddings_(vocab.size(), options.dim),
+      output_embeddings_(vocab.size(), options.dim) {
+  CHECK_GT(vocab_size_, 0u);
+  // word2vec-style init: input uniform in [-0.5, 0.5] / dim, output zero.
+  float scale = 1.0f / static_cast<float>(options_.dim);
+  for (size_t i = 0; i < input_embeddings_.size(); ++i) {
+    input_embeddings_.data()[i] =
+        static_cast<float>(rng.Uniform(-0.5, 0.5)) * scale;
+  }
+  BuildNegativeTable(vocab);
+}
+
+void SkipGramModel::BuildNegativeTable(const Vocab& vocab) {
+  negative_table_.reserve(kNegativeTableSize);
+  double total = 0.0;
+  std::vector<double> weights(vocab_size_);
+  for (size_t i = 0; i < vocab_size_; ++i) {
+    weights[i] = std::pow(static_cast<double>(vocab.frequency(
+                              static_cast<WordId>(i))) + 1.0,
+                          options_.distortion);
+    total += weights[i];
+  }
+  size_t word = 0;
+  double cumulative = weights[0] / total;
+  for (size_t slot = 0; slot < kNegativeTableSize; ++slot) {
+    negative_table_.push_back(static_cast<WordId>(word));
+    double position = static_cast<double>(slot + 1) / kNegativeTableSize;
+    while (position > cumulative && word + 1 < vocab_size_) {
+      ++word;
+      cumulative += weights[word] / total;
+    }
+  }
+}
+
+void SkipGramModel::TrainPair(WordId center, WordId context, float lr,
+                              util::Rng& rng) {
+  size_t dim = options_.dim;
+  float* v_in = input_embeddings_.data() + static_cast<size_t>(center) * dim;
+  std::vector<float> grad_in(dim, 0.0f);
+
+  auto update_output = [&](WordId target, float label) {
+    float* v_out =
+        output_embeddings_.data() + static_cast<size_t>(target) * dim;
+    float dot = 0.0f;
+    for (size_t k = 0; k < dim; ++k) dot += v_in[k] * v_out[k];
+    float g = (nn::SigmoidValue(dot) - label) * lr;
+    for (size_t k = 0; k < dim; ++k) {
+      grad_in[k] += g * v_out[k];
+      v_out[k] -= g * v_in[k];
+    }
+  };
+
+  update_output(context, 1.0f);
+  for (size_t s = 0; s < options_.negative_samples; ++s) {
+    WordId negative =
+        negative_table_[rng.UniformInt(negative_table_.size())];
+    if (negative == context) continue;
+    update_output(negative, 0.0f);
+  }
+  for (size_t k = 0; k < dim; ++k) v_in[k] -= grad_in[k];
+}
+
+void SkipGramModel::Train(const std::vector<std::vector<WordId>>& corpus,
+                          util::Rng& rng) {
+  size_t total_tokens = 0;
+  for (const auto& sentence : corpus) total_tokens += sentence.size();
+  if (total_tokens == 0) return;
+
+  size_t processed = 0;
+  size_t budget = total_tokens * options_.epochs;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& sentence : corpus) {
+      for (size_t t = 0; t < sentence.size(); ++t) {
+        ++processed;
+        WordId center = sentence[t];
+        if (center == Vocab::kSentinelId) continue;
+        float progress = static_cast<float>(processed) / budget;
+        float lr = std::max(
+            options_.min_learning_rate,
+            options_.learning_rate * (1.0f - progress));
+        // Dynamic window as in word2vec.
+        size_t window = 1 + rng.UniformInt(options_.window);
+        size_t lo = t >= window ? t - window : 0;
+        size_t hi = std::min(sentence.size(), t + window + 1);
+        for (size_t u = lo; u < hi; ++u) {
+          if (u == t) continue;
+          WordId context = sentence[u];
+          if (context == Vocab::kSentinelId) continue;
+          TrainPair(center, context, lr, rng);
+        }
+      }
+    }
+  }
+}
+
+std::vector<float> SkipGramModel::Embedding(WordId word) const {
+  CHECK_GE(word, 0);
+  CHECK_LT(static_cast<size_t>(word), vocab_size_);
+  size_t dim = options_.dim;
+  const float* row =
+      input_embeddings_.data() + static_cast<size_t>(word) * dim;
+  return std::vector<float>(row, row + dim);
+}
+
+void SkipGramModel::EmbeddingInto(WordId word, float* out) const {
+  CHECK_GE(word, 0);
+  CHECK_LT(static_cast<size_t>(word), vocab_size_);
+  size_t dim = options_.dim;
+  const float* row =
+      input_embeddings_.data() + static_cast<size_t>(word) * dim;
+  std::copy(row, row + dim, out);
+}
+
+float SkipGramModel::Similarity(WordId a, WordId b) const {
+  std::vector<float> va = Embedding(a);
+  std::vector<float> vb = Embedding(b);
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t k = 0; k < va.size(); ++k) {
+    dot += va[k] * vb[k];
+    na += va[k] * va[k];
+    nb += vb[k] * vb[k];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+}  // namespace hisrect::text

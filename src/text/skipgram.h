@@ -1,0 +1,61 @@
+#ifndef HISRECT_TEXT_SKIPGRAM_H_
+#define HISRECT_TEXT_SKIPGRAM_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+#include "text/vocab.h"
+#include "util/rng.h"
+
+namespace hisrect::text {
+
+struct SkipGramOptions {
+  /// Embedding dimensionality (the paper's M; 512 there, smaller here — the
+  /// paper notes M "has little impact on the overall model performance").
+  size_t dim = 16;
+  size_t window = 3;
+  size_t negative_samples = 4;
+  size_t epochs = 2;
+  float learning_rate = 0.05f;
+  /// Linear learning-rate decay floor.
+  float min_learning_rate = 0.005f;
+  /// Unigram distortion power for negative sampling (word2vec default 0.75).
+  float distortion = 0.75f;
+};
+
+/// Skip-gram with negative sampling (Mikolov et al., NIPS 2013) — trains the
+/// word vectors that feed the HisRect tweet featurizer. Plain SGD on two
+/// embedding tables; no autograd needed.
+class SkipGramModel {
+ public:
+  SkipGramModel(const Vocab& vocab, SkipGramOptions options, util::Rng& rng);
+
+  /// Trains over the encoded corpus (sentences of word ids).
+  void Train(const std::vector<std::vector<WordId>>& corpus, util::Rng& rng);
+
+  /// The input-embedding row for `word` (length dim()).
+  std::vector<float> Embedding(WordId word) const;
+
+  /// Copies the embedding into `out[0..dim)`.
+  void EmbeddingInto(WordId word, float* out) const;
+
+  /// Cosine similarity between two word embeddings (0 when either is zero).
+  float Similarity(WordId a, WordId b) const;
+
+  size_t dim() const { return options_.dim; }
+  size_t vocab_size() const { return vocab_size_; }
+
+ private:
+  void BuildNegativeTable(const Vocab& vocab);
+  void TrainPair(WordId center, WordId context, float lr, util::Rng& rng);
+
+  size_t vocab_size_;
+  SkipGramOptions options_;
+  nn::Matrix input_embeddings_;   // vocab x dim
+  nn::Matrix output_embeddings_;  // vocab x dim
+  std::vector<WordId> negative_table_;
+};
+
+}  // namespace hisrect::text
+
+#endif  // HISRECT_TEXT_SKIPGRAM_H_

@@ -1,0 +1,73 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hisrect::text {
+
+TfIdfIndex::TfIdfIndex(const std::vector<std::vector<WordId>>& documents)
+    : total_documents_(documents.size()) {
+  std::unordered_map<WordId, size_t> document_frequency;
+  for (const auto& doc : documents) {
+    std::unordered_map<WordId, bool> seen;
+    for (WordId w : doc) {
+      if (w == Vocab::kSentinelId) continue;
+      if (!seen[w]) {
+        seen[w] = true;
+        ++document_frequency[w];
+      }
+    }
+  }
+  for (const auto& [word, df] : document_frequency) {
+    idf_[word] = std::log((1.0f + total_documents_) / (1.0f + df)) + 1.0f;
+  }
+  vectors_.reserve(documents.size());
+  for (const auto& doc : documents) vectors_.push_back(Vectorize(doc));
+}
+
+const SparseVector& TfIdfIndex::document_vector(size_t i) const {
+  CHECK_LT(i, vectors_.size());
+  return vectors_[i];
+}
+
+float TfIdfIndex::Idf(WordId word) const {
+  auto it = idf_.find(word);
+  // Unseen words get the maximal idf (df = 0).
+  if (it == idf_.end()) {
+    return std::log(1.0f + total_documents_) + 1.0f;
+  }
+  return it->second;
+}
+
+SparseVector TfIdfIndex::Vectorize(const std::vector<WordId>& tokens) const {
+  SparseVector tf;
+  for (WordId w : tokens) {
+    if (w == Vocab::kSentinelId) continue;
+    tf[w] += 1.0f;
+  }
+  SparseVector out;
+  for (const auto& [word, count] : tf) {
+    out[word] = count * Idf(word);
+  }
+  return out;
+}
+
+float TfIdfIndex::Cosine(const SparseVector& a, const SparseVector& b) {
+  if (a.empty() || b.empty()) return 0.0f;
+  const SparseVector& small = a.size() <= b.size() ? a : b;
+  const SparseVector& large = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [word, weight] : small) {
+    auto it = large.find(word);
+    if (it != large.end()) dot += static_cast<double>(weight) * it->second;
+  }
+  if (dot == 0.0) return 0.0f;
+  double norm_a = 0.0;
+  for (const auto& [word, weight] : a) norm_a += static_cast<double>(weight) * weight;
+  double norm_b = 0.0;
+  for (const auto& [word, weight] : b) norm_b += static_cast<double>(weight) * weight;
+  return static_cast<float>(dot / (std::sqrt(norm_a) * std::sqrt(norm_b)));
+}
+
+}  // namespace hisrect::text

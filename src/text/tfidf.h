@@ -1,0 +1,43 @@
+#ifndef HISRECT_TEXT_TFIDF_H_
+#define HISRECT_TEXT_TFIDF_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace hisrect::text {
+
+/// Sparse tf-idf document vector: word id -> weight.
+using SparseVector = std::unordered_map<WordId, float>;
+
+/// Builds tf-idf vectors over a fixed document collection and scores query
+/// documents against them — the similarity machinery behind the TG-TI-C
+/// baseline (content similarity between a tweet and geo-tagged tweets).
+class TfIdfIndex {
+ public:
+  /// `documents` are encoded token sequences; idf is computed over them.
+  explicit TfIdfIndex(const std::vector<std::vector<WordId>>& documents);
+
+  size_t num_documents() const { return vectors_.size(); }
+
+  /// tf-idf vector of indexed document `i`.
+  const SparseVector& document_vector(size_t i) const;
+
+  /// Encodes an out-of-collection document with the collection's idf.
+  SparseVector Vectorize(const std::vector<WordId>& tokens) const;
+
+  /// Cosine similarity between two sparse vectors.
+  static float Cosine(const SparseVector& a, const SparseVector& b);
+
+ private:
+  float Idf(WordId word) const;
+
+  std::unordered_map<WordId, float> idf_;
+  size_t total_documents_ = 0;
+  std::vector<SparseVector> vectors_;
+};
+
+}  // namespace hisrect::text
+
+#endif  // HISRECT_TEXT_TFIDF_H_

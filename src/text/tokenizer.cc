@@ -1,0 +1,52 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace hisrect::text {
+
+const std::unordered_set<std::string>& StopwordSet() {
+  static const auto& stopwords = *new std::unordered_set<std::string>{
+      "a",     "about", "an",   "and",  "are",  "as",    "at",   "be",
+      "been",  "but",   "by",   "can",  "did",  "do",    "for",  "from",
+      "had",   "has",   "have", "he",   "her",  "him",   "his",  "how",
+      "i",     "if",    "in",   "is",   "it",   "its",   "just", "me",
+      "my",    "no",    "not",  "of",   "on",   "or",    "our",  "out",
+      "she",   "so",    "that", "the",  "their", "them", "then", "there",
+      "they",  "this",  "to",   "up",   "us",   "was",   "we",   "were",
+      "what",  "when",  "which", "who", "will", "with",  "would", "you",
+      "your",
+  };
+  return stopwords;
+}
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view raw_text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.empty()) return;
+    if (options_.replace_stopwords && StopwordSet().contains(current)) {
+      tokens.emplace_back(kSentinelToken);
+    } else {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char c : raw_text) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    bool keep = std::isalnum(uc) != 0 || c == '_' ||
+                ((c == '#' || c == '@') && current.empty());
+    if (keep) {
+      current.push_back(options_.lowercase
+                            ? static_cast<char>(std::tolower(uc))
+                            : c);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace hisrect::text

@@ -1,0 +1,41 @@
+#ifndef HISRECT_TEXT_TOKENIZER_H_
+#define HISRECT_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace hisrect::text {
+
+/// The sentinel token that replaces stopwords (paper §6.1.2: "each stopword
+/// ... is replaced with a </s> symbol") and unknown words.
+inline constexpr std::string_view kSentinelToken = "</s>";
+
+/// Returns the built-in English stopword list (a compact subset of the
+/// ranks.nl list the paper cites).
+const std::unordered_set<std::string>& StopwordSet();
+
+struct TokenizerOptions {
+  /// Replace stopwords with kSentinelToken instead of dropping them.
+  bool replace_stopwords = true;
+  /// Lowercase all tokens.
+  bool lowercase = true;
+};
+
+/// Splits tweet text into word tokens: lowercases, keeps alphanumeric runs
+/// (plus '#' and '@' prefixes typical of tweets), and maps stopwords to
+/// kSentinelToken.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  std::vector<std::string> Tokenize(std::string_view raw_text) const;
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace hisrect::text
+
+#endif  // HISRECT_TEXT_TOKENIZER_H_

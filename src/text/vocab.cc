@@ -1,0 +1,69 @@
+#include "text/vocab.h"
+
+#include <algorithm>
+#include <map>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace hisrect::text {
+
+Vocab::Vocab() { AddWord(std::string(kSentinelToken), 0); }
+
+Vocab Vocab::Build(const std::vector<std::vector<std::string>>& corpus,
+                   size_t min_count) {
+  // std::map for deterministic iteration order (vocab ids must be stable
+  // across runs for reproducibility).
+  std::map<std::string, size_t> counts;
+  size_t sentinel_count = 0;
+  for (const auto& sentence : corpus) {
+    for (const auto& token : sentence) {
+      if (token == kSentinelToken) {
+        ++sentinel_count;
+      } else {
+        ++counts[token];
+      }
+    }
+  }
+  Vocab vocab;
+  vocab.frequencies_[kSentinelId] = sentinel_count;
+  for (const auto& [word, count] : counts) {
+    if (count >= min_count) vocab.AddWord(word, count);
+  }
+  return vocab;
+}
+
+WordId Vocab::AddWord(std::string word, size_t frequency) {
+  WordId id = static_cast<WordId>(words_.size());
+  index_.emplace(word, id);
+  words_.push_back(std::move(word));
+  frequencies_.push_back(frequency);
+  return id;
+}
+
+WordId Vocab::Lookup(const std::string& word) const {
+  auto it = index_.find(word);
+  return it == index_.end() ? kSentinelId : it->second;
+}
+
+std::vector<WordId> Vocab::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<WordId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& token : tokens) ids.push_back(Lookup(token));
+  return ids;
+}
+
+const std::string& Vocab::word(WordId id) const {
+  CHECK_GE(id, 0);
+  CHECK_LT(static_cast<size_t>(id), words_.size());
+  return words_[static_cast<size_t>(id)];
+}
+
+size_t Vocab::frequency(WordId id) const {
+  CHECK_GE(id, 0);
+  CHECK_LT(static_cast<size_t>(id), frequencies_.size());
+  return frequencies_[static_cast<size_t>(id)];
+}
+
+}  // namespace hisrect::text

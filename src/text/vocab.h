@@ -1,0 +1,50 @@
+#ifndef HISRECT_TEXT_VOCAB_H_
+#define HISRECT_TEXT_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hisrect::text {
+
+using WordId = int32_t;
+
+/// Word <-> dense-id mapping. Id 0 is always the sentinel token </s>; words
+/// below `min_count` at build time map to the sentinel at lookup (the paper
+/// keeps only words appearing more than 10 times).
+class Vocab {
+ public:
+  Vocab();
+
+  /// Counts words in the tokenized corpus and keeps those with
+  /// count >= min_count.
+  static Vocab Build(const std::vector<std::vector<std::string>>& corpus,
+                     size_t min_count);
+
+  /// Id of `word`, or the sentinel id (0) if unknown.
+  WordId Lookup(const std::string& word) const;
+
+  /// Encodes a token sequence to ids (unknowns -> sentinel).
+  std::vector<WordId> Encode(const std::vector<std::string>& tokens) const;
+
+  const std::string& word(WordId id) const;
+
+  /// Corpus frequency of word `id` as recorded at build time.
+  size_t frequency(WordId id) const;
+
+  size_t size() const { return words_.size(); }
+
+  static constexpr WordId kSentinelId = 0;
+
+ private:
+  WordId AddWord(std::string word, size_t frequency);
+
+  std::vector<std::string> words_;
+  std::vector<size_t> frequencies_;
+  std::unordered_map<std::string, WordId> index_;
+};
+
+}  // namespace hisrect::text
+
+#endif  // HISRECT_TEXT_VOCAB_H_

@@ -1,0 +1,53 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+namespace hisrect::util {
+
+namespace {
+
+std::string EscapeCell(const std::string& cell) {
+  bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void AppendRow(const std::vector<std::string>& row, std::string& out) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ',';
+    out += EscapeCell(row[i]);
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  AppendRow(header_, out);
+  for (const auto& row : rows_) AppendRow(row, out);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open " + path);
+  file << ToString();
+  if (!file) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace hisrect::util

@@ -1,0 +1,32 @@
+#ifndef HISRECT_UTIL_CSV_H_
+#define HISRECT_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hisrect::util {
+
+/// Minimal CSV writer used by benches to export figure series (ROC points,
+/// t-SNE coordinates, sweep curves) for external plotting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Quotes cells containing separators/quotes per RFC 4180.
+  std::string ToString() const;
+
+  /// Writes the CSV to `path`; returns IoError on failure.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hisrect::util
+
+#endif  // HISRECT_UTIL_CSV_H_

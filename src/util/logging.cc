@@ -1,0 +1,52 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hisrect::util {
+
+namespace {
+
+LogSeverity g_min_severity = LogSeverity::kInfo;
+
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  bool suppressed = static_cast<int>(severity_) < static_cast<int>(g_min_severity) &&
+                    severity_ != LogSeverity::kFatal;
+  if (!suppressed) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityName(severity_),
+                 Basename(file_), line_, stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) std::abort();
+}
+
+}  // namespace hisrect::util

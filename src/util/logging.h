@@ -1,0 +1,68 @@
+#ifndef HISRECT_UTIL_LOGGING_H_
+#define HISRECT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hisrect::util {
+
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+/// Stream-style log sink used by the LOG/CHECK macros. On destruction the
+/// accumulated message is written to stderr; `kFatal` additionally aborts.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Global log verbosity: messages below this severity are suppressed.
+/// Defaults to kInfo. Fatal messages are never suppressed.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+}  // namespace hisrect::util
+
+#define HISRECT_LOG_INFO                                                \
+  ::hisrect::util::LogMessage(::hisrect::util::LogSeverity::kInfo,      \
+                              __FILE__, __LINE__)                       \
+      .stream()
+#define HISRECT_LOG_WARNING                                             \
+  ::hisrect::util::LogMessage(::hisrect::util::LogSeverity::kWarning,   \
+                              __FILE__, __LINE__)                       \
+      .stream()
+#define HISRECT_LOG_ERROR                                               \
+  ::hisrect::util::LogMessage(::hisrect::util::LogSeverity::kError,     \
+                              __FILE__, __LINE__)                       \
+      .stream()
+#define HISRECT_LOG_FATAL                                               \
+  ::hisrect::util::LogMessage(::hisrect::util::LogSeverity::kFatal,     \
+                              __FILE__, __LINE__)                       \
+      .stream()
+
+#define LOG(severity) HISRECT_LOG_##severity
+
+/// CHECK aborts (with the streamed message) when the condition is false.
+/// Used for programming-error invariants, not for recoverable conditions.
+#define CHECK(condition)             \
+  if (!(condition)) LOG(FATAL) << "Check failed: " #condition " "
+
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_NE(a, b) CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LT(a, b) CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GT(a, b) CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // HISRECT_UTIL_LOGGING_H_

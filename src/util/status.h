@@ -1,0 +1,99 @@
+#ifndef HISRECT_UTIL_STATUS_H_
+#define HISRECT_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace hisrect::util {
+
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kIoError,
+};
+
+/// Lightweight error-reporting type for recoverable failures (the library is
+/// exception-free across its public API, per the style guide).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a Status describing why it is absent.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    CHECK(!std::get<Status>(payload_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  /// Requires ok().
+  const T& value() const& {
+    CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(payload_));
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace hisrect::util
+
+#endif  // HISRECT_UTIL_STATUS_H_

@@ -1,0 +1,3 @@
+// Stopwatch is header-only; this TU exists to verify the header is
+// self-contained.
+#include "util/stopwatch.h"

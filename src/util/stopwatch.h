@@ -1,0 +1,29 @@
+#ifndef HISRECT_UTIL_STOPWATCH_H_
+#define HISRECT_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace hisrect::util {
+
+/// Wall-clock stopwatch for coarse experiment timing (Fig 6, §6.4.4).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hisrect::util
+
+#endif  // HISRECT_UTIL_STOPWATCH_H_

@@ -1,0 +1,53 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace hisrect::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void Table::Print(std::ostream& os) const {
+  size_t num_cols = header_.size();
+  for (const auto& row : rows_) num_cols = std::max(num_cols, row.size());
+
+  std::vector<size_t> widths(num_cols, 0);
+  auto account = [&widths](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t i = 0; i < num_cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << " " << std::left << std::setw(static_cast<int>(widths[i])) << cell
+         << " |";
+    }
+    os << "\n";
+  };
+
+  print_row(header_);
+  os << "|";
+  for (size_t i = 0; i < num_cols; ++i) {
+    os << std::string(widths[i] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace hisrect::util

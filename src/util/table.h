@@ -1,0 +1,35 @@
+#ifndef HISRECT_UTIL_TABLE_H_
+#define HISRECT_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hisrect::util {
+
+/// ASCII table printer used by the benchmark harness to render paper-style
+/// tables (Table 4, Table 5, ...). Columns auto-size to the widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows extend the column count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimal places.
+  static std::string Fmt(double value, int precision = 4);
+
+  /// Renders the table with a header separator line.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hisrect::util
+
+#endif  // HISRECT_UTIL_TABLE_H_

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/affinity.h"
+#include "core/clustering.h"
+#include "tests/test_common.h"
+
+namespace hisrect::core {
+namespace {
+
+using hisrect::testing::MakeProfile;
+
+class AffinityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    geo::LatLon center{40.75, -73.98};
+    std::vector<geo::Poi> pois;
+    for (int i = 0; i < 3; ++i) {
+      geo::Poi poi;
+      poi.name = "p" + std::to_string(i);
+      poi.bounding_polygon = geo::Polygon::RegularNGon(
+          geo::Offset(center, i * 3000.0, 0.0), 150.0, 6);
+      pois.push_back(std::move(poi));
+    }
+    pois_ = geo::PoiSet(std::move(pois));
+    center_ = center;
+  }
+
+  /// Builds a split with the given profiles and auto-built pairs.
+  data::DataSplit MakeSplit(std::vector<data::Profile> profiles) {
+    data::DataSplit split;
+    split.profiles = std::move(profiles);
+    for (size_t i = 0; i < split.profiles.size(); ++i) {
+      if (split.profiles[i].labeled()) split.labeled_indices.push_back(i);
+    }
+    for (const data::Pair& pair :
+         data::BuildPairs(split.profiles, 3600, true)) {
+      switch (pair.co_label) {
+        case data::CoLabel::kPositive:
+          split.positive_pairs.push_back(pair);
+          break;
+        case data::CoLabel::kNegative:
+          split.negative_pairs.push_back(pair);
+          break;
+        case data::CoLabel::kUnlabeled:
+          split.unlabeled_pairs.push_back(pair);
+          break;
+      }
+    }
+    return split;
+  }
+
+  geo::PoiSet pois_;
+  geo::LatLon center_;
+};
+
+TEST_F(AffinityTest, LabeledPairsGetUnitWeights) {
+  auto split = MakeSplit({
+      MakeProfile(1, 100, pois_.poi(0).center, 0),
+      MakeProfile(2, 200, pois_.poi(0).center, 0),   // Positive with #1.
+      MakeProfile(3, 300, pois_.poi(1).center, 1),   // Negative with both.
+  });
+  auto pairs = BuildAffinityPairs(split, pois_, {});
+  int positives = 0;
+  int negatives = 0;
+  for (const WeightedPair& pair : pairs) {
+    ASSERT_TRUE(pair.labeled);
+    if (pair.weight == 1.0f) ++positives;
+    if (pair.weight == -1.0f) ++negatives;
+  }
+  EXPECT_EQ(positives, 1);
+  EXPECT_EQ(negatives, 2);
+}
+
+TEST_F(AffinityTest, UnlabeledNearbyPairGetsDistanceWeight) {
+  // Two unlabeled profiles 100 m apart, both within rho of POI 0.
+  data::Profile a =
+      MakeProfile(1, 100, geo::Offset(pois_.poi(0).center, 200.0, 0.0),
+                  geo::kInvalidPoiId);
+  data::Profile b =
+      MakeProfile(2, 200, geo::Offset(pois_.poi(0).center, 300.0, 0.0),
+                  geo::kInvalidPoiId);
+  auto split = MakeSplit({a, b});
+  AffinityOptions options;
+  auto pairs = BuildAffinityPairs(split, pois_, options);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_FALSE(pairs[0].labeled);
+  // Expected eps' / (eps' + 100).
+  EXPECT_NEAR(pairs[0].weight, 50.0 / 150.0, 0.02);
+  EXPECT_GT(pairs[0].weight, 0.0f);
+  EXPECT_LT(pairs[0].weight, 1.0f);
+}
+
+TEST_F(AffinityTest, FarApartUnlabeledPairDropped) {
+  data::Profile a = MakeProfile(1, 100, pois_.poi(0).center,
+                                geo::kInvalidPoiId);
+  data::Profile b = MakeProfile(2, 200, pois_.poi(1).center,
+                                geo::kInvalidPoiId);  // 3 km away.
+  auto split = MakeSplit({a, b});
+  EXPECT_TRUE(BuildAffinityPairs(split, pois_, {}).empty());
+}
+
+TEST_F(AffinityTest, UnlabeledFarFromAnyPoiDropped) {
+  geo::LatLon remote = geo::Offset(center_, 0.0, 20000.0);
+  data::Profile a = MakeProfile(1, 100, remote, geo::kInvalidPoiId);
+  data::Profile b = MakeProfile(2, 200, geo::Offset(remote, 50.0, 0.0),
+                                geo::kInvalidPoiId);
+  auto split = MakeSplit({a, b});
+  EXPECT_TRUE(BuildAffinityPairs(split, pois_, {}).empty());
+}
+
+TEST_F(AffinityTest, CloserPairsGetHigherWeight) {
+  auto near_pair = MakeSplit({
+      MakeProfile(1, 100, geo::Offset(pois_.poi(0).center, 180.0, 0.0),
+                  geo::kInvalidPoiId),
+      MakeProfile(2, 200, geo::Offset(pois_.poi(0).center, 200.0, 0.0),
+                  geo::kInvalidPoiId),
+  });
+  auto far_pair = MakeSplit({
+      MakeProfile(1, 100, geo::Offset(pois_.poi(0).center, 180.0, 0.0),
+                  geo::kInvalidPoiId),
+      MakeProfile(2, 200, geo::Offset(pois_.poi(0).center, 700.0, 0.0),
+                  geo::kInvalidPoiId),
+  });
+  auto near_weights = BuildAffinityPairs(near_pair, pois_, {});
+  auto far_weights = BuildAffinityPairs(far_pair, pois_, {});
+  ASSERT_EQ(near_weights.size(), 1u);
+  ASSERT_EQ(far_weights.size(), 1u);
+  EXPECT_GT(near_weights[0].weight, far_weights[0].weight);
+}
+
+TEST(ClusteringTest, ThresholdSplitsComponents) {
+  // Scores: 0-1 linked, 2-3 linked, no cross links.
+  auto score = [](size_t a, size_t b) {
+    if ((a == 0 && b == 1) || (a == 1 && b == 0)) return 0.9;
+    if ((a == 2 && b == 3) || (a == 3 && b == 2)) return 0.8;
+    return 0.1;
+  };
+  std::vector<int> labels = ClusterByCoLocation(4, score, 0.5);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(ClusteringTest, TransitiveLinking) {
+  // 0-1 and 1-2 linked: all three in one component even though 0-2 is weak.
+  auto score = [](size_t a, size_t b) {
+    size_t lo = std::min(a, b);
+    size_t hi = std::max(a, b);
+    if (lo + 1 == hi) return 0.9;
+    return 0.0;
+  };
+  std::vector<int> labels = ClusterByCoLocation(3, score, 0.5);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+}
+
+TEST(ClusteringTest, NoEdgesYieldsSingletons) {
+  auto score = [](size_t, size_t) { return 0.0; };
+  std::vector<int> labels = ClusterByCoLocation(4, score, 0.5);
+  std::set<int> unique(labels.begin(), labels.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(ClusteringTest, EmptyInput) {
+  auto score = [](size_t, size_t) { return 1.0; };
+  EXPECT_TRUE(ClusterByCoLocation(0, score).empty());
+}
+
+TEST(ClusteringTest, LabelsAreCanonical) {
+  auto score = [](size_t a, size_t b) {
+    return (a >= 2 && b >= 2) ? 1.0 : 0.0;
+  };
+  std::vector<int> labels = ClusterByCoLocation(4, score, 0.5);
+  // First-appearance canonical: item 0 -> 0, item 1 -> 1, items 2,3 -> 2.
+  EXPECT_EQ(labels, (std::vector<int>{0, 1, 2, 2}));
+}
+
+TEST(CanonicalizeTest, MapsToFirstAppearanceOrder) {
+  EXPECT_EQ(CanonicalizeLabels({7, 7, 3, 7, 3, 9}),
+            (std::vector<int>{0, 0, 1, 0, 1, 2}));
+  EXPECT_EQ(CanonicalizeLabels({}), std::vector<int>{});
+}
+
+TEST(CanonicalizeTest, EqualPartitionsCompareEqual) {
+  std::vector<int> a = CanonicalizeLabels({5, 5, 2, 2, 8});
+  std::vector<int> b = CanonicalizeLabels({1, 1, 0, 0, 4});
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace hisrect::core

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "baselines/hisrect_approach.h"
+#include "baselines/ngram_gauss.h"
+#include "baselines/registry.h"
+#include "baselines/tg_ti_c.h"
+#include "tests/test_common.h"
+
+namespace hisrect::baselines {
+namespace {
+
+using hisrect::testing::TinyDataset;
+using hisrect::testing::TinyTextModel;
+
+TrainBudget FastBudget() {
+  TrainBudget budget;
+  budget.ssl_steps = 120;
+  budget.judge_steps = 120;
+  budget.batch_size = 4;
+  budget.hidden_dim = 6;
+  budget.feature_dim = 12;
+  return budget;
+}
+
+TEST(RegistryTest, AllKindsHaveUniqueNames) {
+  std::set<std::string> names;
+  for (ApproachKind kind : AllApproachKinds()) {
+    EXPECT_TRUE(names.insert(ApproachName(kind)).second)
+        << "duplicate name " << ApproachName(kind);
+  }
+  EXPECT_EQ(names.size(), 11u);  // The paper's Table 3 lists 11 approaches.
+  EXPECT_TRUE(names.contains("HisRect"));
+  EXPECT_TRUE(names.contains("TG-TI-C"));
+  EXPECT_TRUE(names.contains("N-Gram-Gauss"));
+}
+
+TEST(RegistryTest, MakeApproachMatchesName) {
+  for (ApproachKind kind : AllApproachKinds()) {
+    auto approach = MakeApproach(kind, FastBudget());
+    ASSERT_NE(approach, nullptr);
+    EXPECT_EQ(approach->name(), ApproachName(kind));
+  }
+}
+
+TEST(RegistryTest, NaiveApproachesExcludedFromRoc) {
+  EXPECT_FALSE(
+      MakeApproach(ApproachKind::kTgTiC, FastBudget())->supports_roc());
+  EXPECT_FALSE(
+      MakeApproach(ApproachKind::kNGramGauss, FastBudget())->supports_roc());
+  EXPECT_FALSE(
+      MakeApproach(ApproachKind::kComp2Loc, FastBudget())->supports_roc());
+  EXPECT_TRUE(
+      MakeApproach(ApproachKind::kHisRect, FastBudget())->supports_roc());
+}
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(TinyDataset());
+    text_model_ = new core::TextModel(TinyTextModel(*dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete text_model_;
+    delete dataset_;
+    dataset_ = nullptr;
+    text_model_ = nullptr;
+  }
+
+  static data::Dataset* dataset_;
+  static core::TextModel* text_model_;
+};
+
+data::Dataset* BaselineFixture::dataset_ = nullptr;
+core::TextModel* BaselineFixture::text_model_ = nullptr;
+
+TEST_F(BaselineFixture, TgTiCFitsAndScores) {
+  TgTiCApproach approach;
+  approach.Fit(*dataset_, *text_model_);
+  const auto& p = dataset_->test.profiles;
+  double score = approach.Score(p[0], p[1]);
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+  auto top = approach.InferTopKPois(p[0], 3);
+  EXPECT_LE(top.size(), 3u);
+  EXPECT_FALSE(top.empty());
+}
+
+TEST_F(BaselineFixture, TgTiCSamePoiContentsScoreHigher) {
+  // Two profiles sharing the exact content of a labeled training profile
+  // should agree with each other more than with unrelated content.
+  const data::Profile* labeled = nullptr;
+  for (const auto& profile : dataset_->train.profiles) {
+    if (profile.labeled()) {
+      labeled = &profile;
+      break;
+    }
+  }
+  ASSERT_NE(labeled, nullptr);
+  TgTiCApproach approach;
+  approach.Fit(*dataset_, *text_model_);
+  data::Profile a = *labeled;
+  a.uid = 101;
+  data::Profile b = *labeled;
+  b.uid = 102;
+  data::Profile c = *labeled;
+  c.uid = 103;
+  c.tweet.content = "zzz yyy xxx www";  // No signal.
+  EXPECT_GE(approach.Score(a, b), approach.Score(a, c));
+}
+
+TEST_F(BaselineFixture, NGramGaussEstimatesPoiWordLocations) {
+  NGramGaussApproach approach;
+  approach.Fit(*dataset_, *text_model_);
+  // A profile whose tweet is pure POI-0 vocabulary should resolve near
+  // POI 0 (the generator names POI words "poi<k>w<j>").
+  data::Profile query;
+  query.uid = 55;
+  query.tweet.ts = 500;
+  query.tweet.content = "poi0w0 poi0w1 poi0w2";
+  geo::LatLon estimate = approach.EstimateLocation(query);
+  double d0 = geo::ApproxDistanceMeters(estimate, dataset_->pois.poi(0).center);
+  // Closer to POI 0 than to any other POI.
+  for (size_t p = 1; p < dataset_->pois.size(); ++p) {
+    EXPECT_LT(d0, geo::ApproxDistanceMeters(
+                      estimate, dataset_->pois.poi(static_cast<geo::PoiId>(p)).center));
+  }
+}
+
+TEST_F(BaselineFixture, NGramGaussJudgeAgreesOnIdenticalContent) {
+  NGramGaussApproach approach;
+  approach.Fit(*dataset_, *text_model_);
+  data::Profile a;
+  a.uid = 1;
+  a.tweet.ts = 0;
+  a.tweet.content = "poi0w0 poi0w1";
+  data::Profile b = a;
+  b.uid = 2;
+  EXPECT_TRUE(approach.Judge(a, b));
+}
+
+TEST_F(BaselineFixture, HisRectApproachEndToEnd) {
+  auto approach = MakeApproach(ApproachKind::kHisRect, FastBudget());
+  approach->Fit(*dataset_, *text_model_);
+  const auto& p = dataset_->test.profiles;
+  double score = approach->Score(p[0], p[1]);
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+  EXPECT_TRUE(approach->supports_poi_inference());
+  EXPECT_EQ(approach->InferTopKPois(p[0], 4).size(), 4u);
+}
+
+TEST_F(BaselineFixture, Comp2LocSharesFittedModel) {
+  auto hisrect = std::make_unique<HisRectApproach>(
+      "HisRect", BaseModelConfig(FastBudget()));
+  hisrect->Fit(*dataset_, *text_model_);
+  Comp2LocApproach comp2loc(hisrect->model());
+  comp2loc.Fit(*dataset_, *text_model_);  // Must be a no-op.
+  const auto& p = dataset_->test.profiles;
+  // Judge = same argmax POI; consistent with the shared model's inference.
+  auto top_a = hisrect->InferTopKPois(p[0], 1);
+  auto top_b = hisrect->InferTopKPois(p[1], 1);
+  EXPECT_EQ(comp2loc.Judge(p[0], p[1]), top_a[0] == top_b[0]);
+}
+
+TEST_F(BaselineFixture, Comp2LocScoreIsAgreementProbability) {
+  auto hisrect = std::make_unique<HisRectApproach>(
+      "HisRect", BaseModelConfig(FastBudget()));
+  hisrect->Fit(*dataset_, *text_model_);
+  Comp2LocApproach comp2loc(hisrect->model());
+  const auto& p = dataset_->test.profiles;
+  double score = comp2loc.Score(p[0], p[1]);
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+  // Cauchy-Schwarz: agreement(a, b)^2 <= agreement(a, a) * agreement(b, b).
+  double self_a = comp2loc.Score(p[0], p[0]);
+  double self_b = comp2loc.Score(p[1], p[1]);
+  EXPECT_LE(score * score, self_a * self_b + 1e-9);
+}
+
+TEST_F(BaselineFixture, VariantConfigsDifferFromBase) {
+  core::HisRectModelConfig base = BaseModelConfig(FastBudget());
+  EXPECT_TRUE(base.featurizer.use_history);
+  EXPECT_TRUE(base.featurizer.use_tweet);
+  EXPECT_FALSE(base.one_phase);
+  EXPECT_TRUE(base.ssl.use_unlabeled_pairs);
+  EXPECT_EQ(base.featurizer.tweet_encoder, core::TweetEncoderKind::kBiLstmC);
+  EXPECT_EQ(base.featurizer.visit_encoding, core::VisitEncodingKind::kHisRect);
+}
+
+}  // namespace
+}  // namespace hisrect::baselines

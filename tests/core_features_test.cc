@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/featurizer.h"
+#include "core/heads.h"
+#include "core/profile_encoder.h"
+#include "core/visit_featurizer.h"
+#include "tests/test_common.h"
+
+namespace hisrect::core {
+namespace {
+
+using hisrect::testing::MakeProfile;
+using hisrect::testing::TinyDataset;
+using hisrect::testing::TinyTextModel;
+
+class VisitFeaturizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    geo::LatLon center{40.75, -73.98};
+    std::vector<geo::Poi> pois;
+    for (int i = 0; i < 4; ++i) {
+      geo::Poi poi;
+      poi.name = "p" + std::to_string(i);
+      poi.bounding_polygon = geo::Polygon::RegularNGon(
+          geo::Offset(center, i * 2000.0, 0.0), 100.0, 6);
+      pois.push_back(std::move(poi));
+    }
+    pois_ = geo::PoiSet(std::move(pois));
+    center_ = center;
+  }
+
+  geo::PoiSet pois_;
+  geo::LatLon center_;
+};
+
+TEST_F(VisitFeaturizerTest, EmptyHistoryIsUniformUnitVector) {
+  VisitFeaturizer featurizer(&pois_);
+  data::Profile profile = MakeProfile(1, 1000, center_, 0);
+  std::vector<float> feature = featurizer.Featurize(profile);
+  ASSERT_EQ(feature.size(), 4u);
+  for (float x : feature) EXPECT_NEAR(x, 0.5f, 1e-5f);  // 1/sqrt(4).
+}
+
+TEST_F(VisitFeaturizerTest, FeatureIsUnitNorm) {
+  VisitFeaturizer featurizer(&pois_);
+  data::Profile profile = MakeProfile(1, 10000, center_, 0);
+  profile.visit_history.push_back({5000, geo::Offset(center_, 100.0, 0.0)});
+  profile.visit_history.push_back({8000, geo::Offset(center_, 4100.0, 0.0)});
+  std::vector<float> feature = featurizer.Featurize(profile);
+  double norm_sq = 0.0;
+  for (float x : feature) norm_sq += static_cast<double>(x) * x;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-5);
+}
+
+TEST_F(VisitFeaturizerTest, NearPoiWeighsMore) {
+  // A visit at POI 0's center: w[0] must dominate all other entries (Eq. 1).
+  VisitFeaturizer featurizer(&pois_);
+  data::Profile profile = MakeProfile(1, 10000, center_, 0);
+  profile.visit_history.push_back({9000, pois_.poi(0).center});
+  std::vector<float> feature = featurizer.Featurize(profile);
+  for (size_t i = 1; i < feature.size(); ++i) {
+    EXPECT_GT(feature[0], feature[i]);
+  }
+}
+
+TEST_F(VisitFeaturizerTest, RecentVisitsWeighMoreThanOldOnes) {
+  // Recent visit at POI 3, old visit at POI 0 -> entry 3 > entry 0 (Eq. 2).
+  VisitFeaturizerOptions options;
+  options.epsilon_t = 3600.0;
+  VisitFeaturizer featurizer(&pois_, options);
+  data::Profile profile = MakeProfile(1, 100000, center_, 0);
+  profile.visit_history.push_back({100, pois_.poi(0).center});     // Old.
+  profile.visit_history.push_back({99900, pois_.poi(3).center});  // Recent.
+  std::vector<float> feature = featurizer.Featurize(profile);
+  EXPECT_GT(feature[3], feature[0]);
+}
+
+TEST_F(VisitFeaturizerTest, EpsilonDControlsLocality) {
+  // With a huge epsilon_d all POIs look equally close -> flatter feature.
+  VisitFeaturizerOptions sharp;
+  sharp.epsilon_d = 100.0;
+  VisitFeaturizerOptions flat;
+  flat.epsilon_d = 1e7;
+  VisitFeaturizer sharp_featurizer(&pois_, sharp);
+  VisitFeaturizer flat_featurizer(&pois_, flat);
+  data::Profile profile = MakeProfile(1, 10000, center_, 0);
+  profile.visit_history.push_back({9000, pois_.poi(0).center});
+  auto sharp_feature = sharp_featurizer.Featurize(profile);
+  auto flat_feature = flat_featurizer.Featurize(profile);
+  double sharp_ratio = sharp_feature[0] / sharp_feature[3];
+  double flat_ratio = flat_feature[0] / flat_feature[3];
+  EXPECT_GT(sharp_ratio, flat_ratio);
+}
+
+TEST_F(VisitFeaturizerTest, OneHotCountsPoiVisitsOnly) {
+  VisitFeaturizer featurizer(&pois_);
+  data::Profile profile = MakeProfile(1, 10000, center_, 0);
+  profile.visit_history.push_back({1000, pois_.poi(2).center});
+  profile.visit_history.push_back({2000, pois_.poi(2).center});
+  profile.visit_history.push_back({3000, pois_.poi(1).center});
+  // A visit far from every POI is ignored.
+  profile.visit_history.push_back({4000, geo::Offset(center_, 0.0, 9000.0)});
+  std::vector<float> onehot = featurizer.FeaturizeOneHot(profile);
+  EXPECT_GT(onehot[2], onehot[1]);
+  EXPECT_EQ(onehot[0], 0.0f);
+  EXPECT_EQ(onehot[3], 0.0f);
+}
+
+TEST_F(VisitFeaturizerTest, OneHotEmptyIsUniform) {
+  VisitFeaturizer featurizer(&pois_);
+  data::Profile profile = MakeProfile(1, 10000, center_, 0);
+  profile.visit_history.push_back({4000, geo::Offset(center_, 0.0, 9000.0)});
+  std::vector<float> onehot = featurizer.FeaturizeOneHot(profile);
+  for (float x : onehot) EXPECT_NEAR(x, 0.5f, 1e-5f);
+}
+
+class EncoderFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = TinyDataset();
+    text_model_ = TinyTextModel(dataset_);
+    encoder_ = std::make_unique<ProfileEncoder>(&dataset_.pois, &text_model_);
+  }
+  data::Dataset dataset_;
+  TextModel text_model_;
+  std::unique_ptr<ProfileEncoder> encoder_;
+};
+
+TEST_F(EncoderFixture, PadsShortTweets) {
+  data::Profile profile = MakeProfile(1, 100, dataset_.pois.poi(0).center, 0,
+                                      "word");
+  EncodedProfile encoded = encoder_->Encode(profile);
+  EXPECT_GE(encoded.words.size(), 3u);
+}
+
+TEST_F(EncoderFixture, CopiesMetadata) {
+  data::Profile profile = MakeProfile(9, 777, dataset_.pois.poi(1).center, 1);
+  EncodedProfile encoded = encoder_->Encode(profile);
+  EXPECT_EQ(encoded.ts, 777);
+  EXPECT_EQ(encoded.pid, 1);
+  EXPECT_TRUE(encoded.labeled());
+  EXPECT_TRUE(encoded.has_geo);
+}
+
+TEST_F(EncoderFixture, EncodeAllParallelToInput) {
+  auto encoded = encoder_->EncodeAll(dataset_.train.profiles);
+  ASSERT_EQ(encoded.size(), dataset_.train.profiles.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    EXPECT_EQ(encoded[i].pid, dataset_.train.profiles[i].pid);
+    EXPECT_EQ(encoded[i].visit_hisrect.size(), dataset_.pois.size());
+    EXPECT_EQ(encoded[i].visit_onehot.size(), dataset_.pois.size());
+  }
+}
+
+class FeaturizerVariantTest
+    : public ::testing::TestWithParam<TweetEncoderKind> {};
+
+TEST_P(FeaturizerVariantTest, ProducesFeatureDimOutput) {
+  data::Dataset dataset = TinyDataset();
+  TextModel text_model = TinyTextModel(dataset);
+  ProfileEncoder encoder(&dataset.pois, &text_model);
+
+  FeaturizerConfig config;
+  config.tweet_encoder = GetParam();
+  config.hidden_dim = 6;
+  config.feature_dim = 10;
+  util::Rng rng(1);
+  HisRectFeaturizer featurizer(config, dataset.pois.size(),
+                               text_model.embeddings.get(), rng);
+  EncodedProfile encoded = encoder.Encode(dataset.train.profiles[0]);
+  nn::Tensor feature = featurizer.Featurize(encoded);
+  EXPECT_EQ(feature.rows(), 1u);
+  EXPECT_EQ(feature.cols(), 10u);
+  EXPECT_GT(featurizer.NumParameterValues(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncoders, FeaturizerVariantTest,
+                         ::testing::Values(TweetEncoderKind::kBiLstmC,
+                                           TweetEncoderKind::kBLstm,
+                                           TweetEncoderKind::kConvLstm),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case TweetEncoderKind::kBiLstmC:
+                               return "BiLstmC";
+                             case TweetEncoderKind::kBLstm:
+                               return "BLstm";
+                             case TweetEncoderKind::kConvLstm:
+                               return "ConvLstm";
+                           }
+                           return "unknown";
+                         });
+
+TEST(FeaturizerConfigTest, HistoryOnlyIgnoresTweetText) {
+  data::Dataset dataset = TinyDataset();
+  TextModel text_model = TinyTextModel(dataset);
+  ProfileEncoder encoder(&dataset.pois, &text_model);
+
+  FeaturizerConfig config;
+  config.use_tweet = false;
+  util::Rng rng(1);
+  HisRectFeaturizer featurizer(config, dataset.pois.size(),
+                               text_model.embeddings.get(), rng);
+  data::Profile a = dataset.train.profiles[0];
+  data::Profile b = a;
+  b.tweet.content = "completely different text entirely";
+  EXPECT_TRUE(featurizer.Featurize(encoder.Encode(a)).value() ==
+              featurizer.Featurize(encoder.Encode(b)).value());
+}
+
+TEST(FeaturizerConfigTest, TweetOnlyIgnoresHistory) {
+  data::Dataset dataset = TinyDataset();
+  TextModel text_model = TinyTextModel(dataset);
+  ProfileEncoder encoder(&dataset.pois, &text_model);
+
+  FeaturizerConfig config;
+  config.use_history = false;
+  util::Rng rng(1);
+  HisRectFeaturizer featurizer(config, dataset.pois.size(),
+                               text_model.embeddings.get(), rng);
+  data::Profile a = dataset.train.profiles[0];
+  data::Profile b = a;
+  b.visit_history.push_back({0, dataset.pois.poi(0).center});
+  EXPECT_TRUE(featurizer.Featurize(encoder.Encode(a)).value() ==
+              featurizer.Featurize(encoder.Encode(b)).value());
+}
+
+TEST(FeaturizerConfigTest, FullFeaturizerUsesBothSources) {
+  data::Dataset dataset = TinyDataset();
+  TextModel text_model = TinyTextModel(dataset);
+  ProfileEncoder encoder(&dataset.pois, &text_model);
+
+  FeaturizerConfig config;
+  util::Rng rng(1);
+  HisRectFeaturizer featurizer(config, dataset.pois.size(),
+                               text_model.embeddings.get(), rng);
+  data::Profile base = dataset.train.profiles[0];
+  data::Profile text_changed = base;
+  text_changed.tweet.content = "another message";
+  data::Profile history_changed = base;
+  history_changed.visit_history.push_back({0, dataset.pois.poi(0).center});
+  EXPECT_FALSE(featurizer.Featurize(encoder.Encode(base)).value() ==
+               featurizer.Featurize(encoder.Encode(text_changed)).value());
+  EXPECT_FALSE(featurizer.Featurize(encoder.Encode(base)).value() ==
+               featurizer.Featurize(encoder.Encode(history_changed)).value());
+}
+
+TEST(HeadsTest, PoiClassifierLogitsShape) {
+  util::Rng rng(1);
+  PoiClassifier classifier(8, 5, 2, rng);
+  nn::Tensor feature = nn::Tensor::FromMatrix(nn::Matrix(1, 8, 0.5f));
+  nn::Tensor logits = classifier.Logits(feature);
+  EXPECT_EQ(logits.cols(), 5u);
+  EXPECT_EQ(classifier.num_pois(), 5u);
+}
+
+TEST(HeadsTest, EmbedderOutputsUnitVector) {
+  util::Rng rng(2);
+  Embedder embedder(8, 4, 2, rng);
+  nn::Tensor feature = nn::Tensor::FromMatrix(nn::Matrix(1, 8, 0.7f));
+  nn::Tensor embedding = embedder.Embed(feature);
+  EXPECT_EQ(embedding.cols(), 4u);
+  EXPECT_NEAR(embedding.value().Norm(), 1.0f, 1e-2f);
+}
+
+TEST(HeadsTest, JudgeSymmetricInArguments) {
+  // |E'(a) - E'(b)| is symmetric, so the logit must be too.
+  util::Rng rng(3);
+  JudgeHead judge(8, 4, 2, 3, rng);
+  nn::Tensor a = nn::Tensor::FromMatrix(nn::Matrix(1, 8, 0.3f));
+  nn::Tensor b = nn::Tensor::FromMatrix(nn::Matrix(1, 8, -0.9f));
+  float ab = judge.CoLocationLogit(a, b).value().At(0, 0);
+  float ba = judge.CoLocationLogit(b, a).value().At(0, 0);
+  EXPECT_FLOAT_EQ(ab, ba);
+}
+
+TEST(HeadsTest, JudgeIdenticalFeaturesGiveFixedPoint) {
+  // Identical features -> zero difference vector; logit equals C(0).
+  util::Rng rng(4);
+  JudgeHead judge(8, 4, 2, 3, rng);
+  nn::Tensor a = nn::Tensor::FromMatrix(nn::Matrix(1, 8, 0.3f));
+  nn::Tensor b = nn::Tensor::FromMatrix(nn::Matrix(1, 8, 0.3f));
+  nn::Tensor zero_a = nn::Tensor::FromMatrix(nn::Matrix(1, 8, -1.0f));
+  nn::Tensor zero_b = nn::Tensor::FromMatrix(nn::Matrix(1, 8, -1.0f));
+  EXPECT_FLOAT_EQ(judge.CoLocationLogit(a, b).value().At(0, 0),
+                  judge.CoLocationLogit(zero_a, zero_b).value().At(0, 0));
+}
+
+}  // namespace
+}  // namespace hisrect::core

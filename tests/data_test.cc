@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/city_generator.h"
+#include "data/dataset_builder.h"
+#include "data/presets.h"
+#include "tests/test_common.h"
+
+namespace hisrect::data {
+namespace {
+
+using hisrect::testing::TinyCityConfig;
+
+class CityGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { city_ = GenerateCity(TinyCityConfig(), 99); }
+  City city_;
+};
+
+TEST_F(CityGeneratorTest, RespectsConfigCounts) {
+  EXPECT_EQ(city_.pois.size(), 6u);
+  EXPECT_EQ(city_.timelines.size(), 40u);
+  for (const UserTimeline& timeline : city_.timelines) {
+    EXPECT_GE(timeline.tweets.size(), 15u);
+    EXPECT_LE(timeline.tweets.size(), 30u);
+  }
+}
+
+TEST_F(CityGeneratorTest, TimelinesAreTimeOrdered) {
+  for (const UserTimeline& timeline : city_.timelines) {
+    for (size_t i = 1; i < timeline.tweets.size(); ++i) {
+      EXPECT_LE(timeline.tweets[i - 1].ts, timeline.tweets[i].ts);
+    }
+  }
+}
+
+TEST_F(CityGeneratorTest, GeoTagRateApproximatelyRespected) {
+  size_t total = 0;
+  size_t geo = 0;
+  for (const UserTimeline& timeline : city_.timelines) {
+    for (const Tweet& tweet : timeline.tweets) {
+      ++total;
+      geo += tweet.has_geo;
+    }
+  }
+  double rate = static_cast<double>(geo) / total;
+  EXPECT_NEAR(rate, TinyCityConfig().geo_tag_rate, 0.08);
+}
+
+TEST_F(CityGeneratorTest, DeterministicForSameSeed) {
+  City other = GenerateCity(TinyCityConfig(), 99);
+  ASSERT_EQ(other.timelines.size(), city_.timelines.size());
+  for (size_t u = 0; u < city_.timelines.size(); ++u) {
+    ASSERT_EQ(other.timelines[u].tweets.size(),
+              city_.timelines[u].tweets.size());
+    for (size_t t = 0; t < city_.timelines[u].tweets.size(); ++t) {
+      EXPECT_EQ(other.timelines[u].tweets[t].content,
+                city_.timelines[u].tweets[t].content);
+      EXPECT_EQ(other.timelines[u].tweets[t].ts,
+                city_.timelines[u].tweets[t].ts);
+    }
+  }
+}
+
+TEST_F(CityGeneratorTest, DifferentSeedsDiffer) {
+  City other = GenerateCity(TinyCityConfig(), 100);
+  bool any_difference = false;
+  for (size_t u = 0; u < city_.timelines.size() && !any_difference; ++u) {
+    any_difference =
+        other.timelines[u].tweets.size() != city_.timelines[u].tweets.size() ||
+        other.timelines[u].tweets[0].content !=
+            city_.timelines[u].tweets[0].content;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(CityGeneratorTest, TimestampsWithinTimespan) {
+  for (const UserTimeline& timeline : city_.timelines) {
+    for (const Tweet& tweet : timeline.tweets) {
+      EXPECT_GE(tweet.ts, 0);
+      EXPECT_LT(tweet.ts, TinyCityConfig().timespan_seconds);
+    }
+  }
+}
+
+TEST_F(CityGeneratorTest, SomeTweetsInsidePois) {
+  size_t inside = 0;
+  size_t geo = 0;
+  for (const UserTimeline& timeline : city_.timelines) {
+    for (const Tweet& tweet : timeline.tweets) {
+      if (!tweet.has_geo) continue;
+      ++geo;
+      inside += city_.pois.FindContaining(tweet.location).has_value();
+    }
+  }
+  EXPECT_GT(inside, 0u);
+  EXPECT_LT(inside, geo);  // The near-POI misses keep some outside.
+}
+
+TEST(BuildProfilesTest, VisitHistoryStrictlyBeforeTweet) {
+  City city = GenerateCity(TinyCityConfig(), 7);
+  for (const UserTimeline& timeline : city.timelines) {
+    auto profiles = BuildProfiles(timeline, city.pois);
+    for (const Profile& profile : profiles) {
+      for (const Visit& visit : profile.visit_history) {
+        EXPECT_LT(visit.ts, profile.tweet.ts + 1);
+      }
+    }
+  }
+}
+
+TEST(BuildProfilesTest, OneProfilePerGeoTaggedTweet) {
+  City city = GenerateCity(TinyCityConfig(), 7);
+  const UserTimeline& timeline = city.timelines[0];
+  size_t geo_tweets = 0;
+  for (const Tweet& tweet : timeline.tweets) geo_tweets += tweet.has_geo;
+  EXPECT_EQ(BuildProfiles(timeline, city.pois).size(), geo_tweets);
+}
+
+TEST(BuildProfilesTest, LabelMatchesContainment) {
+  City city = GenerateCity(TinyCityConfig(), 7);
+  for (const UserTimeline& timeline : city.timelines) {
+    for (const Profile& profile : BuildProfiles(timeline, city.pois)) {
+      auto found = city.pois.FindContaining(profile.tweet.location);
+      if (found.has_value()) {
+        EXPECT_EQ(profile.pid, *found);
+      } else {
+        EXPECT_EQ(profile.pid, geo::kInvalidPoiId);
+      }
+    }
+  }
+}
+
+TEST(BuildProfilesTest, VisitHistoryGrowsAlongTimeline) {
+  City city = GenerateCity(TinyCityConfig(), 7);
+  const UserTimeline& timeline = city.timelines[0];
+  auto profiles = BuildProfiles(timeline, city.pois);
+  for (size_t i = 1; i < profiles.size(); ++i) {
+    EXPECT_EQ(profiles[i].visit_history.size(),
+              profiles[i - 1].visit_history.size() + 1);
+  }
+}
+
+class PairBuildingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    city_ = GenerateCity(TinyCityConfig(), 21);
+    for (const UserTimeline& timeline : city_.timelines) {
+      auto profiles = BuildProfiles(timeline, city_.pois);
+      all_profiles_.insert(all_profiles_.end(), profiles.begin(),
+                           profiles.end());
+    }
+  }
+  City city_;
+  std::vector<Profile> all_profiles_;
+};
+
+TEST_F(PairBuildingTest, PairsRespectTimeWindowAndUserDistinctness) {
+  auto pairs = BuildPairs(all_profiles_, 3600, true);
+  ASSERT_FALSE(pairs.empty());
+  for (const Pair& pair : pairs) {
+    const Profile& a = all_profiles_[pair.i];
+    const Profile& b = all_profiles_[pair.j];
+    EXPECT_NE(a.uid, b.uid);
+    EXPECT_LT(std::abs(a.tweet.ts - b.tweet.ts), 3600);
+  }
+}
+
+TEST_F(PairBuildingTest, LabelsFollowPoiEquality) {
+  auto pairs = BuildPairs(all_profiles_, 3600, true);
+  for (const Pair& pair : pairs) {
+    const Profile& a = all_profiles_[pair.i];
+    const Profile& b = all_profiles_[pair.j];
+    if (a.labeled() && b.labeled()) {
+      EXPECT_EQ(pair.co_label,
+                a.pid == b.pid ? CoLabel::kPositive : CoLabel::kNegative);
+    } else {
+      EXPECT_EQ(pair.co_label, CoLabel::kUnlabeled);
+    }
+  }
+}
+
+TEST_F(PairBuildingTest, ExcludeUnlabeledFlag) {
+  auto with = BuildPairs(all_profiles_, 3600, true);
+  auto without = BuildPairs(all_profiles_, 3600, false);
+  size_t unlabeled = 0;
+  for (const Pair& pair : with) {
+    unlabeled += (pair.co_label == CoLabel::kUnlabeled);
+  }
+  EXPECT_GT(unlabeled, 0u);
+  EXPECT_EQ(without.size(), with.size() - unlabeled);
+}
+
+TEST_F(PairBuildingTest, WiderWindowYieldsMorePairs) {
+  auto narrow = BuildPairs(all_profiles_, 1800, true);
+  auto wide = BuildPairs(all_profiles_, 7200, true);
+  EXPECT_GT(wide.size(), narrow.size());
+}
+
+TEST_F(PairBuildingTest, NoDuplicatePairs) {
+  auto pairs = BuildPairs(all_profiles_, 3600, true);
+  std::set<std::pair<size_t, size_t>> seen;
+  for (const Pair& pair : pairs) {
+    auto key = std::minmax(pair.i, pair.j);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second);
+  }
+}
+
+class DatasetBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    city_ = GenerateCity(TinyCityConfig(), 5);
+    dataset_ = BuildDataset(city_, BuilderOptions{}, 17);
+  }
+  City city_;
+  Dataset dataset_;
+};
+
+TEST_F(DatasetBuilderTest, SplitsArePopulated) {
+  EXPECT_GT(dataset_.train.profiles.size(), 0u);
+  EXPECT_GT(dataset_.test.profiles.size(), 0u);
+  EXPECT_GT(dataset_.train.labeled_indices.size(), 0u);
+  EXPECT_GT(dataset_.train_corpus.size(), 0u);
+}
+
+TEST_F(DatasetBuilderTest, SplitFractionsApproximatelyRespected) {
+  size_t total = dataset_.train.num_timelines +
+                 dataset_.validation.num_timelines +
+                 dataset_.test.num_timelines;
+  double test_fraction =
+      static_cast<double>(dataset_.test.num_timelines) / total;
+  EXPECT_NEAR(test_fraction, 0.2, 0.06);
+}
+
+TEST_F(DatasetBuilderTest, OnlyTrainHasUnlabeledPairs) {
+  EXPECT_GT(dataset_.train.unlabeled_pairs.size(), 0u);
+  EXPECT_TRUE(dataset_.validation.unlabeled_pairs.empty());
+  EXPECT_TRUE(dataset_.test.unlabeled_pairs.empty());
+}
+
+TEST_F(DatasetBuilderTest, LabeledIndicesConsistent) {
+  for (size_t index : dataset_.train.labeled_indices) {
+    EXPECT_TRUE(dataset_.train.profiles[index].labeled());
+  }
+  size_t labeled_count = 0;
+  for (const Profile& profile : dataset_.train.profiles) {
+    labeled_count += profile.labeled();
+  }
+  EXPECT_EQ(labeled_count, dataset_.train.labeled_indices.size());
+}
+
+TEST_F(DatasetBuilderTest, SplitsUseDisjointUsers) {
+  std::set<UserId> train_users;
+  for (const Profile& profile : dataset_.train.profiles) {
+    train_users.insert(profile.uid);
+  }
+  for (const Profile& profile : dataset_.test.profiles) {
+    EXPECT_FALSE(train_users.contains(profile.uid));
+  }
+  for (const Profile& profile : dataset_.validation.profiles) {
+    EXPECT_FALSE(train_users.contains(profile.uid));
+  }
+}
+
+TEST_F(DatasetBuilderTest, StatsMatchSplit) {
+  SplitStats stats = ComputeSplitStats(dataset_.train);
+  EXPECT_EQ(stats.num_labeled_profiles,
+            dataset_.train.labeled_indices.size());
+  EXPECT_EQ(stats.num_positive_pairs, dataset_.train.positive_pairs.size());
+  EXPECT_EQ(stats.num_negative_pairs, dataset_.train.negative_pairs.size());
+  EXPECT_EQ(stats.num_unlabeled_pairs,
+            dataset_.train.unlabeled_pairs.size());
+  EXPECT_GT(stats.avg_visits_per_profile, 0.0);
+}
+
+TEST(PresetTest, NycLargerThanLv) {
+  CityConfig nyc = NycLikeConfig();
+  CityConfig lv = LvLikeConfig();
+  EXPECT_GT(nyc.num_users, lv.num_users);
+  EXPECT_GT(nyc.num_pois, lv.num_pois);
+}
+
+TEST(PresetTest, ScaleShrinksUsers) {
+  CityConfig full = NycLikeConfig();
+  CityConfig half = NycLikeConfig({.users = 0.5});
+  EXPECT_NEAR(static_cast<double>(half.num_users) / full.num_users, 0.5,
+              0.05);
+}
+
+TEST(PresetTest, MakeDatasetEndToEnd) {
+  CityConfig config = TinyCityConfig();
+  Dataset dataset = MakeDataset(config, 3);
+  EXPECT_EQ(dataset.name, "tiny");
+  EXPECT_GT(dataset.train.profiles.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hisrect::data

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "eval/group_patterns.h"
+#include "eval/poi_inference.h"
+#include "eval/tsne.h"
+#include "tests/test_common.h"
+
+namespace hisrect::eval {
+namespace {
+
+using hisrect::testing::MakeProfile;
+
+TEST(PoiInferenceTest, OracleRankerScoresPerfectly) {
+  data::DataSplit split;
+  geo::LatLon center{40.0, -74.0};
+  for (int i = 0; i < 20; ++i) {
+    split.profiles.push_back(MakeProfile(i, i, center, i % 4));
+    split.labeled_indices.push_back(i);
+  }
+  PoiRanker oracle = [](const data::Profile& profile, size_t k) {
+    std::vector<geo::PoiId> out = {profile.pid};
+    while (out.size() < k) out.push_back(geo::kInvalidPoiId);
+    return out;
+  };
+  EXPECT_DOUBLE_EQ(AccuracyAtK(split, oracle, 1), 1.0);
+  auto correct = Top1Correct(split, oracle);
+  EXPECT_EQ(correct.size(), 20u);
+  for (bool c : correct) EXPECT_TRUE(c);
+}
+
+TEST(PoiInferenceTest, WrongRankerScoresZeroAtOne) {
+  data::DataSplit split;
+  geo::LatLon center{40.0, -74.0};
+  for (int i = 0; i < 10; ++i) {
+    split.profiles.push_back(MakeProfile(i, i, center, 0));
+    split.labeled_indices.push_back(i);
+  }
+  PoiRanker wrong = [](const data::Profile&, size_t k) {
+    std::vector<geo::PoiId> out;
+    for (size_t j = 0; j < k; ++j) out.push_back(static_cast<geo::PoiId>(j + 1));
+    return out;
+  };
+  EXPECT_DOUBLE_EQ(AccuracyAtK(split, wrong, 1), 0.0);
+  // True POI 0 appears once k covers it... it never does (ranker starts at 1).
+  EXPECT_DOUBLE_EQ(AccuracyAtK(split, wrong, 3), 0.0);
+}
+
+TEST(PoiInferenceTest, AccuracyMonotoneInK) {
+  data::DataSplit split;
+  geo::LatLon center{40.0, -74.0};
+  for (int i = 0; i < 30; ++i) {
+    split.profiles.push_back(MakeProfile(i, i, center, i % 5));
+    split.labeled_indices.push_back(i);
+  }
+  // Ranker that puts the true POI at rank (i % 3).
+  PoiRanker staggered = [](const data::Profile& profile, size_t k) {
+    std::vector<geo::PoiId> out;
+    size_t true_rank = static_cast<size_t>(profile.uid) % 3;
+    for (size_t j = 0; j < k; ++j) {
+      out.push_back(j == true_rank ? profile.pid
+                                   : static_cast<geo::PoiId>(90 + j));
+    }
+    return out;
+  };
+  double acc1 = AccuracyAtK(split, staggered, 1);
+  double acc2 = AccuracyAtK(split, staggered, 2);
+  double acc3 = AccuracyAtK(split, staggered, 3);
+  EXPECT_LE(acc1, acc2);
+  EXPECT_LE(acc2, acc3);
+  EXPECT_DOUBLE_EQ(acc3, 1.0);
+}
+
+TEST(GroupPatternsTest, StandardPatternsMatchPaper) {
+  auto patterns = StandardGroupPatterns();
+  ASSERT_EQ(patterns.size(), 5u);
+  EXPECT_EQ(patterns[0].name, "5-0");
+  EXPECT_EQ(patterns[2].name, "3-2");
+  for (const GroupPattern& pattern : patterns) {
+    int total = 0;
+    for (int size : pattern.part_sizes) total += size;
+    EXPECT_EQ(total, 5) << pattern.name;
+  }
+}
+
+class GroupSamplingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A window with 3 users at POI 0, 2 at POI 1, 2 at POI 2.
+    geo::LatLon center{40.0, -74.0};
+    int uid = 0;
+    for (int k = 0; k < 3; ++k) {
+      split_.profiles.push_back(MakeProfile(uid++, 100 + k, center, 0));
+    }
+    for (int k = 0; k < 2; ++k) {
+      split_.profiles.push_back(MakeProfile(uid++, 200 + k, center, 1));
+    }
+    for (int k = 0; k < 2; ++k) {
+      split_.profiles.push_back(MakeProfile(uid++, 300 + k, center, 2));
+    }
+    for (size_t i = 0; i < split_.profiles.size(); ++i) {
+      split_.labeled_indices.push_back(i);
+    }
+  }
+  data::DataSplit split_;
+};
+
+TEST_F(GroupSamplingTest, SamplesValidGroup) {
+  util::Rng rng(1);
+  GroupPattern pattern{"3-2", {3, 2}};
+  auto group = SampleGroup(split_, pattern, 3600, rng);
+  ASSERT_TRUE(group.has_value());
+  EXPECT_EQ(group->profile_indices.size(), 5u);
+  // Users distinct.
+  std::set<data::UserId> users;
+  for (size_t index : group->profile_indices) {
+    EXPECT_TRUE(users.insert(split_.profiles[index].uid).second);
+  }
+  // Partition sizes match {3, 2} and parts share POIs.
+  std::map<int, std::set<geo::PoiId>> part_pois;
+  std::map<int, int> part_sizes;
+  for (size_t n = 0; n < 5; ++n) {
+    int part = group->true_partition[n];
+    part_pois[part].insert(split_.profiles[group->profile_indices[n]].pid);
+    ++part_sizes[part];
+  }
+  ASSERT_EQ(part_sizes.size(), 2u);
+  std::multiset<int> sizes;
+  for (auto& [part, size] : part_sizes) {
+    sizes.insert(size);
+    EXPECT_EQ(part_pois[part].size(), 1u);  // One POI per part.
+  }
+  EXPECT_EQ(sizes, (std::multiset<int>{2, 3}));
+}
+
+TEST_F(GroupSamplingTest, ImpossiblePatternReturnsNullopt) {
+  util::Rng rng(1);
+  // Needs 5 users at one POI; max available is 3.
+  GroupPattern pattern{"5-0", {5}};
+  EXPECT_FALSE(SampleGroup(split_, pattern, 3600, rng, 50).has_value());
+}
+
+TEST_F(GroupSamplingTest, OracleScorerGetsPerfectPatternAccuracy) {
+  PairScorer oracle = [](const data::Profile& a, const data::Profile& b) {
+    return a.pid == b.pid ? 0.9 : 0.1;
+  };
+  util::Rng rng(2);
+  size_t sampled = 0;
+  double accuracy = GroupPatternAccuracy(split_, {"3-2", {3, 2}}, 3600, oracle,
+                                         20, rng, &sampled);
+  EXPECT_GT(sampled, 0u);
+  EXPECT_DOUBLE_EQ(accuracy, 1.0);
+}
+
+TEST_F(GroupSamplingTest, AntiOracleScorerFailsPatterns) {
+  // Scores everything co-located: predicted partition is one big cluster,
+  // which never equals a 3-2 split.
+  PairScorer merge_all = [](const data::Profile&, const data::Profile&) {
+    return 0.9;
+  };
+  util::Rng rng(2);
+  double accuracy = GroupPatternAccuracy(split_, {"3-2", {3, 2}}, 3600,
+                                         merge_all, 20, rng);
+  EXPECT_DOUBLE_EQ(accuracy, 0.0);
+}
+
+TEST(TsneTest, EmptyAndTinyInputs) {
+  util::Rng rng(1);
+  TsneOptions options;
+  options.iterations = 10;
+  EXPECT_TRUE(Tsne({}, options, rng).empty());
+  auto one = Tsne({{1.0f, 2.0f}}, options, rng);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(TsneTest, SeparatesTwoBlobs) {
+  util::Rng rng(7);
+  std::vector<std::vector<float>> points;
+  std::vector<int> blob;
+  for (int i = 0; i < 30; ++i) {
+    bool second = i >= 15;
+    std::vector<float> p(6);
+    for (auto& x : p) {
+      x = static_cast<float>(rng.Normal(second ? 8.0 : 0.0, 0.3));
+    }
+    points.push_back(std::move(p));
+    blob.push_back(second);
+  }
+  TsneOptions options;
+  options.iterations = 250;
+  options.perplexity = 8.0;
+  auto embedded = Tsne(points, options, rng);
+  ASSERT_EQ(embedded.size(), 30u);
+
+  // Mean within-blob distance must be far below between-blob distance.
+  double within = 0.0;
+  double between = 0.0;
+  size_t within_count = 0;
+  size_t between_count = 0;
+  for (size_t i = 0; i < embedded.size(); ++i) {
+    for (size_t j = i + 1; j < embedded.size(); ++j) {
+      double dx = embedded[i][0] - embedded[j][0];
+      double dy = embedded[i][1] - embedded[j][1];
+      double d = std::sqrt(dx * dx + dy * dy);
+      if (blob[i] == blob[j]) {
+        within += d;
+        ++within_count;
+      } else {
+        between += d;
+        ++between_count;
+      }
+    }
+  }
+  within /= within_count;
+  between /= between_count;
+  EXPECT_GT(between, 2.0 * within);
+}
+
+TEST(TsneTest, OutputIsCentered) {
+  util::Rng rng(9);
+  std::vector<std::vector<float>> points;
+  for (int i = 0; i < 20; ++i) {
+    points.push_back({static_cast<float>(i), static_cast<float>(i % 3)});
+  }
+  TsneOptions options;
+  options.iterations = 50;
+  auto embedded = Tsne(points, options, rng);
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (const auto& p : embedded) {
+    mean_x += p[0];
+    mean_y += p[1];
+  }
+  EXPECT_NEAR(mean_x / embedded.size(), 0.0, 1e-6);
+  EXPECT_NEAR(mean_y / embedded.size(), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace hisrect::eval

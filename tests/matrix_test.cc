@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace hisrect::nn {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  return m;
+}
+
+/// Reference O(n^3) matmul with explicit index arithmetic.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a.At(i, k) * b.At(k, j);
+      out.At(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Transpose(const Matrix& m) {
+  Matrix out(m.cols(), m.rows());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) out.At(j, i) = m.At(i, j);
+  }
+  return out;
+}
+
+void ExpectNear(const Matrix& a, const Matrix& b, float tolerance = 1e-4f) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], tolerance) << "at flat index " << i;
+  }
+}
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 1.5f);
+  m.Fill(0.0f);
+  EXPECT_EQ(m.At(1, 2), 0.0f);
+}
+
+TEST(MatrixTest, RowVector) {
+  Matrix v = Matrix::RowVector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(v.rows(), 1u);
+  EXPECT_EQ(v.cols(), 3u);
+  EXPECT_EQ(v.At(0, 1), 2.0f);
+}
+
+TEST(MatrixTest, AtIsRowMajor) {
+  Matrix m(2, 3, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(m.At(0, 2), 2.0f);
+  EXPECT_EQ(m.At(1, 0), 3.0f);
+}
+
+TEST(MatrixTest, AddInPlaceAndScaled) {
+  Matrix a(1, 3, {1, 2, 3});
+  Matrix b(1, 3, {10, 20, 30});
+  a.AddInPlace(b);
+  EXPECT_EQ(a.At(0, 2), 33.0f);
+  a.AddScaled(b, -0.5f);
+  EXPECT_EQ(a.At(0, 0), 6.0f);
+}
+
+TEST(MatrixTest, NormIsFrobenius) {
+  Matrix m(1, 2, {3.0f, 4.0f});
+  EXPECT_FLOAT_EQ(m.Norm(), 5.0f);
+}
+
+TEST(MatrixTest, EqualityIsElementwise) {
+  Matrix a(1, 2, {1, 2});
+  Matrix b(1, 2, {1, 2});
+  Matrix c(2, 1, {1, 2});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+class MatMulPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatMulPropertyTest, MatMulMatchesNaive) {
+  util::Rng rng(GetParam());
+  size_t r = 1 + rng.UniformInt(6);
+  size_t k = 1 + rng.UniformInt(6);
+  size_t c = 1 + rng.UniformInt(6);
+  Matrix a = RandomMatrix(r, k, rng);
+  Matrix b = RandomMatrix(k, c, rng);
+  ExpectNear(MatMulValues(a, b), NaiveMatMul(a, b));
+}
+
+TEST_P(MatMulPropertyTest, MatMulTransposedBMatchesExplicitTranspose) {
+  util::Rng rng(GetParam() + 100);
+  size_t r = 1 + rng.UniformInt(6);
+  size_t k = 1 + rng.UniformInt(6);
+  size_t c = 1 + rng.UniformInt(6);
+  Matrix a = RandomMatrix(r, k, rng);
+  Matrix b = RandomMatrix(c, k, rng);
+  ExpectNear(MatMulTransposedB(a, b), NaiveMatMul(a, Transpose(b)));
+}
+
+TEST_P(MatMulPropertyTest, MatMulTransposedAMatchesExplicitTranspose) {
+  util::Rng rng(GetParam() + 200);
+  size_t r = 1 + rng.UniformInt(6);
+  size_t k = 1 + rng.UniformInt(6);
+  size_t c = 1 + rng.UniformInt(6);
+  Matrix a = RandomMatrix(k, r, rng);
+  Matrix b = RandomMatrix(k, c, rng);
+  ExpectNear(MatMulTransposedA(a, b), NaiveMatMul(Transpose(a), b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatMulPropertyTest,
+                         ::testing::Range(0, 20));
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  util::Rng rng(5);
+  Matrix a = RandomMatrix(4, 4, rng);
+  Matrix identity(4, 4);
+  for (size_t i = 0; i < 4; ++i) identity.At(i, i) = 1.0f;
+  ExpectNear(MatMulValues(a, identity), a);
+  ExpectNear(MatMulValues(identity, a), a);
+}
+
+}  // namespace
+}  // namespace hisrect::nn

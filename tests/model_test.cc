@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/hisrect_model.h"
+#include "tests/test_common.h"
+
+namespace hisrect::core {
+namespace {
+
+using hisrect::testing::TinyDataset;
+using hisrect::testing::TinyTextModel;
+
+HisRectModelConfig FastConfig() {
+  HisRectModelConfig config;
+  config.featurizer.hidden_dim = 6;
+  config.featurizer.feature_dim = 12;
+  config.ssl.steps = 200;
+  config.ssl.batch_size = 4;
+  config.judge_trainer.steps = 200;
+  config.judge_trainer.batch_size = 4;
+  return config;
+}
+
+class ModelFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(TinyDataset());
+    text_model_ = new TextModel(TinyTextModel(*dataset_));
+    model_ = new HisRectModel(FastConfig());
+    model_->Fit(*dataset_, *text_model_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete text_model_;
+    delete dataset_;
+    model_ = nullptr;
+    text_model_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static data::Dataset* dataset_;
+  static TextModel* text_model_;
+  static HisRectModel* model_;
+};
+
+data::Dataset* ModelFixture::dataset_ = nullptr;
+TextModel* ModelFixture::text_model_ = nullptr;
+HisRectModel* ModelFixture::model_ = nullptr;
+
+TEST_F(ModelFixture, FittedAfterFit) { EXPECT_TRUE(model_->fitted()); }
+
+TEST_F(ModelFixture, ScoreIsProbability) {
+  const auto& profiles = dataset_->test.profiles;
+  for (size_t i = 0; i + 1 < std::min<size_t>(profiles.size(), 12); i += 2) {
+    double score = model_->ScorePair(profiles[i], profiles[i + 1]);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST_F(ModelFixture, ScoreIsSymmetric) {
+  const auto& a = dataset_->test.profiles[0];
+  const auto& b = dataset_->test.profiles[1];
+  EXPECT_DOUBLE_EQ(model_->ScorePair(a, b), model_->ScorePair(b, a));
+}
+
+TEST_F(ModelFixture, ScoreIsDeterministic) {
+  const auto& a = dataset_->test.profiles[0];
+  const auto& b = dataset_->test.profiles[1];
+  EXPECT_DOUBLE_EQ(model_->ScorePair(a, b), model_->ScorePair(a, b));
+}
+
+TEST_F(ModelFixture, InferPoiReturnsSortedProbabilities) {
+  auto ranked = model_->InferPoi(dataset_->test.profiles[0], 5);
+  ASSERT_LE(ranked.size(), 5u);
+  ASSERT_GE(ranked.size(), 1u);
+  float total = 0.0f;
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].second, ranked[i].second);
+  }
+  for (const auto& [pid, probability] : ranked) {
+    EXPECT_GE(pid, 0);
+    EXPECT_LT(static_cast<size_t>(pid), dataset_->pois.size());
+    total += probability;
+  }
+  EXPECT_LE(total, 1.0f + 1e-4f);
+}
+
+TEST_F(ModelFixture, InferPoiFullListSumsToOne) {
+  auto ranked = model_->InferPoi(dataset_->test.profiles[0],
+                                 dataset_->pois.size());
+  float total = 0.0f;
+  for (const auto& [pid, probability] : ranked) total += probability;
+  EXPECT_NEAR(total, 1.0f, 1e-4f);
+}
+
+TEST_F(ModelFixture, FeatureHasConfiguredDimension) {
+  auto feature = model_->Feature(dataset_->test.profiles[0]);
+  EXPECT_EQ(feature.size(), 12u);
+}
+
+TEST_F(ModelFixture, JudgePairConsistentWithScore) {
+  const auto& a = dataset_->test.profiles[0];
+  const auto& b = dataset_->test.profiles[1];
+  EXPECT_EQ(model_->JudgePair(a, b), model_->ScorePair(a, b) > 0.5);
+}
+
+TEST(ModelTest, SameSeedSameResults) {
+  data::Dataset dataset = TinyDataset();
+  TextModel text_model = TinyTextModel(dataset);
+  HisRectModel a(FastConfig());
+  a.Fit(dataset, text_model);
+  HisRectModel b(FastConfig());
+  b.Fit(dataset, text_model);
+  const auto& p = dataset.test.profiles;
+  EXPECT_DOUBLE_EQ(a.ScorePair(p[0], p[1]), b.ScorePair(p[0], p[1]));
+}
+
+TEST(ModelTest, DifferentSeedsDiffer) {
+  data::Dataset dataset = TinyDataset();
+  TextModel text_model = TinyTextModel(dataset);
+  HisRectModel a(FastConfig());
+  a.Fit(dataset, text_model);
+  HisRectModelConfig other_config = FastConfig();
+  other_config.seed = 12345;
+  HisRectModel b(other_config);
+  b.Fit(dataset, text_model);
+  const auto& p = dataset.test.profiles;
+  EXPECT_NE(a.ScorePair(p[0], p[1]), b.ScorePair(p[0], p[1]));
+}
+
+TEST(ModelTest, OnePhaseFitsAndScores) {
+  data::Dataset dataset = TinyDataset();
+  TextModel text_model = TinyTextModel(dataset);
+  HisRectModelConfig config = FastConfig();
+  config.one_phase = true;
+  HisRectModel model(config);
+  model.Fit(dataset, text_model);
+  const auto& p = dataset.test.profiles;
+  double score = model.ScorePair(p[0], p[1]);
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+  // One-phase still supports POI inference via the post-hoc classifier pass.
+  EXPECT_FALSE(model.InferPoi(p[0], 3).empty());
+}
+
+TEST(ModelTest, SaveLoadRoundTripPreservesScores) {
+  data::Dataset dataset = TinyDataset();
+  TextModel text_model = TinyTextModel(dataset);
+  HisRectModel trained(FastConfig());
+  trained.Fit(dataset, text_model);
+  const std::string path = "/tmp/hisrect_model_roundtrip.bin";
+  ASSERT_TRUE(trained.Save(path).ok());
+
+  HisRectModel restored(FastConfig());
+  restored.InitializeForLoad(dataset, text_model);
+  // Untrained weights differ from the trained ones...
+  const auto& p = dataset.test.profiles;
+  double untrained = restored.ScorePair(p[0], p[1]);
+  ASSERT_TRUE(restored.Load(path).ok());
+  // ...but after Load the scores match exactly.
+  EXPECT_DOUBLE_EQ(restored.ScorePair(p[0], p[1]),
+                   trained.ScorePair(p[0], p[1]));
+  auto trained_top = trained.InferPoi(p[0], 3);
+  auto restored_top = restored.InferPoi(p[0], 3);
+  ASSERT_EQ(trained_top.size(), restored_top.size());
+  for (size_t i = 0; i < trained_top.size(); ++i) {
+    EXPECT_EQ(trained_top[i].first, restored_top[i].first);
+  }
+  (void)untrained;
+  std::remove(path.c_str());
+}
+
+TEST(ModelTest, SaveRequiresFitted) {
+  HisRectModel model(FastConfig());
+  EXPECT_FALSE(model.Save("/tmp/never.bin").ok());
+  EXPECT_FALSE(model.Load("/tmp/never.bin").ok());
+}
+
+TEST(ModelTest, LoadRejectsMismatchedConfig) {
+  data::Dataset dataset = TinyDataset();
+  TextModel text_model = TinyTextModel(dataset);
+  HisRectModel trained(FastConfig());
+  trained.Fit(dataset, text_model);
+  const std::string path = "/tmp/hisrect_model_mismatch.bin";
+  ASSERT_TRUE(trained.Save(path).ok());
+
+  HisRectModelConfig bigger = FastConfig();
+  bigger.featurizer.feature_dim = 24;  // Different shapes.
+  HisRectModel restored(bigger);
+  restored.InitializeForLoad(dataset, text_model);
+  EXPECT_FALSE(restored.Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelTest, HandlesProfileWithoutHistoryOrText) {
+  data::Dataset dataset = TinyDataset();
+  TextModel text_model = TinyTextModel(dataset);
+  HisRectModel model(FastConfig());
+  model.Fit(dataset, text_model);
+  data::Profile bare;
+  bare.uid = 999;
+  bare.tweet.ts = 1000;
+  bare.tweet.content = "";
+  double score = model.ScorePair(bare, dataset.test.profiles[0]);
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+}
+
+}  // namespace
+}  // namespace hisrect::core

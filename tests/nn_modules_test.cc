@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "nn/conv_lstm.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/mlp.h"
+#include "nn/ops.h"
+#include "nn/serialize.h"
+#include "nn/temporal_conv.h"
+#include "util/rng.h"
+
+namespace hisrect::nn {
+namespace {
+
+std::vector<Tensor> RandomSequence(size_t t_len, size_t dim, util::Rng& rng) {
+  std::vector<Tensor> seq;
+  for (size_t t = 0; t < t_len; ++t) {
+    Matrix m(1, dim);
+    for (size_t k = 0; k < dim; ++k) {
+      m.At(0, k) = static_cast<float>(rng.Normal(0.0, 0.5));
+    }
+    seq.push_back(Tensor::FromMatrix(std::move(m)));
+  }
+  return seq;
+}
+
+/// Finite-difference check over every parameter of a module.
+void CheckModuleGradients(Module& module,
+                          const std::function<Tensor()>& loss_fn,
+                          float tolerance = 3e-2f) {
+  Tensor loss = loss_fn();
+  for (auto& p : module.Parameters()) p.tensor.ZeroGrad();
+  loss.Backward();
+  for (auto& p : module.Parameters()) {
+    Matrix analytic = p.tensor.grad();
+    Matrix& values = p.tensor.mutable_value();
+    // Spot-check up to 6 elements per parameter.
+    size_t stride = std::max<size_t>(1, values.size() / 6);
+    for (size_t i = 0; i < values.size(); i += stride) {
+      float original = values.data()[i];
+      const float eps = 1e-2f;
+      values.data()[i] = original + eps;
+      float up = loss_fn().value().At(0, 0);
+      values.data()[i] = original - eps;
+      float down = loss_fn().value().At(0, 0);
+      values.data()[i] = original;
+      float numeric = (up - down) / (2.0f * eps);
+      float divergence = std::fabs(numeric - analytic.data()[i]);
+      float magnitude = std::max(0.5f, std::fabs(numeric));
+      EXPECT_LE(divergence / magnitude, tolerance)
+          << p.name << "[" << i << "]: numeric=" << numeric
+          << " analytic=" << analytic.data()[i];
+    }
+  }
+}
+
+TEST(LinearTest, ShapeAndBias) {
+  util::Rng rng(1);
+  Linear layer(3, 2, rng);
+  Tensor x = Tensor::RowVector({1.0f, -1.0f, 0.5f});
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 1u);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+}
+
+TEST(LinearTest, BatchedForward) {
+  util::Rng rng(1);
+  Linear layer(3, 2, rng);
+  Tensor x = Tensor::FromMatrix(Matrix(5, 3, 0.3f));
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 5u);
+  // All batch rows identical -> all outputs identical.
+  for (size_t j = 0; j < 2; ++j) {
+    EXPECT_FLOAT_EQ(y.value().At(0, j), y.value().At(4, j));
+  }
+}
+
+TEST(LinearTest, Gradients) {
+  util::Rng rng(2);
+  Linear layer(3, 2, rng);
+  Tensor x = Tensor::RowVector({0.2f, -0.4f, 0.9f});
+  CheckModuleGradients(layer,
+                       [&] { return SumAll(Tanh(layer.Forward(x))); });
+}
+
+TEST(MlpTest, DimsAndLayerCount) {
+  util::Rng rng(3);
+  Mlp mlp({8, 16, 4}, rng);
+  EXPECT_EQ(mlp.in_dim(), 8u);
+  EXPECT_EQ(mlp.out_dim(), 4u);
+  EXPECT_EQ(mlp.num_layers(), 2u);
+  EXPECT_EQ(mlp.Parameters().size(), 4u);
+}
+
+TEST(MlpTest, ReluAfterLastControlsNonNegativity) {
+  util::Rng rng(4);
+  Mlp relu_mlp({4, 4}, rng, {.relu_after_last = true});
+  Mlp raw_mlp({4, 4}, rng, {.relu_after_last = false});
+  Tensor x = Tensor::RowVector({1.0f, -2.0f, 0.5f, 3.0f});
+  const Matrix& relu_out = relu_mlp.Forward(x).value();
+  for (size_t i = 0; i < relu_out.size(); ++i) {
+    EXPECT_GE(relu_out.data()[i], 0.0f);
+  }
+  // Unconstrained head can produce negative values for some input.
+  bool any_negative = false;
+  for (int trial = 0; trial < 20 && !any_negative; ++trial) {
+    Matrix m(1, 4);
+    for (size_t k = 0; k < 4; ++k) m.At(0, k) = static_cast<float>(rng.Normal(0, 2));
+    const Matrix& out = raw_mlp.Forward(Tensor::FromMatrix(std::move(m))).value();
+    for (size_t i = 0; i < out.size(); ++i) any_negative |= out.data()[i] < 0.0f;
+  }
+  EXPECT_TRUE(any_negative);
+}
+
+TEST(MlpTest, DropoutOnlyAtTraining) {
+  util::Rng rng(5);
+  Mlp mlp({6, 6, 6}, rng, {.relu_after_last = false, .dropout_rate = 0.5f});
+  Tensor x = Tensor::RowVector({1, 1, 1, 1, 1, 1});
+  // Inference is deterministic.
+  Matrix a = mlp.Forward(x).value();
+  Matrix b = mlp.Forward(x).value();
+  EXPECT_TRUE(a == b);
+  // Training with different RNG states differs (with high probability).
+  util::Rng r1(1);
+  util::Rng r2(2);
+  Matrix t1 = mlp.Forward(x, r1, true).value();
+  Matrix t2 = mlp.Forward(x, r2, true).value();
+  EXPECT_FALSE(t1 == t2);
+}
+
+TEST(MlpTest, FinalLayerStddevShrinksOutput) {
+  util::Rng rng1(6);
+  util::Rng rng2(6);
+  Mlp small({8, 8, 8}, rng1,
+            {.relu_after_last = false, .final_layer_stddev = 0.001f});
+  Mlp regular({8, 8, 8}, rng2, {.relu_after_last = false});
+  Tensor x = Tensor::RowVector({1, -1, 1, -1, 1, -1, 1, -1});
+  EXPECT_LT(small.Forward(x).value().Norm(),
+            regular.Forward(x).value().Norm());
+}
+
+TEST(MlpTest, Gradients) {
+  util::Rng rng(7);
+  Mlp mlp({3, 5, 2}, rng, {.relu_after_last = false});
+  Tensor x = Tensor::RowVector({0.1f, 0.7f, -0.3f});
+  CheckModuleGradients(mlp, [&] { return SumAll(Tanh(mlp.Forward(x))); });
+}
+
+TEST(LstmCellTest, StepShapes) {
+  util::Rng rng(8);
+  LstmCell cell(5, 3, rng);
+  auto state = cell.InitialState();
+  EXPECT_EQ(state.h.cols(), 3u);
+  EXPECT_EQ(state.c.cols(), 3u);
+  Tensor x = Tensor::RowVector({1, 2, 3, 4, 5});
+  auto next = cell.Step(x, state);
+  EXPECT_EQ(next.h.cols(), 3u);
+  EXPECT_EQ(next.c.cols(), 3u);
+}
+
+TEST(LstmCellTest, ZeroInitialStateOutputsBounded) {
+  util::Rng rng(9);
+  LstmCell cell(4, 4, rng);
+  auto state = cell.InitialState();
+  Tensor x = Tensor::RowVector({10.0f, -10.0f, 10.0f, -10.0f});
+  for (int t = 0; t < 10; ++t) state = cell.Step(x, state);
+  // h = o * tanh(c) is bounded by 1 in magnitude.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_LE(std::fabs(state.h.value().At(0, i)), 1.0f);
+  }
+}
+
+TEST(LstmCellTest, GradientsThroughTwoSteps) {
+  util::Rng rng(10);
+  LstmCell cell(3, 2, rng);
+  util::Rng data_rng(1);
+  auto seq = RandomSequence(2, 3, data_rng);
+  CheckModuleGradients(cell, [&] {
+    auto state = cell.InitialState();
+    for (const Tensor& x : seq) state = cell.Step(x, state);
+    return SumAll(state.h);
+  });
+}
+
+TEST(LstmCellTest, ForgetBiasInitializedToOne) {
+  util::Rng rng(11);
+  LstmCell cell(2, 3, rng);
+  auto params = cell.Parameters();
+  const Matrix* bias = nullptr;
+  for (auto& p : params) {
+    if (p.name == "bias") bias = &p.tensor.value();
+  }
+  ASSERT_NE(bias, nullptr);
+  // Layout [i f g o]: forget block = columns [N, 2N).
+  for (size_t j = 3; j < 6; ++j) EXPECT_FLOAT_EQ(bias->At(0, j), 1.0f);
+  for (size_t j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(bias->At(0, j), 0.0f);
+}
+
+TEST(BiLstmTest, OutputAlignment) {
+  util::Rng rng(12);
+  BiLstm bilstm(4, 3, 1, rng);
+  util::Rng data_rng(2);
+  auto seq = RandomSequence(5, 4, data_rng);
+  util::Rng fwd_rng(0);
+  auto out = bilstm.Forward(seq, fwd_rng, false);
+  EXPECT_EQ(out.forward.size(), 5u);
+  EXPECT_EQ(out.backward.size(), 5u);
+  for (size_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(out.forward[t].cols(), 3u);
+    EXPECT_EQ(out.backward[t].cols(), 3u);
+  }
+}
+
+TEST(BiLstmTest, StackedLayersHaveMoreParameters) {
+  util::Rng rng(13);
+  BiLstm one(4, 3, 1, rng);
+  BiLstm three(4, 3, 3, rng);
+  EXPECT_EQ(three.num_layers(), 3u);
+  EXPECT_GT(three.NumParameterValues(), one.NumParameterValues());
+}
+
+TEST(BiLstmTest, BackwardDirectionSeesFuture) {
+  // backward[0] summarizes the whole sequence; changing the last input must
+  // change backward[0] but not forward[0].
+  util::Rng rng(14);
+  BiLstm bilstm(2, 3, 1, rng);
+  util::Rng data_rng(3);
+  auto seq = RandomSequence(4, 2, data_rng);
+  util::Rng r0(0);
+  auto out1 = bilstm.Forward(seq, r0, false);
+  seq[3] = Tensor::RowVector({5.0f, -5.0f});
+  auto out2 = bilstm.Forward(seq, r0, false);
+  EXPECT_TRUE(out1.forward[0].value() == out2.forward[0].value());
+  EXPECT_FALSE(out1.backward[0].value() == out2.backward[0].value());
+}
+
+TEST(BiLstmTest, Gradients) {
+  util::Rng rng(15);
+  BiLstm bilstm(3, 2, 2, rng);
+  util::Rng data_rng(4);
+  auto seq = RandomSequence(4, 3, data_rng);
+  CheckModuleGradients(bilstm, [&] {
+    util::Rng r(0);
+    auto out = bilstm.Forward(seq, r, false);
+    Tensor acc = SumAll(out.forward.back());
+    return Add(acc, SumAll(out.backward.front()));
+  });
+}
+
+TEST(TemporalConvTest, OutputShape) {
+  util::Rng rng(16);
+  TemporalConv conv(4, 3, rng);
+  util::Rng data_rng(5);
+  auto fwd = RandomSequence(7, 4, data_rng);
+  auto bwd = RandomSequence(7, 4, data_rng);
+  Tensor map = conv.Forward(fwd, bwd);
+  EXPECT_EQ(map.rows(), 5u);  // T - taps + 1 = 7 - 3 + 1.
+  EXPECT_EQ(map.cols(), 4u);
+  Tensor feature = conv.FeatureVector(fwd, bwd);
+  EXPECT_EQ(feature.rows(), 1u);
+  EXPECT_EQ(feature.cols(), 4u);
+}
+
+TEST(TemporalConvTest, FeatureVectorNonNegative) {
+  // Mean of ReLU output is non-negative by construction (Eq. 3).
+  util::Rng rng(17);
+  TemporalConv conv(3, 3, rng);
+  util::Rng data_rng(6);
+  auto fwd = RandomSequence(5, 3, data_rng);
+  auto bwd = RandomSequence(5, 3, data_rng);
+  const Matrix& f = conv.FeatureVector(fwd, bwd).value();
+  for (size_t i = 0; i < f.size(); ++i) EXPECT_GE(f.data()[i], 0.0f);
+}
+
+TEST(TemporalConvTest, Gradients) {
+  util::Rng rng(18);
+  TemporalConv conv(3, 3, rng);
+  util::Rng data_rng(7);
+  auto fwd = RandomSequence(5, 3, data_rng);
+  auto bwd = RandomSequence(5, 3, data_rng);
+  CheckModuleGradients(conv,
+                       [&] { return SumAll(conv.FeatureVector(fwd, bwd)); });
+}
+
+TEST(ConvLstmTest, StepShapes) {
+  util::Rng rng(19);
+  ConvLstmCell cell(6, 3, rng);
+  auto state = cell.InitialState();
+  Tensor x = Tensor::RowVector({1, 2, 3, 4, 5, 6});
+  auto next = cell.Step(x, state);
+  EXPECT_EQ(next.h.cols(), 6u);
+  EXPECT_EQ(next.c.cols(), 6u);
+}
+
+TEST(ConvLstmTest, BiDirectionalOutput) {
+  util::Rng rng(20);
+  BiConvLstm net(4, 3, rng);
+  util::Rng data_rng(8);
+  auto seq = RandomSequence(5, 4, data_rng);
+  auto out = net.Forward(seq);
+  EXPECT_EQ(out.forward.size(), 5u);
+  EXPECT_EQ(out.backward.size(), 5u);
+}
+
+TEST(ConvLstmTest, Gradients) {
+  util::Rng rng(21);
+  ConvLstmCell cell(4, 3, rng);
+  util::Rng data_rng(9);
+  auto seq = RandomSequence(2, 4, data_rng);
+  CheckModuleGradients(cell, [&] {
+    auto state = cell.InitialState();
+    for (const Tensor& x : seq) state = cell.Step(x, state);
+    return SumAll(state.h);
+  });
+}
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  util::Rng rng(22);
+  Mlp mlp({4, 5, 3}, rng);
+  auto params = mlp.Parameters();
+  std::string path = "/tmp/hisrect_serialize_test.bin";
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+
+  util::Rng rng2(99);
+  Mlp other({4, 5, 3}, rng2);
+  auto other_params = other.Parameters();
+  // Different init -> different values.
+  EXPECT_FALSE(other_params[0].tensor.value() == params[0].tensor.value());
+  ASSERT_TRUE(LoadParameters(other_params, path).ok());
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_TRUE(other_params[i].tensor.value() == params[i].tensor.value());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadFailsOnMissingName) {
+  util::Rng rng(23);
+  Mlp mlp({2, 2}, rng);
+  std::string path = "/tmp/hisrect_serialize_missing.bin";
+  ASSERT_TRUE(SaveParameters(mlp.Parameters(), path).ok());
+  Mlp bigger({2, 2, 2}, rng);
+  auto params = bigger.Parameters();
+  EXPECT_FALSE(LoadParameters(params, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadFailsOnShapeMismatch) {
+  util::Rng rng(24);
+  Mlp mlp({2, 3}, rng);
+  std::string path = "/tmp/hisrect_serialize_shape.bin";
+  ASSERT_TRUE(SaveParameters(mlp.Parameters(), path).ok());
+  Mlp wrong({3, 3}, rng);
+  auto params = wrong.Parameters();
+  EXPECT_FALSE(LoadParameters(params, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadFailsOnGarbageFile) {
+  std::string path = "/tmp/hisrect_serialize_garbage.bin";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a model", f);
+  std::fclose(f);
+  util::Rng rng(25);
+  Mlp mlp({2, 2}, rng);
+  auto params = mlp.Parameters();
+  EXPECT_FALSE(LoadParameters(params, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hisrect::nn

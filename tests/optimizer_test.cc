@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/adam.h"
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace hisrect::nn {
+namespace {
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // f(w) = sum((w - target)^2) has minimum at w = target.
+  Tensor w = Tensor::RowVector({5.0f, -3.0f, 0.0f}, true);
+  Tensor target = Tensor::RowVector({1.0f, 2.0f, -1.0f});
+  AdamOptions options;
+  options.learning_rate = 0.05f;
+  options.l2 = 0.0f;
+  Adam adam({{"w", w}}, options);
+  for (int step = 0; step < 2000; ++step) {
+    Tensor loss = SquaredL2Diff(w, target);
+    loss.Backward();
+    adam.Step();
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(w.value().At(0, i), target.value().At(0, i), 0.05f);
+  }
+}
+
+TEST(AdamTest, StepZeroesGradients) {
+  Tensor w = Tensor::RowVector({1.0f}, true);
+  Adam adam({{"w", w}});
+  Tensor loss = SumAll(Mul(w, w));
+  loss.Backward();
+  EXPECT_NE(w.grad().At(0, 0), 0.0f);
+  adam.Step();
+  EXPECT_EQ(w.grad().At(0, 0), 0.0f);
+}
+
+TEST(AdamTest, GradientClippingBoundsUpdateDirection) {
+  // With a huge gradient, clipping keeps the effective gradient at norm 5;
+  // Adam's per-parameter normalization then bounds the step by lr.
+  Tensor w = Tensor::RowVector({0.0f}, true);
+  AdamOptions options;
+  options.learning_rate = 0.1f;
+  options.clip_norm = 5.0f;
+  options.l2 = 0.0f;
+  Adam adam({{"w", w}}, options);
+  w.mutable_grad().At(0, 0) = 1e6f;
+  adam.Step();
+  EXPECT_NEAR(w.value().At(0, 0), -0.1f, 0.02f);
+}
+
+TEST(AdamTest, L2RegularizationShrinksWeights) {
+  Tensor w = Tensor::RowVector({10.0f}, true);
+  AdamOptions options;
+  options.learning_rate = 0.05f;
+  options.l2 = 0.1f;
+  options.clip_norm = 0.0f;
+  Adam adam({{"w", w}}, options);
+  for (int step = 0; step < 500; ++step) {
+    // No data loss at all: only the regularizer acts.
+    adam.Step();
+  }
+  EXPECT_LT(std::fabs(w.value().At(0, 0)), 1.0f);
+}
+
+TEST(AdamTest, LearningRateDecaySchedule) {
+  Tensor w = Tensor::RowVector({1.0f}, true);
+  AdamOptions options;
+  options.learning_rate = 0.01f;
+  options.decay = 0.5f;
+  options.decay_every = 10;
+  Adam adam({{"w", w}}, options);
+  EXPECT_FLOAT_EQ(adam.current_learning_rate(), 0.01f);
+  for (int i = 0; i < 10; ++i) adam.Step();
+  EXPECT_FLOAT_EQ(adam.current_learning_rate(), 0.005f);
+  for (int i = 0; i < 10; ++i) adam.Step();
+  EXPECT_FLOAT_EQ(adam.current_learning_rate(), 0.0025f);
+}
+
+TEST(AdamTest, NoDecayByDefault) {
+  Tensor w = Tensor::RowVector({1.0f}, true);
+  Adam adam({{"w", w}});
+  for (int i = 0; i < 100; ++i) adam.Step();
+  EXPECT_FLOAT_EQ(adam.current_learning_rate(),
+                  adam.options().learning_rate);
+}
+
+TEST(AdamTest, MultipleParametersUpdateIndependently) {
+  Tensor a = Tensor::RowVector({2.0f}, true);
+  Tensor b = Tensor::RowVector({-2.0f}, true);
+  AdamOptions options;
+  options.learning_rate = 0.05f;
+  options.l2 = 0.0f;
+  Adam adam({{"a", a}, {"b", b}}, options);
+  for (int step = 0; step < 1500; ++step) {
+    Tensor loss = Add(SumAll(Mul(a, a)), SumAll(Mul(b, b)));
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(a.value().At(0, 0), 0.0f, 0.05f);
+  EXPECT_NEAR(b.value().At(0, 0), 0.0f, 0.05f);
+}
+
+TEST(AdamTest, StepCountAdvances) {
+  Tensor w = Tensor::RowVector({1.0f}, true);
+  Adam adam({{"w", w}});
+  EXPECT_EQ(adam.step_count(), 0u);
+  adam.Step();
+  adam.Step();
+  EXPECT_EQ(adam.step_count(), 2u);
+}
+
+}  // namespace
+}  // namespace hisrect::nn

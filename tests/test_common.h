@@ -1,0 +1,60 @@
+#ifndef HISRECT_TESTS_TEST_COMMON_H_
+#define HISRECT_TESTS_TEST_COMMON_H_
+
+#include <vector>
+
+#include "core/text_model.h"
+#include "data/city_generator.h"
+#include "data/dataset_builder.h"
+#include "data/presets.h"
+
+namespace hisrect::testing {
+
+/// A tiny city that generates in milliseconds — shared by the trainer /
+/// model / baseline tests.
+inline data::CityConfig TinyCityConfig() {
+  data::CityConfig config;
+  config.name = "tiny";
+  config.num_pois = 6;
+  config.num_users = 40;
+  config.tweets_per_user_min = 15;
+  config.tweets_per_user_max = 30;
+  config.timespan_seconds = 5 * 24 * 3600;
+  config.common_vocab_size = 60;
+  config.words_per_poi = 5;
+  // With few POIs, many categories would make category words nearly unique
+  // per POI (no textual ambiguity); keep 2 so content alone is ambiguous.
+  config.num_poi_categories = 2;
+  return config;
+}
+
+inline data::Dataset TinyDataset(uint64_t seed = 13) {
+  return data::MakeDataset(TinyCityConfig(), seed);
+}
+
+inline core::TextModel TinyTextModel(const data::Dataset& dataset,
+                                     uint64_t seed = 3) {
+  core::TextModelOptions options;
+  options.min_word_count = 2;
+  options.skipgram.dim = 8;
+  options.skipgram.epochs = 1;
+  return core::TrainTextModel(dataset, options, seed);
+}
+
+/// A deterministic labeled profile at POI `pid` for unit tests.
+inline data::Profile MakeProfile(data::UserId uid, data::Timestamp ts,
+                                 geo::LatLon location, geo::PoiId pid,
+                                 std::string content = "hello world") {
+  data::Profile profile;
+  profile.uid = uid;
+  profile.tweet.ts = ts;
+  profile.tweet.content = std::move(content);
+  profile.tweet.has_geo = true;
+  profile.tweet.location = location;
+  profile.pid = pid;
+  return profile;
+}
+
+}  // namespace hisrect::testing
+
+#endif  // HISRECT_TESTS_TEST_COMMON_H_

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "text/ngram.h"
+#include "text/skipgram.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+#include "util/rng.h"
+
+namespace hisrect::text {
+namespace {
+
+TEST(TokenizerTest, SplitsAndLowercases) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("Hello World! visiting TimesSquare");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "visiting");
+  EXPECT_EQ(tokens[3], "timessquare");
+}
+
+TEST(TokenizerTest, KeepsAlnumRuns) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("abc123 x_y");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "abc123");
+  EXPECT_EQ(tokens[1], "x_y");
+}
+
+TEST(TokenizerTest, ReplacesStopwordsWithSentinel) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("I am at the Statue of Liberty");
+  // "i", "at", "the", "of" are stopwords.
+  std::vector<std::string> expected = {std::string(kSentinelToken), "am",
+                                       std::string(kSentinelToken),
+                                       std::string(kSentinelToken), "statue",
+                                       std::string(kSentinelToken), "liberty"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizerTest, StopwordReplacementCanBeDisabled) {
+  Tokenizer tokenizer({.replace_stopwords = false});
+  auto tokens = tokenizer.Tokenize("the cat");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "the");
+}
+
+TEST(TokenizerTest, HashtagsAndMentionsKeepPrefix) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("#nyc @friend hello");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "#nyc");
+  EXPECT_EQ(tokens[1], "@friend");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("!!! ... ??").empty());
+}
+
+TEST(VocabTest, SentinelIsIdZero) {
+  Vocab vocab;
+  EXPECT_EQ(vocab.size(), 1u);
+  EXPECT_EQ(vocab.Lookup(std::string(kSentinelToken)), Vocab::kSentinelId);
+  EXPECT_EQ(vocab.word(Vocab::kSentinelId), kSentinelToken);
+}
+
+TEST(VocabTest, BuildRespectsMinCount) {
+  std::vector<std::vector<std::string>> corpus = {
+      {"apple", "banana", "apple"},
+      {"apple", "cherry"},
+  };
+  Vocab vocab = Vocab::Build(corpus, 2);
+  EXPECT_NE(vocab.Lookup("apple"), Vocab::kSentinelId);
+  EXPECT_EQ(vocab.Lookup("banana"), Vocab::kSentinelId);  // count 1 < 2.
+  EXPECT_EQ(vocab.Lookup("cherry"), Vocab::kSentinelId);
+}
+
+TEST(VocabTest, FrequenciesRecorded) {
+  std::vector<std::vector<std::string>> corpus = {
+      {"apple", "apple", "pear"}};
+  Vocab vocab = Vocab::Build(corpus, 1);
+  EXPECT_EQ(vocab.frequency(vocab.Lookup("apple")), 2u);
+  EXPECT_EQ(vocab.frequency(vocab.Lookup("pear")), 1u);
+}
+
+TEST(VocabTest, EncodeMapsUnknownsToSentinel) {
+  std::vector<std::vector<std::string>> corpus = {{"known", "known"}};
+  Vocab vocab = Vocab::Build(corpus, 1);
+  auto ids = vocab.Encode({"known", "unknown"});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_NE(ids[0], Vocab::kSentinelId);
+  EXPECT_EQ(ids[1], Vocab::kSentinelId);
+}
+
+TEST(VocabTest, DeterministicIds) {
+  std::vector<std::vector<std::string>> corpus = {{"b", "a", "c", "a", "b", "c"}};
+  Vocab v1 = Vocab::Build(corpus, 1);
+  Vocab v2 = Vocab::Build(corpus, 1);
+  EXPECT_EQ(v1.Lookup("a"), v2.Lookup("a"));
+  EXPECT_EQ(v1.Lookup("b"), v2.Lookup("b"));
+}
+
+class SkipGramTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two topical clusters: {sun, moon, star} and {fork, knife, spoon}
+    // never co-occur; skip-gram should embed within-cluster words closer.
+    util::Rng corpus_rng(3);
+    std::vector<std::string> sky = {"sun", "moon", "star"};
+    std::vector<std::string> cutlery = {"fork", "knife", "spoon"};
+    for (int s = 0; s < 600; ++s) {
+      std::vector<std::string> sentence;
+      const auto& topic = (s % 2 == 0) ? sky : cutlery;
+      for (int w = 0; w < 6; ++w) {
+        sentence.push_back(topic[corpus_rng.UniformInt(topic.size())]);
+      }
+      corpus_.push_back(std::move(sentence));
+    }
+    vocab_ = Vocab::Build(corpus_, 1);
+  }
+
+  std::vector<std::vector<std::string>> corpus_;
+  Vocab vocab_;
+};
+
+TEST_F(SkipGramTest, LearnsTopicalSimilarity) {
+  SkipGramOptions options;
+  options.dim = 8;
+  options.epochs = 3;
+  util::Rng rng(7);
+  SkipGramModel model(vocab_, options, rng);
+  std::vector<std::vector<WordId>> encoded;
+  for (const auto& sentence : corpus_) encoded.push_back(vocab_.Encode(sentence));
+  model.Train(encoded, rng);
+
+  float within = model.Similarity(vocab_.Lookup("sun"), vocab_.Lookup("moon"));
+  float across = model.Similarity(vocab_.Lookup("sun"), vocab_.Lookup("fork"));
+  EXPECT_GT(within, across);
+  EXPECT_GT(within, 0.3f);
+}
+
+TEST_F(SkipGramTest, EmbeddingDimensions) {
+  SkipGramOptions options;
+  options.dim = 12;
+  util::Rng rng(7);
+  SkipGramModel model(vocab_, options, rng);
+  EXPECT_EQ(model.dim(), 12u);
+  EXPECT_EQ(model.Embedding(vocab_.Lookup("sun")).size(), 12u);
+  std::vector<float> buffer(12, 0.0f);
+  model.EmbeddingInto(vocab_.Lookup("sun"), buffer.data());
+  EXPECT_EQ(buffer, model.Embedding(vocab_.Lookup("sun")));
+}
+
+TEST_F(SkipGramTest, DeterministicGivenSeed) {
+  SkipGramOptions options;
+  options.dim = 8;
+  options.epochs = 1;
+  std::vector<std::vector<WordId>> encoded;
+  for (const auto& sentence : corpus_) encoded.push_back(vocab_.Encode(sentence));
+  util::Rng rng_a(5);
+  SkipGramModel a(vocab_, options, rng_a);
+  a.Train(encoded, rng_a);
+  util::Rng rng_b(5);
+  SkipGramModel b(vocab_, options, rng_b);
+  b.Train(encoded, rng_b);
+  EXPECT_EQ(a.Embedding(1), b.Embedding(1));
+}
+
+TEST(TfIdfTest, CosineIdentityAndOrthogonality) {
+  std::vector<std::vector<WordId>> docs = {{1, 2, 3}, {4, 5, 6}, {1, 2, 9}};
+  TfIdfIndex index(docs);
+  EXPECT_NEAR(TfIdfIndex::Cosine(index.document_vector(0),
+                                 index.document_vector(0)),
+              1.0f, 1e-5f);
+  EXPECT_FLOAT_EQ(TfIdfIndex::Cosine(index.document_vector(0),
+                                     index.document_vector(1)),
+                  0.0f);
+  EXPECT_GT(TfIdfIndex::Cosine(index.document_vector(0),
+                               index.document_vector(2)),
+            0.0f);
+}
+
+TEST(TfIdfTest, RareTermsWeighMore) {
+  // Word 1 appears in every doc, word 7 in one: idf(7) > idf(1).
+  std::vector<std::vector<WordId>> docs = {{1, 7}, {1, 2}, {1, 3}, {1, 4}};
+  TfIdfIndex index(docs);
+  const SparseVector& v = index.document_vector(0);
+  EXPECT_GT(v.at(7), v.at(1));
+}
+
+TEST(TfIdfTest, SentinelIgnored) {
+  std::vector<std::vector<WordId>> docs = {{Vocab::kSentinelId, 2}};
+  TfIdfIndex index(docs);
+  EXPECT_EQ(index.document_vector(0).count(Vocab::kSentinelId), 0u);
+}
+
+TEST(TfIdfTest, VectorizeUnseenDocument) {
+  std::vector<std::vector<WordId>> docs = {{1, 2}, {2, 3}};
+  TfIdfIndex index(docs);
+  SparseVector q = index.Vectorize({2, 2, 5});
+  EXPECT_GT(q.at(2), 0.0f);
+  EXPECT_GT(q.at(5), 0.0f);  // Unseen word gets max idf.
+  EXPECT_EQ(q.count(1), 0u);
+}
+
+TEST(TfIdfTest, CosineEmptyIsZero) {
+  SparseVector empty;
+  SparseVector v = {{1, 0.5f}};
+  EXPECT_FLOAT_EQ(TfIdfIndex::Cosine(empty, v), 0.0f);
+}
+
+TEST(NGramTest, ExtractsAllOrders) {
+  std::vector<std::string> tokens = {"statue", "liberty", "island"};
+  auto grams = ExtractNGrams(tokens, 2);
+  EXPECT_EQ(grams.size(), 5u);  // 3 unigrams + 2 bigrams.
+  EXPECT_NE(std::find(grams.begin(), grams.end(), "statue liberty"),
+            grams.end());
+}
+
+TEST(NGramTest, SkipsSentinelGrams) {
+  std::vector<std::string> tokens = {"statue", std::string(kSentinelToken),
+                                     "liberty"};
+  auto grams = ExtractNGrams(tokens, 2);
+  // Unigrams: statue, liberty. Bigrams: none (both straddle the sentinel).
+  EXPECT_EQ(grams.size(), 2u);
+}
+
+TEST(NGramTest, ShortInput) {
+  EXPECT_TRUE(ExtractNGrams({}, 3).empty());
+  auto grams = ExtractNGrams({"solo"}, 3);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "solo");
+}
+
+}  // namespace
+}  // namespace hisrect::text

@@ -1,0 +1,195 @@
+// Command-line front end for the library:
+//
+//   hisrect_cli stats  [--preset nyc|lv] [--scale S] [--seed N]
+//   hisrect_cli train  [--preset ...] [--ssl-steps N] [--judge-steps N]
+//                      [--out model.bin]
+//   hisrect_cli eval   [--preset ...] [--model model.bin]   (fit if no model)
+//
+// `train` persists the fitted networks; `eval` reports the Table 4 metrics,
+// AUC and Acc@K on the held-out test split.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/hisrect_model.h"
+#include "core/text_model.h"
+#include "data/presets.h"
+#include "eval/pair_evaluator.h"
+#include "eval/poi_inference.h"
+#include "util/table.h"
+
+namespace hisrect {
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string preset = "nyc";
+  double scale = 0.5;
+  uint64_t seed = 42;
+  size_t ssl_steps = 4000;
+  size_t judge_steps = 3000;
+  std::string model_path;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hisrect_cli <stats|train|eval> [--preset nyc|lv] "
+               "[--scale S] [--seed N]\n"
+               "                   [--ssl-steps N] [--judge-steps N] "
+               "[--out FILE] [--model FILE]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions& options) {
+  if (argc < 2) return false;
+  options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--preset") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.preset = v;
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.scale = std::atof(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--ssl-steps") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.ssl_steps = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--judge-steps") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.judge_steps = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--out" || arg == "--model") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.model_path = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+data::Dataset MakeCliDataset(const CliOptions& options) {
+  data::CityConfig config =
+      options.preset == "lv"
+          ? data::LvLikeConfig({.users = options.scale})
+          : data::NycLikeConfig({.users = options.scale});
+  return data::MakeDataset(config, options.seed);
+}
+
+int RunStats(const CliOptions& options) {
+  data::Dataset dataset = MakeCliDataset(options);
+  util::Table table({"Split", "#timeline", "#labeled", "#avg visits", "#pos",
+                     "#neg", "#unlabeled"});
+  auto add = [&](const char* name, const data::DataSplit& split) {
+    data::SplitStats stats = data::ComputeSplitStats(split);
+    table.AddRow({name, std::to_string(stats.num_timelines),
+                  std::to_string(stats.num_labeled_profiles),
+                  util::Table::Fmt(stats.avg_visits_per_profile, 2),
+                  std::to_string(stats.num_positive_pairs),
+                  std::to_string(stats.num_negative_pairs),
+                  std::to_string(stats.num_unlabeled_pairs)});
+  };
+  add("train", dataset.train);
+  add("validation", dataset.validation);
+  add("test", dataset.test);
+  std::printf("dataset %s (seed %llu)\n", dataset.name.c_str(),
+              static_cast<unsigned long long>(options.seed));
+  table.Print(std::cout);
+  return 0;
+}
+
+core::HisRectModelConfig ModelConfig(const CliOptions& options) {
+  core::HisRectModelConfig config;
+  config.ssl.steps = options.ssl_steps;
+  config.judge_trainer.steps = options.judge_steps;
+  config.seed = options.seed;
+  return config;
+}
+
+int RunTrain(const CliOptions& options) {
+  data::Dataset dataset = MakeCliDataset(options);
+  core::TextModel text_model = core::TrainTextModel(dataset, {}, options.seed);
+  core::HisRectModel model(ModelConfig(options));
+  std::printf("training on %zu profiles (%zu labeled)...\n",
+              dataset.train.profiles.size(),
+              dataset.train.labeled_indices.size());
+  model.Fit(dataset, text_model);
+  std::printf("done: POI loss %.3f, judge loss %.3f\n",
+              model.ssl_stats().final_poi_loss,
+              model.judge_stats().final_loss);
+  if (!options.model_path.empty()) {
+    util::Status status = model.Save(options.model_path);
+    std::printf("saved to %s (%s)\n", options.model_path.c_str(),
+                status.ToString().c_str());
+    if (!status.ok()) return 1;
+  }
+  return 0;
+}
+
+int RunEval(const CliOptions& options) {
+  data::Dataset dataset = MakeCliDataset(options);
+  core::TextModel text_model = core::TrainTextModel(dataset, {}, options.seed);
+  core::HisRectModel model(ModelConfig(options));
+  if (!options.model_path.empty()) {
+    model.InitializeForLoad(dataset, text_model);
+    util::Status status = model.Load(options.model_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s\n", options.model_path.c_str());
+  } else {
+    std::printf("no --model given; training from scratch...\n");
+    model.Fit(dataset, text_model);
+  }
+
+  eval::PairScorer scorer = [&](const data::Profile& a,
+                                const data::Profile& b) {
+    return model.ScorePair(a, b);
+  };
+  util::Rng rng(options.seed ^ 0xe5a1);
+  eval::BinaryMetrics metrics =
+      eval::EvaluateTenFold(dataset.test, scorer, rng);
+  eval::RocCurve roc = eval::EvaluateRoc(dataset.test, scorer);
+  eval::PoiRanker ranker = [&](const data::Profile& profile, size_t k) {
+    std::vector<geo::PoiId> out;
+    for (const auto& [pid, probability] : model.InferPoi(profile, k)) {
+      out.push_back(pid);
+    }
+    return out;
+  };
+  std::printf("co-location:  acc=%.4f rec=%.4f pre=%.4f f1=%.4f auc=%.4f\n",
+              metrics.accuracy, metrics.recall, metrics.precision, metrics.f1,
+              roc.auc);
+  std::printf("poi inference: acc@1=%.4f acc@5=%.4f\n",
+              eval::AccuracyAtK(dataset.test, ranker, 1),
+              eval::AccuracyAtK(dataset.test, ranker, 5));
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, options)) return Usage();
+  if (options.command == "stats") return RunStats(options);
+  if (options.command == "train") return RunTrain(options);
+  if (options.command == "eval") return RunEval(options);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace hisrect
+
+int main(int argc, char** argv) { return hisrect::Run(argc, argv); }
