@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_roc.dir/bench_fig2_roc.cc.o"
+  "CMakeFiles/bench_fig2_roc.dir/bench_fig2_roc.cc.o.d"
+  "bench_fig2_roc"
+  "bench_fig2_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

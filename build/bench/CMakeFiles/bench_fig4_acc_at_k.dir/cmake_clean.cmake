@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_acc_at_k.dir/bench_fig4_acc_at_k.cc.o"
+  "CMakeFiles/bench_fig4_acc_at_k.dir/bench_fig4_acc_at_k.cc.o.d"
+  "bench_fig4_acc_at_k"
+  "bench_fig4_acc_at_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_acc_at_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

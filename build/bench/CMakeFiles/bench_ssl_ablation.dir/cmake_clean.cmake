@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ssl_ablation.dir/bench_ssl_ablation.cc.o"
+  "CMakeFiles/bench_ssl_ablation.dir/bench_ssl_ablation.cc.o.d"
+  "bench_ssl_ablation"
+  "bench_ssl_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssl_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

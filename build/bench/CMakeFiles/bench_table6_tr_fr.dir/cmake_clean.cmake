@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_tr_fr.dir/bench_table6_tr_fr.cc.o"
+  "CMakeFiles/bench_table6_tr_fr.dir/bench_table6_tr_fr.cc.o.d"
+  "bench_table6_tr_fr"
+  "bench_table6_tr_fr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_tr_fr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

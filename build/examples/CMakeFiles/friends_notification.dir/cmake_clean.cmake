@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/friends_notification.dir/friends_notification.cc.o"
+  "CMakeFiles/friends_notification.dir/friends_notification.cc.o.d"
+  "friends_notification"
+  "friends_notification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/friends_notification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

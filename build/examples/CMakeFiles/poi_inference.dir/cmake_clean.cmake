@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_inference.dir/poi_inference.cc.o"
+  "CMakeFiles/poi_inference.dir/poi_inference.cc.o.d"
+  "poi_inference"
+  "poi_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

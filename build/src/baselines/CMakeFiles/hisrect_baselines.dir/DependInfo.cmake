@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/hisrect_approach.cc" "src/baselines/CMakeFiles/hisrect_baselines.dir/hisrect_approach.cc.o" "gcc" "src/baselines/CMakeFiles/hisrect_baselines.dir/hisrect_approach.cc.o.d"
+  "/root/repo/src/baselines/ngram_gauss.cc" "src/baselines/CMakeFiles/hisrect_baselines.dir/ngram_gauss.cc.o" "gcc" "src/baselines/CMakeFiles/hisrect_baselines.dir/ngram_gauss.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/baselines/CMakeFiles/hisrect_baselines.dir/registry.cc.o" "gcc" "src/baselines/CMakeFiles/hisrect_baselines.dir/registry.cc.o.d"
+  "/root/repo/src/baselines/tg_ti_c.cc" "src/baselines/CMakeFiles/hisrect_baselines.dir/tg_ti_c.cc.o" "gcc" "src/baselines/CMakeFiles/hisrect_baselines.dir/tg_ti_c.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hisrect_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hisrect_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hisrect_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hisrect_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hisrect_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/hisrect_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

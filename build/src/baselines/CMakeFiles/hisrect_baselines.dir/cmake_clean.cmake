@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hisrect_baselines.dir/hisrect_approach.cc.o"
+  "CMakeFiles/hisrect_baselines.dir/hisrect_approach.cc.o.d"
+  "CMakeFiles/hisrect_baselines.dir/ngram_gauss.cc.o"
+  "CMakeFiles/hisrect_baselines.dir/ngram_gauss.cc.o.d"
+  "CMakeFiles/hisrect_baselines.dir/registry.cc.o"
+  "CMakeFiles/hisrect_baselines.dir/registry.cc.o.d"
+  "CMakeFiles/hisrect_baselines.dir/tg_ti_c.cc.o"
+  "CMakeFiles/hisrect_baselines.dir/tg_ti_c.cc.o.d"
+  "libhisrect_baselines.a"
+  "libhisrect_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hisrect_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/affinity.cc" "src/core/CMakeFiles/hisrect_core.dir/affinity.cc.o" "gcc" "src/core/CMakeFiles/hisrect_core.dir/affinity.cc.o.d"
+  "/root/repo/src/core/clustering.cc" "src/core/CMakeFiles/hisrect_core.dir/clustering.cc.o" "gcc" "src/core/CMakeFiles/hisrect_core.dir/clustering.cc.o.d"
+  "/root/repo/src/core/featurizer.cc" "src/core/CMakeFiles/hisrect_core.dir/featurizer.cc.o" "gcc" "src/core/CMakeFiles/hisrect_core.dir/featurizer.cc.o.d"
+  "/root/repo/src/core/heads.cc" "src/core/CMakeFiles/hisrect_core.dir/heads.cc.o" "gcc" "src/core/CMakeFiles/hisrect_core.dir/heads.cc.o.d"
+  "/root/repo/src/core/hisrect_model.cc" "src/core/CMakeFiles/hisrect_core.dir/hisrect_model.cc.o" "gcc" "src/core/CMakeFiles/hisrect_core.dir/hisrect_model.cc.o.d"
+  "/root/repo/src/core/judge_trainer.cc" "src/core/CMakeFiles/hisrect_core.dir/judge_trainer.cc.o" "gcc" "src/core/CMakeFiles/hisrect_core.dir/judge_trainer.cc.o.d"
+  "/root/repo/src/core/profile_encoder.cc" "src/core/CMakeFiles/hisrect_core.dir/profile_encoder.cc.o" "gcc" "src/core/CMakeFiles/hisrect_core.dir/profile_encoder.cc.o.d"
+  "/root/repo/src/core/ssl_trainer.cc" "src/core/CMakeFiles/hisrect_core.dir/ssl_trainer.cc.o" "gcc" "src/core/CMakeFiles/hisrect_core.dir/ssl_trainer.cc.o.d"
+  "/root/repo/src/core/text_model.cc" "src/core/CMakeFiles/hisrect_core.dir/text_model.cc.o" "gcc" "src/core/CMakeFiles/hisrect_core.dir/text_model.cc.o.d"
+  "/root/repo/src/core/visit_featurizer.cc" "src/core/CMakeFiles/hisrect_core.dir/visit_featurizer.cc.o" "gcc" "src/core/CMakeFiles/hisrect_core.dir/visit_featurizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/hisrect_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hisrect_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hisrect_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/hisrect_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hisrect_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

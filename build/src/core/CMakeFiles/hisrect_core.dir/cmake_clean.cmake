@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hisrect_core.dir/affinity.cc.o"
+  "CMakeFiles/hisrect_core.dir/affinity.cc.o.d"
+  "CMakeFiles/hisrect_core.dir/clustering.cc.o"
+  "CMakeFiles/hisrect_core.dir/clustering.cc.o.d"
+  "CMakeFiles/hisrect_core.dir/featurizer.cc.o"
+  "CMakeFiles/hisrect_core.dir/featurizer.cc.o.d"
+  "CMakeFiles/hisrect_core.dir/heads.cc.o"
+  "CMakeFiles/hisrect_core.dir/heads.cc.o.d"
+  "CMakeFiles/hisrect_core.dir/hisrect_model.cc.o"
+  "CMakeFiles/hisrect_core.dir/hisrect_model.cc.o.d"
+  "CMakeFiles/hisrect_core.dir/judge_trainer.cc.o"
+  "CMakeFiles/hisrect_core.dir/judge_trainer.cc.o.d"
+  "CMakeFiles/hisrect_core.dir/profile_encoder.cc.o"
+  "CMakeFiles/hisrect_core.dir/profile_encoder.cc.o.d"
+  "CMakeFiles/hisrect_core.dir/ssl_trainer.cc.o"
+  "CMakeFiles/hisrect_core.dir/ssl_trainer.cc.o.d"
+  "CMakeFiles/hisrect_core.dir/text_model.cc.o"
+  "CMakeFiles/hisrect_core.dir/text_model.cc.o.d"
+  "CMakeFiles/hisrect_core.dir/visit_featurizer.cc.o"
+  "CMakeFiles/hisrect_core.dir/visit_featurizer.cc.o.d"
+  "libhisrect_core.a"
+  "libhisrect_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hisrect_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/city_generator.cc" "src/data/CMakeFiles/hisrect_data.dir/city_generator.cc.o" "gcc" "src/data/CMakeFiles/hisrect_data.dir/city_generator.cc.o.d"
+  "/root/repo/src/data/dataset_builder.cc" "src/data/CMakeFiles/hisrect_data.dir/dataset_builder.cc.o" "gcc" "src/data/CMakeFiles/hisrect_data.dir/dataset_builder.cc.o.d"
+  "/root/repo/src/data/presets.cc" "src/data/CMakeFiles/hisrect_data.dir/presets.cc.o" "gcc" "src/data/CMakeFiles/hisrect_data.dir/presets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/hisrect_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hisrect_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hisrect_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hisrect_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hisrect_data.dir/city_generator.cc.o"
+  "CMakeFiles/hisrect_data.dir/city_generator.cc.o.d"
+  "CMakeFiles/hisrect_data.dir/dataset_builder.cc.o"
+  "CMakeFiles/hisrect_data.dir/dataset_builder.cc.o.d"
+  "CMakeFiles/hisrect_data.dir/presets.cc.o"
+  "CMakeFiles/hisrect_data.dir/presets.cc.o.d"
+  "libhisrect_data.a"
+  "libhisrect_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hisrect_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/group_patterns.cc" "src/eval/CMakeFiles/hisrect_eval.dir/group_patterns.cc.o" "gcc" "src/eval/CMakeFiles/hisrect_eval.dir/group_patterns.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/hisrect_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/hisrect_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/pair_evaluator.cc" "src/eval/CMakeFiles/hisrect_eval.dir/pair_evaluator.cc.o" "gcc" "src/eval/CMakeFiles/hisrect_eval.dir/pair_evaluator.cc.o.d"
+  "/root/repo/src/eval/poi_inference.cc" "src/eval/CMakeFiles/hisrect_eval.dir/poi_inference.cc.o" "gcc" "src/eval/CMakeFiles/hisrect_eval.dir/poi_inference.cc.o.d"
+  "/root/repo/src/eval/tsne.cc" "src/eval/CMakeFiles/hisrect_eval.dir/tsne.cc.o" "gcc" "src/eval/CMakeFiles/hisrect_eval.dir/tsne.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hisrect_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hisrect_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hisrect_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hisrect_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hisrect_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/hisrect_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hisrect_eval.dir/group_patterns.cc.o"
+  "CMakeFiles/hisrect_eval.dir/group_patterns.cc.o.d"
+  "CMakeFiles/hisrect_eval.dir/metrics.cc.o"
+  "CMakeFiles/hisrect_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/hisrect_eval.dir/pair_evaluator.cc.o"
+  "CMakeFiles/hisrect_eval.dir/pair_evaluator.cc.o.d"
+  "CMakeFiles/hisrect_eval.dir/poi_inference.cc.o"
+  "CMakeFiles/hisrect_eval.dir/poi_inference.cc.o.d"
+  "CMakeFiles/hisrect_eval.dir/tsne.cc.o"
+  "CMakeFiles/hisrect_eval.dir/tsne.cc.o.d"
+  "libhisrect_eval.a"
+  "libhisrect_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hisrect_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hisrect_geo.dir/latlon.cc.o"
+  "CMakeFiles/hisrect_geo.dir/latlon.cc.o.d"
+  "CMakeFiles/hisrect_geo.dir/poi.cc.o"
+  "CMakeFiles/hisrect_geo.dir/poi.cc.o.d"
+  "CMakeFiles/hisrect_geo.dir/polygon.cc.o"
+  "CMakeFiles/hisrect_geo.dir/polygon.cc.o.d"
+  "libhisrect_geo.a"
+  "libhisrect_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hisrect_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

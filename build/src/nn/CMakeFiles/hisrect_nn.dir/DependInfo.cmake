@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cc" "src/nn/CMakeFiles/hisrect_nn.dir/adam.cc.o" "gcc" "src/nn/CMakeFiles/hisrect_nn.dir/adam.cc.o.d"
+  "/root/repo/src/nn/conv_lstm.cc" "src/nn/CMakeFiles/hisrect_nn.dir/conv_lstm.cc.o" "gcc" "src/nn/CMakeFiles/hisrect_nn.dir/conv_lstm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/hisrect_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/hisrect_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/hisrect_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/hisrect_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/nn/CMakeFiles/hisrect_nn.dir/matrix.cc.o" "gcc" "src/nn/CMakeFiles/hisrect_nn.dir/matrix.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/hisrect_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/hisrect_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/hisrect_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/hisrect_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/nn/CMakeFiles/hisrect_nn.dir/ops.cc.o" "gcc" "src/nn/CMakeFiles/hisrect_nn.dir/ops.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/hisrect_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/hisrect_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/temporal_conv.cc" "src/nn/CMakeFiles/hisrect_nn.dir/temporal_conv.cc.o" "gcc" "src/nn/CMakeFiles/hisrect_nn.dir/temporal_conv.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/hisrect_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/hisrect_nn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hisrect_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

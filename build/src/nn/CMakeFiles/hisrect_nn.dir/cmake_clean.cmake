@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hisrect_nn.dir/adam.cc.o"
+  "CMakeFiles/hisrect_nn.dir/adam.cc.o.d"
+  "CMakeFiles/hisrect_nn.dir/conv_lstm.cc.o"
+  "CMakeFiles/hisrect_nn.dir/conv_lstm.cc.o.d"
+  "CMakeFiles/hisrect_nn.dir/linear.cc.o"
+  "CMakeFiles/hisrect_nn.dir/linear.cc.o.d"
+  "CMakeFiles/hisrect_nn.dir/lstm.cc.o"
+  "CMakeFiles/hisrect_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/hisrect_nn.dir/matrix.cc.o"
+  "CMakeFiles/hisrect_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/hisrect_nn.dir/mlp.cc.o"
+  "CMakeFiles/hisrect_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/hisrect_nn.dir/module.cc.o"
+  "CMakeFiles/hisrect_nn.dir/module.cc.o.d"
+  "CMakeFiles/hisrect_nn.dir/ops.cc.o"
+  "CMakeFiles/hisrect_nn.dir/ops.cc.o.d"
+  "CMakeFiles/hisrect_nn.dir/serialize.cc.o"
+  "CMakeFiles/hisrect_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/hisrect_nn.dir/temporal_conv.cc.o"
+  "CMakeFiles/hisrect_nn.dir/temporal_conv.cc.o.d"
+  "CMakeFiles/hisrect_nn.dir/tensor.cc.o"
+  "CMakeFiles/hisrect_nn.dir/tensor.cc.o.d"
+  "libhisrect_nn.a"
+  "libhisrect_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hisrect_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

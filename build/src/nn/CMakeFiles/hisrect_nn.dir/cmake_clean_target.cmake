@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhisrect_nn.a"
+)

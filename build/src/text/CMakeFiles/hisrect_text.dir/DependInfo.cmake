@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/ngram.cc" "src/text/CMakeFiles/hisrect_text.dir/ngram.cc.o" "gcc" "src/text/CMakeFiles/hisrect_text.dir/ngram.cc.o.d"
+  "/root/repo/src/text/skipgram.cc" "src/text/CMakeFiles/hisrect_text.dir/skipgram.cc.o" "gcc" "src/text/CMakeFiles/hisrect_text.dir/skipgram.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/text/CMakeFiles/hisrect_text.dir/tfidf.cc.o" "gcc" "src/text/CMakeFiles/hisrect_text.dir/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/hisrect_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/hisrect_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/text/CMakeFiles/hisrect_text.dir/vocab.cc.o" "gcc" "src/text/CMakeFiles/hisrect_text.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hisrect_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hisrect_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hisrect_text.dir/ngram.cc.o"
+  "CMakeFiles/hisrect_text.dir/ngram.cc.o.d"
+  "CMakeFiles/hisrect_text.dir/skipgram.cc.o"
+  "CMakeFiles/hisrect_text.dir/skipgram.cc.o.d"
+  "CMakeFiles/hisrect_text.dir/tfidf.cc.o"
+  "CMakeFiles/hisrect_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/hisrect_text.dir/tokenizer.cc.o"
+  "CMakeFiles/hisrect_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/hisrect_text.dir/vocab.cc.o"
+  "CMakeFiles/hisrect_text.dir/vocab.cc.o.d"
+  "libhisrect_text.a"
+  "libhisrect_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hisrect_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

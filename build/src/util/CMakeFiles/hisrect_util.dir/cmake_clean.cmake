@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hisrect_util.dir/csv.cc.o"
+  "CMakeFiles/hisrect_util.dir/csv.cc.o.d"
+  "CMakeFiles/hisrect_util.dir/logging.cc.o"
+  "CMakeFiles/hisrect_util.dir/logging.cc.o.d"
+  "CMakeFiles/hisrect_util.dir/rng.cc.o"
+  "CMakeFiles/hisrect_util.dir/rng.cc.o.d"
+  "CMakeFiles/hisrect_util.dir/status.cc.o"
+  "CMakeFiles/hisrect_util.dir/status.cc.o.d"
+  "CMakeFiles/hisrect_util.dir/stopwatch.cc.o"
+  "CMakeFiles/hisrect_util.dir/stopwatch.cc.o.d"
+  "CMakeFiles/hisrect_util.dir/table.cc.o"
+  "CMakeFiles/hisrect_util.dir/table.cc.o.d"
+  "libhisrect_util.a"
+  "libhisrect_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hisrect_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

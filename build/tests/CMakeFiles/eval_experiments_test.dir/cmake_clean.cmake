@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_experiments_test.dir/eval_experiments_test.cc.o"
+  "CMakeFiles/eval_experiments_test.dir/eval_experiments_test.cc.o.d"
+  "eval_experiments_test"
+  "eval_experiments_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_experiments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hisrect_cli.dir/hisrect_cli.cc.o"
+  "CMakeFiles/hisrect_cli.dir/hisrect_cli.cc.o.d"
+  "hisrect_cli"
+  "hisrect_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hisrect_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
