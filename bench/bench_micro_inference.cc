@@ -82,6 +82,24 @@ void BM_PoiInferenceTop5(benchmark::State& state) {
 }
 BENCHMARK(BM_PoiInferenceTop5);
 
+// Batched variant of the judgement benchmark: scores every labeled test
+// pair through eval::ScoreLabeledPairs, which fans the batch out over the
+// global thread pool. items/sec here is the pairs/sec throughput figure; run
+// with HISRECT_NUM_THREADS=1 vs N to see the parallel-layer speedup.
+void BM_BatchedPairScoring(benchmark::State& state) {
+  SharedModel& shared = Model();
+  const data::DataSplit& split = shared.data.dataset.test;
+  eval::PairScorer scorer = ScoreOf(*shared.approach);
+  size_t pairs_per_batch =
+      split.positive_pairs.size() + split.negative_pairs.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::ScoreLabeledPairs(split, scorer));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() *
+                                               pairs_per_batch));
+}
+BENCHMARK(BM_BatchedPairScoring)->Unit(benchmark::kMillisecond);
+
 void BM_VisitFeaturizerOnly(benchmark::State& state) {
   SharedModel& shared = Model();
   core::VisitFeaturizer featurizer(&shared.data.dataset.pois);

@@ -1,0 +1,172 @@
+// Parallel-layer throughput benchmark: end-to-end HisRect training
+// (SSL phase + judge phase, data-parallel with a fixed shard count) and
+// batched pair-scoring inference, each measured at several global thread-pool
+// sizes. Verifies the determinism contract along the way — with num_shards
+// fixed, losses and scores must be bitwise identical at every thread count —
+// and emits machine-readable bench_out/BENCH_parallel.json for
+// tools/run_benches.sh to diff across commits.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/hisrect_approach.h"
+#include "baselines/registry.h"
+#include "bench/bench_common.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace hisrect::bench {
+namespace {
+
+struct RunResult {
+  size_t threads = 0;
+  double train_seconds = 0.0;
+  double infer_seconds = 0.0;
+  // Fixed-seed training outcomes, compared bitwise across thread counts.
+  double ssl_poi_loss = 0.0;
+  double ssl_unsup_loss = 0.0;
+  double judge_loss = 0.0;
+  std::vector<double> scores;
+};
+
+int Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  // Throughput, not quality: short fixed budgets keep the three training
+  // runs (one per thread count) tractable on a laptop core.
+  env.ssl_steps = 400;
+  env.judge_steps = 300;
+  const size_t kNumShards = 4;
+  const size_t kInferRepeats = 3;
+  const std::vector<size_t> thread_counts = {1, 2, 4};
+
+  BenchDataset data =
+      MakeBenchDataset(data::NycLikeConfig({.users = 0.25}), env.seed);
+
+  std::vector<RunResult> runs;
+  for (size_t threads : thread_counts) {
+    util::ThreadPool::SetGlobalNumThreads(threads);
+
+    core::HisRectModelConfig config = baselines::BaseModelConfig(env.Budget());
+    config.ssl.num_shards = kNumShards;
+    config.judge_trainer.num_shards = kNumShards;
+    baselines::HisRectApproach approach("HisRect", config);
+
+    RunResult run;
+    run.threads = threads;
+
+    util::Stopwatch train_watch;
+    approach.Fit(data.dataset, data.text_model);
+    run.train_seconds = train_watch.ElapsedSeconds();
+    run.ssl_poi_loss = approach.model()->ssl_stats().final_poi_loss;
+    run.ssl_unsup_loss = approach.model()->ssl_stats().final_unsup_loss;
+    run.judge_loss = approach.model()->judge_stats().final_loss;
+
+    eval::PairScorer scorer = ScoreOf(approach);
+    util::Stopwatch infer_watch;
+    eval::ScoredPairs scored;
+    for (size_t r = 0; r < kInferRepeats; ++r) {
+      scored = eval::ScoreLabeledPairs(data.dataset.test, scorer);
+    }
+    run.infer_seconds = infer_watch.ElapsedSeconds();
+    run.scores = scored.scores;
+
+    std::fprintf(stderr, "[parallel] threads=%zu train %.2fs infer %.2fs\n",
+                 threads, run.train_seconds, run.infer_seconds);
+    runs.push_back(std::move(run));
+  }
+
+  // Determinism contract: with the shard count fixed, every thread count
+  // must produce bitwise-identical training losses and inference scores.
+  bool deterministic = true;
+  for (const RunResult& run : runs) {
+    if (run.ssl_poi_loss != runs[0].ssl_poi_loss ||
+        run.ssl_unsup_loss != runs[0].ssl_unsup_loss ||
+        run.judge_loss != runs[0].judge_loss ||
+        run.scores != runs[0].scores) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "[parallel] DETERMINISM VIOLATION at threads=%zu "
+                   "(losses %.17g/%.17g/%.17g vs %.17g/%.17g/%.17g)\n",
+                   run.threads, run.ssl_poi_loss, run.ssl_unsup_loss,
+                   run.judge_loss, runs[0].ssl_poi_loss,
+                   runs[0].ssl_unsup_loss, runs[0].judge_loss);
+    }
+  }
+
+  const double train_steps =
+      static_cast<double>(env.ssl_steps + env.judge_steps);
+  const double total_pairs = static_cast<double>(
+      (data.dataset.test.positive_pairs.size() +
+       data.dataset.test.negative_pairs.size()) *
+      kInferRepeats);
+
+  util::Table table({"threads", "train s", "steps/s", "train speedup",
+                     "infer s", "pairs/s", "infer speedup"});
+  for (const RunResult& run : runs) {
+    table.AddRow({std::to_string(run.threads),
+                  util::Table::Fmt(run.train_seconds, 2),
+                  util::Table::Fmt(train_steps / run.train_seconds, 1),
+                  util::Table::Fmt(runs[0].train_seconds / run.train_seconds, 2),
+                  util::Table::Fmt(run.infer_seconds, 2),
+                  util::Table::Fmt(total_pairs / run.infer_seconds, 1),
+                  util::Table::Fmt(runs[0].infer_seconds / run.infer_seconds,
+                                   2)});
+  }
+  std::printf("== Parallel training / inference throughput (num_shards=%zu) "
+              "==\n",
+              kNumShards);
+  table.Print(std::cout);
+  std::printf("Determinism across thread counts: %s\n",
+              deterministic ? "OK (bitwise)" : "VIOLATED");
+
+  // Machine-readable record for tools/run_benches.sh regression diffing.
+  std::string out_dir = "bench_out";
+  if (const char* v = std::getenv("HISRECT_BENCH_OUT")) out_dir = v;
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  std::string out_path = out_dir + "/BENCH_parallel.json";
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "[parallel] cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"num_shards\": %zu,\n", kNumShards);
+  std::fprintf(json, "  \"hardware_threads\": %zu,\n",
+               static_cast<size_t>(std::thread::hardware_concurrency()));
+  std::fprintf(json, "  \"train_steps\": %.0f,\n", train_steps);
+  std::fprintf(json, "  \"inference_pairs\": %.0f,\n", total_pairs);
+  std::fprintf(json, "  \"deterministic_across_threads\": %s,\n",
+               deterministic ? "true" : "false");
+  std::fprintf(json, "  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& run = runs[i];
+    std::fprintf(json,
+                 "    {\"threads\": %zu, \"train_seconds\": %.4f, "
+                 "\"steps_per_sec\": %.2f, \"train_speedup\": %.3f, "
+                 "\"infer_seconds\": %.4f, \"pairs_per_sec\": %.2f, "
+                 "\"infer_speedup\": %.3f}%s\n",
+                 run.threads, run.train_seconds,
+                 train_steps / run.train_seconds,
+                 runs[0].train_seconds / run.train_seconds, run.infer_seconds,
+                 total_pairs / run.infer_seconds,
+                 runs[0].infer_seconds / run.infer_seconds,
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("Wrote %s\n", out_path.c_str());
+
+  return deterministic ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hisrect::bench
+
+int main() { return hisrect::bench::Run(); }

@@ -123,4 +123,13 @@ void HisRectFeaturizer::CollectParameters(
   fusion_->CollectParameters(nn::JoinName(prefix, "fusion"), out);
 }
 
+std::unique_ptr<HisRectFeaturizer> HisRectFeaturizer::Clone() const {
+  // The throwaway init is overwritten immediately by the value copy.
+  util::Rng init_rng(0);
+  auto clone = std::make_unique<HisRectFeaturizer>(config_, num_pois_,
+                                                   embeddings_, init_rng);
+  nn::CopyParameterValues(*this, *clone);
+  return clone;
+}
+
 }  // namespace hisrect::core

@@ -74,6 +74,10 @@ class HisRectFeaturizer : public nn::Module {
   void CollectParameters(const std::string& prefix,
                          std::vector<nn::NamedParameter>& out) const override;
 
+  /// Structurally identical deep copy with independent parameter tensors
+  /// (a data-parallel worker replica). Shares the frozen `embeddings`.
+  std::unique_ptr<HisRectFeaturizer> Clone() const;
+
   size_t feature_dim() const { return config_.feature_dim; }
   const FeaturizerConfig& config() const { return config_; }
 

@@ -33,8 +33,18 @@ nn::MlpOptions HeadOptions(float dropout_rate, float final_stddev) {
 PoiClassifier::PoiClassifier(size_t feature_dim, size_t num_pois,
                              size_t num_layers, util::Rng& rng,
                              float dropout_rate)
-    : mlp_(StackDims(feature_dim, feature_dim, num_pois, num_layers), rng,
+    : arch_{feature_dim, num_pois, num_layers, dropout_rate},
+      mlp_(StackDims(feature_dim, feature_dim, num_pois, num_layers), rng,
            HeadOptions(dropout_rate, /*final_stddev=*/0.05f)) {}
+
+std::unique_ptr<PoiClassifier> PoiClassifier::Clone() const {
+  util::Rng init_rng(0);
+  auto clone = std::make_unique<PoiClassifier>(
+      arch_.feature_dim, arch_.num_pois, arch_.num_layers, init_rng,
+      arch_.dropout_rate);
+  nn::CopyParameterValues(*this, *clone);
+  return clone;
+}
 
 nn::Tensor PoiClassifier::Logits(const nn::Tensor& feature, util::Rng& rng,
                                  bool training) const {
@@ -52,8 +62,18 @@ void PoiClassifier::CollectParameters(
 
 Embedder::Embedder(size_t feature_dim, size_t embed_dim, size_t num_layers,
                    util::Rng& rng, float dropout_rate)
-    : mlp_(StackDims(feature_dim, feature_dim, embed_dim, num_layers), rng,
+    : arch_{feature_dim, embed_dim, num_layers, dropout_rate},
+      mlp_(StackDims(feature_dim, feature_dim, embed_dim, num_layers), rng,
            HeadOptions(dropout_rate, /*final_stddev=*/-1.0f)) {}
+
+std::unique_ptr<Embedder> Embedder::Clone() const {
+  util::Rng init_rng(0);
+  auto clone = std::make_unique<Embedder>(arch_.feature_dim, arch_.embed_dim,
+                                          arch_.num_layers, init_rng,
+                                          arch_.dropout_rate);
+  nn::CopyParameterValues(*this, *clone);
+  return clone;
+}
 
 nn::Tensor Embedder::Embed(const nn::Tensor& feature, util::Rng& rng,
                            bool training) const {
@@ -71,10 +91,20 @@ void Embedder::CollectParameters(const std::string& prefix,
 
 JudgeHead::JudgeHead(size_t feature_dim, size_t embed_dim, size_t qe,
                      size_t qc, util::Rng& rng, float dropout_rate)
-    : embed_(StackDims(feature_dim, feature_dim, embed_dim, qe), rng,
+    : arch_{feature_dim, embed_dim, qe, qc, dropout_rate},
+      embed_(StackDims(feature_dim, feature_dim, embed_dim, qe), rng,
              HeadOptions(dropout_rate, /*final_stddev=*/-1.0f)),
       classifier_(StackDims(embed_dim, embed_dim, 1, qc), rng,
                   HeadOptions(dropout_rate, /*final_stddev=*/0.05f)) {}
+
+std::unique_ptr<JudgeHead> JudgeHead::Clone() const {
+  util::Rng init_rng(0);
+  auto clone = std::make_unique<JudgeHead>(arch_.feature_dim, arch_.embed_dim,
+                                           arch_.qe, arch_.qc, init_rng,
+                                           arch_.dropout_rate);
+  nn::CopyParameterValues(*this, *clone);
+  return clone;
+}
 
 nn::Tensor JudgeHead::CoLocationLogit(const nn::Tensor& feature_i,
                                       const nn::Tensor& feature_j,

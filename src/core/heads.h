@@ -1,6 +1,7 @@
 #ifndef HISRECT_CORE_HEADS_H_
 #define HISRECT_CORE_HEADS_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,9 +27,21 @@ class PoiClassifier : public nn::Module {
   void CollectParameters(const std::string& prefix,
                          std::vector<nn::NamedParameter>& out) const override;
 
+  /// Structurally identical deep copy with independent parameters (a
+  /// data-parallel worker replica).
+  std::unique_ptr<PoiClassifier> Clone() const;
+
   size_t num_pois() const { return mlp_.out_dim(); }
 
  private:
+  struct Arch {
+    size_t feature_dim;
+    size_t num_pois;
+    size_t num_layers;
+    float dropout_rate;
+  };
+
+  Arch arch_;
   nn::Mlp mlp_;
 };
 
@@ -47,7 +60,18 @@ class Embedder : public nn::Module {
   void CollectParameters(const std::string& prefix,
                          std::vector<nn::NamedParameter>& out) const override;
 
+  /// Replica deep copy (see PoiClassifier::Clone).
+  std::unique_ptr<Embedder> Clone() const;
+
  private:
+  struct Arch {
+    size_t feature_dim;
+    size_t embed_dim;
+    size_t num_layers;
+    float dropout_rate;
+  };
+
+  Arch arch_;
   nn::Mlp mlp_;
 };
 
@@ -71,7 +95,19 @@ class JudgeHead : public nn::Module {
   void CollectParameters(const std::string& prefix,
                          std::vector<nn::NamedParameter>& out) const override;
 
+  /// Replica deep copy (see PoiClassifier::Clone).
+  std::unique_ptr<JudgeHead> Clone() const;
+
  private:
+  struct Arch {
+    size_t feature_dim;
+    size_t embed_dim;
+    size_t qe;
+    size_t qc;
+    float dropout_rate;
+  };
+
+  Arch arch_;
   nn::Mlp embed_;       // E'
   nn::Mlp classifier_;  // C (+ final logit layer)
 };

@@ -1,11 +1,31 @@
 #include "core/judge_trainer.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "nn/ops.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace hisrect::core {
+
+namespace {
+
+struct LabeledPair {
+  size_t i;
+  size_t j;
+  float label;
+};
+
+/// One data-parallel worker: replica modules whose parameter list mirrors
+/// the shared optimizer parameter list (same names, same order).
+struct JudgeWorker {
+  std::unique_ptr<JudgeHead> judge;
+  std::unique_ptr<HisRectFeaturizer> featurizer;  // Only when trained.
+  std::vector<nn::NamedParameter> params;
+};
+
+}  // namespace
 
 JudgeTrainer::JudgeTrainer(HisRectFeaturizer* featurizer, JudgeHead* judge,
                            const JudgeTrainerOptions& options)
@@ -29,11 +49,6 @@ JudgeTrainStats JudgeTrainer::Train(const std::vector<EncodedProfile>& encoded,
   }
   nn::Adam optimizer(params, options_.adam);
 
-  struct LabeledPair {
-    size_t i;
-    size_t j;
-    float label;
-  };
   // Per-epoch pool: all positives + subsampled negatives.
   std::vector<LabeledPair> pool;
   size_t cursor = 0;
@@ -58,37 +73,151 @@ JudgeTrainStats JudgeTrainer::Train(const std::vector<EncodedProfile>& encoded,
   };
   refill_pool();
   CHECK(!pool.empty());
+  auto next_pair = [&]() -> LabeledPair {
+    if (cursor >= pool.size()) refill_pool();
+    return pool[cursor++];
+  };
 
   JudgeTrainStats stats;
   size_t tail_begin = options_.steps - options_.steps / 10;
   double tail_loss = 0.0;
   size_t tail_count = 0;
-
-  for (size_t step = 0; step < options_.steps; ++step) {
-    nn::Tensor loss;
-    for (size_t b = 0; b < options_.batch_size; ++b) {
-      if (cursor >= pool.size()) refill_pool();
-      const LabeledPair& pair = pool[cursor++];
-      // Theta_F fixed in the two-phase approach: featurize in eval mode so
-      // no featurizer dropout perturbs the fixed features.
-      bool featurizer_training = options_.train_featurizer;
-      nn::Tensor fi =
-          featurizer_->Featurize(encoded[pair.i], rng, featurizer_training);
-      nn::Tensor fj =
-          featurizer_->Featurize(encoded[pair.j], rng, featurizer_training);
-      nn::Tensor logit = judge_->CoLocationLogit(fi, fj, rng, true);
-      nn::Tensor sample_loss =
-          nn::SigmoidBinaryCrossEntropy(logit, pair.label);
-      loss = loss.defined() ? nn::Add(loss, sample_loss) : sample_loss;
-    }
-    loss = nn::Scale(loss, 1.0f / static_cast<float>(options_.batch_size));
-    loss.Backward();
-    optimizer.Step();
+  auto record = [&](size_t step, double loss_value) {
     if (step >= tail_begin) {
-      tail_loss += loss.value().At(0, 0);
+      tail_loss += loss_value;
       ++tail_count;
     }
+  };
+
+  const size_t num_shards =
+      std::min(std::max<size_t>(options_.num_shards, 1), options_.batch_size);
+  const size_t batch_size = options_.batch_size;
+  const float inv_batch = 1.0f / static_cast<float>(batch_size);
+
+  if (num_shards <= 1) {
+    // Serial single-tape path (bit-compatible with the original trainer).
+    for (size_t step = 0; step < options_.steps; ++step) {
+      nn::Tensor loss;
+      for (size_t b = 0; b < batch_size; ++b) {
+        LabeledPair pair = next_pair();
+        // Theta_F fixed in the two-phase approach: featurize in eval mode so
+        // no featurizer dropout perturbs the fixed features.
+        bool featurizer_training = options_.train_featurizer;
+        nn::Tensor fi =
+            featurizer_->Featurize(encoded[pair.i], rng, featurizer_training);
+        nn::Tensor fj =
+            featurizer_->Featurize(encoded[pair.j], rng, featurizer_training);
+        nn::Tensor logit = judge_->CoLocationLogit(fi, fj, rng, true);
+        nn::Tensor sample_loss =
+            nn::SigmoidBinaryCrossEntropy(logit, pair.label);
+        loss = loss.defined() ? nn::Add(loss, sample_loss) : sample_loss;
+      }
+      loss = nn::Scale(loss, inv_batch);
+      loss.Backward();
+      optimizer.Step();
+      record(step, loss.value().At(0, 0));
+    }
+    stats.final_loss =
+        tail_count > 0 ? tail_loss / static_cast<double>(tail_count) : 0.0;
+    return stats;
   }
+
+  // ---- Data-parallel path ----
+  util::ThreadPool& thread_pool = util::ThreadPool::Global();
+
+  // Two-phase training keeps Theta_F fixed, so every profile's feature is
+  // step-invariant: compute each one once up front (in parallel) and feed
+  // the judge detached constants. This also keeps worker backward passes off
+  // the shared featurizer gradients entirely.
+  std::vector<nn::Matrix> feature_cache;
+  if (!options_.train_featurizer) {
+    feature_cache.resize(encoded.size());
+    util::ParallelFor(thread_pool, encoded.size(), thread_pool.num_threads(),
+                      [&](size_t, size_t begin, size_t end) {
+                        for (size_t i = begin; i < end; ++i) {
+                          feature_cache[i] =
+                              featurizer_->Featurize(encoded[i]).value();
+                        }
+                      });
+  }
+
+  std::vector<JudgeWorker> workers(num_shards);
+  for (JudgeWorker& worker : workers) {
+    worker.judge = judge_->Clone();
+    worker.judge->CollectParameters("judge", worker.params);
+    if (options_.train_featurizer) {
+      worker.featurizer = featurizer_->Clone();
+      worker.featurizer->CollectParameters("featurizer", worker.params);
+    }
+  }
+
+  optimizer.ZeroGrad();
+  std::vector<LabeledPair> batch(batch_size);
+  std::vector<util::Rng> sample_rngs;
+  std::vector<float> shard_losses(num_shards);
+  for (size_t step = 0; step < options_.steps; ++step) {
+    // All stochastic decisions happen on the coordinating thread, in sample
+    // order: pool draws and one forked RNG stream per sample. Workers never
+    // touch the trainer RNG, so the trajectory is a function of (seed,
+    // num_shards) only.
+    sample_rngs.clear();
+    for (size_t b = 0; b < batch_size; ++b) {
+      batch[b] = next_pair();
+      sample_rngs.push_back(rng.Fork());
+    }
+    for (JudgeWorker& worker : workers) {
+      nn::CopyParameterValues(*judge_, *worker.judge);
+      if (worker.featurizer != nullptr) {
+        nn::CopyParameterValues(*featurizer_, *worker.featurizer);
+      }
+    }
+
+    util::ParallelFor(
+        thread_pool, batch_size, num_shards,
+        [&](size_t shard, size_t begin, size_t end) {
+          JudgeWorker& worker = workers[shard];
+          nn::Tensor loss;
+          for (size_t b = begin; b < end; ++b) {
+            const LabeledPair& pair = batch[b];
+            util::Rng& sample_rng = sample_rngs[b];
+            nn::Tensor fi, fj;
+            if (worker.featurizer != nullptr) {
+              fi = worker.featurizer->Featurize(encoded[pair.i], sample_rng,
+                                                true);
+              fj = worker.featurizer->Featurize(encoded[pair.j], sample_rng,
+                                                true);
+            } else {
+              fi = nn::Tensor::FromMatrix(feature_cache[pair.i]);
+              fj = nn::Tensor::FromMatrix(feature_cache[pair.j]);
+            }
+            nn::Tensor logit =
+                worker.judge->CoLocationLogit(fi, fj, sample_rng, true);
+            nn::Tensor sample_loss =
+                nn::SigmoidBinaryCrossEntropy(logit, pair.label);
+            loss = loss.defined() ? nn::Add(loss, sample_loss) : sample_loss;
+          }
+          loss = nn::Scale(loss, inv_batch);
+          loss.Backward();
+          shard_losses[shard] = loss.value().At(0, 0);
+        });
+
+    // Fixed-order reduction: shard 0 first, then 1, ... — the float sums
+    // are associated identically no matter which threads ran the shards.
+    double loss_value = 0.0;
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      loss_value += shard_losses[shard];
+      std::vector<nn::NamedParameter>& worker_params = workers[shard].params;
+      CHECK_EQ(worker_params.size(), params.size());
+      for (size_t p = 0; p < params.size(); ++p) {
+        params[p].tensor.mutable_grad().AddScaled(
+            worker_params[p].tensor.grad(), 1.0f);
+        worker_params[p].tensor.ZeroGrad();
+      }
+    }
+    optimizer.Step();
+    record(step, loss_value);
+  }
+
   stats.final_loss =
       tail_count > 0 ? tail_loss / static_cast<double>(tail_count) : 0.0;
   return stats;

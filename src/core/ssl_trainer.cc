@@ -1,11 +1,27 @@
 #include "core/ssl_trainer.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "nn/ops.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace hisrect::core {
+
+namespace {
+
+/// One data-parallel worker: replica modules plus parameter lists mirroring
+/// the two shared optimizer lists (same names, same order).
+struct SslWorker {
+  std::unique_ptr<HisRectFeaturizer> featurizer;
+  std::unique_ptr<PoiClassifier> classifier;
+  std::unique_ptr<Embedder> embedder;  // Only when use_embedding.
+  std::vector<nn::NamedParameter> poi_params;
+  std::vector<nn::NamedParameter> unsup_params;
+};
+
+}  // namespace
 
 SslTrainer::SslTrainer(HisRectFeaturizer* featurizer,
                        PoiClassifier* classifier, Embedder* embedder,
@@ -79,6 +95,10 @@ SslTrainStats SslTrainer::Train(const std::vector<EncodedProfile>& encoded,
     pool_cursor = 0;
   };
   refill_pool();
+  auto next_pair = [&]() -> WeightedPair {
+    if (pool_cursor >= pool.size()) refill_pool();
+    return pool[pool_cursor++];
+  };
 
   // Mixing ratio gamma_poi = |R_L| / (|R_L| + |Gamma_L u Gamma_U|)
   // (Algorithm 1, line 2), computed over the per-epoch pool (the sets the
@@ -100,81 +120,223 @@ SslTrainStats SslTrainer::Train(const std::vector<EncodedProfile>& encoded,
   size_t tail_poi_count = 0;
   double tail_unsup_loss = 0.0;
   size_t tail_unsup_count = 0;
+  auto record_poi = [&](size_t step, double loss_value) {
+    ++stats.poi_steps;
+    if (step >= tail_begin) {
+      tail_poi_loss += loss_value;
+      ++tail_poi_count;
+    }
+  };
+  auto record_unsup = [&](size_t step, double loss_value) {
+    ++stats.pair_steps;
+    if (step >= tail_begin) {
+      tail_unsup_loss += loss_value;
+      ++tail_unsup_count;
+    }
+  };
+  auto finish = [&] {
+    stats.final_poi_loss =
+        tail_poi_count > 0
+            ? tail_poi_loss / static_cast<double>(tail_poi_count)
+            : 0.0;
+    stats.final_unsup_loss =
+        tail_unsup_count > 0
+            ? tail_unsup_loss / static_cast<double>(tail_unsup_count)
+            : 0.0;
+    return stats;
+  };
 
-  for (size_t step = 0; step < options_.steps; ++step) {
-    bool take_poi_step = rng.Uniform() < gamma_poi;
-    if (take_poi_step) {
-      // Supervised step: L_poi = cross entropy of P(F(r)) vs r.pid.
-      nn::Tensor loss;
-      for (size_t b = 0; b < options_.batch_size; ++b) {
-        size_t index = labeled[rng.UniformInt(labeled.size())];
-        const EncodedProfile& profile = encoded[index];
-        nn::Tensor feature = featurizer_->Featurize(profile, rng, true);
-        nn::Tensor logits = classifier_->Logits(feature, rng, true);
-        nn::Tensor sample_loss = nn::SoftmaxCrossEntropy(
-            logits, static_cast<size_t>(profile.pid));
-        loss = loss.defined() ? nn::Add(loss, sample_loss) : sample_loss;
+  const size_t batch_size = options_.batch_size;
+  const float inv_batch = 1.0f / static_cast<float>(batch_size);
+
+  // Per-sample graph builders shared by the serial and parallel paths.
+  // `featurizer`/`classifier`/`embedder` are the module set the sample's
+  // tape is attached to (shared modules or a worker replica).
+  auto poi_sample_loss = [&](const HisRectFeaturizer& featurizer,
+                             const PoiClassifier& classifier, size_t index,
+                             util::Rng& sample_rng) {
+    const EncodedProfile& profile = encoded[index];
+    nn::Tensor feature = featurizer.Featurize(profile, sample_rng, true);
+    nn::Tensor logits = classifier.Logits(feature, sample_rng, true);
+    return nn::SoftmaxCrossEntropy(logits, static_cast<size_t>(profile.pid));
+  };
+  auto unsup_sample_loss = [&](const HisRectFeaturizer& featurizer,
+                               const Embedder* embedder,
+                               const WeightedPair& pair,
+                               util::Rng& sample_rng) {
+    nn::Tensor fi = featurizer.Featurize(encoded[pair.i], sample_rng, true);
+    nn::Tensor fj = featurizer.Featurize(encoded[pair.j], sample_rng, true);
+    nn::Tensor ei = options_.use_embedding
+                        ? embedder->Embed(fi, sample_rng, true)
+                        : nn::L2NormalizeRow(fi);
+    nn::Tensor ej = options_.use_embedding
+                        ? embedder->Embed(fj, sample_rng, true)
+                        : nn::L2NormalizeRow(fj);
+    nn::Tensor sample_loss;
+    switch (options_.unsup_loss) {
+      case UnsupLossKind::kCosine: {
+        // a_ij * (1 - <e_i, e_j>): build as a_ij - a_ij * dot.
+        nn::Tensor dot = nn::Dot(ei, ej);
+        nn::Tensor scaled = nn::Scale(dot, -pair.weight);
+        // Constant a_ij contributes nothing to gradients; add it so the
+        // reported loss matches Eq. 4.
+        sample_loss = nn::Add(
+            scaled, nn::Tensor::FromMatrix(nn::Matrix(1, 1, pair.weight)));
+        break;
       }
-      loss = nn::Scale(loss, 1.0f / static_cast<float>(options_.batch_size));
-      loss.Backward();
-      poi_optimizer.Step();
-      ++stats.poi_steps;
-      if (step >= tail_begin) {
-        tail_poi_loss += loss.value().At(0, 0);
-        ++tail_poi_count;
-      }
-    } else {
-      // Unsupervised step over affinity pairs.
-      nn::Tensor loss;
-      for (size_t b = 0; b < options_.batch_size; ++b) {
-        if (pool_cursor >= pool.size()) refill_pool();
-        const WeightedPair& pair = pool[pool_cursor++];
-        nn::Tensor fi = featurizer_->Featurize(encoded[pair.i], rng, true);
-        nn::Tensor fj = featurizer_->Featurize(encoded[pair.j], rng, true);
-        nn::Tensor ei = options_.use_embedding
-                            ? embedder_->Embed(fi, rng, true)
-                            : nn::L2NormalizeRow(fi);
-        nn::Tensor ej = options_.use_embedding
-                            ? embedder_->Embed(fj, rng, true)
-                            : nn::L2NormalizeRow(fj);
-        nn::Tensor sample_loss;
-        switch (options_.unsup_loss) {
-          case UnsupLossKind::kCosine: {
-            // a_ij * (1 - <e_i, e_j>): build as a_ij - a_ij * dot.
-            nn::Tensor dot = nn::Dot(ei, ej);
-            nn::Tensor scaled = nn::Scale(dot, -pair.weight);
-            // Constant a_ij contributes nothing to gradients; add it so the
-            // reported loss matches Eq. 4.
-            sample_loss = nn::Add(
-                scaled, nn::Tensor::FromMatrix(nn::Matrix(1, 1, pair.weight)));
-            break;
-          }
-          case UnsupLossKind::kSquaredL2:
-            sample_loss = nn::Scale(nn::SquaredL2Diff(ei, ej), pair.weight);
-            break;
+      case UnsupLossKind::kSquaredL2:
+        sample_loss = nn::Scale(nn::SquaredL2Diff(ei, ej), pair.weight);
+        break;
+    }
+    return sample_loss;
+  };
+
+  const size_t num_shards =
+      std::min(std::max<size_t>(options_.num_shards, 1), batch_size);
+
+  if (num_shards <= 1) {
+    // Serial single-tape path (bit-compatible with the original trainer).
+    for (size_t step = 0; step < options_.steps; ++step) {
+      bool take_poi_step = rng.Uniform() < gamma_poi;
+      if (take_poi_step) {
+        // Supervised step: L_poi = cross entropy of P(F(r)) vs r.pid.
+        nn::Tensor loss;
+        for (size_t b = 0; b < batch_size; ++b) {
+          size_t index = labeled[rng.UniformInt(labeled.size())];
+          nn::Tensor sample_loss =
+              poi_sample_loss(*featurizer_, *classifier_, index, rng);
+          loss = loss.defined() ? nn::Add(loss, sample_loss) : sample_loss;
         }
-        loss = loss.defined() ? nn::Add(loss, sample_loss) : sample_loss;
+        loss = nn::Scale(loss, inv_batch);
+        loss.Backward();
+        poi_optimizer.Step();
+        record_poi(step, loss.value().At(0, 0));
+      } else {
+        // Unsupervised step over affinity pairs.
+        nn::Tensor loss;
+        for (size_t b = 0; b < batch_size; ++b) {
+          WeightedPair pair = next_pair();
+          nn::Tensor sample_loss =
+              unsup_sample_loss(*featurizer_, embedder_, pair, rng);
+          loss = loss.defined() ? nn::Add(loss, sample_loss) : sample_loss;
+        }
+        loss = nn::Scale(loss, options_.unsup_weight * inv_batch);
+        loss.Backward();
+        unsup_optimizer.Step();
+        record_unsup(step, loss.value().At(0, 0));
       }
-      loss = nn::Scale(loss, options_.unsup_weight /
-                                 static_cast<float>(options_.batch_size));
-      loss.Backward();
-      unsup_optimizer.Step();
-      ++stats.pair_steps;
-      if (step >= tail_begin) {
-        tail_unsup_loss += loss.value().At(0, 0);
-        ++tail_unsup_count;
-      }
+    }
+    return finish();
+  }
+
+  // ---- Data-parallel path ----
+  util::ThreadPool& thread_pool = util::ThreadPool::Global();
+
+  std::vector<SslWorker> workers(num_shards);
+  for (SslWorker& worker : workers) {
+    worker.featurizer = featurizer_->Clone();
+    worker.classifier = classifier_->Clone();
+    worker.featurizer->CollectParameters("featurizer", worker.poi_params);
+    worker.classifier->CollectParameters("classifier", worker.poi_params);
+    worker.featurizer->CollectParameters("featurizer", worker.unsup_params);
+    if (options_.use_embedding) {
+      worker.embedder = embedder_->Clone();
+      worker.embedder->CollectParameters("embedder", worker.unsup_params);
     }
   }
 
-  stats.final_poi_loss =
-      tail_poi_count > 0 ? tail_poi_loss / static_cast<double>(tail_poi_count)
-                         : 0.0;
-  stats.final_unsup_loss =
-      tail_unsup_count > 0
-          ? tail_unsup_loss / static_cast<double>(tail_unsup_count)
-          : 0.0;
-  return stats;
+  poi_optimizer.ZeroGrad();
+  unsup_optimizer.ZeroGrad();
+
+  std::vector<size_t> poi_batch(batch_size);
+  std::vector<WeightedPair> pair_batch(batch_size);
+  std::vector<util::Rng> sample_rngs;
+  std::vector<float> shard_losses(num_shards);
+
+  // Fixed-order reduction of worker gradients into the shared parameters,
+  // then a single optimizer step. The shard-ascending order keeps the float
+  // sums associated identically no matter which threads ran the shards.
+  auto reduce_and_step = [&](std::vector<nn::NamedParameter>& shared,
+                             bool poi_step, nn::Adam& optimizer) {
+    double loss_value = 0.0;
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      loss_value += shard_losses[shard];
+      std::vector<nn::NamedParameter>& worker_params =
+          poi_step ? workers[shard].poi_params : workers[shard].unsup_params;
+      CHECK_EQ(worker_params.size(), shared.size());
+      for (size_t p = 0; p < shared.size(); ++p) {
+        shared[p].tensor.mutable_grad().AddScaled(worker_params[p].tensor.grad(),
+                                                  1.0f);
+        worker_params[p].tensor.ZeroGrad();
+      }
+    }
+    optimizer.Step();
+    return loss_value;
+  };
+
+  for (size_t step = 0; step < options_.steps; ++step) {
+    // All stochastic decisions happen on the coordinating thread, in sample
+    // order: the step-kind draw, batch draws, and one forked RNG stream per
+    // sample. The trajectory is a function of (seed, num_shards) only.
+    bool take_poi_step = rng.Uniform() < gamma_poi;
+    sample_rngs.clear();
+    if (take_poi_step) {
+      for (size_t b = 0; b < batch_size; ++b) {
+        poi_batch[b] = labeled[rng.UniformInt(labeled.size())];
+        sample_rngs.push_back(rng.Fork());
+      }
+      for (SslWorker& worker : workers) {
+        nn::CopyParameterValues(*featurizer_, *worker.featurizer);
+        nn::CopyParameterValues(*classifier_, *worker.classifier);
+      }
+      util::ParallelFor(
+          thread_pool, batch_size, num_shards,
+          [&](size_t shard, size_t begin, size_t end) {
+            SslWorker& worker = workers[shard];
+            nn::Tensor loss;
+            for (size_t b = begin; b < end; ++b) {
+              nn::Tensor sample_loss =
+                  poi_sample_loss(*worker.featurizer, *worker.classifier,
+                                  poi_batch[b], sample_rngs[b]);
+              loss = loss.defined() ? nn::Add(loss, sample_loss) : sample_loss;
+            }
+            loss = nn::Scale(loss, inv_batch);
+            loss.Backward();
+            shard_losses[shard] = loss.value().At(0, 0);
+          });
+      record_poi(step, reduce_and_step(poi_params, /*poi_step=*/true,
+                                       poi_optimizer));
+    } else {
+      for (size_t b = 0; b < batch_size; ++b) {
+        pair_batch[b] = next_pair();
+        sample_rngs.push_back(rng.Fork());
+      }
+      for (SslWorker& worker : workers) {
+        nn::CopyParameterValues(*featurizer_, *worker.featurizer);
+        if (worker.embedder != nullptr) {
+          nn::CopyParameterValues(*embedder_, *worker.embedder);
+        }
+      }
+      util::ParallelFor(
+          thread_pool, batch_size, num_shards,
+          [&](size_t shard, size_t begin, size_t end) {
+            SslWorker& worker = workers[shard];
+            nn::Tensor loss;
+            for (size_t b = begin; b < end; ++b) {
+              nn::Tensor sample_loss =
+                  unsup_sample_loss(*worker.featurizer, worker.embedder.get(),
+                                    pair_batch[b], sample_rngs[b]);
+              loss = loss.defined() ? nn::Add(loss, sample_loss) : sample_loss;
+            }
+            loss = nn::Scale(loss, options_.unsup_weight * inv_batch);
+            loss.Backward();
+            shard_losses[shard] = loss.value().At(0, 0);
+          });
+      record_unsup(step, reduce_and_step(unsup_params, /*poi_step=*/false,
+                                         unsup_optimizer));
+    }
+  }
+  return finish();
 }
 
 }  // namespace hisrect::core

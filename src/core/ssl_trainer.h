@@ -42,6 +42,10 @@ struct SslTrainerOptions {
   /// ratio |R_L| : |Gamma| leaves P undertrained at the scaled-down data
   /// sizes; the floor keeps POI inference usable.
   double min_poi_step_fraction = 0.5;
+  /// Data-parallel gradient shards per step (see
+  /// JudgeTrainerOptions::num_shards; same fixed-shard determinism
+  /// contract). <= 1 keeps the serial single-tape path.
+  size_t num_shards = 1;
   nn::AdamOptions adam;
   AffinityOptions affinity;
 };

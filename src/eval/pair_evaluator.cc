@@ -3,25 +3,32 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace hisrect::eval {
 
 ScoredPairs ScoreLabeledPairs(const data::DataSplit& split,
                               const PairScorer& scorer) {
+  const size_t num_positives = split.positive_pairs.size();
+  const size_t total = num_positives + split.negative_pairs.size();
   ScoredPairs out;
-  out.scores.reserve(split.positive_pairs.size() +
-                     split.negative_pairs.size());
-  out.labels.reserve(out.scores.capacity());
-  for (const data::Pair& pair : split.positive_pairs) {
-    out.scores.push_back(
-        scorer(split.profiles[pair.i], split.profiles[pair.j]));
-    out.labels.push_back(1);
-  }
-  for (const data::Pair& pair : split.negative_pairs) {
-    out.scores.push_back(
-        scorer(split.profiles[pair.i], split.profiles[pair.j]));
-    out.labels.push_back(0);
-  }
+  out.scores.resize(total);
+  out.labels.resize(total);
+
+  // Each pair's score lands at its own index, so the batch parallelizes
+  // trivially and the output is identical to the serial loop regardless of
+  // thread count. The scorer must be safe to call concurrently (the model
+  // scorers are: scoring builds a fresh tape per call and only reads shared
+  // parameters).
+  util::ParallelFor(total, [&](size_t /*shard*/, size_t begin, size_t end) {
+    for (size_t index = begin; index < end; ++index) {
+      const data::Pair& pair = index < num_positives
+                                   ? split.positive_pairs[index]
+                                   : split.negative_pairs[index - num_positives];
+      out.scores[index] = scorer(split.profiles[pair.i], split.profiles[pair.j]);
+      out.labels[index] = index < num_positives ? 1 : 0;
+    }
+  });
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/logging.h"
+
 namespace hisrect::nn {
 
 std::vector<NamedParameter> Module::Parameters() const {
@@ -35,6 +37,23 @@ Tensor ZeroParameter(size_t rows, size_t cols) {
 std::string JoinName(const std::string& prefix, const std::string& name) {
   if (prefix.empty()) return name;
   return prefix + "/" + name;
+}
+
+void CopyParameterValues(const Module& src, const Module& dst) {
+  std::vector<NamedParameter> src_params = src.Parameters();
+  std::vector<NamedParameter> dst_params = dst.Parameters();
+  CHECK_EQ(src_params.size(), dst_params.size())
+      << "parameter-count mismatch between source and replica";
+  for (size_t i = 0; i < src_params.size(); ++i) {
+    CHECK(src_params[i].name == dst_params[i].name)
+        << "parameter order mismatch: " << src_params[i].name << " vs "
+        << dst_params[i].name;
+    const Matrix& value = src_params[i].tensor.value();
+    Tensor target = dst_params[i].tensor;
+    CHECK_EQ(value.rows(), target.rows());
+    CHECK_EQ(value.cols(), target.cols());
+    target.mutable_value() = value;
+  }
 }
 
 }  // namespace hisrect::nn

@@ -48,6 +48,13 @@ Tensor ZeroParameter(size_t rows, size_t cols);
 /// Joins `prefix` and `name` with '/' (skipping empty prefixes).
 std::string JoinName(const std::string& prefix, const std::string& name);
 
+/// Copies every parameter value of `src` into the structurally identical
+/// module `dst` (same parameter names, order and shapes — CHECK-failed
+/// otherwise). Gradients and graph state are untouched. This is the sync
+/// primitive for data-parallel worker replicas: replicas are re-synced from
+/// the shared parameters before each forward/backward pass.
+void CopyParameterValues(const Module& src, const Module& dst);
+
 }  // namespace hisrect::nn
 
 #endif  // HISRECT_NN_MODULE_H_

@@ -321,12 +321,16 @@ Tensor MeanRows(const Tensor& x) {
   size_t rows = x.rows();
   size_t cols = x.cols();
   Matrix out(1, cols);
+  std::vector<double> sums(cols, 0.0);
   for (size_t i = 0; i < rows; ++i) {
     const float* row = x.value().data() + i * cols;
-    for (size_t j = 0; j < cols; ++j) out.data()[j] += row[j];
+    for (size_t j = 0; j < cols; ++j) sums[j] += row[j];
+  }
+  double inv_d = 1.0 / static_cast<double>(rows);
+  for (size_t j = 0; j < cols; ++j) {
+    out.data()[j] = static_cast<float>(sums[j] * inv_d);
   }
   float inv = 1.0f / static_cast<float>(rows);
-  for (size_t j = 0; j < cols; ++j) out.data()[j] *= inv;
   return Tensor::MakeOp(std::move(out), {x}, [inv](Node& self) {
     Node& px = *self.parents[0];
     if (!px.requires_grad) return;
@@ -367,9 +371,11 @@ Tensor L2NormalizeRow(const Tensor& x) {
   // Smoothed norm: sqrt(||x||^2 + eps) bounds the backward amplification
   // (1/norm) for near-zero inputs instead of exploding.
   constexpr float kEps = 1e-6f;
-  float norm_sq = 0.0f;
-  for (size_t i = 0; i < v.size(); ++i) norm_sq += v.data()[i] * v.data()[i];
-  float norm = std::sqrt(norm_sq + kEps);
+  double norm_sq = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    norm_sq += static_cast<double>(v.data()[i]) * v.data()[i];
+  }
+  float norm = static_cast<float>(std::sqrt(norm_sq + kEps));
   Matrix out = v;
   float inv = 1.0f / norm;
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= inv;
@@ -379,13 +385,15 @@ Tensor L2NormalizeRow(const Tensor& x) {
     // y = x / norm; dL/dx = (g - y * <g, y>) / norm (with the smoothed norm
     // the <g, y> projection is approximate near zero, which is fine).
     size_t n = self.grad.size();
-    float dot = 0.0f;
+    double dot = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      dot += self.grad.data()[i] * self.value.data()[i];
+      dot += static_cast<double>(self.grad.data()[i]) * self.value.data()[i];
     }
+    float dot_f = static_cast<float>(dot);
     Matrix delta(1, n);
     for (size_t i = 0; i < n; ++i) {
-      delta.data()[i] = (self.grad.data()[i] - self.value.data()[i] * dot) * inv;
+      delta.data()[i] =
+          (self.grad.data()[i] - self.value.data()[i] * dot_f) * inv;
     }
     AccumulateInto(px, delta);
   });
@@ -395,12 +403,12 @@ Tensor Dot(const Tensor& a, const Tensor& b) {
   CHECK_EQ(a.rows(), 1u);
   CHECK_EQ(b.rows(), 1u);
   CHECK_EQ(a.cols(), b.cols());
-  float acc = 0.0f;
+  double acc = 0.0;
   for (size_t i = 0; i < a.cols(); ++i) {
-    acc += a.value().data()[i] * b.value().data()[i];
+    acc += static_cast<double>(a.value().data()[i]) * b.value().data()[i];
   }
   Matrix out(1, 1);
-  out.At(0, 0) = acc;
+  out.At(0, 0) = static_cast<float>(acc);
   return Tensor::MakeOp(std::move(out), {a, b}, [](Node& self) {
     Node& pa = *self.parents[0];
     Node& pb = *self.parents[1];

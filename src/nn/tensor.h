@@ -19,7 +19,11 @@ namespace hisrect::nn {
 /// Parameters are long-lived tensors created with `requires_grad = true`;
 /// graphs built on top of them are freed when the intermediate handles go out
 /// of scope, while accumulated parameter gradients persist until `ZeroGrad()`.
-/// Not thread-safe; the library trains single-threaded by design.
+/// A single tape is not thread-safe: backward closures write parent
+/// gradients directly. Parallel training therefore builds one tape per
+/// worker over replica parameters and reduces the replica gradients in a
+/// fixed order (see DESIGN.md "Threading model"); concurrent read-only
+/// forward passes over shared parameters are safe.
 class Tensor {
  public:
   struct Node {

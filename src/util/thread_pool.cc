@@ -1,0 +1,114 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace hisrect::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task captures exceptions into the future.
+  }
+}
+
+size_t ThreadPool::DefaultNumThreads() {
+  if (const char* v = std::getenv("HISRECT_NUM_THREADS")) {
+    long parsed = std::atol(v);
+    if (parsed >= 1) return static_cast<size_t>(parsed);
+    return 1;
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool>* slot = new std::unique_ptr<ThreadPool>();
+  return *slot;
+}
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
+  if (slot == nullptr) {
+    slot = std::make_unique<ThreadPool>(DefaultNumThreads());
+  }
+  return *slot;
+}
+
+void ThreadPool::SetGlobalNumThreads(size_t num_threads) {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  GlobalPoolSlot() = std::make_unique<ThreadPool>(num_threads);
+}
+
+void ParallelFor(ThreadPool& pool, size_t n, size_t num_shards,
+                 const std::function<void(size_t shard, size_t begin,
+                                          size_t end)>& fn) {
+  num_shards = std::max<size_t>(num_shards, 1);
+  if (n == 0) return;
+  if (num_shards == 1 || pool.num_threads() == 1) {
+    // Same shard geometry, run inline: no queue round-trip when it cannot
+    // buy any concurrency.
+    for (size_t s = 0; s < num_shards; ++s) {
+      size_t begin = s * n / num_shards;
+      size_t end = (s + 1) * n / num_shards;
+      if (begin < end) fn(s, begin, end);
+    }
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    size_t begin = s * n / num_shards;
+    size_t end = (s + 1) * n / num_shards;
+    if (begin >= end) continue;
+    futures.push_back(pool.Submit([&fn, s, begin, end] { fn(s, begin, end); }));
+  }
+  // Wait for every shard before observing results: packaged_task futures do
+  // not block in their destructor, and `fn` must not be left referenced by a
+  // still-running task if an earlier shard threw.
+  for (std::future<void>& future : futures) future.wait();
+  for (std::future<void>& future : futures) future.get();
+}
+
+void ParallelFor(size_t n,
+                 const std::function<void(size_t shard, size_t begin,
+                                          size_t end)>& fn) {
+  ThreadPool& pool = ThreadPool::Global();
+  ParallelFor(pool, n, pool.num_threads(), fn);
+}
+
+}  // namespace hisrect::util

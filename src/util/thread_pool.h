@@ -1,0 +1,93 @@
+#ifndef HISRECT_UTIL_THREAD_POOL_H_
+#define HISRECT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace hisrect::util {
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue.
+///
+/// Tasks are submitted as callables and observed through `std::future`s, so
+/// exceptions thrown inside a task propagate to the caller at `get()` time.
+/// The pool itself is thread-safe; the work it runs is only as safe as the
+/// callables submitted (see DESIGN.md "Threading model" for what in this
+/// library may be shared across workers).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (floored at 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains nothing: outstanding tasks are completed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename Fn>
+  std::future<std::invoke_result_t<Fn>> Submit(Fn fn) {
+    using Result = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<Result()>>(std::move(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  /// The worker count implied by the environment: HISRECT_NUM_THREADS if set
+  /// (floored at 1), otherwise std::thread::hardware_concurrency().
+  static size_t DefaultNumThreads();
+
+  /// The process-wide pool, lazily created with DefaultNumThreads() workers.
+  static ThreadPool& Global();
+
+  /// Replaces the global pool with one of `num_threads` workers. Must not be
+  /// called while tasks are in flight on the global pool.
+  static void SetGlobalNumThreads(size_t num_threads);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Splits [0, n) into `num_shards` contiguous ranges and runs
+/// `fn(shard, begin, end)` for each on the pool, blocking until all complete.
+///
+/// The partition depends only on (n, num_shards) — shard s covers
+/// [s*n/S, (s+1)*n/S) — never on the pool's worker count, so any
+/// shard-indexed accumulation reduced in shard order is bitwise independent
+/// of the parallelism actually available. Empty shards (n < num_shards) are
+/// skipped. The first pending exception from any shard is rethrown.
+void ParallelFor(ThreadPool& pool, size_t n, size_t num_shards,
+                 const std::function<void(size_t shard, size_t begin,
+                                          size_t end)>& fn);
+
+/// ParallelFor over the global pool with one shard per worker.
+void ParallelFor(size_t n,
+                 const std::function<void(size_t shard, size_t begin,
+                                          size_t end)>& fn);
+
+}  // namespace hisrect::util
+
+#endif  // HISRECT_UTIL_THREAD_POOL_H_

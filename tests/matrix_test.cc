@@ -125,6 +125,46 @@ TEST_P(MatMulPropertyTest, MatMulTransposedAMatchesExplicitTranspose) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MatMulPropertyTest,
                          ::testing::Range(0, 20));
 
+// Golden tests for the cache-blocked kernels at sizes that exercise the
+// blocking and unrolling edges: k crossing the 64-wide block boundary, k not
+// a multiple of the 4-wide unroll, single-row / single-column operands. The
+// kernels keep one accumulator per output element advancing in ascending-k
+// order — exactly like the naive triple loop — so the results must be
+// bitwise identical, not merely close. (Strict equality assumes both sides
+// are compiled without FP contraction differences, true for the default
+// non-native-arch build.)
+TEST(MatMulGoldenTest, BlockedKernelsBitwiseMatchNaiveOnOddShapes) {
+  util::Rng rng(123);
+  struct Shape {
+    size_t r, k, c;
+  };
+  for (const Shape& shape :
+       {Shape{67, 131, 53}, Shape{1, 200, 9}, Shape{3, 64, 4},
+        Shape{5, 65, 5}, Shape{128, 128, 1}, Shape{1, 1, 1},
+        Shape{2, 300, 2}, Shape{31, 7, 63}}) {
+    SCOPED_TRACE(::testing::Message() << shape.r << "x" << shape.k << " * "
+                                      << shape.k << "x" << shape.c);
+    Matrix a = RandomMatrix(shape.r, shape.k, rng);
+    Matrix b = RandomMatrix(shape.k, shape.c, rng);
+    Matrix expected = NaiveMatMul(a, b);
+    EXPECT_TRUE(MatMulValues(a, b) == expected);
+    EXPECT_TRUE(MatMulTransposedB(a, Transpose(b)) == expected);
+    EXPECT_TRUE(MatMulTransposedA(Transpose(a), b) == expected);
+  }
+}
+
+TEST(MatMulGoldenTest, RowVectorTimesMatrix) {
+  // The library's hottest shape: a 1xk feature row against a kxc weight
+  // matrix (plus its backward-transposed variants).
+  util::Rng rng(7);
+  Matrix a = RandomMatrix(1, 96, rng);
+  Matrix b = RandomMatrix(96, 48, rng);
+  Matrix expected = NaiveMatMul(a, b);
+  EXPECT_TRUE(MatMulValues(a, b) == expected);
+  EXPECT_TRUE(MatMulTransposedB(a, Transpose(b)) == expected);
+  EXPECT_TRUE(MatMulTransposedA(Transpose(a), b) == expected);
+}
+
 TEST(MatMulTest, IdentityIsNeutral) {
   util::Rng rng(5);
   Matrix a = RandomMatrix(4, 4, rng);

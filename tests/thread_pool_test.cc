@@ -1,0 +1,116 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace hisrect::util {
+namespace {
+
+TEST(ThreadPoolTest, SubmittedTasksCompleteAndReturnValues) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&completed] { ++completed; });
+    }
+  }
+  EXPECT_EQ(completed.load(), 16);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  std::future<int> ok = pool.Submit([] { return 7; });
+  std::future<int> bad = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForExceptionRethrown) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ParallelFor(pool, 8, 4,
+                           [](size_t shard, size_t, size_t) {
+                             if (shard == 2) {
+                               throw std::runtime_error("shard failed");
+                             }
+                           }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t n : {0u, 1u, 5u, 16u, 17u, 103u}) {
+    for (size_t shards : {1u, 2u, 4u, 7u}) {
+      // Shard ranges are disjoint, so each slot is written by exactly one
+      // task — plain ints suffice.
+      std::vector<int> hits(n, 0);
+      ParallelFor(pool, n, shards, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) ++hits[i];
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i], 1) << "n=" << n << " shards=" << shards
+                              << " index=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPartitionIndependentOfThreadCount) {
+  // The shard boundaries must be a pure function of (n, num_shards):
+  // shard s covers [s*n/S, (s+1)*n/S).
+  const size_t n = 23;
+  const size_t shards = 4;
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::pair<size_t, size_t>> ranges(shards);
+    ParallelFor(pool, n, shards, [&](size_t shard, size_t begin, size_t end) {
+      ranges[shard] = {begin, end};
+    });
+    for (size_t s = 0; s < shards; ++s) {
+      EXPECT_EQ(ranges[s].first, s * n / shards);
+      EXPECT_EQ(ranges[s].second, (s + 1) * n / shards);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSkipsEmptyShards) {
+  ThreadPool pool(2);
+  std::atomic<int> invocations{0};
+  ParallelFor(pool, 2, 8, [&](size_t, size_t begin, size_t end) {
+    EXPECT_LT(begin, end);  // Only non-empty shards run.
+    ++invocations;
+  });
+  EXPECT_EQ(invocations.load(), 2);
+}
+
+TEST(ThreadPoolTest, GlobalPoolResizable) {
+  ThreadPool::SetGlobalNumThreads(2);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 2u);
+  std::vector<int> out(10, 0);
+  ParallelFor(10, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out[i] = static_cast<int>(i);
+  });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
+  ThreadPool::SetGlobalNumThreads(1);
+}
+
+}  // namespace
+}  // namespace hisrect::util

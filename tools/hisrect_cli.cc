@@ -2,11 +2,15 @@
 //
 //   hisrect_cli stats  [--preset nyc|lv] [--scale S] [--seed N]
 //   hisrect_cli train  [--preset ...] [--ssl-steps N] [--judge-steps N]
-//                      [--out model.bin]
-//   hisrect_cli eval   [--preset ...] [--model model.bin]   (fit if no model)
+//                      [--threads N] [--shards N] [--out model.bin]
+//   hisrect_cli eval   [--preset ...] [--threads N] [--model model.bin]
+//                      (fit if no model)
 //
 // `train` persists the fitted networks; `eval` reports the Table 4 metrics,
-// AUC and Acc@K on the held-out test split.
+// AUC and Acc@K on the held-out test split. `--threads` sizes the global
+// worker pool (default: HISRECT_NUM_THREADS, else all hardware threads);
+// `--shards` sets the per-step gradient shard count — results depend on the
+// shard count but never on the thread count.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -18,6 +22,7 @@
 #include "eval/pair_evaluator.h"
 #include "eval/poi_inference.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace hisrect {
 namespace {
@@ -29,6 +34,10 @@ struct CliOptions {
   uint64_t seed = 42;
   size_t ssl_steps = 4000;
   size_t judge_steps = 3000;
+  /// 0 keeps the pool's environment-derived default size.
+  size_t threads = 0;
+  /// Gradient shards per training step (1 = serial single-tape path).
+  size_t shards = 1;
   std::string model_path;
 };
 
@@ -37,7 +46,8 @@ int Usage() {
                "usage: hisrect_cli <stats|train|eval> [--preset nyc|lv] "
                "[--scale S] [--seed N]\n"
                "                   [--ssl-steps N] [--judge-steps N] "
-               "[--out FILE] [--model FILE]\n");
+               "[--threads N] [--shards N]\n"
+               "                   [--out FILE] [--model FILE]\n");
   return 2;
 }
 
@@ -69,6 +79,14 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (v == nullptr) return false;
       options.judge_steps = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.threads = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.shards = static_cast<size_t>(std::atoll(v));
     } else if (arg == "--out" || arg == "--model") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -115,6 +133,8 @@ core::HisRectModelConfig ModelConfig(const CliOptions& options) {
   core::HisRectModelConfig config;
   config.ssl.steps = options.ssl_steps;
   config.judge_trainer.steps = options.judge_steps;
+  config.ssl.num_shards = options.shards;
+  config.judge_trainer.num_shards = options.shards;
   config.seed = options.seed;
   return config;
 }
@@ -183,6 +203,9 @@ int RunEval(const CliOptions& options) {
 int Run(int argc, char** argv) {
   CliOptions options;
   if (!ParseArgs(argc, argv, options)) return Usage();
+  if (options.threads > 0) {
+    util::ThreadPool::SetGlobalNumThreads(options.threads);
+  }
   if (options.command == "stats") return RunStats(options);
   if (options.command == "train") return RunTrain(options);
   if (options.command == "eval") return RunEval(options);

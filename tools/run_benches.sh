@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Builds the benchmarks in Release, runs the micro-inference and parallel
+# throughput benches, and diffs bench_out/BENCH_parallel.json against the
+# previous run. Exits non-zero when best-thread-count throughput (steps/sec
+# or pairs/sec) regressed by more than 20%, or when the determinism check
+# inside bench_training_throughput failed.
+#
+# Knobs:
+#   BUILD_DIR          build tree to use        (default: build-release)
+#   HISRECT_BENCH_OUT  output/history directory (default: bench_out)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-release}
+OUT_DIR=${HISRECT_BENCH_OUT:-bench_out}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target bench_micro_inference bench_training_throughput
+
+mkdir -p "$OUT_DIR"
+current="$OUT_DIR/BENCH_parallel.json"
+previous="$OUT_DIR/BENCH_parallel.prev.json"
+if [ -f "$current" ]; then
+  cp "$current" "$previous"
+fi
+
+"$BUILD_DIR/bench/bench_micro_inference" --benchmark_min_time=0.2 \
+  | tee "$OUT_DIR/micro_inference.txt"
+HISRECT_BENCH_OUT="$OUT_DIR" "$BUILD_DIR/bench/bench_training_throughput"
+
+if [ ! -f "$previous" ]; then
+  echo "run_benches: no previous BENCH_parallel.json — baseline recorded."
+  exit 0
+fi
+
+python3 - "$previous" "$current" <<'EOF'
+import json
+import sys
+
+previous, current = (json.load(open(path)) for path in sys.argv[1:3])
+
+def best(doc, key):
+    return max(run[key] for run in doc["runs"])
+
+failed = False
+for key in ("steps_per_sec", "pairs_per_sec"):
+    prev_value, cur_value = best(previous, key), best(current, key)
+    change = (cur_value - prev_value) / prev_value * 100.0
+    print(f"run_benches: {key}: {prev_value:.2f} -> {cur_value:.2f} "
+          f"({change:+.1f}%)")
+    if cur_value < prev_value * 0.8:
+        failed = True
+
+if not current.get("deterministic_across_threads", False):
+    print("run_benches: determinism check FAILED")
+    failed = True
+
+if failed:
+    print("run_benches: REGRESSION — >20% throughput drop vs previous run")
+    sys.exit(1)
+print("run_benches: OK — within 20% of the previous run")
+EOF
