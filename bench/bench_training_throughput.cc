@@ -7,6 +7,7 @@
 // tools/run_benches.sh to diff across commits.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <memory>
@@ -17,6 +18,8 @@
 #include "baselines/hisrect_approach.h"
 #include "baselines/registry.h"
 #include "bench/bench_common.h"
+#include "core/affinity.h"
+#include "core/profile_encoder.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -26,6 +29,8 @@ namespace {
 
 struct RunResult {
   size_t threads = 0;
+  double graph_seconds = 0.0;
+  double encode_seconds = 0.0;
   double train_seconds = 0.0;
   double infer_seconds = 0.0;
   // Fixed-seed training outcomes, compared bitwise across thread counts.
@@ -33,7 +38,44 @@ struct RunResult {
   double ssl_unsup_loss = 0.0;
   double judge_loss = 0.0;
   std::vector<double> scores;
+  // Sharded-phase outputs, also compared bitwise across thread counts.
+  std::vector<core::WeightedPair> pairs;
+  std::vector<core::EncodedProfile> encoded;
 };
+
+bool BitwiseEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+bool SamePairs(const std::vector<core::WeightedPair>& a,
+               const std::vector<core::WeightedPair>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].i != b[i].i || a[i].j != b[i].j || a[i].labeled != b[i].labeled ||
+        std::memcmp(&a[i].weight, &b[i].weight, sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameEncoded(const std::vector<core::EncodedProfile>& a,
+                 const std::vector<core::EncodedProfile>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].words != b[i].words || a[i].ts != b[i].ts ||
+        a[i].has_geo != b[i].has_geo || a[i].pid != b[i].pid ||
+        !BitwiseEqual(a[i].visit_hisrect, b[i].visit_hisrect) ||
+        !BitwiseEqual(a[i].visit_onehot, b[i].visit_onehot) ||
+        std::memcmp(&a[i].location, &b[i].location,
+                    sizeof(a[i].location)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
 
 int Run() {
   BenchEnv env = BenchEnv::FromEnv();
@@ -43,6 +85,7 @@ int Run() {
   env.judge_steps = 300;
   const size_t kNumShards = 4;
   const size_t kInferRepeats = 3;
+  const size_t kPhaseRepeats = 3;
   const std::vector<size_t> thread_counts = {1, 2, 4};
 
   BenchDataset data =
@@ -59,6 +102,25 @@ int Run() {
 
     RunResult run;
     run.threads = threads;
+
+    // Sharded-phase throughput, measured standalone so the timings are not
+    // entangled with SGD. Affinity num_shards stays 0 (one per worker) — the
+    // output is invariant to it, so this is the natural production setting.
+    util::Stopwatch graph_watch;
+    for (size_t r = 0; r < kPhaseRepeats; ++r) {
+      run.pairs = core::BuildAffinityPairs(data.dataset.train,
+                                           data.dataset.pois, {});
+    }
+    run.graph_seconds = graph_watch.ElapsedSeconds();
+
+    // A fresh encoder per repeat: EncodeAll memoizes, so reusing one would
+    // time cache replay instead of the parallel encode fan-out.
+    util::Stopwatch encode_watch;
+    for (size_t r = 0; r < kPhaseRepeats; ++r) {
+      core::ProfileEncoder encoder(&data.dataset.pois, &data.text_model);
+      run.encoded = encoder.EncodeAll(data.dataset.train.profiles);
+    }
+    run.encode_seconds = encode_watch.ElapsedSeconds();
 
     util::Stopwatch train_watch;
     approach.Fit(data.dataset, data.text_model);
@@ -82,7 +144,9 @@ int Run() {
   }
 
   // Determinism contract: with the shard count fixed, every thread count
-  // must produce bitwise-identical training losses and inference scores.
+  // must produce bitwise-identical training losses and inference scores —
+  // and the sharded graph-build / encode phases must be byte-identical at
+  // every thread count even with num_shards floating (one per worker).
   bool deterministic = true;
   for (const RunResult& run : runs) {
     if (run.ssl_poi_loss != runs[0].ssl_poi_loss ||
@@ -97,6 +161,20 @@ int Run() {
                    run.judge_loss, runs[0].ssl_poi_loss,
                    runs[0].ssl_unsup_loss, runs[0].judge_loss);
     }
+    if (!SamePairs(run.pairs, runs[0].pairs)) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "[parallel] DETERMINISM VIOLATION at threads=%zu: affinity "
+                   "pairs differ from the 1-thread build\n",
+                   run.threads);
+    }
+    if (!SameEncoded(run.encoded, runs[0].encoded)) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "[parallel] DETERMINISM VIOLATION at threads=%zu: encoded "
+                   "profiles differ from the 1-thread pass\n",
+                   run.threads);
+    }
   }
 
   const double train_steps =
@@ -105,6 +183,15 @@ int Run() {
       (data.dataset.test.positive_pairs.size() +
        data.dataset.test.negative_pairs.size()) *
       kInferRepeats);
+  // Graph-build throughput denominator: candidate pairs scanned, i.e. every
+  // positive / negative / unlabeled pair the sharded pass filters.
+  const double graph_candidates = static_cast<double>(
+      (data.dataset.train.positive_pairs.size() +
+       data.dataset.train.negative_pairs.size() +
+       data.dataset.train.unlabeled_pairs.size()) *
+      kPhaseRepeats);
+  const double encode_profiles = static_cast<double>(
+      data.dataset.train.profiles.size() * kPhaseRepeats);
 
   util::Table table({"threads", "train s", "steps/s", "train speedup",
                      "infer s", "pairs/s", "infer speedup"});
@@ -122,6 +209,21 @@ int Run() {
               "==\n",
               kNumShards);
   table.Print(std::cout);
+
+  util::Table phase_table({"threads", "graph s", "cand pairs/s",
+                           "graph speedup", "encode s", "profiles/s",
+                           "encode speedup"});
+  for (const RunResult& run : runs) {
+    phase_table.AddRow(
+        {std::to_string(run.threads), util::Table::Fmt(run.graph_seconds, 3),
+         util::Table::Fmt(graph_candidates / run.graph_seconds, 1),
+         util::Table::Fmt(runs[0].graph_seconds / run.graph_seconds, 2),
+         util::Table::Fmt(run.encode_seconds, 3),
+         util::Table::Fmt(encode_profiles / run.encode_seconds, 1),
+         util::Table::Fmt(runs[0].encode_seconds / run.encode_seconds, 2)});
+  }
+  std::printf("== Sharded pipeline phases (graph build / profile encode) ==\n");
+  phase_table.Print(std::cout);
   std::printf("Determinism across thread counts: %s\n",
               deterministic ? "OK (bitwise)" : "VIOLATED");
 
@@ -142,6 +244,11 @@ int Run() {
                static_cast<size_t>(std::thread::hardware_concurrency()));
   std::fprintf(json, "  \"train_steps\": %.0f,\n", train_steps);
   std::fprintf(json, "  \"inference_pairs\": %.0f,\n", total_pairs);
+  std::fprintf(json, "  \"graph_candidate_pairs\": %.0f,\n", graph_candidates);
+  std::fprintf(json, "  \"encode_profiles\": %.0f,\n", encode_profiles);
+  // Target for the sharded phases on hosts with >= 4 physical cores; on the
+  // 1-core CI box every speedup sits at ~1.0 by construction.
+  std::fprintf(json, "  \"phase_speedup_target_4core\": 2.5,\n");
   std::fprintf(json, "  \"deterministic_across_threads\": %s,\n",
                deterministic ? "true" : "false");
   std::fprintf(json, "  \"runs\": [\n");
@@ -151,12 +258,22 @@ int Run() {
                  "    {\"threads\": %zu, \"train_seconds\": %.4f, "
                  "\"steps_per_sec\": %.2f, \"train_speedup\": %.3f, "
                  "\"infer_seconds\": %.4f, \"pairs_per_sec\": %.2f, "
-                 "\"infer_speedup\": %.3f}%s\n",
+                 "\"infer_speedup\": %.3f, "
+                 "\"graph_build_seconds\": %.4f, "
+                 "\"graph_build_pairs_per_sec\": %.2f, "
+                 "\"graph_build_speedup\": %.3f, "
+                 "\"encode_seconds\": %.4f, "
+                 "\"encode_profiles_per_sec\": %.2f, "
+                 "\"encode_speedup\": %.3f}%s\n",
                  run.threads, run.train_seconds,
                  train_steps / run.train_seconds,
                  runs[0].train_seconds / run.train_seconds, run.infer_seconds,
                  total_pairs / run.infer_seconds,
-                 runs[0].infer_seconds / run.infer_seconds,
+                 runs[0].infer_seconds / run.infer_seconds, run.graph_seconds,
+                 graph_candidates / run.graph_seconds,
+                 runs[0].graph_seconds / run.graph_seconds, run.encode_seconds,
+                 encode_profiles / run.encode_seconds,
+                 runs[0].encode_seconds / run.encode_seconds,
                  i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");

@@ -1,32 +1,62 @@
 #include "core/affinity.h"
 
 #include "geo/latlon.h"
+#include "util/thread_pool.h"
 
 namespace hisrect::core {
 
 std::vector<WeightedPair> BuildAffinityPairs(const data::DataSplit& split,
                                              const geo::PoiSet& pois,
                                              const AffinityOptions& options) {
-  std::vector<WeightedPair> out;
-  out.reserve(split.positive_pairs.size() + split.negative_pairs.size() +
-              split.unlabeled_pairs.size());
-  for (const data::Pair& pair : split.positive_pairs) {
-    out.push_back(WeightedPair{pair.i, pair.j, 1.0f, true});
-  }
-  for (const data::Pair& pair : split.negative_pairs) {
-    out.push_back(WeightedPair{pair.i, pair.j, -1.0f, true});
-  }
-  for (const data::Pair& pair : split.unlabeled_pairs) {
+  const size_t num_pos = split.positive_pairs.size();
+  const size_t num_neg = split.negative_pairs.size();
+  const size_t n = num_pos + num_neg + split.unlabeled_pairs.size();
+
+  // Maps one flat index into the positives ++ negatives ++ unlabeled
+  // concatenation to its affinity entry; false when the pair is filtered.
+  auto emit = [&](size_t index, WeightedPair& out) {
+    if (index < num_pos + num_neg) {
+      const data::Pair& pair = index < num_pos
+                                   ? split.positive_pairs[index]
+                                   : split.negative_pairs[index - num_pos];
+      if (pair.i == pair.j) return false;
+      out = WeightedPair{pair.i, pair.j, index < num_pos ? 1.0f : -1.0f, true};
+      return true;
+    }
+    const data::Pair& pair = split.unlabeled_pairs[index - num_pos - num_neg];
+    if (pair.i == pair.j) return false;
     const data::Profile& a = split.profiles[pair.i];
     const data::Profile& b = split.profiles[pair.j];
-    if (!a.tweet.has_geo || !b.tweet.has_geo) continue;
+    if (!a.tweet.has_geo || !b.tweet.has_geo) return false;
     double d = geo::ApproxDistanceMeters(a.tweet.location, b.tweet.location);
-    if (d >= options.rho) continue;
-    if (pois.DistanceToNearest(a.tweet.location) >= options.rho) continue;
-    if (pois.DistanceToNearest(b.tweet.location) >= options.rho) continue;
+    if (d >= options.rho) return false;
+    if (pois.DistanceToNearest(a.tweet.location) >= options.rho) return false;
+    if (pois.DistanceToNearest(b.tweet.location) >= options.rho) return false;
     float weight = static_cast<float>(options.epsilon_d_prime /
                                       (options.epsilon_d_prime + d));
-    out.push_back(WeightedPair{pair.i, pair.j, weight, false});
+    out = WeightedPair{pair.i, pair.j, weight, false};
+    return true;
+  };
+
+  util::ThreadPool& pool = util::ThreadPool::Global();
+  const size_t num_shards = util::ResolveNumShards(pool, options.num_shards);
+  std::vector<std::vector<WeightedPair>> shards(num_shards);
+  util::ParallelFor(pool, n, num_shards,
+                    [&](size_t shard, size_t begin, size_t end) {
+                      std::vector<WeightedPair>& local = shards[shard];
+                      local.reserve(end - begin);
+                      WeightedPair pair;
+                      for (size_t index = begin; index < end; ++index) {
+                        if (emit(index, pair)) local.push_back(pair);
+                      }
+                    });
+
+  // Ascending-shard concatenation reproduces the serial emission order, so
+  // the output is independent of both the shard count and the worker count.
+  std::vector<WeightedPair> out;
+  out.reserve(n);
+  for (const std::vector<WeightedPair>& local : shards) {
+    out.insert(out.end(), local.begin(), local.end());
   }
   return out;
 }

@@ -13,6 +13,11 @@ struct AffinityOptions {
   double rho = 1000.0;
   /// Smoothing factor epsilon_d' (paper: 50 m).
   double epsilon_d_prime = 50.0;
+  /// Shards the build fans out over the global thread pool (0 = one shard
+  /// per pool worker). Unlike the trainer shard counts, this is purely a
+  /// performance knob: the output is byte-identical at any shard count and
+  /// any thread count.
+  size_t num_shards = 0;
 };
 
 /// One nonzero entry a_ij of the affinity matrix A (paper §4.4). Indices
@@ -30,7 +35,14 @@ struct WeightedPair {
 ///   * unlabeled pairs -> eps'_d / (eps'_d + d(r_i, r_j)) when both profiles
 ///     are geo-tagged, within rho of each other and within rho of some POI;
 ///     dropped (weight 0) otherwise.
+/// Self-pairs (i == j) carry no co-location signal and are always dropped.
 /// The |ts_i - ts_j| < delta_t condition already holds by pair construction.
+///
+/// The scan is sharded over the global thread pool: shard boundaries come
+/// from the fixed (n, num_shards) partition, each shard filters into a
+/// private vector, and shards concatenate in ascending order — equal to the
+/// serial emission order, so the result is byte-identical regardless of
+/// options.num_shards or the pool's worker count.
 std::vector<WeightedPair> BuildAffinityPairs(const data::DataSplit& split,
                                              const geo::PoiSet& pois,
                                              const AffinityOptions& options);

@@ -69,7 +69,7 @@ void HisRectModel::Fit(const data::Dataset& dataset,
   util::Rng rng(config_.seed ^ 0x9e3779b9);
 
   std::vector<EncodedProfile> encoded =
-      encoder_->EncodeAll(dataset.train.profiles);
+      encoder_->EncodeAll(dataset.train.profiles, config_.encode_shards);
 
   if (!config_.one_phase) {
     SslTrainer ssl_trainer(featurizer_.get(), classifier_.get(),
@@ -147,7 +147,12 @@ std::vector<float> HisRectModel::Feature(const data::Profile& profile) const {
 
 EncodedProfile HisRectModel::Encode(const data::Profile& profile) const {
   CHECK(encoder_ != nullptr) << "call Fit before Encode";
-  return encoder_->Encode(profile);
+  return encoder_->EncodeCached(profile);
+}
+
+const ProfileEncoder& HisRectModel::encoder() const {
+  CHECK(encoder_ != nullptr) << "call Fit or InitializeForLoad first";
+  return *encoder_;
 }
 
 }  // namespace hisrect::core

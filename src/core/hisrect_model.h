@@ -42,6 +42,11 @@ struct HisRectModelConfig {
   /// jointly with the judge on labeled pairs.
   bool one_phase = false;
 
+  /// Shards for the profile-encoding pass in Fit (0 = one per pool worker).
+  /// Like AffinityOptions::num_shards this is performance-only: encoded
+  /// output is identical at any shard or thread count.
+  size_t encode_shards = 0;
+
   /// Parameter-initialization / sampling seed.
   uint64_t seed = 1;
 };
@@ -79,8 +84,14 @@ class HisRectModel {
   /// The HisRect feature F(r) as a plain vector (for t-SNE, analysis).
   std::vector<float> Feature(const data::Profile& profile) const;
 
-  /// Preprocesses a raw profile with this model's encoder.
+  /// Preprocesses a raw profile with this model's encoder, through the
+  /// encoder's cache: every split (train during Fit, val/test at inference)
+  /// encodes each profile at most once.
   EncodedProfile Encode(const data::Profile& profile) const;
+
+  /// The model's profile encoder (cache stats live here). Requires
+  /// Fit/InitializeForLoad to have built the modules.
+  const ProfileEncoder& encoder() const;
 
   /// Saves all trained parameters (featurizer, classifier, embedder, judge)
   /// to `path`. Requires fitted().

@@ -1,6 +1,7 @@
 #include "core/profile_encoder.h"
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace hisrect::core {
 
@@ -30,12 +31,53 @@ EncodedProfile ProfileEncoder::Encode(const data::Profile& profile) const {
   return encoded;
 }
 
+EncodedProfile ProfileEncoder::EncodeCached(
+    const data::Profile& profile) const {
+  const CacheKey key{profile.uid, profile.tweet.ts};
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+    ++cache_misses_;
+  }
+  // Compute outside the lock: encoding dominates and must overlap across
+  // threads. A racing thread encoding the same profile computes the same
+  // deterministic value, and emplace keeps whichever landed first.
+  EncodedProfile encoded = Encode(profile);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.emplace(key, std::move(encoded)).first->second;
+}
+
 std::vector<EncodedProfile> ProfileEncoder::EncodeAll(
-    const std::vector<data::Profile>& profiles) const {
-  std::vector<EncodedProfile> out;
-  out.reserve(profiles.size());
-  for (const data::Profile& profile : profiles) out.push_back(Encode(profile));
+    const std::vector<data::Profile>& profiles, size_t num_shards) const {
+  std::vector<EncodedProfile> out(profiles.size());
+  util::ThreadPool& pool = util::ThreadPool::Global();
+  util::ParallelFor(pool, profiles.size(),
+                    util::ResolveNumShards(pool, num_shards),
+                    [&](size_t /*shard*/, size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        out[i] = EncodeCached(profiles[i]);
+                      }
+                    });
   return out;
+}
+
+size_t ProfileEncoder::cache_hits() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_hits_;
+}
+
+size_t ProfileEncoder::cache_misses() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_misses_;
+}
+
+size_t ProfileEncoder::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
 }
 
 }  // namespace hisrect::core

@@ -1,6 +1,10 @@
 #ifndef HISRECT_CORE_PROFILE_ENCODER_H_
 #define HISRECT_CORE_PROFILE_ENCODER_H_
 
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "core/text_model.h"
@@ -30,6 +34,12 @@ struct EncodedProfile {
 /// Converts raw profiles into EncodedProfiles. Encoding is deterministic and
 /// done once per dataset split (tokenization and the O(|visits| x |P|) visit
 /// feature are the expensive parts of the pipeline).
+///
+/// Encoded results are memoized in a thread-safe per-encoder cache keyed by
+/// (uid, tweet ts) — the identity of a profile, since a profile is one
+/// user's snapshot at one tweet. Both the bulk split pass (EncodeAll) and
+/// the single-profile inference path (EncodeCached) go through it, so no
+/// profile is ever featurized twice.
 class ProfileEncoder {
  public:
   /// `pois` and `text_model` must outlive the encoder.
@@ -37,18 +47,56 @@ class ProfileEncoder {
                  VisitFeaturizerOptions visit_options = {},
                  size_t min_words = 3);
 
+  /// Pure stateless encode: always recomputes. Thread-safe (const reads of
+  /// shared immutable state only).
   EncodedProfile Encode(const data::Profile& profile) const;
 
+  /// Encode through the cache: the first call for a (uid, ts) computes and
+  /// stores, repeats return the stored copy. Thread-safe.
+  EncodedProfile EncodeCached(const data::Profile& profile) const;
+
+  /// Encodes every profile via ParallelFor over the global thread pool
+  /// (per-profile encoding is independent), each result written into its
+  /// pre-sized slot. `num_shards` 0 means one shard per pool worker; the
+  /// output is identical at any shard count and any thread count. Results
+  /// also land in the cache.
   std::vector<EncodedProfile> EncodeAll(
-      const std::vector<data::Profile>& profiles) const;
+      const std::vector<data::Profile>& profiles, size_t num_shards = 0) const;
+
+  /// Cache observability for tests and benchmarks: lookups served from the
+  /// cache vs. encodes actually computed.
+  size_t cache_hits() const;
+  size_t cache_misses() const;
+  size_t cache_size() const;
 
   const VisitFeaturizer& visit_featurizer() const { return visit_featurizer_; }
 
  private:
+  struct CacheKey {
+    data::UserId uid = -1;
+    data::Timestamp ts = 0;
+    bool operator==(const CacheKey& other) const {
+      return uid == other.uid && ts == other.ts;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& key) const {
+      uint64_t mixed = (static_cast<uint64_t>(static_cast<uint32_t>(key.uid))
+                        << 32) ^
+                       static_cast<uint64_t>(key.ts);
+      return std::hash<uint64_t>()(mixed);
+    }
+  };
+
   const TextModel* text_model_;
   VisitFeaturizer visit_featurizer_;
   text::Tokenizer tokenizer_;
   size_t min_words_;
+
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<CacheKey, EncodedProfile, CacheKeyHash> cache_;
+  mutable size_t cache_hits_ = 0;
+  mutable size_t cache_misses_ = 0;
 };
 
 }  // namespace hisrect::core

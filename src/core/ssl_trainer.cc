@@ -42,7 +42,10 @@ SslTrainStats SslTrainer::Train(const std::vector<EncodedProfile>& encoded,
                                 const geo::PoiSet& pois, util::Rng& rng) {
   CHECK_EQ(encoded.size(), split.profiles.size());
 
-  // Affinity entries (positives / negatives / unlabeled-with-weight).
+  // Affinity entries (positives / negatives / unlabeled-with-weight). The
+  // build itself is sharded over the global pool; its output is invariant to
+  // options_.affinity.num_shards and the thread count, so it sits outside
+  // the trainer's (seed, num_shards) determinism surface.
   std::vector<WeightedPair> positives;
   std::vector<WeightedPair> negatives;
   std::vector<WeightedPair> unlabeled;

@@ -1,7 +1,12 @@
 #include "nn/matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
 
 #include "util/logging.h"
 
@@ -64,17 +69,94 @@ float Matrix::Norm() const {
 // next, never the summation within an element. The former `== 0.0f`
 // early-outs are gone: on the dense activations and gradients that flow
 // through here the branch mispredicts far more than it saves.
+//
+// The AVX2 paths (compiled under HISRECT_NATIVE_ARCH, dispatched at runtime)
+// keep the same promise: they vectorize across *output columns* only, so
+// each element's accumulator sits in one lane and advances in the same
+// ascending-k order, and they use separate mul/add (never FMA) to match the
+// scalar rounding. The build compiles everything with -ffp-contract=off
+// (top-level CMakeLists) so the compiler cannot fuse the scalar side either.
 namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+bool CpuHasAvx2() {
+#if defined(__AVX2__)
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+inline bool UseAvx2() {
+  return CpuHasAvx2() && !g_force_scalar.load(std::memory_order_relaxed);
+}
 
 /// k-rows of the streamed operand kept hot in L1/L2 across the row loop
 /// (64 rows x 64 float cols = 16 KiB at this library's typical widths).
 constexpr size_t kBlockK = 64;
+
+#if defined(__AVX2__)
+/// Axpy4 vectorized across output columns: lane j holds out_row[j]'s single
+/// accumulator and applies the four k-terms in ascending order, exactly as
+/// the scalar loop does per element.
+inline void Axpy4Avx2(float* out_row, size_t n, const float* ak,
+                      const float* b0, const float* b1, const float* b2,
+                      const float* b3) {
+  const __m256 a0 = _mm256_set1_ps(ak[0]);
+  const __m256 a1 = _mm256_set1_ps(ak[1]);
+  const __m256 a2 = _mm256_set1_ps(ak[2]);
+  const __m256 a3 = _mm256_set1_ps(ak[3]);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256 acc = _mm256_loadu_ps(out_row + j);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(a0, _mm256_loadu_ps(b0 + j)));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(a1, _mm256_loadu_ps(b1 + j)));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(a2, _mm256_loadu_ps(b2 + j)));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(a3, _mm256_loadu_ps(b3 + j)));
+    _mm256_storeu_ps(out_row + j, acc);
+  }
+  for (; j < n; ++j) {
+    float acc = out_row[j];
+    acc += ak[0] * b0[j];
+    acc += ak[1] * b1[j];
+    acc += ak[2] * b2[j];
+    acc += ak[3] * b3[j];
+    out_row[j] = acc;
+  }
+}
+
+/// Eight dot products at once for the transposed-B kernel, one output
+/// column per lane: lane l accumulates a_row[k] * b_(j+l)[k] in ascending k
+/// with a single accumulator, mirroring the scalar tile per element. The
+/// b loads are strided (set_ps), which still wins on the row-dot shape.
+inline void DotTile8Avx2(const float* a_row, const float* b_base, size_t depth,
+                         float* out) {
+  __m256 acc = _mm256_setzero_ps();
+  for (size_t k = 0; k < depth; ++k) {
+    const __m256 av = _mm256_set1_ps(a_row[k]);
+    const __m256 bv = _mm256_set_ps(
+        b_base[7 * depth + k], b_base[6 * depth + k], b_base[5 * depth + k],
+        b_base[4 * depth + k], b_base[3 * depth + k], b_base[2 * depth + k],
+        b_base[depth + k], b_base[k]);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(av, bv));
+  }
+  _mm256_storeu_ps(out, acc);
+}
+#endif  // defined(__AVX2__)
 
 /// out_row[0..n) += sum of ak[u] * b_rows[u][0..n) for u in [0, 4): one pass
 /// over the output row applies four k-terms, quartering the store traffic.
 inline void Axpy4(float* out_row, size_t n, const float* ak,
                   const float* b0, const float* b1, const float* b2,
                   const float* b3) {
+#if defined(__AVX2__)
+  if (UseAvx2()) {
+    Axpy4Avx2(out_row, n, ak, b0, b1, b2, b3);
+    return;
+  }
+#endif
   for (size_t j = 0; j < n; ++j) {
     float acc = out_row[j];
     acc += ak[0] * b0[j];
@@ -85,7 +167,29 @@ inline void Axpy4(float* out_row, size_t n, const float* ak,
   }
 }
 
+/// out_row[0..n) += a * b[0..n): the k-remainder term of the blocked loops.
+inline void Axpy1(float* out_row, size_t n, float a, const float* b) {
+#if defined(__AVX2__)
+  if (UseAvx2()) {
+    const __m256 av = _mm256_set1_ps(a);
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc = _mm256_loadu_ps(out_row + j);
+      acc = _mm256_add_ps(acc, _mm256_mul_ps(av, _mm256_loadu_ps(b + j)));
+      _mm256_storeu_ps(out_row + j, acc);
+    }
+    for (; j < n; ++j) out_row[j] += a * b[j];
+    return;
+  }
+#endif
+  for (size_t j = 0; j < n; ++j) out_row[j] += a * b[j];
+}
+
 }  // namespace
+
+bool MatMulHasAvx2() { return CpuHasAvx2(); }
+
+bool SetMatMulForceScalar(bool force) { return g_force_scalar.exchange(force); }
 
 Matrix MatMulValues(const Matrix& a, const Matrix& b) {
   CHECK_EQ(a.cols(), b.rows());
@@ -104,9 +208,8 @@ Matrix MatMulValues(const Matrix& a, const Matrix& b) {
         Axpy4(out_row, n, ak, b_row, b_row + n, b_row + 2 * n, b_row + 3 * n);
       }
       for (; k < kend; ++k) {
-        const float aik = a_row[k];
         const float* b_row = b.data() + k * n;
-        for (size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+        Axpy1(out_row, n, a_row[k], b_row);
       }
     }
   }
@@ -121,8 +224,15 @@ Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
   for (size_t i = 0; i < a.rows(); ++i) {
     const float* a_row = a.data() + i * depth;
     float* out_row = out.data() + i * out_cols;
-    // Register tile: four dot products share one streaming pass of a_row.
     size_t j = 0;
+#if defined(__AVX2__)
+    if (UseAvx2()) {
+      for (; j + 8 <= out_cols; j += 8) {
+        DotTile8Avx2(a_row, b.data() + j * depth, depth, out_row + j);
+      }
+    }
+#endif
+    // Register tile: four dot products share one streaming pass of a_row.
     for (; j + 4 <= out_cols; j += 4) {
       const float* b0 = b.data() + j * depth;
       const float* b1 = b0 + depth;
@@ -171,8 +281,7 @@ Matrix MatMulTransposedA(const Matrix& a, const Matrix& b) {
       }
       for (; k < kend; ++k) {
         const float aki = a.data()[k * out_rows + i];
-        const float* b_row = b.data() + k * n;
-        for (size_t j = 0; j < n; ++j) out_row[j] += aki * b_row[j];
+        Axpy1(out_row, n, aki, b.data() + k * n);
       }
     }
   }

@@ -50,6 +50,16 @@ class Matrix {
   std::vector<float> data_;
 };
 
+/// True when the AVX2 kernels are compiled in (HISRECT_NATIVE_ARCH on an
+/// AVX2 machine) and the running CPU reports AVX2 support; otherwise every
+/// matmul takes the scalar blocked path.
+bool MatMulHasAvx2();
+
+/// Test hook: force the scalar blocked kernels even when AVX2 is available,
+/// returning the previous setting. The two paths are bitwise equal — the
+/// golden tests flip this to prove it.
+bool SetMatMulForceScalar(bool force);
+
 /// out = a * b. Shapes: (r x k) * (k x c) -> (r x c).
 Matrix MatMulValues(const Matrix& a, const Matrix& b);
 

@@ -74,6 +74,15 @@ void ThreadPool::SetGlobalNumThreads(size_t num_threads) {
   GlobalPoolSlot() = std::make_unique<ThreadPool>(num_threads);
 }
 
+ShardRange ShardBounds(size_t n, size_t num_shards, size_t shard) {
+  num_shards = std::max<size_t>(num_shards, 1);
+  return ShardRange{shard * n / num_shards, (shard + 1) * n / num_shards};
+}
+
+size_t ResolveNumShards(const ThreadPool& pool, size_t num_shards) {
+  return num_shards >= 1 ? num_shards : pool.num_threads();
+}
+
 void ParallelFor(ThreadPool& pool, size_t n, size_t num_shards,
                  const std::function<void(size_t shard, size_t begin,
                                           size_t end)>& fn) {
@@ -83,18 +92,18 @@ void ParallelFor(ThreadPool& pool, size_t n, size_t num_shards,
     // Same shard geometry, run inline: no queue round-trip when it cannot
     // buy any concurrency.
     for (size_t s = 0; s < num_shards; ++s) {
-      size_t begin = s * n / num_shards;
-      size_t end = (s + 1) * n / num_shards;
-      if (begin < end) fn(s, begin, end);
+      ShardRange range = ShardBounds(n, num_shards, s);
+      if (!range.empty()) fn(s, range.begin, range.end);
     }
     return;
   }
   std::vector<std::future<void>> futures;
   futures.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    size_t begin = s * n / num_shards;
-    size_t end = (s + 1) * n / num_shards;
-    if (begin >= end) continue;
+    ShardRange range = ShardBounds(n, num_shards, s);
+    if (range.empty()) continue;
+    size_t begin = range.begin;
+    size_t end = range.end;
     futures.push_back(pool.Submit([&fn, s, begin, end] { fn(s, begin, end); }));
   }
   // Wait for every shard before observing results: packaged_task futures do

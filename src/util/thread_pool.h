@@ -71,6 +71,24 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// The contiguous index range shard `shard` covers in the fixed partition of
+/// [0, n) into `num_shards` pieces: [shard*n/S, (shard+1)*n/S). The bounds
+/// depend only on (n, num_shards) — never on thread availability — which is
+/// the partition every deterministic sharded pass in this library builds on.
+struct ShardRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+ShardRange ShardBounds(size_t n, size_t num_shards, size_t shard);
+
+/// Resolves a shard-count option against a pool: values >= 1 pass through,
+/// 0 means "one shard per pool worker". Only passes whose output is
+/// shard-count invariant (graph build, encoding) may default to 0; trainer
+/// shard counts are part of the math and must be pinned explicitly.
+size_t ResolveNumShards(const ThreadPool& pool, size_t num_shards);
+
 /// Splits [0, n) into `num_shards` contiguous ranges and runs
 /// `fn(shard, begin, end)` for each on the pool, blocking until all complete.
 ///

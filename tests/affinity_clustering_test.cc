@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
+#include <tuple>
 
 #include "core/affinity.h"
 #include "core/clustering.h"
 #include "tests/test_common.h"
+#include "util/rng.h"
 
 namespace hisrect::core {
 namespace {
@@ -128,6 +132,113 @@ TEST_F(AffinityTest, CloserPairsGetHigherWeight) {
   ASSERT_EQ(near_weights.size(), 1u);
   ASSERT_EQ(far_weights.size(), 1u);
   EXPECT_GT(near_weights[0].weight, far_weights[0].weight);
+}
+
+TEST_F(AffinityTest, SelfPairsExcluded) {
+  // Self-pairs carry no co-location signal; they are dropped from every
+  // entry kind even though a geo-tagged profile is trivially within rho of
+  // itself (d = 0 would otherwise yield the maximum unlabeled weight).
+  data::DataSplit split;
+  split.profiles = {MakeProfile(1, 100, pois_.poi(0).center, 0),
+                    MakeProfile(2, 200, pois_.poi(0).center,
+                                geo::kInvalidPoiId)};
+  split.labeled_indices = {0};
+  split.positive_pairs.push_back({0, 0, data::CoLabel::kPositive});
+  split.negative_pairs.push_back({0, 0, data::CoLabel::kNegative});
+  split.unlabeled_pairs.push_back({1, 1, data::CoLabel::kUnlabeled});
+  EXPECT_TRUE(BuildAffinityPairs(split, pois_, {}).empty());
+}
+
+TEST_F(AffinityTest, UnlabeledWeightSymmetricInPairOrder) {
+  data::Profile a =
+      MakeProfile(1, 100, geo::Offset(pois_.poi(0).center, 120.0, 40.0),
+                  geo::kInvalidPoiId);
+  data::Profile b =
+      MakeProfile(2, 200, geo::Offset(pois_.poi(0).center, 330.0, -60.0),
+                  geo::kInvalidPoiId);
+  data::DataSplit forward;
+  forward.profiles = {a, b};
+  forward.unlabeled_pairs.push_back({0, 1, data::CoLabel::kUnlabeled});
+  data::DataSplit reversed;
+  reversed.profiles = {a, b};
+  reversed.unlabeled_pairs.push_back({1, 0, data::CoLabel::kUnlabeled});
+
+  auto forward_pairs = BuildAffinityPairs(forward, pois_, {});
+  auto reversed_pairs = BuildAffinityPairs(reversed, pois_, {});
+  ASSERT_EQ(forward_pairs.size(), 1u);
+  ASSERT_EQ(reversed_pairs.size(), 1u);
+  // a_ij = a_ji: the weight depends on d(r_i, r_j) only.
+  hisrect::testing::ExpectBitwiseEqual(forward_pairs[0].weight,
+                                       reversed_pairs[0].weight,
+                                       "symmetric weight");
+}
+
+TEST_F(AffinityTest, WeightsInvariantUnderProfilePermutation) {
+  // Randomized small splits: permuting the profile vector (with pair indices
+  // remapped) must leave every pair's weight unchanged — weights are a
+  // function of the endpoint profiles, not of their storage order. Profiles
+  // are identified across the permutation by uid.
+  util::Rng rng(29);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<data::Profile> profiles;
+    const size_t n = 6 + rng.UniformInt(5);
+    for (size_t u = 0; u < n; ++u) {
+      bool labeled = rng.Uniform() < 0.4;
+      geo::PoiId pid =
+          labeled ? static_cast<geo::PoiId>(rng.UniformInt(pois_.size()))
+                  : geo::kInvalidPoiId;
+      geo::LatLon base = labeled ? pois_.poi(pid).center : pois_.poi(0).center;
+      geo::LatLon where = geo::Offset(base, rng.Uniform() * 800.0 - 400.0,
+                                      rng.Uniform() * 800.0 - 400.0);
+      profiles.push_back(MakeProfile(static_cast<data::UserId>(u + 1),
+                                     100 * static_cast<int>(u), where, pid));
+    }
+    data::DataSplit split = MakeSplit(profiles);
+
+    // A deterministic permutation of the profile slots.
+    std::vector<size_t> perm(split.profiles.size());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    rng.Shuffle(perm);
+    data::DataSplit permuted;
+    permuted.profiles.resize(split.profiles.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      permuted.profiles[perm[i]] = split.profiles[i];
+    }
+    auto remap = [&](const std::vector<data::Pair>& pairs) {
+      std::vector<data::Pair> out = pairs;
+      for (data::Pair& pair : out) {
+        pair.i = perm[pair.i];
+        pair.j = perm[pair.j];
+      }
+      return out;
+    };
+    permuted.positive_pairs = remap(split.positive_pairs);
+    permuted.negative_pairs = remap(split.negative_pairs);
+    permuted.unlabeled_pairs = remap(split.unlabeled_pairs);
+
+    // Key each emitted entry by the endpoint uids (order-normalized).
+    auto keyed = [](const data::DataSplit& s,
+                    const std::vector<WeightedPair>& pairs) {
+      std::map<std::tuple<data::UserId, data::UserId, bool>, float> out;
+      for (const WeightedPair& pair : pairs) {
+        data::UserId ui = s.profiles[pair.i].uid;
+        data::UserId uj = s.profiles[pair.j].uid;
+        out[{std::min(ui, uj), std::max(ui, uj), pair.labeled}] = pair.weight;
+      }
+      return out;
+    };
+    auto base_weights = keyed(split, BuildAffinityPairs(split, pois_, {}));
+    auto permuted_weights =
+        keyed(permuted, BuildAffinityPairs(permuted, pois_, {}));
+    ASSERT_EQ(base_weights.size(), permuted_weights.size())
+        << "round " << round;
+    for (const auto& [key, weight] : base_weights) {
+      auto it = permuted_weights.find(key);
+      ASSERT_NE(it, permuted_weights.end()) << "round " << round;
+      hisrect::testing::ExpectBitwiseEqual(weight, it->second,
+                                           "permuted weight");
+    }
+  }
 }
 
 TEST(ClusteringTest, ThresholdSplitsComponents) {

@@ -154,6 +154,36 @@ TEST_F(EncoderFixture, EncodeAllParallelToInput) {
   }
 }
 
+TEST_F(EncoderFixture, EncodeCachedSecondCallIsAHitNotARecompute) {
+  const data::Profile& profile = dataset_.train.profiles.front();
+  EXPECT_EQ(encoder_->cache_hits(), 0u);
+  EXPECT_EQ(encoder_->cache_misses(), 0u);
+
+  EncodedProfile first = encoder_->EncodeCached(profile);
+  EXPECT_EQ(encoder_->cache_misses(), 1u);
+  EXPECT_EQ(encoder_->cache_hits(), 0u);
+
+  EncodedProfile second = encoder_->EncodeCached(profile);
+  // Regression guard: the repeat is served from the cache — the miss (=
+  // compute) counter must not move.
+  EXPECT_EQ(encoder_->cache_misses(), 1u);
+  EXPECT_EQ(encoder_->cache_hits(), 1u);
+  hisrect::testing::ExpectBitwiseEqual(first, second, "cached encode");
+}
+
+TEST_F(EncoderFixture, EncodeAllWarmsTheCacheForLaterSingleEncodes) {
+  auto encoded = encoder_->EncodeAll(dataset_.train.profiles);
+  const size_t misses_after_bulk = encoder_->cache_misses();
+  EXPECT_GT(encoder_->cache_size(), 0u);
+
+  // Re-encoding a profile the bulk pass already saw is a pure cache read.
+  const size_t hits_before = encoder_->cache_hits();
+  EncodedProfile again = encoder_->EncodeCached(dataset_.train.profiles[0]);
+  EXPECT_EQ(encoder_->cache_misses(), misses_after_bulk);
+  EXPECT_EQ(encoder_->cache_hits(), hits_before + 1);
+  hisrect::testing::ExpectBitwiseEqual(again, encoded[0], "warm encode");
+}
+
 class FeaturizerVariantTest
     : public ::testing::TestWithParam<TweetEncoderKind> {};
 

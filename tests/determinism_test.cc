@@ -1,0 +1,153 @@
+// The parallel contract of the SSL pipeline as an executable spec:
+// BuildAffinityPairs, ProfileEncoder::EncodeAll and a short SSL training run
+// must produce byte-identical outputs at 1, 2 and 4 global-pool threads.
+// The two pipeline passes additionally promise invariance to their shard
+// count (ascending-shard concatenation / pre-sized slots reproduce the
+// serial order exactly), so those are swept too.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/affinity.h"
+#include "core/featurizer.h"
+#include "core/heads.h"
+#include "core/profile_encoder.h"
+#include "core/ssl_trainer.h"
+#include "tests/test_common.h"
+#include "util/thread_pool.h"
+
+namespace hisrect::core {
+namespace {
+
+using hisrect::testing::ExpectBitwiseEqual;
+using hisrect::testing::TinyDataset;
+using hisrect::testing::TinyTextModel;
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = TinyDataset();
+    text_model_ = TinyTextModel(dataset_);
+  }
+
+  void TearDown() override { util::ThreadPool::SetGlobalNumThreads(1); }
+
+  data::Dataset dataset_;
+  TextModel text_model_;
+};
+
+TEST_F(DeterminismTest, AffinityPairsByteIdenticalAcrossThreadsAndShards) {
+  util::ThreadPool::SetGlobalNumThreads(1);
+  AffinityOptions serial;
+  serial.num_shards = 1;
+  const std::vector<WeightedPair> reference =
+      BuildAffinityPairs(dataset_.train, dataset_.pois, serial);
+  // The tiny city must exercise all three entry kinds or the sweep proves
+  // nothing.
+  ASSERT_FALSE(reference.empty());
+  bool has_unlabeled = false;
+  for (const WeightedPair& pair : reference) {
+    if (!pair.labeled) has_unlabeled = true;
+  }
+  ASSERT_TRUE(has_unlabeled);
+
+  for (size_t threads : {1u, 2u, 4u}) {
+    util::ThreadPool::SetGlobalNumThreads(threads);
+    for (size_t num_shards : {0u, 1u, 2u, 3u, 4u, 7u}) {
+      AffinityOptions options;
+      options.num_shards = num_shards;
+      std::vector<WeightedPair> pairs =
+          BuildAffinityPairs(dataset_.train, dataset_.pois, options);
+      ExpectBitwiseEqual(pairs, reference,
+                         "affinity pairs at threads=" +
+                             std::to_string(threads) +
+                             " shards=" + std::to_string(num_shards));
+    }
+  }
+}
+
+TEST_F(DeterminismTest, EncodeAllByteIdenticalAcrossThreadsAndShards) {
+  util::ThreadPool::SetGlobalNumThreads(1);
+  const std::vector<EncodedProfile> reference =
+      ProfileEncoder(&dataset_.pois, &text_model_)
+          .EncodeAll(dataset_.train.profiles, /*num_shards=*/1);
+  ASSERT_FALSE(reference.empty());
+
+  for (size_t threads : {1u, 2u, 4u}) {
+    util::ThreadPool::SetGlobalNumThreads(threads);
+    for (size_t num_shards : {0u, 2u, 5u}) {
+      // A fresh encoder per run: every result must be recomputed under the
+      // sweep's thread/shard geometry, not replayed from a warm cache.
+      ProfileEncoder encoder(&dataset_.pois, &text_model_);
+      std::vector<EncodedProfile> encoded =
+          encoder.EncodeAll(dataset_.train.profiles, num_shards);
+      ExpectBitwiseEqual(encoded, reference,
+                         "encoded profiles at threads=" +
+                             std::to_string(threads) +
+                             " shards=" + std::to_string(num_shards));
+    }
+  }
+}
+
+TEST_F(DeterminismTest, SslEpochByteIdenticalAcrossThreadCounts) {
+  ProfileEncoder encoder(&dataset_.pois, &text_model_);
+  const std::vector<EncodedProfile> encoded =
+      encoder.EncodeAll(dataset_.train.profiles);
+
+  struct Run {
+    double final_poi_loss = 0.0;
+    double final_unsup_loss = 0.0;
+    std::vector<nn::Matrix> featurizer_params;
+    std::vector<nn::Matrix> classifier_params;
+    std::vector<nn::Matrix> embedder_params;
+  };
+  auto snapshot = [](const nn::Module& module) {
+    std::vector<nn::Matrix> out;
+    for (const nn::NamedParameter& param : module.Parameters()) {
+      out.push_back(param.tensor.value());
+    }
+    return out;
+  };
+
+  std::vector<Run> runs;
+  for (size_t threads : {1u, 2u, 4u}) {
+    util::ThreadPool::SetGlobalNumThreads(threads);
+    util::Rng init_rng(1);
+    FeaturizerConfig config;
+    config.hidden_dim = 6;
+    config.feature_dim = 12;
+    HisRectFeaturizer featurizer(config, dataset_.pois.size(),
+                                 text_model_.embeddings.get(), init_rng);
+    PoiClassifier classifier(12, dataset_.pois.size(), 2, init_rng, 0.1f);
+    Embedder embedder(12, 6, 2, init_rng, 0.1f);
+
+    SslTrainerOptions options;
+    options.steps = 30;
+    options.batch_size = 8;
+    options.num_shards = 4;  // Fixed: part of the math, unlike threads.
+    SslTrainer trainer(&featurizer, &classifier, &embedder, options);
+    util::Rng rng(3);
+    SslTrainStats stats =
+        trainer.Train(encoded, dataset_.train, dataset_.pois, rng);
+    runs.push_back(Run{stats.final_poi_loss, stats.final_unsup_loss,
+                       snapshot(featurizer), snapshot(classifier),
+                       snapshot(embedder)});
+  }
+
+  for (size_t i = 1; i < runs.size(); ++i) {
+    ExpectBitwiseEqual(runs[i].final_poi_loss, runs[0].final_poi_loss,
+                       "final poi loss");
+    ExpectBitwiseEqual(runs[i].final_unsup_loss, runs[0].final_unsup_loss,
+                       "final unsup loss");
+    ExpectBitwiseEqual(runs[i].featurizer_params, runs[0].featurizer_params,
+                       "featurizer params");
+    ExpectBitwiseEqual(runs[i].classifier_params, runs[0].classifier_params,
+                       "classifier params");
+    ExpectBitwiseEqual(runs[i].embedder_params, runs[0].embedder_params,
+                       "embedder params");
+  }
+}
+
+}  // namespace
+}  // namespace hisrect::core

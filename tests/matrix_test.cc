@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/matrix.h"
+#include "tests/test_common.h"
 #include "util/rng.h"
 
 namespace hisrect::nn {
@@ -163,6 +164,47 @@ TEST(MatMulGoldenTest, RowVectorTimesMatrix) {
   EXPECT_TRUE(MatMulValues(a, b) == expected);
   EXPECT_TRUE(MatMulTransposedB(a, Transpose(b)) == expected);
   EXPECT_TRUE(MatMulTransposedA(Transpose(a), b) == expected);
+}
+
+// Golden test for the AVX2 path against the scalar blocked path, on shapes
+// that exercise every vector edge: 1x1, sub-vector-width outputs, column
+// counts that are not a multiple of 8 (partial-lane tails), and k-depths
+// hitting both the 4-wide unroll remainder and the 64-wide block boundary.
+// The AVX2 kernels vectorize across output columns with separate mul/add
+// (no FMA), so each element's ascending-k accumulator is bit-for-bit the
+// scalar one. Skipped cleanly when AVX2 is not compiled in (default
+// non-HISRECT_NATIVE_ARCH build) or the CPU lacks it.
+TEST(MatMulGoldenTest, Avx2PathBitwiseMatchesScalarBlockedPath) {
+  if (!MatMulHasAvx2()) {
+    GTEST_SKIP() << "AVX2 kernels unavailable (build with "
+                    "-DHISRECT_NATIVE_ARCH=ON on an AVX2 host)";
+  }
+  util::Rng rng(31);
+  struct Shape {
+    size_t r, k, c;
+  };
+  for (const Shape& shape :
+       {Shape{1, 1, 1}, Shape{3, 5, 7}, Shape{2, 4, 8}, Shape{4, 9, 15},
+        Shape{1, 64, 17}, Shape{5, 65, 23}, Shape{8, 130, 31},
+        Shape{2, 7, 33}}) {
+    SCOPED_TRACE(::testing::Message() << shape.r << "x" << shape.k << " * "
+                                      << shape.k << "x" << shape.c);
+    Matrix a = RandomMatrix(shape.r, shape.k, rng);
+    Matrix b = RandomMatrix(shape.k, shape.c, rng);
+
+    ASSERT_FALSE(SetMatMulForceScalar(true));
+    Matrix scalar_values = MatMulValues(a, b);
+    Matrix scalar_tb = MatMulTransposedB(a, Transpose(b));
+    Matrix scalar_ta = MatMulTransposedA(Transpose(a), b);
+    ASSERT_TRUE(SetMatMulForceScalar(false));
+
+    hisrect::testing::ExpectBitwiseEqual(MatMulValues(a, b), scalar_values,
+                                         "MatMulValues");
+    hisrect::testing::ExpectBitwiseEqual(MatMulTransposedB(a, Transpose(b)),
+                                         scalar_tb, "MatMulTransposedB");
+    hisrect::testing::ExpectBitwiseEqual(MatMulTransposedA(Transpose(a), b),
+                                         scalar_ta, "MatMulTransposedA");
+  }
 }
 
 TEST(MatMulTest, IdentityIsNeutral) {

@@ -72,6 +72,28 @@ TEST_F(ModelFixture, ScoreIsDeterministic) {
   EXPECT_DOUBLE_EQ(model_->ScorePair(a, b), model_->ScorePair(a, b));
 }
 
+TEST_F(ModelFixture, ValAndTestProfilesEncodeThroughTheCachedPath) {
+  // Fit encodes only dataset.train; inference on validation / test profiles
+  // must run through the same per-encoder cache, so repeating any scoring or
+  // ranking call re-reads the cache instead of re-featurizing.
+  const ProfileEncoder& encoder = model_->encoder();
+  const auto& val = dataset_->validation.profiles;
+  const auto& test = dataset_->test.profiles;
+  ASSERT_GE(val.size(), 1u);
+  ASSERT_GE(test.size(), 2u);
+
+  model_->ScorePair(test[0], test[1]);
+  model_->InferPoi(val[0], 3);
+  const size_t misses = encoder.cache_misses();
+  const size_t hits = encoder.cache_hits();
+
+  // The exact same calls again: three profile encodes, all cache hits.
+  model_->ScorePair(test[0], test[1]);
+  model_->InferPoi(val[0], 3);
+  EXPECT_EQ(encoder.cache_misses(), misses);
+  EXPECT_EQ(encoder.cache_hits(), hits + 3);
+}
+
 TEST_F(ModelFixture, InferPoiReturnsSortedProbabilities) {
   auto ranked = model_->InferPoi(dataset_->test.profiles[0], 5);
   ASSERT_LE(ranked.size(), 5u);

@@ -1,12 +1,19 @@
 #ifndef HISRECT_TESTS_TEST_COMMON_H_
 #define HISRECT_TESTS_TEST_COMMON_H_
 
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "core/affinity.h"
+#include "core/profile_encoder.h"
 #include "core/text_model.h"
 #include "data/city_generator.h"
 #include "data/dataset_builder.h"
 #include "data/presets.h"
+#include "nn/matrix.h"
 
 namespace hisrect::testing {
 
@@ -53,6 +60,93 @@ inline data::Profile MakeProfile(data::UserId uid, data::Timestamp ts,
   profile.tweet.location = location;
   profile.pid = pid;
   return profile;
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise-equivalence harness: the parallel determinism contract as
+// executable assertions. Float/double payloads compare via memcmp, so signed
+// zeros and NaN payloads must match exactly — "close enough" is a different
+// claim than the one the sharded passes make.
+// ---------------------------------------------------------------------------
+
+inline void ExpectBitwiseEqual(float a, float b,
+                               const std::string& what = "float") {
+  EXPECT_EQ(std::memcmp(&a, &b, sizeof(float)), 0)
+      << what << ": " << a << " vs " << b;
+}
+
+inline void ExpectBitwiseEqual(double a, double b,
+                               const std::string& what = "double") {
+  EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+      << what << ": " << a << " vs " << b;
+}
+
+inline void ExpectBitwiseEqual(const std::vector<float>& a,
+                               const std::vector<float>& b,
+                               const std::string& what = "float vector") {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (a.empty()) return;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << what;
+}
+
+inline void ExpectBitwiseEqual(const nn::Matrix& a, const nn::Matrix& b,
+                               const std::string& what = "matrix") {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  if (a.empty()) return;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << what;
+}
+
+inline void ExpectBitwiseEqual(const std::vector<nn::Matrix>& a,
+                               const std::vector<nn::Matrix>& b,
+                               const std::string& what = "matrix list") {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ExpectBitwiseEqual(a[i], b[i], what + "[" + std::to_string(i) + "]");
+  }
+}
+
+inline void ExpectBitwiseEqual(const core::WeightedPair& a,
+                               const core::WeightedPair& b,
+                               const std::string& what = "weighted pair") {
+  EXPECT_EQ(a.i, b.i) << what;
+  EXPECT_EQ(a.j, b.j) << what;
+  EXPECT_EQ(a.labeled, b.labeled) << what;
+  ExpectBitwiseEqual(a.weight, b.weight, what + ".weight");
+}
+
+inline void ExpectBitwiseEqual(const std::vector<core::WeightedPair>& a,
+                               const std::vector<core::WeightedPair>& b,
+                               const std::string& what = "weighted pairs") {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ExpectBitwiseEqual(a[i], b[i], what + "[" + std::to_string(i) + "]");
+  }
+}
+
+inline void ExpectBitwiseEqual(const core::EncodedProfile& a,
+                               const core::EncodedProfile& b,
+                               const std::string& what = "encoded profile") {
+  EXPECT_EQ(a.words, b.words) << what;
+  ExpectBitwiseEqual(a.visit_hisrect, b.visit_hisrect,
+                     what + ".visit_hisrect");
+  ExpectBitwiseEqual(a.visit_onehot, b.visit_onehot, what + ".visit_onehot");
+  EXPECT_EQ(a.ts, b.ts) << what;
+  EXPECT_EQ(a.has_geo, b.has_geo) << what;
+  ExpectBitwiseEqual(a.location.lat, b.location.lat, what + ".lat");
+  ExpectBitwiseEqual(a.location.lon, b.location.lon, what + ".lon");
+  EXPECT_EQ(a.pid, b.pid) << what;
+}
+
+inline void ExpectBitwiseEqual(const std::vector<core::EncodedProfile>& a,
+                               const std::vector<core::EncodedProfile>& b,
+                               const std::string& what = "encoded profiles") {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ExpectBitwiseEqual(a[i], b[i], what + "[" + std::to_string(i) + "]");
+  }
 }
 
 }  // namespace hisrect::testing

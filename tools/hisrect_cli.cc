@@ -2,7 +2,8 @@
 //
 //   hisrect_cli stats  [--preset nyc|lv] [--scale S] [--seed N]
 //   hisrect_cli train  [--preset ...] [--ssl-steps N] [--judge-steps N]
-//                      [--threads N] [--shards N] [--out model.bin]
+//                      [--threads N] [--shards N] [--pipeline-shards N]
+//                      [--out model.bin]
 //   hisrect_cli eval   [--preset ...] [--threads N] [--model model.bin]
 //                      (fit if no model)
 //
@@ -10,7 +11,9 @@
 // AUC and Acc@K on the held-out test split. `--threads` sizes the global
 // worker pool (default: HISRECT_NUM_THREADS, else all hardware threads);
 // `--shards` sets the per-step gradient shard count — results depend on the
-// shard count but never on the thread count.
+// shard count but never on the thread count. `--pipeline-shards` shards the
+// pre-training passes (profile encoding, SSL graph build); unlike --shards
+// it is performance-only: those outputs are byte-identical at any value.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -38,6 +41,8 @@ struct CliOptions {
   size_t threads = 0;
   /// Gradient shards per training step (1 = serial single-tape path).
   size_t shards = 1;
+  /// Shards for encoding + graph build (0 = one per pool worker).
+  size_t pipeline_shards = 0;
   std::string model_path;
 };
 
@@ -47,6 +52,7 @@ int Usage() {
                "[--scale S] [--seed N]\n"
                "                   [--ssl-steps N] [--judge-steps N] "
                "[--threads N] [--shards N]\n"
+               "                   [--pipeline-shards N]\n"
                "                   [--out FILE] [--model FILE]\n");
   return 2;
 }
@@ -87,6 +93,10 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (v == nullptr) return false;
       options.shards = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--pipeline-shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.pipeline_shards = static_cast<size_t>(std::atoll(v));
     } else if (arg == "--out" || arg == "--model") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -135,6 +145,8 @@ core::HisRectModelConfig ModelConfig(const CliOptions& options) {
   config.judge_trainer.steps = options.judge_steps;
   config.ssl.num_shards = options.shards;
   config.judge_trainer.num_shards = options.shards;
+  config.ssl.affinity.num_shards = options.pipeline_shards;
+  config.encode_shards = options.pipeline_shards;
   config.seed = options.seed;
   return config;
 }

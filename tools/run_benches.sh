@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Builds the benchmarks in Release, runs the micro-inference and parallel
-# throughput benches, and diffs bench_out/BENCH_parallel.json against the
+# Builds everything in Release, runs the tier-1 test suite as a fail-fast
+# gate, then runs the micro-inference and parallel throughput benches and
+# diffs bench_out/BENCH_parallel.json against the
 # previous run. Exits non-zero when best-thread-count throughput (steps/sec
 # or pairs/sec) regressed by more than 20%, or when the determinism check
 # inside bench_training_throughput failed.
@@ -15,8 +16,11 @@ BUILD_DIR=${BUILD_DIR:-build-release}
 OUT_DIR=${HISRECT_BENCH_OUT:-bench_out}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target bench_micro_inference bench_training_throughput
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# Fail-fast correctness gate: never record bench numbers from a tree whose
+# tier-1 suite is red. (cd rather than ctest --test-dir for older ctest.)
+(cd "$BUILD_DIR" && ctest -L tier1 --output-on-failure)
 
 mkdir -p "$OUT_DIR"
 current="$OUT_DIR/BENCH_parallel.json"
@@ -44,7 +48,13 @@ def best(doc, key):
     return max(run[key] for run in doc["runs"])
 
 failed = False
-for key in ("steps_per_sec", "pairs_per_sec"):
+keys = ["steps_per_sec", "pairs_per_sec"]
+# Phase throughputs exist only in records written after the sharded
+# graph-build / encode phases landed; diff them once both sides have them.
+for key in ("graph_build_pairs_per_sec", "encode_profiles_per_sec"):
+    if all(key in doc["runs"][0] for doc in (previous, current)):
+        keys.append(key)
+for key in keys:
     prev_value, cur_value = best(previous, key), best(current, key)
     change = (cur_value - prev_value) / prev_value * 100.0
     print(f"run_benches: {key}: {prev_value:.2f} -> {cur_value:.2f} "
