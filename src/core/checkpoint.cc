@@ -1,0 +1,221 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <system_error>
+#include <utility>
+
+#include "util/atomic_file.h"
+#include "util/logging.h"
+
+namespace hisrect::core {
+
+namespace {
+
+constexpr char kCheckpointSuffix[] = ".ckpt";
+
+}  // namespace
+
+std::string CheckpointPath(const std::string& dir, const std::string& prefix,
+                           size_t step) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%08zu", step);
+  return dir + "/" + prefix + "-" + buffer + kCheckpointSuffix;
+}
+
+std::vector<CheckpointFile> ListCheckpoints(const std::string& dir,
+                                            const std::string& prefix) {
+  std::vector<CheckpointFile> files;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return files;
+  const std::string name_prefix = prefix + "-";
+  for (const std::filesystem::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= name_prefix.size() + sizeof(kCheckpointSuffix) - 1 ||
+        name.compare(0, name_prefix.size(), name_prefix) != 0 ||
+        name.compare(name.size() - (sizeof(kCheckpointSuffix) - 1),
+                     sizeof(kCheckpointSuffix) - 1, kCheckpointSuffix) != 0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(name_prefix.size(), name.size() - name_prefix.size() -
+                                            (sizeof(kCheckpointSuffix) - 1));
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    CheckpointFile file;
+    file.step = static_cast<size_t>(std::stoull(digits));
+    file.path = entry.path().string();
+    files.push_back(std::move(file));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const CheckpointFile& a, const CheckpointFile& b) {
+              return a.step != b.step ? a.step > b.step : a.path > b.path;
+            });
+  return files;
+}
+
+double GradNormSquared(const std::vector<nn::NamedParameter>& params) {
+  double total = 0.0;
+  for (const nn::NamedParameter& p : params) {
+    const nn::Matrix& g = p.tensor.grad();
+    const float* data = g.data();
+    for (size_t i = 0; i < g.size(); ++i) {
+      total += static_cast<double>(data[i]) * static_cast<double>(data[i]);
+    }
+  }
+  return total;
+}
+
+TrainerCheckpointer::TrainerCheckpointer(std::string prefix,
+                                         const CheckpointOptions& options,
+                                         const DivergenceGuardOptions& guard,
+                                         EncodeFn encode, DecodeFn decode)
+    : prefix_(std::move(prefix)),
+      options_(options),
+      guard_(guard),
+      encode_(std::move(encode)),
+      decode_(std::move(decode)) {
+  CHECK(encode_ != nullptr);
+  CHECK(decode_ != nullptr);
+  best_loss_ = std::numeric_limits<double>::infinity();
+}
+
+size_t TrainerCheckpointer::SnapshotCadence() const {
+  if (!options_.dir.empty() && options_.every > 0) return options_.every;
+  return std::max<size_t>(guard_.snapshot_every, 1);
+}
+
+util::Status TrainerCheckpointer::Start(const std::string& explicit_resume_path,
+                                        bool* resumed) {
+  *resumed = false;
+  if (!explicit_resume_path.empty()) {
+    util::Status status = RestoreFrom(explicit_resume_path);
+    if (!status.ok()) return status;
+    *resumed = true;
+  } else if (options_.resume && !options_.dir.empty()) {
+    for (const CheckpointFile& file : ListCheckpoints(options_.dir, prefix_)) {
+      util::Result<util::CheckpointReader> reader =
+          util::CheckpointReader::FromFile(file.path);
+      if (!reader.ok()) {
+        LOG(WARNING) << "skipping checkpoint " << file.path << ": "
+                     << reader.status().ToString();
+        continue;
+      }
+      util::Status status = decode_(reader.value());
+      if (!status.ok()) {
+        LOG(WARNING) << "skipping checkpoint " << file.path << ": "
+                     << status.ToString();
+        continue;
+      }
+      LOG(INFO) << "resumed " << prefix_ << " run from " << file.path
+                << " (step " << file.step << ")";
+      *resumed = true;
+      break;
+    }
+    if (!*resumed) {
+      LOG(INFO) << "no usable " << prefix_ << " checkpoint in "
+                << options_.dir << "; starting fresh";
+    }
+  }
+  if (guard_.enabled) {
+    snapshot_ = encode_();
+    rollbacks_since_snapshot_ = 0;
+  }
+  return util::Status::Ok();
+}
+
+util::Status TrainerCheckpointer::SaveStep(size_t steps_done, double loss) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec) {
+    return util::Status::IoError("cannot create checkpoint directory " +
+                                 options_.dir + ": " + ec.message());
+  }
+  const std::string path = CheckpointPath(options_.dir, prefix_, steps_done);
+  util::Status status = util::WriteFileAtomic(path, encode_());
+  if (!status.ok()) return status;
+  last_saved_step_ = steps_done;
+  if (options_.keep_best && loss < best_loss_) {
+    best_loss_ = loss;
+    best_step_ = steps_done;
+  }
+  // Retention: keep the newest keep_last checkpoints plus the best one.
+  std::vector<CheckpointFile> files = ListCheckpoints(options_.dir, prefix_);
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (i < options_.keep_last) continue;
+    if (options_.keep_best && files[i].step == best_step_) continue;
+    std::error_code remove_ec;
+    std::filesystem::remove(files[i].path, remove_ec);
+    if (remove_ec) {
+      LOG(WARNING) << "cannot prune checkpoint " << files[i].path << ": "
+                   << remove_ec.message();
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status TrainerCheckpointer::AfterStep(size_t steps_done, double loss) {
+  if (!options_.dir.empty() && options_.every > 0 &&
+      steps_done % options_.every == 0) {
+    util::Status status = SaveStep(steps_done, loss);
+    if (!status.ok()) return status;
+  }
+  if (guard_.enabled && steps_done % SnapshotCadence() == 0) {
+    snapshot_ = encode_();
+    rollbacks_since_snapshot_ = 0;
+  }
+  return util::Status::Ok();
+}
+
+util::Status TrainerCheckpointer::Finish(size_t steps_done, double loss) {
+  if (options_.dir.empty()) return util::Status::Ok();
+  if (last_saved_step_ == steps_done) return util::Status::Ok();
+  return SaveStep(steps_done, loss);
+}
+
+util::Status TrainerCheckpointer::SaveTo(const std::string& path) const {
+  return util::WriteFileAtomic(path, encode_());
+}
+
+util::Status TrainerCheckpointer::RestoreFrom(const std::string& path) {
+  util::Result<util::CheckpointReader> reader =
+      util::CheckpointReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  return decode_(reader.value());
+}
+
+util::Status TrainerCheckpointer::Rollback(const std::string& reason,
+                                           float* lr_scale) {
+  ++total_rollbacks_;
+  if (total_rollbacks_ > guard_.max_rollbacks) {
+    return util::Status::Internal(
+        "divergence guard exhausted: " + std::to_string(guard_.max_rollbacks) +
+        " rollback(s) allowed, still diverging (" + reason + ")");
+  }
+  if (snapshot_.empty()) {
+    return util::Status::Internal("divergence rollback without a snapshot (" +
+                                  reason + ")");
+  }
+  util::Result<util::CheckpointReader> reader = util::CheckpointReader::Parse(
+      std::string(snapshot_), "in-memory rollback snapshot");
+  if (!reader.ok()) return reader.status();
+  util::Status status = decode_(reader.value());
+  if (!status.ok()) return status;
+  ++rollbacks_since_snapshot_;
+  *lr_scale = std::pow(guard_.lr_decay,
+                       static_cast<float>(rollbacks_since_snapshot_));
+  LOG(WARNING) << "divergence detected (" << reason << "): rolled " << prefix_
+               << " run back to last snapshot, learning-rate scale "
+               << *lr_scale << " (rollback " << total_rollbacks_ << "/"
+               << guard_.max_rollbacks << ")";
+  return util::Status::Ok();
+}
+
+}  // namespace hisrect::core

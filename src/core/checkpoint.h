@@ -1,0 +1,130 @@
+#ifndef HISRECT_CORE_CHECKPOINT_H_
+#define HISRECT_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/checkpoint_container.h"
+#include "util/status.h"
+
+namespace hisrect::core {
+
+/// Checkpoint/resume policy shared by the trainers.
+struct CheckpointOptions {
+  /// Directory for periodic checkpoints; empty disables checkpointing
+  /// entirely (SaveCheckpoint/ResumeFromCheckpoint still work).
+  std::string dir;
+  /// Save every N completed steps; 0 writes only the final checkpoint.
+  size_t every = 0;
+  /// Retention: keep the newest `keep_last` checkpoints...
+  size_t keep_last = 3;
+  /// ...plus the checkpoint with the best (lowest) step loss seen so far.
+  bool keep_best = true;
+  /// Scan `dir` for the newest valid checkpoint at the start of Train and
+  /// restore it; corrupt or incompatible files are logged and skipped.
+  bool resume = false;
+};
+
+/// NaN/Inf divergence handling: when a step produces a non-finite loss or
+/// gradient norm, the trainer rolls back to its last in-memory snapshot,
+/// cools the learning rate, and retries — a bounded number of times.
+struct DivergenceGuardOptions {
+  bool enabled = true;
+  /// Total rollbacks allowed per Train run before surfacing an error.
+  size_t max_rollbacks = 3;
+  /// Learning-rate multiplier applied per rollback since the snapshot.
+  float lr_decay = 0.5f;
+  /// Snapshot refresh cadence when periodic checkpointing is off (with
+  /// CheckpointOptions::every > 0 the snapshot refreshes at each save).
+  size_t snapshot_every = 100;
+};
+
+/// One on-disk checkpoint of a trainer run.
+struct CheckpointFile {
+  size_t step = 0;
+  std::string path;
+};
+
+/// `<dir>/<prefix>-<8-digit step>.ckpt`.
+std::string CheckpointPath(const std::string& dir, const std::string& prefix,
+                           size_t step);
+
+/// The `<prefix>-*.ckpt` files in `dir`, newest (highest step) first.
+/// A missing or unreadable directory yields an empty list.
+std::vector<CheckpointFile> ListCheckpoints(const std::string& dir,
+                                            const std::string& prefix);
+
+/// Sum of squared gradient entries over `params`, accumulated in parameter
+/// order with doubles. A NaN/Inf anywhere in the gradients propagates into
+/// the result, which is exactly what the divergence guard tests for.
+double GradNormSquared(const std::vector<nn::NamedParameter>& params);
+
+/// Drives checkpoint/resume, retention, and divergence rollback for one
+/// trainer run. The trainer supplies two callbacks over its full mutable
+/// state (parameters, optimizer moments, RNG, sampling pool, counters):
+/// `encode` serializes it as an HRCT2 container, `decode` restores it from a
+/// validated container — returning non-OK (without partial application of
+/// the guarded sections) when the container is incompatible with the run.
+class TrainerCheckpointer {
+ public:
+  using EncodeFn = std::function<std::string()>;
+  using DecodeFn = std::function<util::Status(const util::CheckpointReader&)>;
+
+  TrainerCheckpointer(std::string prefix, const CheckpointOptions& options,
+                      const DivergenceGuardOptions& guard, EncodeFn encode,
+                      DecodeFn decode);
+
+  /// Begins the run. With a non-empty `explicit_resume_path`, restores that
+  /// checkpoint (strict: any failure is the run's failure). Otherwise, when
+  /// options.resume, scans the directory newest-first and restores the first
+  /// checkpoint that validates and decodes, logging every skip. Ends by
+  /// capturing the rollback snapshot of the (restored or fresh) state.
+  util::Status Start(const std::string& explicit_resume_path, bool* resumed);
+
+  /// Call after each completed step with the 1-based count of steps done.
+  /// Handles cadence saves, retention pruning, and snapshot refresh; a
+  /// checkpoint-write failure is the run's failure.
+  util::Status AfterStep(size_t steps_done, double loss);
+
+  /// Writes the final checkpoint (skipped when one was just written for the
+  /// same step, or when checkpointing is disabled).
+  util::Status Finish(size_t steps_done, double loss);
+
+  /// Encodes current state and writes it to `path` atomically.
+  util::Status SaveTo(const std::string& path) const;
+
+  /// Strictly restores the checkpoint at `path` (no fallback scan).
+  util::Status RestoreFrom(const std::string& path);
+
+  /// Divergence rollback: restores the last snapshot and reports the
+  /// cumulative learning-rate scale (lr_decay^k for the k-th rollback since
+  /// that snapshot) the caller must apply to its optimizers. Non-OK once
+  /// max_rollbacks is exhausted.
+  util::Status Rollback(const std::string& reason, float* lr_scale);
+
+  size_t rollbacks() const { return total_rollbacks_; }
+
+ private:
+  util::Status SaveStep(size_t steps_done, double loss);
+  size_t SnapshotCadence() const;
+
+  std::string prefix_;
+  CheckpointOptions options_;
+  DivergenceGuardOptions guard_;
+  EncodeFn encode_;
+  DecodeFn decode_;
+
+  std::string snapshot_;
+  size_t total_rollbacks_ = 0;
+  size_t rollbacks_since_snapshot_ = 0;
+  size_t last_saved_step_ = static_cast<size_t>(-1);
+  double best_loss_ = 0.0;
+  size_t best_step_ = static_cast<size_t>(-1);
+};
+
+}  // namespace hisrect::core
+
+#endif  // HISRECT_CORE_CHECKPOINT_H_

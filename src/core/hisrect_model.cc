@@ -65,6 +65,12 @@ util::Status HisRectModel::Load(const std::string& path) {
 
 void HisRectModel::Fit(const data::Dataset& dataset,
                        const TextModel& text_model) {
+  util::Status status = TryFit(dataset, text_model);
+  CHECK(status.ok()) << status.ToString();
+}
+
+util::Status HisRectModel::TryFit(const data::Dataset& dataset,
+                                  const TextModel& text_model) {
   BuildModules(dataset, text_model);
   util::Rng rng(config_.seed ^ 0x9e3779b9);
 
@@ -74,15 +80,19 @@ void HisRectModel::Fit(const data::Dataset& dataset,
   if (!config_.one_phase) {
     SslTrainer ssl_trainer(featurizer_.get(), classifier_.get(),
                            embedder_.get(), config_.ssl);
-    ssl_stats_ =
-        ssl_trainer.Train(encoded, dataset.train, dataset.pois, rng);
+    util::Status status =
+        ssl_trainer.Train(encoded, dataset.train, dataset.pois, rng,
+                          &ssl_stats_);
+    if (!status.ok()) return status;
   }
 
   JudgeTrainerOptions judge_options = config_.judge_trainer;
   judge_options.train_featurizer =
       config_.one_phase || judge_options.train_featurizer;
   JudgeTrainer judge_trainer(featurizer_.get(), judge_.get(), judge_options);
-  judge_stats_ = judge_trainer.Train(encoded, dataset.train, rng);
+  util::Status status =
+      judge_trainer.Train(encoded, dataset.train, rng, &judge_stats_);
+  if (!status.ok()) return status;
 
   if (config_.one_phase) {
     // One-phase never trained P; give POI inference a quick supervised pass
@@ -97,8 +107,11 @@ void HisRectModel::Fit(const data::Dataset& dataset,
     // SslTrainer is overkill; instead run with gamma floor 1.0 so only
     // L_poi steps happen. F also receives updates here, matching the
     // "connect F directly" spirit of One-phase.
-    ssl_stats_ = poi_trainer.Train(encoded, dataset.train, dataset.pois, rng);
+    status = poi_trainer.Train(encoded, dataset.train, dataset.pois, rng,
+                               &ssl_stats_);
+    if (!status.ok()) return status;
   }
+  return util::Status::Ok();
 }
 
 nn::Tensor HisRectModel::FeaturizeEncoded(const EncodedProfile& profile) const {

@@ -65,7 +65,17 @@ class HisRectModel {
   HisRectModel& operator=(const HisRectModel&) = delete;
 
   /// Trains the featurizer (SSL phase, unless one_phase) and the judge.
+  /// CHECK-fails on any checkpoint or divergence error; see TryFit.
   void Fit(const data::Dataset& dataset, const TextModel& text_model);
+
+  /// Fault-tolerant Fit: surfaces checkpoint I/O failures, invalid resume
+  /// files, and exhausted divergence-guard retries as a Status instead of
+  /// crashing. With config.ssl.checkpoint / config.judge_trainer.checkpoint
+  /// configured (dir + resume), an interrupted pipeline re-run fast-forwards
+  /// through completed phases via their final checkpoints and resumes the
+  /// interrupted one, bitwise-identically to an uninterrupted run.
+  util::Status TryFit(const data::Dataset& dataset,
+                      const TextModel& text_model);
 
   /// p_co in [0, 1] for two raw profiles; > 0.5 means judged co-located.
   double ScorePair(const data::Profile& a, const data::Profile& b) const;

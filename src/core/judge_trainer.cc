@@ -1,15 +1,27 @@
 #include "core/judge_trainer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
 #include <memory>
+#include <utility>
 
 #include "nn/ops.h"
+#include "nn/serialize.h"
+#include "util/atomic_file.h"
+#include "util/binio.h"
+#include "util/fail_point.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace hisrect::core {
 
 namespace {
+
+/// Discriminates trainer checkpoints inside the shared HRCT2 "meta" section.
+constexpr uint32_t kJudgeCheckpointKind = 1;
 
 struct LabeledPair {
   size_t i;
@@ -38,9 +50,19 @@ JudgeTrainer::JudgeTrainer(HisRectFeaturizer* featurizer, JudgeHead* judge,
 JudgeTrainStats JudgeTrainer::Train(const std::vector<EncodedProfile>& encoded,
                                     const data::DataSplit& split,
                                     util::Rng& rng) {
+  JudgeTrainStats stats;
+  util::Status status = Train(encoded, split, rng, &stats);
+  CHECK(status.ok()) << status.ToString();
+  return stats;
+}
+
+util::Status JudgeTrainer::Train(const std::vector<EncodedProfile>& encoded,
+                                 const data::DataSplit& split, util::Rng& rng,
+                                 JudgeTrainStats* stats) {
   CHECK_EQ(encoded.size(), split.profiles.size());
   CHECK(!split.positive_pairs.empty() || !split.negative_pairs.empty())
       << "judge training requires labeled pairs";
+  *stats = JudgeTrainStats{};
 
   std::vector<nn::NamedParameter> params;
   judge_->CollectParameters("judge", params);
@@ -78,25 +100,212 @@ JudgeTrainStats JudgeTrainer::Train(const std::vector<EncodedProfile>& encoded,
     return pool[cursor++];
   };
 
-  JudgeTrainStats stats;
-  size_t tail_begin = options_.steps - options_.steps / 10;
-  double tail_loss = 0.0;
-  size_t tail_count = 0;
-  auto record = [&](size_t step, double loss_value) {
-    if (step >= tail_begin) {
-      tail_loss += loss_value;
-      ++tail_count;
-    }
-  };
-
   const size_t num_shards =
       std::min(std::max<size_t>(options_.num_shards, 1), options_.batch_size);
   const size_t batch_size = options_.batch_size;
   const float inv_batch = 1.0f / static_cast<float>(batch_size);
 
-  if (num_shards <= 1) {
-    // Serial single-tape path (bit-compatible with the original trainer).
-    for (size_t step = 0; step < options_.steps; ++step) {
+  // Run-state counters; everything a checkpoint captures lives in `params`,
+  // `optimizer`, `rng`, `pool`/`cursor`, and these.
+  size_t step = 0;
+  size_t tail_begin = options_.steps - options_.steps / 10;
+  double tail_loss = 0.0;
+  uint64_t tail_count = 0;
+  auto record = [&](size_t at_step, double loss_value) {
+    if (at_step >= tail_begin) {
+      tail_loss += loss_value;
+      ++tail_count;
+    }
+  };
+
+  // The full run state as an HRCT2 container. Restoring it and continuing
+  // replays the exact uninterrupted trajectory: all stochastic decisions
+  // consume `rng` on this thread in a fixed order, and the pool section
+  // carries the in-flight epoch.
+  auto encode_state = [&]() -> std::string {
+    util::CheckpointWriter writer;
+    std::string meta;
+    util::AppendPod<uint32_t>(meta, kJudgeCheckpointKind);
+    util::AppendPod<uint8_t>(meta, options_.train_featurizer ? 1 : 0);
+    util::AppendPod<uint64_t>(meta, step);
+    util::AppendPod<uint64_t>(meta, options_.steps);
+    util::AppendPod<uint64_t>(meta, num_shards);
+    util::AppendPod<uint64_t>(meta, batch_size);
+    util::AppendPod<double>(meta, tail_loss);
+    util::AppendPod<uint64_t>(meta, tail_count);
+    writer.AddSection("meta", std::move(meta));
+    writer.AddSection(nn::kParamsSection, nn::EncodeParameters(params));
+    std::string adam;
+    optimizer.ExportState(&adam);
+    writer.AddSection("adam", std::move(adam));
+    std::string rng_state;
+    rng.SerializeState(&rng_state);
+    writer.AddSection("rng", std::move(rng_state));
+    std::string pool_state;
+    util::AppendPod<uint64_t>(pool_state, cursor);
+    util::AppendPod<uint64_t>(pool_state, pool.size());
+    for (const LabeledPair& pair : pool) {
+      util::AppendPod<uint64_t>(pool_state, pair.i);
+      util::AppendPod<uint64_t>(pool_state, pair.j);
+      util::AppendPod<float>(pool_state, pair.label);
+    }
+    writer.AddSection("pool", std::move(pool_state));
+    return writer.Encode();
+  };
+
+  auto decode_state =
+      [&](const util::CheckpointReader& reader) -> util::Status {
+    const std::string& source = reader.source();
+    util::Result<std::string_view> meta = reader.Section("meta");
+    if (!meta.ok()) return meta.status();
+    util::ByteReader mr(meta.value());
+    uint32_t kind = 0;
+    uint8_t train_featurizer = 0;
+    uint64_t saved_step = 0, saved_steps = 0, saved_shards = 0,
+             saved_batch = 0, saved_tail_count = 0;
+    double saved_tail_loss = 0.0;
+    if (!mr.ReadPod(&kind) || !mr.ReadPod(&train_featurizer) ||
+        !mr.ReadPod(&saved_step) || !mr.ReadPod(&saved_steps) ||
+        !mr.ReadPod(&saved_shards) || !mr.ReadPod(&saved_batch) ||
+        !mr.ReadPod(&saved_tail_loss) || !mr.ReadPod(&saved_tail_count)) {
+      return util::Status::IoError(source + ": truncated meta section at offset " +
+                                   std::to_string(mr.offset()));
+    }
+    if (!mr.AtEnd()) {
+      return util::Status::IoError(source + ": " +
+                                   std::to_string(mr.remaining()) +
+                                   " trailing bytes in meta section");
+    }
+    if (kind != kJudgeCheckpointKind) {
+      return util::Status::InvalidArgument(
+          source + ": not a judge-trainer checkpoint (kind " +
+          std::to_string(kind) + ")");
+    }
+    if (train_featurizer != (options_.train_featurizer ? 1 : 0) ||
+        saved_steps != options_.steps || saved_shards != num_shards ||
+        saved_batch != batch_size || saved_step > options_.steps) {
+      return util::Status::InvalidArgument(
+          source + ": checkpoint from an incompatible run (step " +
+          std::to_string(saved_step) + "/" + std::to_string(saved_steps) +
+          ", shards " + std::to_string(saved_shards) + ", batch " +
+          std::to_string(saved_batch) + ", train_featurizer " +
+          std::to_string(train_featurizer) + ")");
+    }
+    util::Result<std::string_view> params_section =
+        reader.Section(nn::kParamsSection);
+    if (!params_section.ok()) return params_section.status();
+    util::Status status =
+        nn::DecodeParameters(params, params_section.value(), source);
+    if (!status.ok()) return status;
+    util::Result<std::string_view> adam_section = reader.Section("adam");
+    if (!adam_section.ok()) return adam_section.status();
+    status = optimizer.RestoreState(adam_section.value());
+    if (!status.ok()) {
+      return util::Status(status.code(), source + ": " + status.message());
+    }
+    util::Result<std::string_view> rng_section = reader.Section("rng");
+    if (!rng_section.ok()) return rng_section.status();
+    if (!rng.DeserializeState(rng_section.value())) {
+      return util::Status::IoError(source + ": malformed rng section");
+    }
+    util::Result<std::string_view> pool_section = reader.Section("pool");
+    if (!pool_section.ok()) return pool_section.status();
+    util::ByteReader pr(pool_section.value());
+    uint64_t saved_cursor = 0, pool_size = 0;
+    if (!pr.ReadPod(&saved_cursor) || !pr.ReadPod(&pool_size)) {
+      return util::Status::IoError(source + ": truncated pool section header");
+    }
+    std::vector<LabeledPair> saved_pool;
+    saved_pool.reserve(std::min<uint64_t>(pool_size, pr.remaining()));
+    for (uint64_t i = 0; i < pool_size; ++i) {
+      uint64_t pi = 0, pj = 0;
+      float label = 0.0f;
+      if (!pr.ReadPod(&pi) || !pr.ReadPod(&pj) || !pr.ReadPod(&label)) {
+        return util::Status::IoError(source + ": truncated pool entry " +
+                                     std::to_string(i) + " at offset " +
+                                     std::to_string(pr.offset()));
+      }
+      if (pi >= encoded.size() || pj >= encoded.size()) {
+        return util::Status::InvalidArgument(
+            source + ": pool entry " + std::to_string(i) +
+            " references profile out of range");
+      }
+      saved_pool.push_back(LabeledPair{static_cast<size_t>(pi),
+                                       static_cast<size_t>(pj), label});
+    }
+    if (!pr.AtEnd()) {
+      return util::Status::IoError(source + ": " +
+                                   std::to_string(pr.remaining()) +
+                                   " trailing bytes in pool section");
+    }
+    if (saved_cursor > saved_pool.size()) {
+      return util::Status::InvalidArgument(source +
+                                           ": pool cursor out of range");
+    }
+    // All sections validated; commit.
+    pool = std::move(saved_pool);
+    cursor = static_cast<size_t>(saved_cursor);
+    step = static_cast<size_t>(saved_step);
+    tail_loss = saved_tail_loss;
+    tail_count = saved_tail_count;
+    optimizer.ZeroGrad();
+    return util::Status::Ok();
+  };
+
+  TrainerCheckpointer checkpointer("judge", options_.checkpoint,
+                                   options_.guard, encode_state, decode_state);
+
+  // Whatever way this run exits, keep its state for SaveCheckpoint.
+  struct ExitCapture {
+    std::function<void()> fn;
+    ~ExitCapture() { fn(); }
+  } exit_capture{[&] { last_run_state_ = encode_state(); }};
+
+  const std::string explicit_resume =
+      std::exchange(pending_resume_path_, std::string());
+  bool resumed = false;
+  util::Status status = checkpointer.Start(explicit_resume, &resumed);
+  if (!status.ok()) return status;
+
+  // ---- Data-parallel machinery (num_shards > 1 only) ----
+  util::ThreadPool& thread_pool = util::ThreadPool::Global();
+  std::vector<nn::Matrix> feature_cache;
+  std::vector<JudgeWorker> workers;
+  std::vector<LabeledPair> batch(batch_size);
+  std::vector<util::Rng> sample_rngs;
+  std::vector<float> shard_losses(num_shards);
+  if (num_shards > 1) {
+    // Two-phase training keeps Theta_F fixed, so every profile's feature is
+    // step-invariant: compute each one once up front (in parallel) and feed
+    // the judge detached constants. This also keeps worker backward passes
+    // off the shared featurizer gradients entirely.
+    if (!options_.train_featurizer) {
+      feature_cache.resize(encoded.size());
+      util::ParallelFor(thread_pool, encoded.size(),
+                        thread_pool.num_threads(),
+                        [&](size_t, size_t begin, size_t end) {
+                          for (size_t i = begin; i < end; ++i) {
+                            feature_cache[i] =
+                                featurizer_->Featurize(encoded[i]).value();
+                          }
+                        });
+    }
+    workers.resize(num_shards);
+    for (JudgeWorker& worker : workers) {
+      worker.judge = judge_->Clone();
+      worker.judge->CollectParameters("judge", worker.params);
+      if (options_.train_featurizer) {
+        worker.featurizer = featurizer_->Clone();
+        worker.featurizer->CollectParameters("featurizer", worker.params);
+      }
+    }
+    optimizer.ZeroGrad();
+  }
+
+  while (step < options_.steps) {
+    double loss_value = 0.0;
+    if (num_shards <= 1) {
+      // Serial single-tape path (bit-compatible with the original trainer).
       nn::Tensor loss;
       for (size_t b = 0; b < batch_size; ++b) {
         LabeledPair pair = next_pair();
@@ -114,113 +323,121 @@ JudgeTrainStats JudgeTrainer::Train(const std::vector<EncodedProfile>& encoded,
       }
       loss = nn::Scale(loss, inv_batch);
       loss.Backward();
-      optimizer.Step();
-      record(step, loss.value().At(0, 0));
-    }
-    stats.final_loss =
-        tail_count > 0 ? tail_loss / static_cast<double>(tail_count) : 0.0;
-    return stats;
-  }
-
-  // ---- Data-parallel path ----
-  util::ThreadPool& thread_pool = util::ThreadPool::Global();
-
-  // Two-phase training keeps Theta_F fixed, so every profile's feature is
-  // step-invariant: compute each one once up front (in parallel) and feed
-  // the judge detached constants. This also keeps worker backward passes off
-  // the shared featurizer gradients entirely.
-  std::vector<nn::Matrix> feature_cache;
-  if (!options_.train_featurizer) {
-    feature_cache.resize(encoded.size());
-    util::ParallelFor(thread_pool, encoded.size(), thread_pool.num_threads(),
-                      [&](size_t, size_t begin, size_t end) {
-                        for (size_t i = begin; i < end; ++i) {
-                          feature_cache[i] =
-                              featurizer_->Featurize(encoded[i]).value();
-                        }
-                      });
-  }
-
-  std::vector<JudgeWorker> workers(num_shards);
-  for (JudgeWorker& worker : workers) {
-    worker.judge = judge_->Clone();
-    worker.judge->CollectParameters("judge", worker.params);
-    if (options_.train_featurizer) {
-      worker.featurizer = featurizer_->Clone();
-      worker.featurizer->CollectParameters("featurizer", worker.params);
-    }
-  }
-
-  optimizer.ZeroGrad();
-  std::vector<LabeledPair> batch(batch_size);
-  std::vector<util::Rng> sample_rngs;
-  std::vector<float> shard_losses(num_shards);
-  for (size_t step = 0; step < options_.steps; ++step) {
-    // All stochastic decisions happen on the coordinating thread, in sample
-    // order: pool draws and one forked RNG stream per sample. Workers never
-    // touch the trainer RNG, so the trajectory is a function of (seed,
-    // num_shards) only.
-    sample_rngs.clear();
-    for (size_t b = 0; b < batch_size; ++b) {
-      batch[b] = next_pair();
-      sample_rngs.push_back(rng.Fork());
-    }
-    for (JudgeWorker& worker : workers) {
-      nn::CopyParameterValues(*judge_, *worker.judge);
-      if (worker.featurizer != nullptr) {
-        nn::CopyParameterValues(*featurizer_, *worker.featurizer);
+      loss_value = loss.value().At(0, 0);
+    } else {
+      // All stochastic decisions happen on the coordinating thread, in
+      // sample order: pool draws and one forked RNG stream per sample.
+      // Workers never touch the trainer RNG, so the trajectory is a function
+      // of (seed, num_shards) only.
+      sample_rngs.clear();
+      for (size_t b = 0; b < batch_size; ++b) {
+        batch[b] = next_pair();
+        sample_rngs.push_back(rng.Fork());
       }
-    }
+      for (JudgeWorker& worker : workers) {
+        nn::CopyParameterValues(*judge_, *worker.judge);
+        if (worker.featurizer != nullptr) {
+          nn::CopyParameterValues(*featurizer_, *worker.featurizer);
+        }
+      }
 
-    util::ParallelFor(
-        thread_pool, batch_size, num_shards,
-        [&](size_t shard, size_t begin, size_t end) {
-          JudgeWorker& worker = workers[shard];
-          nn::Tensor loss;
-          for (size_t b = begin; b < end; ++b) {
-            const LabeledPair& pair = batch[b];
-            util::Rng& sample_rng = sample_rngs[b];
-            nn::Tensor fi, fj;
-            if (worker.featurizer != nullptr) {
-              fi = worker.featurizer->Featurize(encoded[pair.i], sample_rng,
-                                                true);
-              fj = worker.featurizer->Featurize(encoded[pair.j], sample_rng,
-                                                true);
-            } else {
-              fi = nn::Tensor::FromMatrix(feature_cache[pair.i]);
-              fj = nn::Tensor::FromMatrix(feature_cache[pair.j]);
+      util::ParallelFor(
+          thread_pool, batch_size, num_shards,
+          [&](size_t shard, size_t begin, size_t end) {
+            JudgeWorker& worker = workers[shard];
+            nn::Tensor loss;
+            for (size_t b = begin; b < end; ++b) {
+              const LabeledPair& pair = batch[b];
+              util::Rng& sample_rng = sample_rngs[b];
+              nn::Tensor fi, fj;
+              if (worker.featurizer != nullptr) {
+                fi = worker.featurizer->Featurize(encoded[pair.i], sample_rng,
+                                                  true);
+                fj = worker.featurizer->Featurize(encoded[pair.j], sample_rng,
+                                                  true);
+              } else {
+                fi = nn::Tensor::FromMatrix(feature_cache[pair.i]);
+                fj = nn::Tensor::FromMatrix(feature_cache[pair.j]);
+              }
+              nn::Tensor logit =
+                  worker.judge->CoLocationLogit(fi, fj, sample_rng, true);
+              nn::Tensor sample_loss =
+                  nn::SigmoidBinaryCrossEntropy(logit, pair.label);
+              loss = loss.defined() ? nn::Add(loss, sample_loss) : sample_loss;
             }
-            nn::Tensor logit =
-                worker.judge->CoLocationLogit(fi, fj, sample_rng, true);
-            nn::Tensor sample_loss =
-                nn::SigmoidBinaryCrossEntropy(logit, pair.label);
-            loss = loss.defined() ? nn::Add(loss, sample_loss) : sample_loss;
-          }
-          loss = nn::Scale(loss, inv_batch);
-          loss.Backward();
-          shard_losses[shard] = loss.value().At(0, 0);
-        });
+            loss = nn::Scale(loss, inv_batch);
+            loss.Backward();
+            shard_losses[shard] = loss.value().At(0, 0);
+          });
 
-    // Fixed-order reduction: shard 0 first, then 1, ... — the float sums
-    // are associated identically no matter which threads ran the shards.
-    double loss_value = 0.0;
-    for (size_t shard = 0; shard < num_shards; ++shard) {
-      loss_value += shard_losses[shard];
-      std::vector<nn::NamedParameter>& worker_params = workers[shard].params;
-      CHECK_EQ(worker_params.size(), params.size());
-      for (size_t p = 0; p < params.size(); ++p) {
-        params[p].tensor.mutable_grad().AddScaled(
-            worker_params[p].tensor.grad(), 1.0f);
-        worker_params[p].tensor.ZeroGrad();
+      // Fixed-order reduction: shard 0 first, then 1, ... — the float sums
+      // are associated identically no matter which threads ran the shards.
+      for (size_t shard = 0; shard < num_shards; ++shard) {
+        loss_value += shard_losses[shard];
+        std::vector<nn::NamedParameter>& worker_params = workers[shard].params;
+        CHECK_EQ(worker_params.size(), params.size());
+        for (size_t p = 0; p < params.size(); ++p) {
+          params[p].tensor.mutable_grad().AddScaled(
+              worker_params[p].tensor.grad(), 1.0f);
+          worker_params[p].tensor.ZeroGrad();
+        }
       }
     }
+
+    if (util::FailPoint::ShouldFail("trainer.nan_grad")) {
+      params.front().tensor.mutable_grad().data()[0] =
+          std::numeric_limits<float>::quiet_NaN();
+    }
+    if (options_.guard.enabled &&
+        (!std::isfinite(loss_value) ||
+         !std::isfinite(GradNormSquared(params)))) {
+      float lr_scale = 1.0f;
+      status = checkpointer.Rollback(
+          "non-finite loss or gradient at judge step " + std::to_string(step),
+          &lr_scale);
+      if (!status.ok()) return status;
+      stats->rollbacks = checkpointer.rollbacks();
+      optimizer.ScaleLearningRate(lr_scale);
+      optimizer.ZeroGrad();
+      continue;
+    }
+
     optimizer.Step();
     record(step, loss_value);
+    ++step;
+    status = checkpointer.AfterStep(step, loss_value);
+    if (!status.ok()) return status;
+    if (util::FailPoint::ShouldFail("trainer.abort")) {
+      return util::Status::Internal(
+          "injected failure: trainer.abort after judge step " +
+          std::to_string(step));
+    }
   }
 
-  stats.final_loss =
+  status = checkpointer.Finish(
+      step, tail_count > 0 ? tail_loss / static_cast<double>(tail_count)
+                           : 0.0);
+  if (!status.ok()) return status;
+
+  stats->final_loss =
       tail_count > 0 ? tail_loss / static_cast<double>(tail_count) : 0.0;
-  return stats;
+  return util::Status::Ok();
+}
+
+util::Status JudgeTrainer::SaveCheckpoint(const std::string& path) const {
+  if (last_run_state_.empty()) {
+    return util::Status::FailedPrecondition(
+        "no judge training run to checkpoint; call Train first");
+  }
+  return util::WriteFileAtomic(path, last_run_state_);
+}
+
+util::Status JudgeTrainer::ResumeFromCheckpoint(const std::string& path) {
+  util::Result<util::CheckpointReader> reader =
+      util::CheckpointReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  pending_resume_path_ = path;
+  return util::Status::Ok();
 }
 
 }  // namespace hisrect::core

@@ -1,15 +1,18 @@
 #ifndef HISRECT_CORE_SSL_TRAINER_H_
 #define HISRECT_CORE_SSL_TRAINER_H_
 
+#include <string>
 #include <vector>
 
 #include "core/affinity.h"
+#include "core/checkpoint.h"
 #include "core/featurizer.h"
 #include "core/heads.h"
 #include "core/profile_encoder.h"
 #include "data/dataset.h"
 #include "nn/adam.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace hisrect::core {
 
@@ -48,6 +51,9 @@ struct SslTrainerOptions {
   size_t num_shards = 1;
   nn::AdamOptions adam;
   AffinityOptions affinity;
+  /// Checkpoint/resume and NaN-divergence policy (prefix "ssl").
+  CheckpointOptions checkpoint;
+  DivergenceGuardOptions guard;
 };
 
 struct SslTrainStats {
@@ -56,6 +62,8 @@ struct SslTrainStats {
   /// Mean losses over the final 10% of steps of each kind.
   double final_poi_loss = 0.0;
   double final_unsup_loss = 0.0;
+  /// Divergence-guard rollbacks taken during the run (0 = clean run).
+  size_t rollbacks = 0;
 };
 
 /// Algorithm 1 of the paper: joint semi-supervised training of the HisRect
@@ -69,16 +77,38 @@ class SslTrainer {
   SslTrainer(HisRectFeaturizer* featurizer, PoiClassifier* classifier,
              Embedder* embedder, const SslTrainerOptions& options);
 
-  /// `encoded` must be parallel to `split.profiles`.
+  /// `encoded` must be parallel to `split.profiles`. Legacy entry point:
+  /// CHECK-fails on any checkpoint or divergence error.
   SslTrainStats Train(const std::vector<EncodedProfile>& encoded,
                       const data::DataSplit& split, const geo::PoiSet& pois,
                       util::Rng& rng);
+
+  /// Fault-tolerant entry point: periodic HRCT2 checkpoints of the full run
+  /// state (parameters, both Adam optimizers, RNG, pair pool, counters) per
+  /// SslTrainerOptions::checkpoint, resume bitwise-identical to an
+  /// uninterrupted run at the same num_shards, and NaN/Inf divergence
+  /// rollback per SslTrainerOptions::guard.
+  util::Status Train(const std::vector<EncodedProfile>& encoded,
+                     const data::DataSplit& split, const geo::PoiSet& pois,
+                     util::Rng& rng, SslTrainStats* stats);
+
+  /// Writes the state of the most recent Train run to `path` atomically.
+  /// FailedPrecondition before any Train.
+  util::Status SaveCheckpoint(const std::string& path) const;
+
+  /// Schedules an explicit checkpoint for the next Train call to restore at
+  /// startup, overriding the CheckpointOptions directory scan.
+  util::Status ResumeFromCheckpoint(const std::string& path);
 
  private:
   HisRectFeaturizer* featurizer_;
   PoiClassifier* classifier_;
   Embedder* embedder_;
   SslTrainerOptions options_;
+
+  /// Encoded container of the last Train run's exit state.
+  std::string last_run_state_;
+  std::string pending_resume_path_;
 };
 
 }  // namespace hisrect::core

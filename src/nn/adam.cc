@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/binio.h"
 #include "util/logging.h"
 
 namespace hisrect::nn {
@@ -74,6 +75,80 @@ void Adam::Step() {
 
 void Adam::ZeroGrad() {
   for (Slot& slot : slots_) slot.parameter.ZeroGrad();
+}
+
+void Adam::ScaleLearningRate(float factor) {
+  CHECK_GT(factor, 0.0f);
+  options_.learning_rate *= factor;
+}
+
+void Adam::ExportState(std::string* out) const {
+  util::AppendPod<uint64_t>(*out, step_);
+  util::AppendPod<float>(*out, options_.learning_rate);
+  util::AppendPod<uint64_t>(*out, slots_.size());
+  for (const Slot& slot : slots_) {
+    util::AppendPod<uint64_t>(*out, slot.m.rows());
+    util::AppendPod<uint64_t>(*out, slot.m.cols());
+    util::AppendBytes(*out, slot.m.data(), slot.m.size() * sizeof(float));
+    util::AppendBytes(*out, slot.v.data(), slot.v.size() * sizeof(float));
+  }
+}
+
+util::Status Adam::RestoreState(std::string_view bytes) {
+  util::ByteReader reader(bytes);
+  uint64_t step = 0;
+  float learning_rate = 0.0f;
+  uint64_t slot_count = 0;
+  if (!reader.ReadPod(&step) || !reader.ReadPod(&learning_rate) ||
+      !reader.ReadPod(&slot_count)) {
+    return util::Status::IoError("adam state: truncated header at offset " +
+                                 std::to_string(reader.offset()));
+  }
+  if (slot_count != slots_.size()) {
+    return util::Status::InvalidArgument(
+        "adam state: slot count mismatch: state has " +
+        std::to_string(slot_count) + ", optimizer has " +
+        std::to_string(slots_.size()));
+  }
+  // Decode everything into staging before mutating any slot.
+  std::vector<Matrix> m(slots_.size());
+  std::vector<Matrix> v(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    uint64_t rows = 0;
+    uint64_t cols = 0;
+    if (!reader.ReadPod(&rows) || !reader.ReadPod(&cols)) {
+      return util::Status::IoError("adam state: truncated slot " +
+                                   std::to_string(i) + " header at offset " +
+                                   std::to_string(reader.offset()));
+    }
+    if (rows != slots_[i].m.rows() || cols != slots_[i].m.cols()) {
+      return util::Status::InvalidArgument(
+          "adam state: shape mismatch for slot " + std::to_string(i) +
+          ": state " + std::to_string(rows) + "x" + std::to_string(cols) +
+          ", optimizer " + std::to_string(slots_[i].m.rows()) + "x" +
+          std::to_string(slots_[i].m.cols()));
+    }
+    m[i] = Matrix(rows, cols);
+    v[i] = Matrix(rows, cols);
+    if (!reader.ReadBytes(m[i].data(), m[i].size() * sizeof(float)) ||
+        !reader.ReadBytes(v[i].data(), v[i].size() * sizeof(float))) {
+      return util::Status::IoError("adam state: truncated moments of slot " +
+                                   std::to_string(i) + " at offset " +
+                                   std::to_string(reader.offset()));
+    }
+  }
+  if (!reader.AtEnd()) {
+    return util::Status::IoError(
+        "adam state: " + std::to_string(reader.remaining()) +
+        " trailing bytes after slot data");
+  }
+  step_ = step;
+  options_.learning_rate = learning_rate;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].m = std::move(m[i]);
+    slots_[i].v = std::move(v[i]);
+  }
+  return util::Status::Ok();
 }
 
 }  // namespace hisrect::nn

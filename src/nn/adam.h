@@ -1,10 +1,13 @@
 #ifndef HISRECT_NN_ADAM_H_
 #define HISRECT_NN_ADAM_H_
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "nn/module.h"
 #include "nn/tensor.h"
+#include "util/status.h"
 
 namespace hisrect::nn {
 
@@ -40,6 +43,20 @@ class Adam {
   size_t step_count() const { return step_; }
   float current_learning_rate() const;
   const AdamOptions& options() const { return options_; }
+
+  /// Multiplies the base learning rate by `factor` (> 0). The divergence
+  /// guard uses this to cool the optimizer down after rolling back to a
+  /// checkpoint; the decayed rate is part of the exported state.
+  void ScaleLearningRate(float factor);
+
+  /// Appends the full optimizer state — step count, (possibly decayed) base
+  /// learning rate, and per-slot first/second moment estimates — to `out`.
+  void ExportState(std::string* out) const;
+
+  /// Restores state written by ExportState. Fails (without partial
+  /// application) when the slot count or any moment shape does not match the
+  /// parameters this optimizer was built over.
+  util::Status RestoreState(std::string_view bytes);
 
  private:
   struct Slot {

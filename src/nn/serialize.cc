@@ -1,93 +1,129 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
-#include <fstream>
 #include <unordered_map>
+#include <utility>
+
+#include "util/atomic_file.h"
+#include "util/binio.h"
+#include "util/checkpoint_container.h"
 
 namespace hisrect::nn {
 
 namespace {
 
-constexpr char kMagic[] = "HRCT1\n";
-constexpr size_t kMagicLen = 6;
-
-template <typename T>
-void WritePod(std::ofstream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T& value) {
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  return static_cast<bool>(in);
-}
+constexpr char kLegacyMagic[] = "HRCT1\n";
+constexpr size_t kLegacyMagicLen = 6;
 
 }  // namespace
 
-util::Status SaveParameters(const std::vector<NamedParameter>& parameters,
-                            const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return util::Status::IoError("cannot open " + path);
-  out.write(kMagic, kMagicLen);
-  WritePod<uint64_t>(out, parameters.size());
+std::string EncodeParameters(const std::vector<NamedParameter>& parameters) {
+  std::string out;
+  util::AppendPod<uint64_t>(out, parameters.size());
   for (const NamedParameter& p : parameters) {
-    WritePod<uint32_t>(out, static_cast<uint32_t>(p.name.size()));
-    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    util::AppendSizedString(out, p.name);
     const Matrix& m = p.tensor.value();
-    WritePod<uint64_t>(out, m.rows());
-    WritePod<uint64_t>(out, m.cols());
-    out.write(reinterpret_cast<const char*>(m.data()),
-              static_cast<std::streamsize>(m.size() * sizeof(float)));
+    util::AppendPod<uint64_t>(out, m.rows());
+    util::AppendPod<uint64_t>(out, m.cols());
+    util::AppendBytes(out, m.data(), m.size() * sizeof(float));
   }
-  if (!out) return util::Status::IoError("write failed for " + path);
-  return util::Status::Ok();
+  return out;
 }
 
-util::Status LoadParameters(std::vector<NamedParameter>& parameters,
-                            const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return util::Status::IoError("cannot open " + path);
-  char magic[kMagicLen];
-  in.read(magic, kMagicLen);
-  if (!in || std::string(magic, kMagicLen) != std::string(kMagic, kMagicLen)) {
-    return util::Status::InvalidArgument("bad magic in " + path);
-  }
+util::Status DecodeParameters(std::vector<NamedParameter>& parameters,
+                              std::string_view payload,
+                              const std::string& source) {
+  util::ByteReader reader(payload);
   uint64_t count = 0;
-  if (!ReadPod(in, count)) return util::Status::IoError("truncated " + path);
+  if (!reader.ReadPod(&count)) {
+    return util::Status::IoError(source + ": truncated at offset " +
+                                 std::to_string(reader.offset()) +
+                                 " (reading parameter count)");
+  }
 
   std::unordered_map<std::string, Matrix> loaded;
   for (uint64_t i = 0; i < count; ++i) {
-    uint32_t name_len = 0;
-    if (!ReadPod(in, name_len)) return util::Status::IoError("truncated " + path);
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
+    std::string name;
     uint64_t rows = 0;
     uint64_t cols = 0;
-    if (!ReadPod(in, rows) || !ReadPod(in, cols)) {
-      return util::Status::IoError("truncated " + path);
+    if (!reader.ReadSizedString(&name) || !reader.ReadPod(&rows) ||
+        !reader.ReadPod(&cols)) {
+      return util::Status::IoError(
+          source + ": truncated header of parameter " + std::to_string(i) +
+          " at offset " + std::to_string(reader.offset()) + " (payload size " +
+          std::to_string(reader.size()) + ")");
+    }
+    // Reject corrupt sizes before allocating rows*cols floats: anything the
+    // remaining payload can't hold is a truncation, however large the header
+    // claims the matrix is.
+    const uint64_t available = reader.remaining() / sizeof(float);
+    if (rows != 0 && (cols > available / rows)) {
+      return util::Status::IoError(
+          source + ": truncated values of parameter '" + name +
+          "' at offset " + std::to_string(reader.offset()) + ": expected " +
+          std::to_string(rows) + "x" + std::to_string(cols) + " floats, " +
+          std::to_string(reader.remaining()) + " bytes available");
     }
     Matrix m(rows, cols);
-    in.read(reinterpret_cast<char*>(m.data()),
-            static_cast<std::streamsize>(m.size() * sizeof(float)));
-    if (!in) return util::Status::IoError("truncated " + path);
+    reader.ReadBytes(m.data(), m.size() * sizeof(float));
     loaded.emplace(std::move(name), std::move(m));
+  }
+  if (!reader.AtEnd()) {
+    return util::Status::IoError(
+        source + ": " + std::to_string(reader.remaining()) +
+        " trailing bytes after last parameter (payload size " +
+        std::to_string(reader.size()) + ", expected " +
+        std::to_string(reader.offset()) + ")");
   }
 
   // Validate everything before mutating anything.
   for (const NamedParameter& p : parameters) {
     auto it = loaded.find(p.name);
     if (it == loaded.end()) {
-      return util::Status::NotFound("parameter not in file: " + p.name);
+      return util::Status::NotFound(source + ": parameter not in file: " +
+                                    p.name);
     }
     if (it->second.rows() != p.tensor.rows() ||
         it->second.cols() != p.tensor.cols()) {
-      return util::Status::InvalidArgument("shape mismatch for " + p.name);
+      return util::Status::InvalidArgument(source + ": shape mismatch for " +
+                                           p.name);
     }
   }
   for (NamedParameter& p : parameters) {
     p.tensor.mutable_value() = loaded.at(p.name);
   }
   return util::Status::Ok();
+}
+
+util::Status SaveParameters(const std::vector<NamedParameter>& parameters,
+                            const std::string& path) {
+  util::CheckpointWriter writer;
+  writer.AddSection(kParamsSection, EncodeParameters(parameters));
+  return writer.WriteFile(path);
+}
+
+util::Status LoadParameters(std::vector<NamedParameter>& parameters,
+                            const std::string& path) {
+  std::string bytes;
+  util::Status status = util::ReadFileToString(path, &bytes);
+  if (!status.ok()) return status;
+
+  if (bytes.size() >= kLegacyMagicLen &&
+      std::string_view(bytes).substr(0, kLegacyMagicLen) ==
+          std::string_view(kLegacyMagic, kLegacyMagicLen)) {
+    // Legacy checksum-free container: magic followed directly by the same
+    // body layout as the HRCT2 params section, parsed just as strictly.
+    return DecodeParameters(
+        parameters, std::string_view(bytes).substr(kLegacyMagicLen), path);
+  }
+
+  util::Result<util::CheckpointReader> reader =
+      util::CheckpointReader::Parse(std::move(bytes), path);
+  if (!reader.ok()) return reader.status();
+  util::Result<std::string_view> section =
+      reader.value().Section(kParamsSection);
+  if (!section.ok()) return section.status();
+  return DecodeParameters(parameters, section.value(), path);
 }
 
 }  // namespace hisrect::nn

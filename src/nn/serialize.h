@@ -2,6 +2,7 @@
 #define HISRECT_NN_SERIALIZE_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "nn/module.h"
@@ -9,15 +10,32 @@
 
 namespace hisrect::nn {
 
-/// Saves the parameters to a simple binary container:
-///   magic "HRCT1\n", u64 count, then per parameter:
+/// Name of the parameter section inside HRCT2 containers.
+inline constexpr char kParamsSection[] = "params";
+
+/// Encodes parameters as the HRCT2 "params" section payload:
+///   u64 count, then per parameter:
 ///   u32 name_len, name bytes, u64 rows, u64 cols, rows*cols f32 values.
+std::string EncodeParameters(const std::vector<NamedParameter>& parameters);
+
+/// Strictly decodes an EncodeParameters payload into `parameters`, matching
+/// by name. Fails without partial application on truncation, trailing bytes,
+/// a missing name, or a shape mismatch; errors name `source` and the byte
+/// offset. (This is also the HRCT1 body layout, after its 6-byte magic.)
+util::Status DecodeParameters(std::vector<NamedParameter>& parameters,
+                              std::string_view payload,
+                              const std::string& source);
+
+/// Saves the parameters to `path` as an HRCT2 container (one CRC32-guarded
+/// "params" section), written atomically via tmp+fsync+rename.
 util::Status SaveParameters(const std::vector<NamedParameter>& parameters,
                             const std::string& path);
 
 /// Loads values saved by SaveParameters into `parameters`, matching by name.
-/// Fails (without partial application) if a name is missing in the file or a
-/// shape mismatches.
+/// Accepts HRCT2 containers (checksums, exact length verified) and, read-only
+/// for backward compatibility, the legacy checksum-free "HRCT1\n" format —
+/// both rejecting truncated files and trailing garbage with a precise
+/// IoError. Never partially applies.
 util::Status LoadParameters(std::vector<NamedParameter>& parameters,
                             const std::string& path);
 

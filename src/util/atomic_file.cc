@@ -1,0 +1,112 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/fail_point.h"
+
+namespace hisrect::util {
+
+namespace {
+
+Status ErrnoError(const std::string& action, const std::string& path) {
+  return Status::IoError(action + " failed for " + path + ": " +
+                         std::strerror(errno));
+}
+
+/// Writes `data` fully to `fd`, retrying short writes.
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)) {}
+
+void AtomicFileWriter::Append(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+Status AtomicFileWriter::Commit() {
+  std::string_view payload = buffer_;
+  bool skip_rename = false;
+  Status injected = Status::Ok();
+
+  std::string corrupted;  // Backing storage when a fail point mutates data.
+  if (auto keep = FailPoint::Fire("atomic_file.short_write")) {
+    size_t cut = (*keep > 0 && static_cast<size_t>(*keep) < buffer_.size())
+                     ? static_cast<size_t>(*keep)
+                     : buffer_.size() / 2;
+    payload = payload.substr(0, cut);
+    skip_rename = true;
+    injected = Status::IoError("injected failure: atomic_file.short_write at " +
+                               path_);
+  }
+  if (FailPoint::Fire("atomic_file.crash_before_rename")) {
+    skip_rename = true;
+    injected = Status::IoError(
+        "injected failure: atomic_file.crash_before_rename at " + path_);
+  }
+  if (auto index = FailPoint::Fire("atomic_file.bitflip")) {
+    corrupted.assign(payload);
+    if (!corrupted.empty()) {
+      size_t at = (*index >= 0 && static_cast<size_t>(*index) < corrupted.size())
+                      ? static_cast<size_t>(*index)
+                      : corrupted.size() / 2;
+      corrupted[at] = static_cast<char>(corrupted[at] ^ 0x10);
+    }
+    payload = corrupted;
+  }
+
+  const std::string tmp_path = path_ + ".tmp";
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoError("open", tmp_path);
+  Status status = WriteAll(fd, payload, tmp_path);
+  if (status.ok() && ::fsync(fd) != 0) status = ErrnoError("fsync", tmp_path);
+  if (::close(fd) != 0 && status.ok()) status = ErrnoError("close", tmp_path);
+  if (!status.ok()) {
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  if (skip_rename) return injected;  // Simulated crash: tmp left behind.
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    Status rename_status = ErrnoError("rename", tmp_path + " -> " + path_);
+    ::unlink(tmp_path.c_str());
+    return rename_status;
+  }
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  AtomicFileWriter writer(path);
+  writer.Append(content);
+  return writer.Commit();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed for " + path);
+  *out = buffer.str();
+  return Status::Ok();
+}
+
+}  // namespace hisrect::util

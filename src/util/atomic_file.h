@@ -1,0 +1,54 @@
+#ifndef HISRECT_UTIL_ATOMIC_FILE_H_
+#define HISRECT_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace hisrect::util {
+
+/// Crash-safe file writer: content is buffered, then Commit() writes it to
+/// `<path>.tmp`, fsyncs, and renames over `path`. Readers therefore observe
+/// either the complete previous file or the complete new one — never a torn
+/// write. All binary and CSV artifacts in this library (model files,
+/// checkpoints, bench exports) go through this path.
+///
+/// Fault-injection points evaluated inside Commit() (see util/fail_point.h):
+///   * "atomic_file.short_write"        — writes a truncated temp file, skips
+///     the rename and fails: a crash mid-write. Payload: bytes to keep
+///     (<= 0 keeps the first half).
+///   * "atomic_file.crash_before_rename" — full temp file written + synced,
+///     rename skipped, fails: a crash in the commit window.
+///   * "atomic_file.bitflip"            — flips one bit of the buffer and
+///     commits "successfully": silent media corruption for checksum tests.
+///     Payload: byte index (< 0 or past-end picks the middle byte).
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+
+  /// Appends bytes to the in-memory buffer.
+  void Append(std::string_view bytes);
+
+  /// Writes the buffer to `<path>.tmp`, fsyncs, and atomically renames it to
+  /// `path`. Leaves `path` untouched on any failure.
+  Status Commit();
+
+  const std::string& path() const { return path_; }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string path_;
+  std::string buffer_;
+};
+
+/// One-shot convenience: atomically replaces `path` with `content`.
+Status WriteFileAtomic(const std::string& path, std::string_view content);
+
+/// Reads the entire file into `out`; IoError (with the observed size) when
+/// the file is missing or unreadable.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+}  // namespace hisrect::util
+
+#endif  // HISRECT_UTIL_ATOMIC_FILE_H_

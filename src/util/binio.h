@@ -1,0 +1,92 @@
+#ifndef HISRECT_UTIL_BINIO_H_
+#define HISRECT_UTIL_BINIO_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace hisrect::util {
+
+/// Little helpers for the length-prefixed binary encodings used by the
+/// HRCT containers and trainer checkpoints. Writers append to a std::string
+/// buffer; the reader tracks its offset so failures can report exactly where
+/// (and how much) input was missing.
+
+template <typename T>
+void AppendPod(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AppendPod requires a trivially copyable type");
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+inline void AppendBytes(std::string& out, const void* data, size_t size) {
+  out.append(reinterpret_cast<const char*>(data), size);
+}
+
+/// u32 length prefix + raw bytes.
+inline void AppendSizedString(std::string& out, std::string_view value) {
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(value.size()));
+  out.append(value.data(), value.size());
+}
+
+/// Forward-only cursor over a byte buffer. Every Read* returns false instead
+/// of reading past the end; `offset()` then points at the first byte the
+/// failed read needed, which callers fold into their IoError messages.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t offset() const { return offset_; }
+  size_t size() const { return data_.size(); }
+  size_t remaining() const { return data_.size() - offset_; }
+  bool AtEnd() const { return offset_ == data_.size(); }
+
+  template <typename T>
+  bool ReadPod(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ReadPod requires a trivially copyable type");
+    if (remaining() < sizeof(T)) return false;
+    std::memcpy(out, data_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(void* out, size_t size) {
+    if (remaining() < size) return false;
+    std::memcpy(out, data_.data() + offset_, size);
+    offset_ += size;
+    return true;
+  }
+
+  bool ReadString(std::string* out, size_t size) {
+    if (remaining() < size) return false;
+    out->assign(data_.data() + offset_, size);
+    offset_ += size;
+    return true;
+  }
+
+  /// A view of `size` bytes without copying; false when truncated.
+  bool ReadView(std::string_view* out, size_t size) {
+    if (remaining() < size) return false;
+    *out = data_.substr(offset_, size);
+    offset_ += size;
+    return true;
+  }
+
+  /// Reads a u32 length prefix followed by that many bytes.
+  bool ReadSizedString(std::string* out) {
+    uint32_t size = 0;
+    if (!ReadPod(&size)) return false;
+    return ReadString(out, size);
+  }
+
+ private:
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+}  // namespace hisrect::util
+
+#endif  // HISRECT_UTIL_BINIO_H_

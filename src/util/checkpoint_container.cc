@@ -1,0 +1,132 @@
+#include "util/checkpoint_container.h"
+
+#include <set>
+
+#include "util/atomic_file.h"
+#include "util/binio.h"
+#include "util/checksum.h"
+#include "util/logging.h"
+
+namespace hisrect::util {
+
+void CheckpointWriter::AddSection(std::string name, std::string payload) {
+  sections_.push_back({std::move(name), std::move(payload)});
+}
+
+std::string CheckpointWriter::Encode() const {
+  std::set<std::string> seen;
+  for (const Section& section : sections_) {
+    CHECK(seen.insert(section.name).second)
+        << "duplicate checkpoint section: " << section.name;
+  }
+  std::string out;
+  out.append(kHrct2Magic, kHrct2MagicLen);
+  AppendPod<uint32_t>(out, kHrct2Version);
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(sections_.size()));
+  for (const Section& section : sections_) {
+    AppendSizedString(out, section.name);
+    // The CRC chains over name then payload: a flip in the *name* bytes is
+    // just as detectable as one in the payload (otherwise a corrupted name
+    // would silently surface as a missing section).
+    AppendPod<uint32_t>(out, Crc32(section.payload, Crc32(section.name)));
+    AppendPod<uint64_t>(out, static_cast<uint64_t>(section.payload.size()));
+    out.append(section.payload);
+  }
+  return out;
+}
+
+Status CheckpointWriter::WriteFile(const std::string& path) const {
+  return WriteFileAtomic(path, Encode());
+}
+
+Result<CheckpointReader> CheckpointReader::FromFile(const std::string& path) {
+  std::string bytes;
+  Status status = ReadFileToString(path, &bytes);
+  if (!status.ok()) return status;
+  return Parse(std::move(bytes), path);
+}
+
+Result<CheckpointReader> CheckpointReader::Parse(std::string bytes,
+                                                 std::string source) {
+  CheckpointReader reader;
+  reader.bytes_ = std::move(bytes);
+  reader.source_ = std::move(source);
+  const std::string& src = reader.source_;
+
+  ByteReader cursor(reader.bytes_);
+  char magic[kHrct2MagicLen];
+  if (!cursor.ReadBytes(magic, kHrct2MagicLen) ||
+      std::string_view(magic, kHrct2MagicLen) !=
+          std::string_view(kHrct2Magic, kHrct2MagicLen)) {
+    return Status::IoError(src + ": not an HRCT2 container (bad magic)");
+  }
+  uint32_t version = 0;
+  uint32_t section_count = 0;
+  if (!cursor.ReadPod(&version) || !cursor.ReadPod(&section_count)) {
+    return Status::IoError(src + ": truncated header at offset " +
+                           std::to_string(cursor.offset()));
+  }
+  if (version != kHrct2Version) {
+    return Status::IoError(src + ": unsupported HRCT2 version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kHrct2Version) + ")");
+  }
+
+  for (uint32_t i = 0; i < section_count; ++i) {
+    std::string name;
+    uint32_t expected_crc = 0;
+    uint64_t payload_size = 0;
+    if (!cursor.ReadSizedString(&name) || !cursor.ReadPod(&expected_crc) ||
+        !cursor.ReadPod(&payload_size)) {
+      return Status::IoError(
+          src + ": truncated section header " + std::to_string(i) +
+          " at offset " + std::to_string(cursor.offset()) + " (file size " +
+          std::to_string(cursor.size()) + ")");
+    }
+    size_t begin = cursor.offset();
+    std::string_view payload;
+    if (!cursor.ReadView(&payload, payload_size)) {
+      return Status::IoError(
+          src + ": truncated payload of section '" + name + "' at offset " +
+          std::to_string(begin) + ": expected " + std::to_string(payload_size) +
+          " bytes, " + std::to_string(cursor.remaining()) + " available");
+    }
+    uint32_t actual_crc = Crc32(payload, Crc32(name));
+    if (actual_crc != expected_crc) {
+      return Status::IoError(src + ": crc mismatch in section '" + name +
+                             "': stored " + std::to_string(expected_crc) +
+                             ", computed " + std::to_string(actual_crc));
+    }
+    reader.names_.push_back(std::move(name));
+    reader.ranges_.emplace_back(begin, begin + payload_size);
+  }
+  if (!cursor.AtEnd()) {
+    return Status::IoError(
+        src + ": " + std::to_string(cursor.remaining()) +
+        " trailing bytes after last section (file size " +
+        std::to_string(cursor.size()) + ", expected " +
+        std::to_string(cursor.offset()) + ")");
+  }
+  return reader;
+}
+
+bool CheckpointReader::Has(const std::string& name) const {
+  for (const std::string& candidate : names_) {
+    if (candidate == name) return true;
+  }
+  return false;
+}
+
+Result<std::string_view> CheckpointReader::Section(
+    const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return std::string_view(bytes_).substr(ranges_[i].first,
+                                             ranges_[i].second -
+                                                 ranges_[i].first);
+    }
+  }
+  return Status::NotFound(source_ + ": no section '" + name + "'");
+}
+
+}  // namespace hisrect::util

@@ -1,0 +1,82 @@
+#ifndef HISRECT_UTIL_CHECKPOINT_CONTAINER_H_
+#define HISRECT_UTIL_CHECKPOINT_CONTAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hisrect::util {
+
+/// The HRCT2 corruption-safe container: a versioned sequence of named binary
+/// sections, each guarded by a CRC32. Model files and trainer checkpoints
+/// are HRCT2 containers; what goes in the sections is up to the caller.
+///
+/// Layout (all integers little-endian):
+///   magic "HRCT2\n" (6 bytes)
+///   u32 format_version (currently 2)
+///   u32 section_count
+///   per section:
+///     u32 name_len, name bytes
+///     u32 crc32 over name bytes then payload bytes (chained)
+///     u64 payload_size, payload bytes
+///   end of file exactly after the last section (trailing bytes are an error)
+inline constexpr char kHrct2Magic[] = "HRCT2\n";
+inline constexpr size_t kHrct2MagicLen = 6;
+inline constexpr uint32_t kHrct2Version = 2;
+
+class CheckpointWriter {
+ public:
+  /// Adds a section; names must be unique (CHECK-enforced on Encode).
+  void AddSection(std::string name, std::string payload);
+
+  /// The full container as bytes.
+  std::string Encode() const;
+
+  /// Encodes and writes via the atomic tmp+fsync+rename path.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::string payload;
+  };
+  std::vector<Section> sections_;
+};
+
+/// Parses and validates an HRCT2 container: magic, version, per-section
+/// CRC32s, and exact total length. Any failure is an IoError naming the
+/// source, the offset, and the expected/actual quantity — the caller treats
+/// the whole file as invalid (sections are never partially exposed).
+class CheckpointReader {
+ public:
+  /// Reads and validates `path`. On success the reader owns the bytes.
+  static Result<CheckpointReader> FromFile(const std::string& path);
+
+  /// Validates an in-memory container; `source` names it in errors.
+  static Result<CheckpointReader> Parse(std::string bytes, std::string source);
+
+  bool Has(const std::string& name) const;
+
+  /// The payload of section `name`; NotFound when absent. The view aliases
+  /// the reader's buffer and is valid for the reader's lifetime.
+  Result<std::string_view> Section(const std::string& name) const;
+
+  const std::vector<std::string>& section_names() const { return names_; }
+  const std::string& source() const { return source_; }
+
+ private:
+  CheckpointReader() = default;
+
+  std::string bytes_;
+  std::string source_;
+  std::vector<std::string> names_;
+  // Parallel to names_: [begin, end) payload ranges into bytes_.
+  std::vector<std::pair<size_t, size_t>> ranges_;
+};
+
+}  // namespace hisrect::util
+
+#endif  // HISRECT_UTIL_CHECKPOINT_CONTAINER_H_

@@ -1,0 +1,21 @@
+#ifndef HISRECT_UTIL_CHECKSUM_H_
+#define HISRECT_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hisrect::util {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding every
+/// section of the HRCT2 checkpoint container. Pass a previous result as
+/// `seed` to checksum data incrementally.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace hisrect::util
+
+#endif  // HISRECT_UTIL_CHECKSUM_H_

@@ -1,6 +1,6 @@
 #include "util/csv.h"
 
-#include <fstream>
+#include "util/atomic_file.h"
 
 namespace hisrect::util {
 
@@ -43,11 +43,9 @@ std::string CsvWriter::ToString() const {
 }
 
 Status CsvWriter::WriteFile(const std::string& path) const {
-  std::ofstream file(path);
-  if (!file) return Status::IoError("cannot open " + path);
-  file << ToString();
-  if (!file) return Status::IoError("write failed for " + path);
-  return Status::Ok();
+  // Atomic tmp+fsync+rename: a crash mid-export can't leave a half-written
+  // metrics file for downstream plotting to silently ingest.
+  return WriteFileAtomic(path, ToString());
 }
 
 }  // namespace hisrect::util

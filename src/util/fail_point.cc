@@ -1,0 +1,134 @@
+#include "util/fail_point.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace hisrect::util {
+
+namespace {
+
+struct Entry {
+  uint64_t fire_on_hit = 1;
+  int64_t payload = 0;
+  uint64_t hits = 0;
+  bool armed = false;  // false once fired or explicitly disarmed.
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, Entry>& Registry() {
+  static std::map<std::string, Entry> registry;
+  return registry;
+}
+
+}  // namespace
+
+std::atomic<int> FailPoint::armed_count_{0};
+
+std::optional<int64_t> FailPoint::FireSlow(const char* point) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(point);
+  if (it == Registry().end()) return std::nullopt;
+  Entry& entry = it->second;
+  ++entry.hits;
+  if (!entry.armed || entry.hits < entry.fire_on_hit) return std::nullopt;
+  entry.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  LOG(WARNING) << "failpoint '" << point << "' fired on hit " << entry.hits;
+  return entry.payload;
+}
+
+void FailPoint::Arm(const std::string& point, uint64_t fire_on_hit,
+                    int64_t payload) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Entry& entry = Registry()[point];
+  if (!entry.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  entry.fire_on_hit = fire_on_hit == 0 ? 1 : fire_on_hit;
+  entry.payload = payload;
+  entry.hits = 0;
+  entry.armed = true;
+}
+
+Status FailPoint::ArmFromSpec(const std::string& spec) {
+  size_t begin = 0;
+  while (begin < spec.size()) {
+    size_t end = spec.find_first_of(",;", begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("bad failpoint spec item: '" + item +
+                                     "' (want point=hit[:payload])");
+    }
+    const std::string point = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    size_t colon = value.find(':');
+    const std::string hit_str = value.substr(0, colon);
+    char* parse_end = nullptr;
+    uint64_t hit = std::strtoull(hit_str.c_str(), &parse_end, 10);
+    // strtoull "parses" an empty string as 0 with no error; require at least
+    // one digit so "point=" is rejected rather than silently armed.
+    if (hit_str.empty() || parse_end == nullptr || *parse_end != '\0') {
+      return Status::InvalidArgument("bad failpoint hit count in: '" + item +
+                                     "'");
+    }
+    int64_t payload = 0;
+    if (colon != std::string::npos) {
+      const std::string payload_str = value.substr(colon + 1);
+      payload = std::strtoll(payload_str.c_str(), &parse_end, 10);
+      if (payload_str.empty() || parse_end == nullptr || *parse_end != '\0') {
+        return Status::InvalidArgument("bad failpoint payload in: '" + item +
+                                       "'");
+      }
+    }
+    Arm(point, hit, payload);
+  }
+  return Status::Ok();
+}
+
+void FailPoint::ArmFromEnv() {
+  const char* spec = std::getenv("HISRECT_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return;
+  Status status = ArmFromSpec(spec);
+  if (!status.ok()) {
+    LOG(ERROR) << "ignoring HISRECT_FAILPOINTS: " << status.ToString();
+  }
+}
+
+void FailPoint::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(point);
+  if (it == Registry().end()) return;
+  if (it->second.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  Registry().erase(it);
+}
+
+void FailPoint::DisarmAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (const auto& [name, entry] : Registry()) {
+    if (entry.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  Registry().clear();
+}
+
+uint64_t FailPoint::HitCount(const std::string& point) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(point);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+bool FailPoint::IsArmed(const std::string& point) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(point);
+  return it != Registry().end() && it->second.armed;
+}
+
+}  // namespace hisrect::util

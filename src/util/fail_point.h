@@ -1,0 +1,75 @@
+#ifndef HISRECT_UTIL_FAIL_POINT_H_
+#define HISRECT_UTIL_FAIL_POINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/status.h"
+
+namespace hisrect::util {
+
+/// Deterministic fault-injection registry.
+///
+/// Code on a recovery-critical path names its fault sites and asks the
+/// registry whether to fail here:
+///
+///   if (FailPoint::Fire("atomic_file.crash_before_rename")) { ... }
+///
+/// A point fires on the Nth time it is evaluated after being armed (N is the
+/// 1-based `fire_on_hit`), exactly once, then disarms itself — so a test (or
+/// the HISRECT_FAILPOINTS environment variable) can deterministically force
+/// "the 3rd checkpoint save crashes" and the retry that follows sees a
+/// healthy system. Points carry an optional integer payload whose meaning is
+/// site-specific (e.g. which byte to corrupt).
+///
+/// When nothing is armed, Fire() is a single relaxed atomic load — the
+/// registry is effectively free in production. All fault sites in this
+/// library are evaluated on deterministically-ordered code paths (the
+/// trainer coordinator thread, serial file I/O), so a given arming always
+/// hits the same logical operation. See DESIGN.md for the point catalog.
+class FailPoint {
+ public:
+  /// Evaluates `point`: increments its hit counter and, when the counter
+  /// reaches the armed threshold, fires (returning the payload) and disarms.
+  /// Returns nullopt when not armed or not yet at the threshold.
+  static std::optional<int64_t> Fire(const char* point) {
+    if (armed_count_.load(std::memory_order_relaxed) == 0) return std::nullopt;
+    return FireSlow(point);
+  }
+
+  /// True when Fire() would have fired (and consumes the firing).
+  static bool ShouldFail(const char* point) { return Fire(point).has_value(); }
+
+  /// Arms `point` to fire on its `fire_on_hit`-th evaluation (1-based,
+  /// floored at 1) with `payload`. Re-arming resets the hit counter.
+  static void Arm(const std::string& point, uint64_t fire_on_hit,
+                  int64_t payload = 0);
+
+  /// Parses and arms a spec: "point=hit" or "point=hit:payload", with
+  /// multiple entries separated by ',' or ';'. Whitespace-free.
+  static Status ArmFromSpec(const std::string& spec);
+
+  /// Arms from the HISRECT_FAILPOINTS environment variable (same spec
+  /// grammar); logs and ignores a malformed value. No-op when unset.
+  static void ArmFromEnv();
+
+  static void Disarm(const std::string& point);
+  static void DisarmAll();
+
+  /// Evaluations of `point` since it was last armed (0 if never armed).
+  static uint64_t HitCount(const std::string& point);
+
+  /// True when `point` is still armed (has not fired yet).
+  static bool IsArmed(const std::string& point);
+
+ private:
+  static std::optional<int64_t> FireSlow(const char* point);
+
+  static std::atomic<int> armed_count_;
+};
+
+}  // namespace hisrect::util
+
+#endif  // HISRECT_UTIL_FAIL_POINT_H_

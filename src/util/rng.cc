@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "util/binio.h"
 #include "util/logging.h"
 
 namespace hisrect::util {
@@ -116,5 +117,27 @@ std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
 }
 
 Rng Rng::Fork() { return Rng(Next()); }
+
+void Rng::SerializeState(std::string* out) const {
+  for (uint64_t word : state_) AppendPod(*out, word);
+  AppendPod(*out, cached_normal_);
+  AppendPod<uint8_t>(*out, has_cached_normal_ ? 1 : 0);
+}
+
+bool Rng::DeserializeState(std::string_view bytes) {
+  if (bytes.size() != kSerializedStateSize) return false;
+  ByteReader reader(bytes);
+  uint64_t words[4];
+  for (uint64_t& word : words) {
+    if (!reader.ReadPod(&word)) return false;
+  }
+  double cached = 0.0;
+  uint8_t has_cached = 0;
+  if (!reader.ReadPod(&cached) || !reader.ReadPod(&has_cached)) return false;
+  for (size_t i = 0; i < 4; ++i) state_[i] = words[i];
+  cached_normal_ = cached;
+  has_cached_normal_ = has_cached != 0;
+  return true;
+}
 
 }  // namespace hisrect::util

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -68,6 +70,19 @@ class Rng {
   /// Forks a new independent generator whose seed is derived from this
   /// generator's stream. Useful for giving sub-components their own streams.
   Rng Fork();
+
+  /// Appends the complete generator state (stream position + Box-Muller
+  /// cache) to `out`. A restored generator continues the exact sequence, so
+  /// checkpointed training replays bitwise-identically.
+  void SerializeState(std::string* out) const;
+
+  /// Restores state written by SerializeState. Returns false (leaving the
+  /// generator untouched) when `bytes` is not exactly one serialized state.
+  bool DeserializeState(std::string_view bytes);
+
+  /// Size in bytes of one serialized state.
+  static constexpr size_t kSerializedStateSize =
+      4 * sizeof(uint64_t) + sizeof(double) + 1;
 
  private:
   uint64_t state_[4];

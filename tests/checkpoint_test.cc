@@ -1,0 +1,572 @@
+// Fault-tolerance unit tests: CRC32, the fail-point registry, atomic file
+// commits under injected crashes, HRCT2 container validation (every
+// single-byte corruption and truncation must be rejected), parameter /
+// optimizer / RNG state round-trips, and TrainerCheckpointer retention and
+// rollback. The end-to-end kill-and-resume runs live in
+// fault_injection_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "nn/adam.h"
+#include "nn/serialize.h"
+#include "nn/tensor.h"
+#include "tests/test_common.h"
+#include "util/atomic_file.h"
+#include "util/binio.h"
+#include "util/checkpoint_container.h"
+#include "util/checksum.h"
+#include "util/csv.h"
+#include "util/fail_point.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hisrect {
+namespace {
+
+using hisrect::testing::ExpectBitwiseEqual;
+
+std::string ReadAll(const std::string& path) {
+  std::string bytes;
+  util::Status status = util::ReadFileToString(path, &bytes);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return bytes;
+}
+
+/// Per-test scratch directory under the gtest temp root; fail points are
+/// always disarmed on the way out so no test can leak an armed point.
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "checkpoint_test/" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    util::FailPoint::DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// CRC32
+
+TEST_F(CheckpointTest, Crc32MatchesKnownVector) {
+  // The IEEE 802.3 check value for the ASCII digits "123456789".
+  EXPECT_EQ(util::Crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(util::Crc32(std::string_view("")), 0u);
+}
+
+TEST_F(CheckpointTest, Crc32SeedChainsIncrementally) {
+  EXPECT_EQ(util::Crc32(std::string_view("6789"),
+                        util::Crc32(std::string_view("12345"))),
+            util::Crc32(std::string_view("123456789")));
+}
+
+// ---------------------------------------------------------------------------
+// FailPoint registry
+
+TEST_F(CheckpointTest, FailPointFiresOnceOnNthHit) {
+  util::FailPoint::Arm("test.point", 3, 42);
+  EXPECT_FALSE(util::FailPoint::Fire("test.point").has_value());
+  EXPECT_FALSE(util::FailPoint::Fire("test.point").has_value());
+  std::optional<int64_t> fired = util::FailPoint::Fire("test.point");
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(*fired, 42);
+  // One-shot: fired points disarm themselves.
+  EXPECT_FALSE(util::FailPoint::IsArmed("test.point"));
+  EXPECT_FALSE(util::FailPoint::Fire("test.point").has_value());
+  EXPECT_EQ(util::FailPoint::HitCount("test.point"), 3u);
+}
+
+TEST_F(CheckpointTest, FailPointUnarmedNeverFires) {
+  EXPECT_FALSE(util::FailPoint::ShouldFail("test.never_armed"));
+}
+
+TEST_F(CheckpointTest, FailPointRearmResetsCounter) {
+  util::FailPoint::Arm("test.point", 1);
+  EXPECT_TRUE(util::FailPoint::ShouldFail("test.point"));
+  util::FailPoint::Arm("test.point", 2);
+  EXPECT_FALSE(util::FailPoint::ShouldFail("test.point"));
+  EXPECT_TRUE(util::FailPoint::ShouldFail("test.point"));
+}
+
+TEST_F(CheckpointTest, FailPointArmFromSpec) {
+  util::Status status = util::FailPoint::ArmFromSpec("test.a=1,test.b=2:-7");
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(util::FailPoint::IsArmed("test.a"));
+  EXPECT_TRUE(util::FailPoint::ShouldFail("test.a"));
+  EXPECT_FALSE(util::FailPoint::Fire("test.b").has_value());
+  std::optional<int64_t> fired = util::FailPoint::Fire("test.b");
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(*fired, -7);
+}
+
+TEST_F(CheckpointTest, FailPointArmFromSpecRejectsMalformed) {
+  EXPECT_FALSE(util::FailPoint::ArmFromSpec("no_equals").ok());
+  EXPECT_FALSE(util::FailPoint::ArmFromSpec("p=").ok());
+  EXPECT_FALSE(util::FailPoint::ArmFromSpec("p=abc").ok());
+  EXPECT_FALSE(util::FailPoint::ArmFromSpec("p=1:xyz").ok());
+  EXPECT_FALSE(util::FailPoint::ArmFromSpec("=1").ok());
+}
+
+TEST_F(CheckpointTest, FailPointDisarmAll) {
+  util::FailPoint::Arm("test.a", 1);
+  util::FailPoint::Arm("test.b", 1);
+  util::FailPoint::DisarmAll();
+  EXPECT_FALSE(util::FailPoint::ShouldFail("test.a"));
+  EXPECT_FALSE(util::FailPoint::ShouldFail("test.b"));
+}
+
+// ---------------------------------------------------------------------------
+// AtomicFileWriter under injected crashes
+
+TEST_F(CheckpointTest, AtomicWriteCommitsAndLeavesNoTemp) {
+  const std::string path = Path("plain.bin");
+  util::Status status = util::WriteFileAtomic(path, "payload");
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(ReadAll(path), "payload");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(CheckpointTest, ShortWriteCrashKeepsPreviousFile) {
+  const std::string path = Path("victim.bin");
+  ASSERT_TRUE(util::WriteFileAtomic(path, "version-1").ok());
+  util::FailPoint::Arm("atomic_file.short_write", 1);
+  util::Status status = util::WriteFileAtomic(path, "version-2-longer");
+  EXPECT_EQ(status.code(), util::StatusCode::kIoError);
+  // A reader never observes the torn write: the previous file is intact.
+  EXPECT_EQ(ReadAll(path), "version-1");
+}
+
+TEST_F(CheckpointTest, CrashBeforeRenameKeepsPreviousFile) {
+  const std::string path = Path("victim.bin");
+  ASSERT_TRUE(util::WriteFileAtomic(path, "version-1").ok());
+  util::FailPoint::Arm("atomic_file.crash_before_rename", 1);
+  util::Status status = util::WriteFileAtomic(path, "version-2");
+  EXPECT_EQ(status.code(), util::StatusCode::kIoError);
+  EXPECT_EQ(ReadAll(path), "version-1");
+  // The crash window leaves the temp file behind, like a real crash would.
+  EXPECT_TRUE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(CheckpointTest, BitflipCommitsSilentlyCorruptedBytes) {
+  const std::string path = Path("victim.bin");
+  util::FailPoint::Arm("atomic_file.bitflip", 1, 2);
+  util::Status status = util::WriteFileAtomic(path, "payload");
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::string bytes = ReadAll(path);
+  ASSERT_EQ(bytes.size(), 7u);
+  EXPECT_NE(bytes, "payload");
+  EXPECT_EQ(bytes.substr(0, 2), "pa");  // Only byte 2 differs.
+  EXPECT_EQ(bytes.substr(3), "load");
+}
+
+TEST_F(CheckpointTest, CsvWriteFileIsAtomicUnderCrash) {
+  const std::string path = Path("series.csv");
+  util::CsvWriter v1({"x", "y"});
+  v1.AddRow({"1", "2"});
+  ASSERT_TRUE(v1.WriteFile(path).ok());
+  const std::string before = ReadAll(path);
+
+  util::CsvWriter v2({"x", "y"});
+  v2.AddRow({"3", "4"});
+  util::FailPoint::Arm("atomic_file.crash_before_rename", 1);
+  EXPECT_EQ(v2.WriteFile(path).code(), util::StatusCode::kIoError);
+  EXPECT_EQ(ReadAll(path), before);
+}
+
+// ---------------------------------------------------------------------------
+// HRCT2 container validation
+
+util::CheckpointWriter TwoSectionWriter() {
+  util::CheckpointWriter writer;
+  writer.AddSection("alpha", std::string("binary\0payload", 14));
+  writer.AddSection("beta", "second section");
+  return writer;
+}
+
+TEST_F(CheckpointTest, ContainerRoundTrip) {
+  util::Result<util::CheckpointReader> reader =
+      util::CheckpointReader::Parse(TwoSectionWriter().Encode(), "mem");
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader.value().Has("alpha"));
+  EXPECT_TRUE(reader.value().Has("beta"));
+  util::Result<std::string_view> alpha = reader.value().Section("alpha");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_EQ(alpha.value(), std::string_view("binary\0payload", 14));
+  util::Result<std::string_view> gamma = reader.value().Section("gamma");
+  EXPECT_EQ(gamma.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, ContainerRejectsEverySingleByteFlip) {
+  // The format's central promise: no single corrupted byte — header, section
+  // name, CRC field, size field, or payload — can yield a valid container.
+  // (Name bytes are covered because the stored CRC chains name + payload.)
+  const std::string encoded = TwoSectionWriter().Encode();
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    std::string corrupt = encoded;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x10);
+    util::Result<util::CheckpointReader> reader =
+        util::CheckpointReader::Parse(std::move(corrupt), "flip");
+    EXPECT_FALSE(reader.ok()) << "flip of byte " << i << " was accepted";
+  }
+}
+
+TEST_F(CheckpointTest, ContainerRejectsEveryTruncation) {
+  const std::string encoded = TwoSectionWriter().Encode();
+  for (size_t length = 0; length < encoded.size(); ++length) {
+    util::Result<util::CheckpointReader> reader =
+        util::CheckpointReader::Parse(encoded.substr(0, length), "trunc");
+    EXPECT_FALSE(reader.ok()) << "truncation to " << length
+                              << " bytes was accepted";
+  }
+}
+
+TEST_F(CheckpointTest, ContainerRejectsTrailingGarbage) {
+  std::string encoded = TwoSectionWriter().Encode();
+  encoded.push_back('x');
+  util::Result<util::CheckpointReader> reader =
+      util::CheckpointReader::Parse(std::move(encoded), "trail");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("trailing"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, ContainerRejectsBadMagic) {
+  util::Result<util::CheckpointReader> reader =
+      util::CheckpointReader::Parse("NOTHRCT-something", "magic");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("magic"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Parameter serialization: HRCT2 round-trip + legacy HRCT1 compatibility
+
+std::vector<nn::NamedParameter> MakeParams(float scale) {
+  return {
+      {"w", nn::Tensor::RowVector({1.5f * scale, -2.25f * scale, 0.0f}, true)},
+      {"b", nn::Tensor::RowVector({0.125f * scale}, true)},
+  };
+}
+
+TEST_F(CheckpointTest, ParametersRoundTripBitwise) {
+  const std::string path = Path("params.bin");
+  std::vector<nn::NamedParameter> saved = MakeParams(1.0f);
+  ASSERT_TRUE(nn::SaveParameters(saved, path).ok());
+
+  std::vector<nn::NamedParameter> loaded = MakeParams(7.0f);
+  util::Status status = nn::LoadParameters(loaded, path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  for (size_t i = 0; i < saved.size(); ++i) {
+    ExpectBitwiseEqual(loaded[i].tensor.value(), saved[i].tensor.value(),
+                       loaded[i].name);
+  }
+}
+
+std::string LegacyHrct1Bytes(const std::vector<nn::NamedParameter>& params) {
+  return std::string("HRCT1\n") + nn::EncodeParameters(params);
+}
+
+TEST_F(CheckpointTest, LegacyHrct1FilesStillLoad) {
+  const std::string path = Path("legacy.bin");
+  std::vector<nn::NamedParameter> saved = MakeParams(1.0f);
+  ASSERT_TRUE(util::WriteFileAtomic(path, LegacyHrct1Bytes(saved)).ok());
+
+  std::vector<nn::NamedParameter> loaded = MakeParams(3.0f);
+  util::Status status = nn::LoadParameters(loaded, path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  for (size_t i = 0; i < saved.size(); ++i) {
+    ExpectBitwiseEqual(loaded[i].tensor.value(), saved[i].tensor.value(),
+                       loaded[i].name);
+  }
+}
+
+TEST_F(CheckpointTest, LegacyHrct1RejectsTruncationAndTrailingGarbage) {
+  std::vector<nn::NamedParameter> saved = MakeParams(1.0f);
+  const std::string bytes = LegacyHrct1Bytes(saved);
+
+  const std::string truncated_path = Path("legacy_truncated.bin");
+  ASSERT_TRUE(util::WriteFileAtomic(truncated_path,
+                                    bytes.substr(0, bytes.size() - 1))
+                  .ok());
+  std::vector<nn::NamedParameter> target = MakeParams(3.0f);
+  EXPECT_EQ(nn::LoadParameters(target, truncated_path).code(),
+            util::StatusCode::kIoError);
+
+  const std::string trailing_path = Path("legacy_trailing.bin");
+  ASSERT_TRUE(util::WriteFileAtomic(trailing_path, bytes + "x").ok());
+  EXPECT_EQ(nn::LoadParameters(target, trailing_path).code(),
+            util::StatusCode::kIoError);
+}
+
+TEST_F(CheckpointTest, LoadRejectsShapeMismatchWithoutPartialApplication) {
+  const std::string path = Path("params.bin");
+  ASSERT_TRUE(nn::SaveParameters(MakeParams(1.0f), path).ok());
+
+  // Same names, but "b" has a different width than the file.
+  std::vector<nn::NamedParameter> target = {
+      {"w", nn::Tensor::RowVector({9.0f, 9.0f, 9.0f}, true)},
+      {"b", nn::Tensor::RowVector({9.0f, 9.0f}, true)},
+  };
+  util::Status status = nn::LoadParameters(target, path);
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  // "w" matched the file, but nothing may have been applied.
+  EXPECT_EQ(target[0].tensor.value().At(0, 0), 9.0f);
+}
+
+TEST_F(CheckpointTest, DecodeRejectsHugeShapeHeaderBeforeAllocating) {
+  // A corrupt header claiming a ~10^18-element matrix must be rejected by
+  // the remaining-bytes bound, not die attempting the allocation.
+  std::string payload;
+  util::AppendPod<uint64_t>(payload, 1);  // one parameter
+  util::AppendSizedString(payload, "w");
+  util::AppendPod<uint64_t>(payload, uint64_t{1} << 40);  // rows
+  util::AppendPod<uint64_t>(payload, uint64_t{1} << 40);  // cols
+  std::vector<nn::NamedParameter> target = MakeParams(1.0f);
+  util::Status status = nn::DecodeParameters(target, payload, "huge");
+  ASSERT_EQ(status.code(), util::StatusCode::kIoError);
+  EXPECT_NE(status.message().find("truncated"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Adam optimizer state
+
+TEST_F(CheckpointTest, AdamStateRoundTripContinuesBitwise) {
+  nn::Tensor w1 = nn::Tensor::RowVector({1.0f, -2.0f, 3.0f}, true);
+  nn::Tensor w2 = nn::Tensor::RowVector({1.0f, -2.0f, 3.0f}, true);
+  nn::Adam adam1({{"w", w1}});
+  nn::Adam adam2({{"w", w2}});
+
+  auto step_with_grad = [](nn::Adam& adam, nn::Tensor& w, float g) {
+    for (size_t i = 0; i < 3; ++i) {
+      w.mutable_grad().data()[i] = g * static_cast<float>(i + 1);
+    }
+    adam.Step();
+  };
+  // Advance adam1 so its moments and step count are non-trivial, then clone
+  // its full state into adam2 (whose parameter values are copied too).
+  step_with_grad(adam1, w1, 0.5f);
+  step_with_grad(adam1, w1, -0.25f);
+  std::string state;
+  adam1.ExportState(&state);
+  w2.mutable_value() = w1.value();
+  util::Status status = adam2.RestoreState(state);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(adam2.step_count(), adam1.step_count());
+
+  // Identical future gradients must now produce identical trajectories.
+  step_with_grad(adam1, w1, 0.125f);
+  step_with_grad(adam2, w2, 0.125f);
+  ExpectBitwiseEqual(w1.value(), w2.value(), "w after restored step");
+}
+
+TEST_F(CheckpointTest, AdamRestoreRejectsSlotCountMismatch) {
+  nn::Tensor a = nn::Tensor::RowVector({1.0f}, true);
+  nn::Tensor b = nn::Tensor::RowVector({2.0f}, true);
+  nn::Adam two({{"a", a}, {"b", b}});
+  std::string state;
+  two.ExportState(&state);
+
+  nn::Tensor c = nn::Tensor::RowVector({3.0f}, true);
+  nn::Adam one({{"c", c}});
+  EXPECT_FALSE(one.RestoreState(state).ok());
+  EXPECT_EQ(c.value().At(0, 0), 3.0f);
+}
+
+// ---------------------------------------------------------------------------
+// RNG state
+
+TEST_F(CheckpointTest, RngStateRoundTripContinuesSequence) {
+  util::Rng rng(123);
+  for (int i = 0; i < 17; ++i) rng.Next();
+  // Populate the Box-Muller cache so the serialized state includes it.
+  rng.Normal();
+
+  std::string state;
+  rng.SerializeState(&state);
+  EXPECT_EQ(state.size(), util::Rng::kSerializedStateSize);
+  util::Rng restored(0);
+  ASSERT_TRUE(restored.DeserializeState(state));
+
+  // The cached second normal must replay too, not just the integer stream.
+  ExpectBitwiseEqual(rng.Normal(), restored.Normal(), "cached normal");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Next(), restored.Next()) << "draw " << i;
+  }
+  ExpectBitwiseEqual(rng.Uniform(), restored.Uniform(), "uniform");
+}
+
+TEST_F(CheckpointTest, RngDeserializeRejectsWrongSizeUntouched) {
+  util::Rng rng(7);
+  util::Rng copy = rng;
+  std::string state;
+  rng.SerializeState(&state);
+  EXPECT_FALSE(copy.DeserializeState(state.substr(0, state.size() - 1)));
+  EXPECT_FALSE(copy.DeserializeState(state + "x"));
+  EXPECT_EQ(copy.Next(), rng.Next());  // Rejected input left it untouched.
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint directory listing
+
+TEST_F(CheckpointTest, ListCheckpointsOrdersNewestFirstAndFilters) {
+  for (const char* name :
+       {"judge-00000005.ckpt", "judge-00000010.ckpt", "judge-00000001.ckpt",
+        "ssl-00000003.ckpt", "judge-abc.ckpt", "judge-00000002.ckpt.tmp",
+        "notes.txt"}) {
+    ASSERT_TRUE(util::WriteFileAtomic(Path(name), "x").ok());
+  }
+  std::vector<core::CheckpointFile> files =
+      core::ListCheckpoints(dir_, "judge");
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0].step, 10u);
+  EXPECT_EQ(files[1].step, 5u);
+  EXPECT_EQ(files[2].step, 1u);
+  EXPECT_EQ(files[0].path, Path("judge-00000010.ckpt"));
+}
+
+TEST_F(CheckpointTest, ListCheckpointsMissingDirYieldsEmpty) {
+  EXPECT_TRUE(core::ListCheckpoints(Path("does/not/exist"), "judge").empty());
+}
+
+// ---------------------------------------------------------------------------
+// TrainerCheckpointer: retention, best-keeping, rollback budget
+
+/// A minimal "trainer state": one integer, encoded as an HRCT2 section.
+struct CounterState {
+  int64_t value = 0;
+
+  core::TrainerCheckpointer::EncodeFn Encoder() {
+    return [this] {
+      util::CheckpointWriter writer;
+      std::string payload;
+      util::AppendPod<int64_t>(payload, value);
+      writer.AddSection("counter", std::move(payload));
+      return writer.Encode();
+    };
+  }
+  core::TrainerCheckpointer::DecodeFn Decoder() {
+    return [this](const util::CheckpointReader& reader) {
+      util::Result<std::string_view> section = reader.Section("counter");
+      if (!section.ok()) return section.status();
+      util::ByteReader cursor(section.value());
+      int64_t decoded = 0;
+      if (!cursor.ReadPod(&decoded) || !cursor.AtEnd()) {
+        return util::Status::IoError("bad counter payload");
+      }
+      value = decoded;
+      return util::Status::Ok();
+    };
+  }
+};
+
+TEST_F(CheckpointTest, CheckpointerRetentionKeepsLastKPlusBest) {
+  CounterState state;
+  core::CheckpointOptions options;
+  options.dir = dir_;
+  options.every = 1;
+  options.keep_last = 2;
+  options.keep_best = true;
+  core::TrainerCheckpointer checkpointer("toy", options, {}, state.Encoder(),
+                                         state.Decoder());
+  bool resumed = true;
+  ASSERT_TRUE(checkpointer.Start("", &resumed).ok());
+  EXPECT_FALSE(resumed);
+
+  const double losses[] = {5.0, 1.0, 3.0, 2.0, 2.5};
+  for (size_t step = 1; step <= 5; ++step) {
+    state.value = static_cast<int64_t>(step);
+    util::Status status = checkpointer.AfterStep(step, losses[step - 1]);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+  // Newest two are steps 5 and 4; step 2 survives as the best (loss 1.0).
+  std::vector<core::CheckpointFile> files = core::ListCheckpoints(dir_, "toy");
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0].step, 5u);
+  EXPECT_EQ(files[1].step, 4u);
+  EXPECT_EQ(files[2].step, 2u);
+}
+
+TEST_F(CheckpointTest, CheckpointerResumesNewestValidAndSkipsCorrupt) {
+  CounterState state;
+  core::CheckpointOptions options;
+  options.dir = dir_;
+  options.every = 1;
+  options.keep_last = 10;
+  {
+    core::TrainerCheckpointer writer("toy", options, {}, state.Encoder(),
+                                     state.Decoder());
+    bool resumed = false;
+    ASSERT_TRUE(writer.Start("", &resumed).ok());
+    for (size_t step = 1; step <= 3; ++step) {
+      state.value = static_cast<int64_t>(step * 100);
+      ASSERT_TRUE(writer.AfterStep(step, 1.0).ok());
+    }
+  }
+  // Corrupt the newest checkpoint; resume must fall back to step 2.
+  std::string newest = core::CheckpointPath(dir_, "toy", 3);
+  std::string bytes = ReadAll(newest);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  ASSERT_TRUE(util::WriteFileAtomic(newest, bytes).ok());
+
+  CounterState fresh;
+  options.resume = true;
+  core::TrainerCheckpointer reader("toy", options, {}, fresh.Encoder(),
+                                   fresh.Decoder());
+  bool resumed = false;
+  ASSERT_TRUE(reader.Start("", &resumed).ok());
+  EXPECT_TRUE(resumed);
+  EXPECT_EQ(fresh.value, 200);
+}
+
+TEST_F(CheckpointTest, CheckpointerRollbackRestoresSnapshotAndDecaysLr) {
+  CounterState state;
+  core::DivergenceGuardOptions guard;
+  guard.max_rollbacks = 2;
+  guard.lr_decay = 0.5f;
+  core::TrainerCheckpointer checkpointer("toy", {}, guard, state.Encoder(),
+                                         state.Decoder());
+  bool resumed = false;
+  ASSERT_TRUE(checkpointer.Start("", &resumed).ok());
+  // The snapshot was captured at value 0; diverge and roll back.
+  state.value = 999;
+  float lr_scale = 0.0f;
+  ASSERT_TRUE(checkpointer.Rollback("test divergence", &lr_scale).ok());
+  EXPECT_EQ(state.value, 0);
+  ExpectBitwiseEqual(lr_scale, 0.5f, "first rollback scale");
+  EXPECT_EQ(checkpointer.rollbacks(), 1u);
+
+  state.value = 999;
+  ASSERT_TRUE(checkpointer.Rollback("test divergence", &lr_scale).ok());
+  ExpectBitwiseEqual(lr_scale, 0.25f, "second rollback scale");
+
+  // Budget exhausted: the third rollback is the run's failure.
+  util::Status status = checkpointer.Rollback("test divergence", &lr_scale);
+  EXPECT_EQ(status.code(), util::StatusCode::kInternal);
+  EXPECT_NE(status.message().find("exhausted"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, CheckpointerSaveFailureIsTheRunsFailure) {
+  CounterState state;
+  core::CheckpointOptions options;
+  options.dir = dir_;
+  options.every = 1;
+  core::TrainerCheckpointer checkpointer("toy", options, {}, state.Encoder(),
+                                         state.Decoder());
+  bool resumed = false;
+  ASSERT_TRUE(checkpointer.Start("", &resumed).ok());
+  util::FailPoint::Arm("atomic_file.crash_before_rename", 1);
+  EXPECT_EQ(checkpointer.AfterStep(1, 1.0).code(), util::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace hisrect

@@ -53,6 +53,13 @@ TEST(ThreadPoolTest, ParallelForExceptionRethrown) {
                              }
                            }),
                std::runtime_error);
+  // The failed ParallelFor still joined every shard and left the pool
+  // fully usable: a complete follow-up pass runs to the correct result.
+  std::atomic<size_t> covered{0};
+  ParallelFor(pool, 100, 4, [&](size_t, size_t begin, size_t end) {
+    covered.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(covered.load(), 100u);
 }
 
 TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {

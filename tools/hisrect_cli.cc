@@ -3,7 +3,8 @@
 //   hisrect_cli stats  [--preset nyc|lv] [--scale S] [--seed N]
 //   hisrect_cli train  [--preset ...] [--ssl-steps N] [--judge-steps N]
 //                      [--threads N] [--shards N] [--pipeline-shards N]
-//                      [--out model.bin]
+//                      [--checkpoint-dir DIR] [--checkpoint-every N]
+//                      [--keep-last N] [--resume] [--out model.bin]
 //   hisrect_cli eval   [--preset ...] [--threads N] [--model model.bin]
 //                      (fit if no model)
 //
@@ -14,6 +15,15 @@
 // shard count but never on the thread count. `--pipeline-shards` shards the
 // pre-training passes (profile encoding, SSL graph build); unlike --shards
 // it is performance-only: those outputs are byte-identical at any value.
+//
+// Fault tolerance: `--checkpoint-dir` + `--checkpoint-every` write periodic
+// HRCT2 checkpoints of the full trainer state; a re-run with `--resume`
+// continues from the newest valid one (corrupt files are skipped with a
+// warning) and finishes bitwise-identical to an uninterrupted run at the
+// same --shards. `--failpoints SPEC` (or HISRECT_FAILPOINTS) arms the
+// deterministic fault-injection registry, e.g.
+// `atomic_file.crash_before_rename=2` kills the 2nd checkpoint commit.
+// Any training/checkpoint failure is reported on stderr with exit code 1.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -24,6 +34,8 @@
 #include "data/presets.h"
 #include "eval/pair_evaluator.h"
 #include "eval/poi_inference.h"
+#include "util/fail_point.h"
+#include "util/status.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -44,6 +56,13 @@ struct CliOptions {
   /// Shards for encoding + graph build (0 = one per pool worker).
   size_t pipeline_shards = 0;
   std::string model_path;
+  /// Fault tolerance (train): periodic checkpoints + resume.
+  std::string checkpoint_dir;
+  size_t checkpoint_every = 0;
+  size_t keep_last = 3;
+  bool resume = false;
+  /// Fail-point spec armed before running (testing/drills).
+  std::string failpoints;
 };
 
 int Usage() {
@@ -53,6 +72,9 @@ int Usage() {
                "                   [--ssl-steps N] [--judge-steps N] "
                "[--threads N] [--shards N]\n"
                "                   [--pipeline-shards N]\n"
+               "                   [--checkpoint-dir DIR] "
+               "[--checkpoint-every N] [--keep-last N] [--resume]\n"
+               "                   [--failpoints SPEC]\n"
                "                   [--out FILE] [--model FILE]\n");
   return 2;
 }
@@ -97,6 +119,24 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (v == nullptr) return false;
       options.pipeline_shards = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--checkpoint-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.checkpoint_dir = v;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.checkpoint_every = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--keep-last") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.keep_last = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--failpoints") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.failpoints = v;
     } else if (arg == "--out" || arg == "--model") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -148,6 +188,13 @@ core::HisRectModelConfig ModelConfig(const CliOptions& options) {
   config.ssl.affinity.num_shards = options.pipeline_shards;
   config.encode_shards = options.pipeline_shards;
   config.seed = options.seed;
+  core::CheckpointOptions checkpoint;
+  checkpoint.dir = options.checkpoint_dir;
+  checkpoint.every = options.checkpoint_every;
+  checkpoint.keep_last = options.keep_last;
+  checkpoint.resume = options.resume;
+  config.ssl.checkpoint = checkpoint;
+  config.judge_trainer.checkpoint = checkpoint;
   return config;
 }
 
@@ -158,7 +205,12 @@ int RunTrain(const CliOptions& options) {
   std::printf("training on %zu profiles (%zu labeled)...\n",
               dataset.train.profiles.size(),
               dataset.train.labeled_indices.size());
-  model.Fit(dataset, text_model);
+  util::Status fit_status = model.TryFit(dataset, text_model);
+  if (!fit_status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 fit_status.ToString().c_str());
+    return 1;
+  }
   std::printf("done: POI loss %.3f, judge loss %.3f\n",
               model.ssl_stats().final_poi_loss,
               model.judge_stats().final_loss);
@@ -185,7 +237,12 @@ int RunEval(const CliOptions& options) {
     std::printf("loaded %s\n", options.model_path.c_str());
   } else {
     std::printf("no --model given; training from scratch...\n");
-    model.Fit(dataset, text_model);
+    util::Status fit_status = model.TryFit(dataset, text_model);
+    if (!fit_status.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   fit_status.ToString().c_str());
+      return 1;
+    }
   }
 
   eval::PairScorer scorer = [&](const data::Profile& a,
@@ -215,6 +272,15 @@ int RunEval(const CliOptions& options) {
 int Run(int argc, char** argv) {
   CliOptions options;
   if (!ParseArgs(argc, argv, options)) return Usage();
+  util::FailPoint::ArmFromEnv();
+  if (!options.failpoints.empty()) {
+    util::Status status = util::FailPoint::ArmFromSpec(options.failpoints);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bad --failpoints: %s\n",
+                   status.ToString().c_str());
+      return 2;
+    }
+  }
   if (options.threads > 0) {
     util::ThreadPool::SetGlobalNumThreads(options.threads);
   }

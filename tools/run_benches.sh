@@ -22,6 +22,11 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # tier-1 suite is red. (cd rather than ctest --test-dir for older ctest.)
 (cd "$BUILD_DIR" && ctest -L tier1 --output-on-failure)
 
+# Fault-tolerance gate: the robustness suite (checkpoint round-trips,
+# corruption rejection, kill-and-resume bitwise equality, divergence
+# rollback) must also be green before numbers are recorded.
+(cd "$BUILD_DIR" && ctest -L robustness --output-on-failure)
+
 mkdir -p "$OUT_DIR"
 current="$OUT_DIR/BENCH_parallel.json"
 previous="$OUT_DIR/BENCH_parallel.prev.json"

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Sanitizer smoke run: builds the tree twice (ASan, then UBSan) and runs the
+# robustness-labeled test suite under each — the checkpoint/resume and
+# fault-injection paths exercise raw byte I/O, partial writes, and injected
+# corruption, exactly where memory and UB bugs like to hide.
+#
+# Knobs:
+#   SANITIZERS   space-separated subset of "address undefined"
+#                (default: both)
+#   BUILD_ROOT   prefix for the build trees (default: build-san)
+#   CTEST_LABEL  ctest -L selector (default: robustness)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZERS=${SANITIZERS:-"address undefined"}
+BUILD_ROOT=${BUILD_ROOT:-build-san}
+CTEST_LABEL=${CTEST_LABEL:-robustness}
+
+for sanitizer in $SANITIZERS; do
+  build_dir="${BUILD_ROOT}-${sanitizer}"
+  echo "=== sanitize_smoke: ${sanitizer} -> ${build_dir} ==="
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DHISRECT_SANITIZE="$sanitizer"
+  cmake --build "$build_dir" -j "$(nproc)"
+  (cd "$build_dir" && ctest -L "$CTEST_LABEL" --output-on-failure)
+done
+
+echo "sanitize_smoke: OK (${SANITIZERS})"
