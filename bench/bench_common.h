@@ -10,8 +10,34 @@
 #include "data/presets.h"
 #include "eval/pair_evaluator.h"
 #include "eval/poi_inference.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace hisrect::bench {
+
+/// Shared wall-clock phase timer for the bench harness. Same mid-scope read
+/// interface as util::Stopwatch, but every timed phase is also observed into
+/// the "hisrect.bench.phase_seconds" histogram when it leaves scope, so a
+/// metrics scrape of any bench run shows how many phases ran and where the
+/// wall time went. Replaces the per-bench hand-rolled
+/// Stopwatch/ElapsedSeconds delta pattern.
+class PhaseTimer {
+ public:
+  PhaseTimer() : timer_(PhaseHistogram()) {}
+
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+  double ElapsedMillis() const { return timer_.ElapsedMillis(); }
+
+ private:
+  static obs::Histogram* PhaseHistogram() {
+    static obs::Histogram* histogram =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "hisrect.bench.phase_seconds", obs::TimeHistogramBoundaries());
+    return histogram;
+  }
+
+  obs::ScopedTimer timer_;
+};
 
 /// Shared knobs for the experiment harness. Defaults are sized so the whole
 /// bench suite reruns on one CPU core in well under an hour; environment

@@ -8,7 +8,6 @@
 
 #include "bench/bench_common.h"
 #include "util/csv.h"
-#include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace hisrect::bench {
@@ -25,7 +24,7 @@ void RunDataset(const BenchEnv& env, BenchDataset bench_dataset,
   for (baselines::ApproachKind kind : baselines::AllApproachKinds()) {
     auto approach = baselines::MakeApproach(kind, env.Budget(0.7));
     if (!approach->supports_roc()) continue;
-    util::Stopwatch stopwatch;
+    PhaseTimer stopwatch;
     approach->Fit(dataset, bench_dataset.text_model);
     eval::RocCurve roc = eval::EvaluateRoc(dataset.test, ScoreOf(*approach));
     table.AddRow({approach->name(), util::Table::Fmt(roc.auc, 3)});

@@ -8,7 +8,6 @@
 
 #include "bench/bench_common.h"
 #include "util/csv.h"
-#include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace hisrect::bench {
@@ -27,7 +26,7 @@ void RunDataset(const BenchEnv& env, BenchDataset bench_dataset,
   for (baselines::ApproachKind kind : baselines::AllApproachKinds()) {
     auto approach = baselines::MakeApproach(kind, env.Budget(0.7));
     if (!approach->supports_poi_inference()) continue;
-    util::Stopwatch stopwatch;
+    PhaseTimer stopwatch;
     approach->Fit(dataset, bench_dataset.text_model);
     std::vector<std::string> row = {approach->name()};
     for (int k = 1; k <= 10; ++k) {

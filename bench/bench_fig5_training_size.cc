@@ -11,7 +11,6 @@
 
 #include "bench/bench_common.h"
 #include "util/csv.h"
-#include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace hisrect::bench {
@@ -91,7 +90,7 @@ int Run() {
     if (kind == baselines::ApproachKind::kComp2Loc) continue;  // As in Fig 5.
     std::vector<std::string> row = {baselines::ApproachName(kind)};
     for (size_t fi = 0; fi < fractions.size(); ++fi) {
-      util::Stopwatch stopwatch;
+      PhaseTimer stopwatch;
       auto approach = baselines::MakeApproach(kind, env.Budget(0.25));
       approach->Fit(datasets[fi], nyc.text_model);
       util::Rng rng(env.seed ^ 0x77);

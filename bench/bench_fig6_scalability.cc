@@ -12,7 +12,6 @@
 #include "core/judge_trainer.h"
 #include "core/profile_encoder.h"
 #include "core/ssl_trainer.h"
-#include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace hisrect::bench {
@@ -54,7 +53,7 @@ int Run() {
     ssl_options.steps = 500;
     core::SslTrainer ssl_trainer(&featurizer, &classifier, &embedder,
                                  ssl_options);
-    util::Stopwatch ssl_watch;
+    PhaseTimer ssl_watch;
     core::SslTrainStats ssl_stats =
         ssl_trainer.Train(encoded, dataset.train, dataset.pois, rng);
     // POI steps touch B profiles, pair steps 2B.
@@ -67,7 +66,7 @@ int Run() {
     core::JudgeTrainerOptions judge_options = model_config.judge_trainer;
     judge_options.steps = 400;
     core::JudgeTrainer judge_trainer(&featurizer, &judge, judge_options);
-    util::Stopwatch judge_watch;
+    PhaseTimer judge_watch;
     judge_trainer.Train(encoded, dataset.train, rng);
     double judge_samples = static_cast<double>(judge_options.steps) *
                            judge_options.batch_size;

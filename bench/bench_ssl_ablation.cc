@@ -8,7 +8,6 @@
 
 #include "baselines/hisrect_approach.h"
 #include "bench/bench_common.h"
-#include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace hisrect::bench {
@@ -33,7 +32,7 @@ int Run() {
 
   util::Table table({"SSL variant", "Acc", "Rec", "Pre", "F1"});
   for (const Variant& variant : variants) {
-    util::Stopwatch stopwatch;
+    PhaseTimer stopwatch;
     core::HisRectModelConfig config =
         baselines::BaseModelConfig(env.Budget(0.8));
     config.ssl.unsup_loss = variant.loss;

@@ -9,7 +9,6 @@
 
 #include "baselines/hisrect_approach.h"
 #include "bench/bench_common.h"
-#include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace hisrect::bench {
@@ -32,7 +31,7 @@ void RunDataset(const BenchEnv& env, BenchDataset bench_dataset) {
   std::shared_ptr<const core::HisRectModel> shared_hisrect;
   std::map<baselines::ApproachKind, eval::BinaryMetrics> results;
   for (baselines::ApproachKind kind : fit_order) {
-    util::Stopwatch stopwatch;
+    PhaseTimer stopwatch;
     std::unique_ptr<baselines::CoLocationApproach> approach;
     if (kind == baselines::ApproachKind::kHisRect) {
       auto typed = std::make_unique<baselines::HisRectApproach>(

@@ -8,7 +8,6 @@
 
 #include "baselines/hisrect_approach.h"
 #include "bench/bench_common.h"
-#include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace hisrect::bench {
@@ -32,7 +31,7 @@ int Run() {
     std::vector<std::string> recall_row = {"Qf=" + std::to_string(qf)};
     std::vector<std::string> accuracy_row = recall_row;
     for (size_t ql : ql_values) {
-      util::Stopwatch stopwatch;
+      PhaseTimer stopwatch;
       core::HisRectModelConfig model_config =
           baselines::BaseModelConfig(env.Budget(0.4));
       model_config.featurizer.qf = qf;

@@ -10,7 +10,6 @@
 #include "baselines/hisrect_approach.h"
 #include "bench/bench_common.h"
 #include "eval/group_patterns.h"
-#include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace hisrect::bench {

@@ -20,7 +20,7 @@
 #include "bench/bench_common.h"
 #include "core/affinity.h"
 #include "core/profile_encoder.h"
-#include "util/stopwatch.h"
+#include "obs/metrics.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -37,11 +37,39 @@ struct RunResult {
   double ssl_poi_loss = 0.0;
   double ssl_unsup_loss = 0.0;
   double judge_loss = 0.0;
+  // Per-stage breakdown from metrics-registry scrape deltas over this run:
+  // seconds spent inside each instrumented stage plus hot-path call counts.
+  double ssl_step_seconds = 0.0;
+  uint64_t ssl_step_count = 0;
+  double judge_step_seconds = 0.0;
+  uint64_t judge_step_count = 0;
+  double checkpoint_seconds = 0.0;
+  uint64_t checkpoint_writes = 0;
+  double graph_stage_seconds = 0.0;
+  double encode_stage_seconds = 0.0;
+  double infer_stage_seconds = 0.0;
+  int64_t matmul_calls = 0;
+  int64_t pool_tasks = 0;
   std::vector<double> scores;
   // Sharded-phase outputs, also compared bitwise across thread counts.
   std::vector<core::WeightedPair> pairs;
   std::vector<core::EncodedProfile> encoded;
 };
+
+struct HistView {
+  double sum = 0.0;
+  uint64_t count = 0;
+};
+
+HistView HistOf(const obs::MetricsSnapshot& snapshot, const char* name) {
+  const obs::MetricValue* metric = snapshot.Find(name);
+  return metric == nullptr ? HistView{} : HistView{metric->sum, metric->count};
+}
+
+int64_t CounterOf(const obs::MetricsSnapshot& snapshot, const char* name) {
+  const obs::MetricValue* metric = snapshot.Find(name);
+  return metric == nullptr ? 0 : metric->value;
+}
 
 bool BitwiseEqual(const std::vector<float>& a, const std::vector<float>& b) {
   return a.size() == b.size() &&
@@ -102,41 +130,74 @@ int Run() {
 
     RunResult run;
     run.threads = threads;
+    const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Scrape();
 
     // Sharded-phase throughput, measured standalone so the timings are not
     // entangled with SGD. Affinity num_shards stays 0 (one per worker) — the
     // output is invariant to it, so this is the natural production setting.
-    util::Stopwatch graph_watch;
-    for (size_t r = 0; r < kPhaseRepeats; ++r) {
-      run.pairs = core::BuildAffinityPairs(data.dataset.train,
-                                           data.dataset.pois, {});
+    {
+      PhaseTimer graph_watch;
+      for (size_t r = 0; r < kPhaseRepeats; ++r) {
+        run.pairs = core::BuildAffinityPairs(data.dataset.train,
+                                             data.dataset.pois, {});
+      }
+      run.graph_seconds = graph_watch.ElapsedSeconds();
     }
-    run.graph_seconds = graph_watch.ElapsedSeconds();
 
     // A fresh encoder per repeat: EncodeAll memoizes, so reusing one would
     // time cache replay instead of the parallel encode fan-out.
-    util::Stopwatch encode_watch;
-    for (size_t r = 0; r < kPhaseRepeats; ++r) {
-      core::ProfileEncoder encoder(&data.dataset.pois, &data.text_model);
-      run.encoded = encoder.EncodeAll(data.dataset.train.profiles);
+    {
+      PhaseTimer encode_watch;
+      for (size_t r = 0; r < kPhaseRepeats; ++r) {
+        core::ProfileEncoder encoder(&data.dataset.pois, &data.text_model);
+        run.encoded = encoder.EncodeAll(data.dataset.train.profiles);
+      }
+      run.encode_seconds = encode_watch.ElapsedSeconds();
     }
-    run.encode_seconds = encode_watch.ElapsedSeconds();
 
-    util::Stopwatch train_watch;
-    approach.Fit(data.dataset, data.text_model);
-    run.train_seconds = train_watch.ElapsedSeconds();
+    {
+      PhaseTimer train_watch;
+      approach.Fit(data.dataset, data.text_model);
+      run.train_seconds = train_watch.ElapsedSeconds();
+    }
     run.ssl_poi_loss = approach.model()->ssl_stats().final_poi_loss;
     run.ssl_unsup_loss = approach.model()->ssl_stats().final_unsup_loss;
     run.judge_loss = approach.model()->judge_stats().final_loss;
 
     eval::PairScorer scorer = ScoreOf(approach);
-    util::Stopwatch infer_watch;
     eval::ScoredPairs scored;
-    for (size_t r = 0; r < kInferRepeats; ++r) {
-      scored = eval::ScoreLabeledPairs(data.dataset.test, scorer);
+    {
+      PhaseTimer infer_watch;
+      for (size_t r = 0; r < kInferRepeats; ++r) {
+        scored = eval::ScoreLabeledPairs(data.dataset.test, scorer);
+      }
+      run.infer_seconds = infer_watch.ElapsedSeconds();
     }
-    run.infer_seconds = infer_watch.ElapsedSeconds();
     run.scores = scored.scores;
+
+    // Per-stage breakdown: the delta each run contributed to the globally
+    // instrumented stage histograms and hot-path counters.
+    const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Scrape();
+    auto hist_delta = [&](const char* name, uint64_t* count) {
+      const HistView b = HistOf(before, name);
+      const HistView a = HistOf(after, name);
+      if (count != nullptr) *count = a.count - b.count;
+      return a.sum - b.sum;
+    };
+    run.ssl_step_seconds =
+        hist_delta("hisrect.train.ssl_step_seconds", &run.ssl_step_count);
+    run.judge_step_seconds =
+        hist_delta("hisrect.train.judge_step_seconds", &run.judge_step_count);
+    run.checkpoint_seconds =
+        hist_delta("hisrect.checkpoint.write_seconds", &run.checkpoint_writes);
+    run.graph_stage_seconds = hist_delta("hisrect.graph.build_seconds", nullptr);
+    run.encode_stage_seconds = hist_delta("hisrect.encode.all_seconds", nullptr);
+    run.infer_stage_seconds =
+        hist_delta("hisrect.eval.score_pairs_seconds", nullptr);
+    run.matmul_calls = CounterOf(after, "hisrect.nn.matmul.calls") -
+                       CounterOf(before, "hisrect.nn.matmul.calls");
+    run.pool_tasks = CounterOf(after, "hisrect.pool.tasks") -
+                     CounterOf(before, "hisrect.pool.tasks");
 
     std::fprintf(stderr, "[parallel] threads=%zu train %.2fs infer %.2fs\n",
                  threads, run.train_seconds, run.infer_seconds);
@@ -264,7 +325,16 @@ int Run() {
                  "\"graph_build_speedup\": %.3f, "
                  "\"encode_seconds\": %.4f, "
                  "\"encode_profiles_per_sec\": %.2f, "
-                 "\"encode_speedup\": %.3f}%s\n",
+                 "\"encode_speedup\": %.3f,\n"
+                 "     \"stages\": {"
+                 "\"ssl_step\": {\"seconds\": %.4f, \"count\": %llu}, "
+                 "\"judge_step\": {\"seconds\": %.4f, \"count\": %llu}, "
+                 "\"checkpoint\": {\"seconds\": %.4f, \"count\": %llu}, "
+                 "\"graph_build_seconds\": %.4f, "
+                 "\"encode_seconds\": %.4f, "
+                 "\"score_pairs_seconds\": %.4f, "
+                 "\"matmul_calls\": %lld, "
+                 "\"pool_tasks\": %lld}}%s\n",
                  run.threads, run.train_seconds,
                  train_steps / run.train_seconds,
                  runs[0].train_seconds / run.train_seconds, run.infer_seconds,
@@ -274,6 +344,16 @@ int Run() {
                  runs[0].graph_seconds / run.graph_seconds, run.encode_seconds,
                  encode_profiles / run.encode_seconds,
                  runs[0].encode_seconds / run.encode_seconds,
+                 run.ssl_step_seconds,
+                 static_cast<unsigned long long>(run.ssl_step_count),
+                 run.judge_step_seconds,
+                 static_cast<unsigned long long>(run.judge_step_count),
+                 run.checkpoint_seconds,
+                 static_cast<unsigned long long>(run.checkpoint_writes),
+                 run.graph_stage_seconds, run.encode_stage_seconds,
+                 run.infer_stage_seconds,
+                 static_cast<long long>(run.matmul_calls),
+                 static_cast<long long>(run.pool_tasks),
                  i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");

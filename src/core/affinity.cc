@@ -1,6 +1,12 @@
 #include "core/affinity.h"
 
+#include <algorithm>
+
 #include "geo/latlon.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace hisrect::core {
@@ -8,6 +14,8 @@ namespace hisrect::core {
 std::vector<WeightedPair> BuildAffinityPairs(const data::DataSplit& split,
                                              const geo::PoiSet& pois,
                                              const AffinityOptions& options) {
+  HISRECT_TRACE_SPAN("ssl.graph_build");
+  util::Stopwatch build_watch;
   const size_t num_pos = split.positive_pairs.size();
   const size_t num_neg = split.negative_pairs.size();
   const size_t n = num_pos + num_neg + split.unlabeled_pairs.size();
@@ -57,6 +65,30 @@ std::vector<WeightedPair> BuildAffinityPairs(const data::DataSplit& split,
   out.reserve(n);
   for (const std::vector<WeightedPair>& local : shards) {
     out.insert(out.end(), local.begin(), local.end());
+  }
+
+  const double seconds = build_watch.ElapsedSeconds();
+  static obs::Counter* candidate_pairs =
+      obs::MetricsRegistry::Global().GetCounter(
+          "hisrect.graph.candidate_pairs");
+  static obs::Counter* emitted_pairs =
+      obs::MetricsRegistry::Global().GetCounter("hisrect.graph.emitted_pairs");
+  static obs::Histogram* build_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "hisrect.graph.build_seconds", obs::TimeHistogramBoundaries());
+  candidate_pairs->Add(static_cast<int64_t>(n));
+  emitted_pairs->Add(static_cast<int64_t>(out.size()));
+  build_seconds->Observe(seconds);
+  if (obs::TelemetrySink::enabled()) {
+    obs::TelemetrySink::Emit(
+        obs::TelemetryRecord("phase")
+            .Set("phase", "graph_build")
+            .Set("candidate_pairs", static_cast<uint64_t>(n))
+            .Set("emitted_pairs", static_cast<uint64_t>(out.size()))
+            .Set("num_shards", static_cast<uint64_t>(num_shards))
+            .Set("seconds", seconds)
+            .Set("pairs_per_sec",
+                 static_cast<double>(n) / std::max(seconds, 1e-9)));
   }
   return out;
 }

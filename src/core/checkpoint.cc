@@ -8,8 +8,12 @@
 #include <system_error>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/atomic_file.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace hisrect::core {
 
@@ -139,8 +143,30 @@ util::Status TrainerCheckpointer::SaveStep(size_t steps_done, double loss) {
                                  options_.dir + ": " + ec.message());
   }
   const std::string path = CheckpointPath(options_.dir, prefix_, steps_done);
-  util::Status status = util::WriteFileAtomic(path, encode_());
+  HISRECT_TRACE_SPAN("checkpoint.write");
+  util::Stopwatch write_watch;
+  const std::string state = encode_();
+  util::Status status = util::WriteFileAtomic(path, state);
   if (!status.ok()) return status;
+  const double write_seconds = write_watch.ElapsedSeconds();
+  static obs::Counter* writes = obs::MetricsRegistry::Global().GetCounter(
+      "hisrect.checkpoint.writes");
+  static obs::Counter* bytes = obs::MetricsRegistry::Global().GetCounter(
+      "hisrect.checkpoint.bytes");
+  static obs::Histogram* write_hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "hisrect.checkpoint.write_seconds", obs::TimeHistogramBoundaries());
+  writes->Increment();
+  bytes->Add(static_cast<int64_t>(state.size()));
+  write_hist->Observe(write_seconds);
+  if (obs::TelemetrySink::enabled()) {
+    obs::TelemetrySink::Emit(obs::TelemetryRecord("checkpoint")
+                                 .Set("phase", prefix_)
+                                 .Set("step", static_cast<uint64_t>(steps_done))
+                                 .Set("loss", loss)
+                                 .Set("bytes", static_cast<uint64_t>(state.size()))
+                                 .Set("write_ms", write_seconds * 1000.0));
+  }
   last_saved_step_ = steps_done;
   if (options_.keep_best && loss < best_loss_) {
     best_loss_ = loss;
@@ -211,6 +237,17 @@ util::Status TrainerCheckpointer::Rollback(const std::string& reason,
   ++rollbacks_since_snapshot_;
   *lr_scale = std::pow(guard_.lr_decay,
                        static_cast<float>(rollbacks_since_snapshot_));
+  static obs::Counter* rollbacks = obs::MetricsRegistry::Global().GetCounter(
+      "hisrect.trainer.rollbacks");
+  rollbacks->Increment();
+  if (obs::TelemetrySink::enabled()) {
+    obs::TelemetrySink::Emit(
+        obs::TelemetryRecord("rollback")
+            .Set("phase", prefix_)
+            .Set("reason", reason)
+            .Set("lr_scale", static_cast<double>(*lr_scale))
+            .Set("rollbacks", static_cast<uint64_t>(total_rollbacks_)));
+  }
   LOG(WARNING) << "divergence detected (" << reason << "): rolled " << prefix_
                << " run back to last snapshot, learning-rate scale "
                << *lr_scale << " (rollback " << total_rollbacks_ << "/"

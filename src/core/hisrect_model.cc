@@ -4,6 +4,7 @@
 
 #include "nn/ops.h"
 #include "nn/serialize.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace hisrect::core {
@@ -71,6 +72,7 @@ void HisRectModel::Fit(const data::Dataset& dataset,
 
 util::Status HisRectModel::TryFit(const data::Dataset& dataset,
                                   const TextModel& text_model) {
+  HISRECT_TRACE_SPAN("model.fit");
   BuildModules(dataset, text_model);
   util::Rng rng(config_.seed ^ 0x9e3779b9);
 

@@ -10,6 +10,10 @@
 
 #include "nn/ops.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "util/atomic_file.h"
 #include "util/binio.h"
 #include "util/fail_point.h"
@@ -59,6 +63,7 @@ JudgeTrainStats JudgeTrainer::Train(const std::vector<EncodedProfile>& encoded,
 util::Status JudgeTrainer::Train(const std::vector<EncodedProfile>& encoded,
                                  const data::DataSplit& split, util::Rng& rng,
                                  JudgeTrainStats* stats) {
+  HISRECT_TRACE_SPAN("judge.train");
   CHECK_EQ(encoded.size(), split.profiles.size());
   CHECK(!split.positive_pairs.empty() || !split.negative_pairs.empty())
       << "judge training requires labeled pairs";
@@ -302,7 +307,20 @@ util::Status JudgeTrainer::Train(const std::vector<EncodedProfile>& encoded,
     optimizer.ZeroGrad();
   }
 
+  // Telemetry: decile "epoch" windows over the step budget. Pure observers —
+  // reads of losses/params only, no RNG draws — so the trained trajectory is
+  // bitwise-identical with telemetry on or off (tests/determinism_test.cc).
+  static obs::Histogram* step_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "hisrect.train.judge_step_seconds", obs::TimeHistogramBoundaries());
+  const size_t telemetry_every = std::max<size_t>(1, options_.steps / 10);
+  double window_loss = 0.0;
+  size_t window_steps = 0;
+  util::Stopwatch window_watch;
+
   while (step < options_.steps) {
+    HISRECT_TRACE_SPAN("judge.step");
+    obs::ScopedTimer step_timer(step_seconds);
     double loss_value = 0.0;
     if (num_shards <= 1) {
       // Serial single-tape path (bit-compatible with the original trainer).
@@ -402,9 +420,43 @@ util::Status JudgeTrainer::Train(const std::vector<EncodedProfile>& encoded,
       continue;
     }
 
+    const bool emit_telemetry =
+        obs::TelemetrySink::enabled() &&
+        ((step + 1) % telemetry_every == 0 || step + 1 == options_.steps);
+    // Adam::Step() zeroes gradients, so read the norm before stepping;
+    // skipped entirely when the sink is closed.
+    const double telemetry_grad_norm =
+        emit_telemetry ? std::sqrt(GradNormSquared(params)) : 0.0;
     optimizer.Step();
     record(step, loss_value);
     ++step;
+    window_loss += loss_value;
+    ++window_steps;
+    if (emit_telemetry) {
+      const double window_seconds =
+          std::max(window_watch.ElapsedSeconds(), 1e-9);
+      obs::TelemetrySink::Emit(
+          obs::TelemetryRecord("epoch")
+              .Set("phase", "judge")
+              .Set("epoch", static_cast<uint64_t>(
+                                (step + telemetry_every - 1) / telemetry_every))
+              .Set("step", static_cast<uint64_t>(step))
+              .Set("steps_total", static_cast<uint64_t>(options_.steps))
+              .Set("loss", window_loss / static_cast<double>(window_steps))
+              .Set("grad_norm", telemetry_grad_norm)
+              .Set("lr",
+                   static_cast<double>(optimizer.current_learning_rate()))
+              .Set("rollbacks",
+                   static_cast<uint64_t>(checkpointer.rollbacks()))
+              .Set("pairs", static_cast<uint64_t>(window_steps * batch_size))
+              .Set("pairs_per_sec",
+                   static_cast<double>(window_steps * batch_size) /
+                       window_seconds)
+              .Set("window_seconds", window_seconds));
+      window_loss = 0.0;
+      window_steps = 0;
+      window_watch.Restart();
+    }
     status = checkpointer.AfterStep(step, loss_value);
     if (!status.ok()) return status;
     if (util::FailPoint::ShouldFail("trainer.abort")) {

@@ -1,6 +1,12 @@
 #include "core/profile_encoder.h"
 
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace hisrect::core {
@@ -39,9 +45,15 @@ EncodedProfile ProfileEncoder::EncodeCached(
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++cache_hits_;
+      static obs::Counter* hits = obs::MetricsRegistry::Global().GetCounter(
+          "hisrect.encode.cache_hits");
+      hits->Increment();
       return it->second;
     }
     ++cache_misses_;
+    static obs::Counter* misses = obs::MetricsRegistry::Global().GetCounter(
+        "hisrect.encode.cache_misses");
+    misses->Increment();
   }
   // Compute outside the lock: encoding dominates and must overlap across
   // threads. A racing thread encoding the same profile computes the same
@@ -53,6 +65,10 @@ EncodedProfile ProfileEncoder::EncodeCached(
 
 std::vector<EncodedProfile> ProfileEncoder::EncodeAll(
     const std::vector<data::Profile>& profiles, size_t num_shards) const {
+  HISRECT_TRACE_SPAN("encode.all");
+  util::Stopwatch encode_watch;
+  const size_t hits_before = cache_hits();
+  const size_t misses_before = cache_misses();
   std::vector<EncodedProfile> out(profiles.size());
   util::ThreadPool& pool = util::ThreadPool::Global();
   util::ParallelFor(pool, profiles.size(),
@@ -62,6 +78,32 @@ std::vector<EncodedProfile> ProfileEncoder::EncodeAll(
                         out[i] = EncodeCached(profiles[i]);
                       }
                     });
+  const double seconds = encode_watch.ElapsedSeconds();
+  static obs::Counter* encoded = obs::MetricsRegistry::Global().GetCounter(
+      "hisrect.encode.profiles");
+  static obs::Histogram* all_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "hisrect.encode.all_seconds", obs::TimeHistogramBoundaries());
+  encoded->Add(static_cast<int64_t>(profiles.size()));
+  all_seconds->Observe(seconds);
+  if (obs::TelemetrySink::enabled()) {
+    const size_t hits = cache_hits() - hits_before;
+    const size_t misses = cache_misses() - misses_before;
+    const size_t lookups = hits + misses;
+    obs::TelemetrySink::Emit(
+        obs::TelemetryRecord("phase")
+            .Set("phase", "encode")
+            .Set("profiles", static_cast<uint64_t>(profiles.size()))
+            .Set("cache_hits", static_cast<uint64_t>(hits))
+            .Set("cache_misses", static_cast<uint64_t>(misses))
+            .Set("cache_hit_rate",
+                 lookups == 0 ? 0.0
+                              : static_cast<double>(hits) /
+                                    static_cast<double>(lookups))
+            .Set("seconds", seconds)
+            .Set("profiles_per_sec", static_cast<double>(profiles.size()) /
+                                         std::max(seconds, 1e-9)));
+  }
   return out;
 }
 

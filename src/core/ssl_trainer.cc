@@ -10,6 +10,10 @@
 
 #include "nn/ops.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "util/atomic_file.h"
 #include "util/binio.h"
 #include "util/fail_point.h"
@@ -62,6 +66,7 @@ util::Status SslTrainer::Train(const std::vector<EncodedProfile>& encoded,
                                const data::DataSplit& split,
                                const geo::PoiSet& pois, util::Rng& rng,
                                SslTrainStats* stats) {
+  HISRECT_TRACE_SPAN("ssl.train");
   CHECK_EQ(encoded.size(), split.profiles.size());
   *stats = SslTrainStats{};
 
@@ -447,7 +452,22 @@ util::Status SslTrainer::Train(const std::vector<EncodedProfile>& encoded,
     return loss_value;
   };
 
+  // Telemetry: decile "epoch" windows over the step budget. Pure observers —
+  // reads of losses/params only, no RNG draws — so the trained trajectory is
+  // bitwise-identical with telemetry on or off (tests/determinism_test.cc).
+  static obs::Histogram* step_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "hisrect.train.ssl_step_seconds", obs::TimeHistogramBoundaries());
+  const size_t telemetry_every = std::max<size_t>(1, options_.steps / 10);
+  double window_poi_loss = 0.0;
+  double window_unsup_loss = 0.0;
+  size_t window_poi_steps = 0;
+  size_t window_unsup_steps = 0;
+  util::Stopwatch window_watch;
+
   while (step < options_.steps) {
+    HISRECT_TRACE_SPAN("ssl.step");
+    obs::ScopedTimer step_timer(step_seconds);
     // All stochastic decisions happen on the coordinating thread, in sample
     // order: the step-kind draw, batch draws, and (sharded runs) one forked
     // RNG stream per sample. The trajectory is a function of (seed,
@@ -559,13 +579,65 @@ util::Status SslTrainer::Train(const std::vector<EncodedProfile>& encoded,
       continue;
     }
 
+    const bool emit_telemetry =
+        obs::TelemetrySink::enabled() &&
+        ((step + 1) % telemetry_every == 0 || step + 1 == options_.steps);
+    // Adam::Step() zeroes gradients, so read the norm before stepping;
+    // skipped entirely when the sink is closed.
+    const double telemetry_grad_norm =
+        emit_telemetry ? std::sqrt(GradNormSquared(active_params)) : 0.0;
     active_optimizer.Step();
     if (take_poi_step) {
       record_poi(step, loss_value);
+      window_poi_loss += loss_value;
+      ++window_poi_steps;
     } else {
       record_unsup(step, loss_value);
+      window_unsup_loss += loss_value;
+      ++window_unsup_steps;
     }
     ++step;
+    if (emit_telemetry) {
+      const double window_seconds =
+          std::max(window_watch.ElapsedSeconds(), 1e-9);
+      const size_t window_steps = window_poi_steps + window_unsup_steps;
+      obs::TelemetryRecord record("epoch");
+      record.Set("phase", "ssl")
+          .Set("epoch", static_cast<uint64_t>((step + telemetry_every - 1) /
+                                              telemetry_every))
+          .Set("step", static_cast<uint64_t>(step))
+          .Set("steps_total", static_cast<uint64_t>(options_.steps))
+          .Set("loss",
+               window_steps == 0
+                   ? 0.0
+                   : (window_poi_loss + window_unsup_loss) /
+                         static_cast<double>(window_steps))
+          .Set("grad_norm", telemetry_grad_norm)
+          .Set("lr",
+               static_cast<double>(poi_optimizer.current_learning_rate()))
+          .Set("rollbacks", static_cast<uint64_t>(checkpointer.rollbacks()))
+          .Set("poi_steps", static_cast<uint64_t>(window_poi_steps))
+          .Set("pair_steps", static_cast<uint64_t>(window_unsup_steps));
+      if (window_poi_steps > 0) {
+        record.Set("poi_loss",
+                   window_poi_loss / static_cast<double>(window_poi_steps));
+      }
+      if (window_unsup_steps > 0) {
+        record.Set("unsup_loss", window_unsup_loss /
+                                     static_cast<double>(window_unsup_steps));
+      }
+      record
+          .Set("pairs", static_cast<uint64_t>(window_steps * batch_size))
+          .Set("pairs_per_sec", static_cast<double>(window_steps * batch_size) /
+                                    window_seconds)
+          .Set("window_seconds", window_seconds);
+      obs::TelemetrySink::Emit(record);
+      window_poi_loss = 0.0;
+      window_unsup_loss = 0.0;
+      window_poi_steps = 0;
+      window_unsup_steps = 0;
+      window_watch.Restart();
+    }
     status = checkpointer.AfterStep(step, loss_value);
     if (!status.ok()) return status;
     if (util::FailPoint::ShouldFail("trainer.abort")) {

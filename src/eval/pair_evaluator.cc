@@ -2,13 +2,19 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace hisrect::eval {
 
 ScoredPairs ScoreLabeledPairs(const data::DataSplit& split,
                               const PairScorer& scorer) {
+  HISRECT_TRACE_SPAN("eval.score_pairs");
+  util::Stopwatch score_watch;
   const size_t num_positives = split.positive_pairs.size();
   const size_t total = num_positives + split.negative_pairs.size();
   ScoredPairs out;
@@ -29,6 +35,23 @@ ScoredPairs ScoreLabeledPairs(const data::DataSplit& split,
       out.labels[index] = index < num_positives ? 1 : 0;
     }
   });
+  const double seconds = score_watch.ElapsedSeconds();
+  static obs::Counter* pairs_scored = obs::MetricsRegistry::Global().GetCounter(
+      "hisrect.eval.pairs_scored");
+  static obs::Histogram* score_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "hisrect.eval.score_pairs_seconds", obs::TimeHistogramBoundaries());
+  pairs_scored->Add(static_cast<int64_t>(total));
+  score_seconds->Observe(seconds);
+  if (obs::TelemetrySink::enabled()) {
+    obs::TelemetrySink::Emit(
+        obs::TelemetryRecord("phase")
+            .Set("phase", "score_pairs")
+            .Set("pairs", static_cast<uint64_t>(total))
+            .Set("seconds", seconds)
+            .Set("pairs_per_sec",
+                 static_cast<double>(total) / std::max(seconds, 1e-9)));
+  }
   return out;
 }
 

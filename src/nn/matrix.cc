@@ -8,6 +8,8 @@
 #include <immintrin.h>
 #endif
 
+// Header-only metrics core: no link dependency on hisrect_obs.
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace hisrect::nn {
@@ -191,7 +193,19 @@ bool MatMulHasAvx2() { return CpuHasAvx2(); }
 
 bool SetMatMulForceScalar(bool force) { return g_force_scalar.exchange(force); }
 
+namespace {
+
+// One striped relaxed add per dispatch; dwarfed by the output allocation.
+inline void CountMatMulCall() {
+  static obs::Counter* calls =
+      obs::MetricsRegistry::Global().GetCounter("hisrect.nn.matmul.calls");
+  calls->Increment();
+}
+
+}  // namespace
+
 Matrix MatMulValues(const Matrix& a, const Matrix& b) {
+  CountMatMulCall();
   CHECK_EQ(a.cols(), b.rows());
   Matrix out(a.rows(), b.cols());
   const size_t n = b.cols();
@@ -217,6 +231,7 @@ Matrix MatMulValues(const Matrix& a, const Matrix& b) {
 }
 
 Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
+  CountMatMulCall();
   CHECK_EQ(a.cols(), b.cols());
   Matrix out(a.rows(), b.rows());
   const size_t depth = a.cols();
@@ -262,6 +277,7 @@ Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
 }
 
 Matrix MatMulTransposedA(const Matrix& a, const Matrix& b) {
+  CountMatMulCall();
   CHECK_EQ(a.rows(), b.rows());
   Matrix out(a.cols(), b.cols());
   const size_t n = b.cols();

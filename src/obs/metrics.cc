@@ -1,0 +1,80 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/atomic_file.h"
+
+namespace hisrect::obs {
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out->append(buffer);
+}
+
+void AppendInt(std::string* out, int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  out->append(buffer);
+}
+
+void AppendUint(std::string* out, uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  out->append(buffer);
+}
+
+}  // namespace
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n";
+  bool first = true;
+  for (const MetricValue& metric : snapshot.metrics) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + metric.name + "\": ";
+    switch (metric.kind) {
+      case MetricValue::Kind::kCounter:
+        out += "{\"type\": \"counter\", \"value\": ";
+        AppendInt(&out, metric.value);
+        out += "}";
+        break;
+      case MetricValue::Kind::kGauge:
+        out += "{\"type\": \"gauge\", \"value\": ";
+        AppendInt(&out, metric.value);
+        out += "}";
+        break;
+      case MetricValue::Kind::kHistogram: {
+        out += "{\"type\": \"histogram\", \"count\": ";
+        AppendUint(&out, metric.count);
+        out += ", \"sum\": ";
+        AppendDouble(&out, metric.sum);
+        out += ", \"boundaries\": [";
+        for (size_t i = 0; i < metric.boundaries.size(); ++i) {
+          if (i > 0) out += ", ";
+          AppendDouble(&out, metric.boundaries[i]);
+        }
+        out += "], \"bucket_counts\": [";
+        for (size_t i = 0; i < metric.bucket_counts.size(); ++i) {
+          if (i > 0) out += ", ";
+          AppendUint(&out, metric.bucket_counts[i]);
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+util::Status WriteMetricsJsonFile(const std::string& path) {
+  util::AtomicFileWriter writer(path);
+  writer.Append(MetricsToJson(MetricsRegistry::Global().Scrape()));
+  return writer.Commit();
+}
+
+}  // namespace hisrect::obs

@@ -1,0 +1,337 @@
+#ifndef HISRECT_OBS_METRICS_H_
+#define HISRECT_OBS_METRICS_H_
+
+// Lock-cheap metrics registry.
+//
+// Handles (Counter / Gauge / Histogram) are resolved once by name — typically
+// into a function-local static pointer at the instrumentation site — and live
+// forever; the registry never frees them, so a cached pointer is always safe
+// to update from any thread. Updates go to one of kMetricStripes
+// cacheline-aligned atomic slots picked by util::ThisThreadIndex(), so a hot
+// path pays ~one uncontended relaxed atomic add and no allocation. Scrape()
+// merges the stripes under the registration mutex and returns a snapshot;
+// scraping concurrently with updates is race-free (atomic loads) but the
+// snapshot is only guaranteed exact for updates that happened-before the
+// scrape.
+//
+// This core is header-only on purpose: src/util and src/nn instrument their
+// hot paths by including this header without linking against hisrect_obs,
+// which would otherwise create a util <-> obs dependency cycle. File export
+// (WriteMetricsJsonFile) needs util I/O and lives in metrics.cc inside the
+// hisrect_obs library.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/thread_id.h"
+
+namespace hisrect::obs {
+
+inline constexpr std::size_t kMetricStripes = 16;
+
+namespace internal {
+
+struct alignas(64) Int64Stripe {
+  std::atomic<int64_t> value{0};
+};
+
+struct alignas(64) HistogramStripe {
+  // counts[i] sized num_buckets at construction; sum accumulates observed
+  // values for mean reporting.
+  std::unique_ptr<std::atomic<uint64_t>[]> counts;
+  std::atomic<double> sum{0.0};
+};
+
+inline std::size_t StripeIndex() {
+  return util::ThisThreadIndex() % kMetricStripes;
+}
+
+// fetch_add on atomic<double> is C++20-library-dependent; a relaxed CAS loop
+// is portable and the stripe is rarely contended.
+inline void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+/// Monotonically increasing sum of int64 deltas.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment() { Add(1); }
+  void Add(int64_t delta) {
+    stripes_[internal::StripeIndex()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const auto& stripe : stripes_) {
+      total += stripe.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  const std::string& name() const { return name_; }
+
+  void ResetForTest() {
+    for (auto& stripe : stripes_) {
+      stripe.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::string name_;
+  internal::Int64Stripe stripes_[kMetricStripes];
+};
+
+/// Last-written int64 value (single logical writer; concurrent writers race
+/// benignly to "some written value").
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  void ResetForTest() { Set(0); }
+
+ private:
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over doubles. With boundaries b_0 < b_1 < ... <
+/// b_{k-1} there are k+1 buckets with half-open ranges:
+///   bucket 0:   (-inf, b_0)
+///   bucket i:   [b_{i-1}, b_i)      for 1 <= i <= k-1
+///   bucket k:   [b_{k-1}, +inf)
+/// i.e. every bucket is closed at its lower boundary and open at its upper
+/// boundary; a value exactly equal to a boundary lands in the bucket above it.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> boundaries)
+      : name_(std::move(name)), boundaries_(std::move(boundaries)) {
+    for (auto& stripe : stripes_) {
+      stripe.counts =
+          std::make_unique<std::atomic<uint64_t>[]>(boundaries_.size() + 1);
+      for (std::size_t i = 0; i <= boundaries_.size(); ++i) {
+        stripe.counts[i].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value) {
+    internal::HistogramStripe& stripe = stripes_[internal::StripeIndex()];
+    stripe.counts[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    internal::AtomicAddDouble(stripe.sum, value);
+  }
+
+  std::size_t BucketIndex(double value) const {
+    // First boundary strictly greater than value == the half-open bucket.
+    return static_cast<std::size_t>(
+        std::upper_bound(boundaries_.begin(), boundaries_.end(), value) -
+        boundaries_.begin());
+  }
+
+  std::size_t num_buckets() const { return boundaries_.size() + 1; }
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  const std::string& name() const { return name_; }
+
+  uint64_t BucketCount(std::size_t bucket) const {
+    uint64_t total = 0;
+    for (const auto& stripe : stripes_) {
+      total += stripe.counts[bucket].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  uint64_t Count() const {
+    uint64_t total = 0;
+    for (std::size_t i = 0; i < num_buckets(); ++i) total += BucketCount(i);
+    return total;
+  }
+
+  double Sum() const {
+    double total = 0.0;
+    for (const auto& stripe : stripes_) {
+      total += stripe.sum.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void ResetForTest() {
+    for (auto& stripe : stripes_) {
+      for (std::size_t i = 0; i < num_buckets(); ++i) {
+        stripe.counts[i].store(0, std::memory_order_relaxed);
+      }
+      stripe.sum.store(0.0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::string name_;
+  std::vector<double> boundaries_;
+  internal::HistogramStripe stripes_[kMetricStripes];
+};
+
+/// One merged metric in a scrape snapshot.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  int64_t value = 0;                     // counter / gauge
+  uint64_t count = 0;                    // histogram
+  double sum = 0.0;                      // histogram
+  std::vector<double> boundaries;        // histogram
+  std::vector<uint64_t> bucket_counts;   // histogram, boundaries.size() + 1
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;  // sorted by name
+
+  const MetricValue* Find(const std::string& name) const {
+    for (const MetricValue& metric : metrics) {
+      if (metric.name == name) return &metric;
+    }
+    return nullptr;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// Leaked singleton: metric handles cached in function-local statics must
+  /// outlive every thread, including detached pool workers at exit.
+  static MetricsRegistry& Global() {
+    static MetricsRegistry* registry = new MetricsRegistry();
+    return *registry;
+  }
+
+  Counter* GetCounter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(name, std::make_unique<Counter>(name)).first;
+    }
+    return it->second.get();
+  }
+
+  Gauge* GetGauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      it = gauges_.emplace(name, std::make_unique<Gauge>(name)).first;
+    }
+    return it->second.get();
+  }
+
+  /// Boundaries must be strictly increasing and are fixed by the first
+  /// registration; later lookups by the same name ignore the argument.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& boundaries) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_
+               .emplace(name, std::make_unique<Histogram>(name, boundaries))
+               .first;
+    }
+    return it->second.get();
+  }
+
+  MetricsSnapshot Scrape() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snapshot;
+    std::map<std::string, MetricValue> merged;
+    for (const auto& [name, counter] : counters_) {
+      MetricValue value;
+      value.name = name;
+      value.kind = MetricValue::Kind::kCounter;
+      value.value = counter->Value();
+      merged.emplace(name, std::move(value));
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      MetricValue value;
+      value.name = name;
+      value.kind = MetricValue::Kind::kGauge;
+      value.value = gauge->Value();
+      merged.emplace(name, std::move(value));
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      MetricValue value;
+      value.name = name;
+      value.kind = MetricValue::Kind::kHistogram;
+      value.boundaries = histogram->boundaries();
+      value.bucket_counts.resize(histogram->num_buckets());
+      for (std::size_t i = 0; i < histogram->num_buckets(); ++i) {
+        value.bucket_counts[i] = histogram->BucketCount(i);
+        value.count += value.bucket_counts[i];
+      }
+      value.sum = histogram->Sum();
+      merged.emplace(name, std::move(value));
+    }
+    snapshot.metrics.reserve(merged.size());
+    for (auto& [name, value] : merged) {
+      snapshot.metrics.push_back(std::move(value));
+    }
+    return snapshot;
+  }
+
+  /// Zeroes every registered metric in place (handles stay valid). Test-only:
+  /// not synchronized against concurrent updates beyond per-slot atomicity.
+  void ResetForTest() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, counter] : counters_) counter->ResetForTest();
+    for (auto& [name, gauge] : gauges_) gauge->ResetForTest();
+    for (auto& [name, histogram] : histograms_) histogram->ResetForTest();
+  }
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shared bucket layout for wall-time histograms, in seconds: 1µs .. 100s,
+/// roughly 1-3-10 spaced so both a matmul call and a whole training phase
+/// land in an informative bucket.
+inline const std::vector<double>& TimeHistogramBoundaries() {
+  static const std::vector<double>* boundaries = new std::vector<double>{
+      1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+      1e-2, 3e-2, 1e-1, 3e-1, 1.0,  3.0,  10.0, 30.0, 100.0};
+  return *boundaries;
+}
+
+/// Serializes a scrape as a JSON object keyed by metric name.
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// Scrapes the global registry and atomically writes MetricsToJson output.
+/// Defined in metrics.cc (hisrect_obs) — needs util file I/O, so hot-path
+/// translation units that only update metrics never pull in a link
+/// dependency on it.
+util::Status WriteMetricsJsonFile(const std::string& path);
+
+}  // namespace hisrect::obs
+
+#endif  // HISRECT_OBS_METRICS_H_

@@ -1,0 +1,159 @@
+#include "obs/telemetry.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include "util/atomic_file.h"
+
+namespace hisrect::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buffer;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+struct SinkState {
+  std::mutex mutex;
+  std::string path;
+  std::string buffer;
+  uint64_t emitted = 0;
+};
+
+std::atomic<bool> g_enabled{false};
+
+SinkState& State() {
+  static SinkState* state = new SinkState();
+  return *state;
+}
+
+}  // namespace
+
+TelemetryRecord::TelemetryRecord(std::string_view kind) {
+  body_ = "{\"kind\": \"";
+  AppendEscaped(&body_, kind);
+  body_ += "\"";
+}
+
+void TelemetryRecord::AppendKey(std::string_view key) {
+  body_ += ", \"";
+  AppendEscaped(&body_, key);
+  body_ += "\": ";
+}
+
+TelemetryRecord& TelemetryRecord::Set(std::string_view key,
+                                      std::string_view value) {
+  AppendKey(key);
+  body_ += "\"";
+  AppendEscaped(&body_, value);
+  body_ += "\"";
+  return *this;
+}
+
+TelemetryRecord& TelemetryRecord::Set(std::string_view key,
+                                      const char* value) {
+  return Set(key, std::string_view(value));
+}
+
+TelemetryRecord& TelemetryRecord::Set(std::string_view key, double value) {
+  AppendKey(key);
+  if (!std::isfinite(value)) {
+    body_ += "null";
+  } else {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    body_ += buffer;
+  }
+  return *this;
+}
+
+TelemetryRecord& TelemetryRecord::Set(std::string_view key, int64_t value) {
+  AppendKey(key);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  body_ += buffer;
+  return *this;
+}
+
+TelemetryRecord& TelemetryRecord::Set(std::string_view key, uint64_t value) {
+  AppendKey(key);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  body_ += buffer;
+  return *this;
+}
+
+std::string TelemetryRecord::ToJsonLine() const { return body_ + "}"; }
+
+void TelemetrySink::Open(const std::string& path) {
+  SinkState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.path = path;
+  state.buffer.clear();
+  state.emitted = 0;
+  g_enabled.store(true, std::memory_order_release);
+}
+
+bool TelemetrySink::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void TelemetrySink::Emit(const TelemetryRecord& record) {
+  if (!enabled()) return;
+  SinkState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  state.buffer += record.ToJsonLine();
+  state.buffer += "\n";
+  ++state.emitted;
+}
+
+uint64_t TelemetrySink::EmittedRecords() {
+  SinkState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.emitted;
+}
+
+util::Status TelemetrySink::Close() {
+  SinkState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!g_enabled.load(std::memory_order_relaxed)) return util::Status::Ok();
+  g_enabled.store(false, std::memory_order_release);
+  util::AtomicFileWriter writer(state.path);
+  writer.Append(state.buffer);
+  state.buffer.clear();
+  return writer.Commit();
+}
+
+}  // namespace hisrect::obs

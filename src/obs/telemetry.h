@@ -1,0 +1,65 @@
+#ifndef HISRECT_OBS_TELEMETRY_H_
+#define HISRECT_OBS_TELEMETRY_H_
+
+// Structured training telemetry: one JSONL record per epoch window / phase /
+// checkpoint event, buffered in memory and committed atomically on Close()
+// via util::AtomicFileWriter, so a crash mid-run never leaves a torn file.
+//
+// The sink is process-global and off by default; instrumentation sites guard
+// record construction with TelemetrySink::enabled() so a disabled run pays
+// one relaxed atomic load and builds no strings. Emitting is mutexed — it
+// happens at epoch granularity, never inside a hot loop.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace hisrect::obs {
+
+/// Builder for one flat JSON object. Keys appear in insertion order; values
+/// are escaped; non-finite doubles serialize as null (valid JSON, unlike
+/// bare NaN).
+class TelemetryRecord {
+ public:
+  /// Every record carries {"kind": <kind>} first, e.g. "epoch", "phase",
+  /// "checkpoint", "rollback".
+  explicit TelemetryRecord(std::string_view kind);
+
+  TelemetryRecord& Set(std::string_view key, std::string_view value);
+  TelemetryRecord& Set(std::string_view key, const char* value);
+  TelemetryRecord& Set(std::string_view key, double value);
+  TelemetryRecord& Set(std::string_view key, int64_t value);
+  TelemetryRecord& Set(std::string_view key, uint64_t value);
+
+  /// The record as a single JSON object line (no trailing newline).
+  std::string ToJsonLine() const;
+
+ private:
+  void AppendKey(std::string_view key);
+  std::string body_;
+};
+
+class TelemetrySink {
+ public:
+  /// Enables the global sink writing to `path` on Close(). Records emitted
+  /// while no sink is open are discarded.
+  static void Open(const std::string& path);
+
+  static bool enabled();
+
+  /// Appends one record line. Thread-safe; no-op when disabled.
+  static void Emit(const TelemetryRecord& record);
+
+  /// Lines emitted since Open() (test/validation hook).
+  static uint64_t EmittedRecords();
+
+  /// Atomically writes all buffered records and disables the sink. Returns
+  /// Ok() and stays disabled when no sink is open.
+  static util::Status Close();
+};
+
+}  // namespace hisrect::obs
+
+#endif  // HISRECT_OBS_TELEMETRY_H_

@@ -1,0 +1,48 @@
+#ifndef HISRECT_OBS_TIMER_H_
+#define HISRECT_OBS_TIMER_H_
+
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace hisrect::obs {
+
+/// Scoped wall-clock timer: observes the elapsed seconds into a Histogram
+/// (and optionally a caller-owned double) when it leaves scope. Replaces the
+/// hand-rolled `Stopwatch watch; ... watch.ElapsedSeconds()` delta pattern
+/// that benches and trainers used to copy around; ElapsedSeconds() is still
+/// available for mid-scope reads.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram, double* elapsed_out = nullptr)
+      : histogram_(histogram), elapsed_out_(elapsed_out) {}
+
+  /// Convenience: resolves (or registers) the histogram by name with the
+  /// shared time-bucket layout. Intended for cold call sites; hot paths
+  /// should cache the Histogram* in a function-local static.
+  explicit ScopedTimer(const std::string& histogram_name,
+                       double* elapsed_out = nullptr)
+      : ScopedTimer(MetricsRegistry::Global().GetHistogram(
+                        histogram_name, TimeHistogramBoundaries()),
+                    elapsed_out) {}
+
+  ~ScopedTimer() {
+    const double seconds = watch_.ElapsedSeconds();
+    if (histogram_ != nullptr) histogram_->Observe(seconds);
+    if (elapsed_out_ != nullptr) *elapsed_out_ = seconds;
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+  double ElapsedMillis() const { return watch_.ElapsedMillis(); }
+
+ private:
+  util::Stopwatch watch_;
+  Histogram* histogram_;
+  double* elapsed_out_;
+};
+
+}  // namespace hisrect::obs
+
+#endif  // HISRECT_OBS_TIMER_H_

@@ -4,6 +4,8 @@
 #include <map>
 #include <mutex>
 
+// Header-only metrics core: no link dependency on hisrect_obs.
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace hisrect::util {
@@ -40,6 +42,12 @@ std::optional<int64_t> FailPoint::FireSlow(const char* point) {
   if (!entry.armed || entry.hits < entry.fire_on_hit) return std::nullopt;
   entry.armed = false;
   armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  // Exported so robustness tests can assert an injection actually fired
+  // instead of inferring it from side effects. Cold path: a point fires at
+  // most once per arm, so the name concatenation is fine here.
+  obs::MetricsRegistry::Global()
+      .GetCounter(std::string("hisrect.failpoint.") + point + ".hits")
+      ->Increment();
   LOG(WARNING) << "failpoint '" << point << "' fired on hit " << entry.hits;
   return entry.payload;
 }

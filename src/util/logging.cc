@@ -1,14 +1,30 @@
 #include "util/logging.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <mutex>
+#include <utility>
+
+#include "util/thread_id.h"
 
 namespace hisrect::util {
 
 namespace {
 
 LogSeverity g_min_severity = LogSeverity::kInfo;
+
+std::mutex& SinkMutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
+LogSink& SinkSlot() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
 
 const char* SeverityName(LogSeverity severity) {
   switch (severity) {
@@ -35,6 +51,11 @@ void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
 
 LogSeverity MinLogSeverity() { return g_min_severity; }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity), file_(file), line_(line) {}
 
@@ -42,9 +63,32 @@ LogMessage::~LogMessage() {
   bool suppressed = static_cast<int>(severity_) < static_cast<int>(g_min_severity) &&
                     severity_ != LogSeverity::kFatal;
   if (!suppressed) {
-    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityName(severity_),
-                 Basename(file_), line_, stream_.str().c_str());
-    std::fflush(stderr);
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+    const int millis = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now.time_since_epoch())
+            .count() %
+        1000);
+    std::tm tm_buf{};
+    localtime_r(&seconds, &tm_buf);
+    char timestamp[32];
+    std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%d %H:%M:%S", &tm_buf);
+    char prefix[160];
+    std::snprintf(prefix, sizeof(prefix), "[%s.%03d %s t%u %s:%d] ",
+                  timestamp, millis, SeverityName(severity_),
+                  ThisThreadIndex(), Basename(file_), line_);
+    std::string line = prefix + stream_.str();
+    // One fwrite per line under the sink mutex: concurrent ParallelFor
+    // workers cannot interleave partial lines on stderr.
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    if (SinkSlot()) {
+      SinkSlot()(severity_, line);
+    } else {
+      line.push_back('\n');
+      std::fwrite(line.data(), 1, line.size(), stderr);
+      std::fflush(stderr);
+    }
   }
   if (severity_ == LogSeverity::kFatal) std::abort();
 }

@@ -1,6 +1,7 @@
 #ifndef HISRECT_UTIL_LOGGING_H_
 #define HISRECT_UTIL_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -31,6 +32,14 @@ class LogMessage {
 /// Defaults to kInfo. Fatal messages are never suppressed.
 void SetMinLogSeverity(LogSeverity severity);
 LogSeverity MinLogSeverity();
+
+/// Receives each fully formatted, severity-filtered log line (prefix
+/// included, no trailing newline). Test hook and embedding point.
+using LogSink = std::function<void(LogSeverity, const std::string&)>;
+
+/// Replaces the stderr writer with `sink`; pass nullptr to restore stderr.
+/// Fatal messages still abort after the sink runs.
+void SetLogSink(LogSink sink);
 
 }  // namespace hisrect::util
 

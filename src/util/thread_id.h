@@ -1,0 +1,26 @@
+#ifndef HISRECT_UTIL_THREAD_ID_H_
+#define HISRECT_UTIL_THREAD_ID_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hisrect::util {
+
+inline std::atomic<uint32_t>& ThreadIndexCounter() {
+  static std::atomic<uint32_t> counter{0};
+  return counter;
+}
+
+/// Small dense per-thread index (0, 1, 2, ...) assigned on first call from
+/// each thread, in first-call order. Unlike std::this_thread::get_id() the
+/// index is compact enough to stripe metric shards and label trace events /
+/// log lines, and reading it after the first call is one thread_local load.
+inline uint32_t ThisThreadIndex() {
+  thread_local const uint32_t index =
+      ThreadIndexCounter().fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace hisrect::util
+
+#endif  // HISRECT_UTIL_THREAD_ID_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 
+// Header-only metrics core: no link dependency on hisrect_obs.
+#include "obs/metrics.h"
+
 namespace hisrect::util {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -32,6 +35,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    static obs::Counter* tasks_executed =
+        obs::MetricsRegistry::Global().GetCounter("hisrect.pool.tasks");
+    tasks_executed->Increment();
     task();  // packaged_task captures exceptions into the future.
   }
 }
@@ -88,6 +94,9 @@ void ParallelFor(ThreadPool& pool, size_t n, size_t num_shards,
                                           size_t end)>& fn) {
   num_shards = std::max<size_t>(num_shards, 1);
   if (n == 0) return;
+  static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
+      "hisrect.pool.parallel_for.calls");
+  calls->Increment();
   if (num_shards == 1 || pool.num_threads() == 1) {
     // Same shard geometry, run inline: no queue round-trip when it cannot
     // buy any concurrency.

@@ -14,6 +14,8 @@
 #include "core/heads.h"
 #include "core/profile_encoder.h"
 #include "core/ssl_trainer.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "tests/test_common.h"
 #include "util/thread_pool.h"
 
@@ -147,6 +149,80 @@ TEST_F(DeterminismTest, SslEpochByteIdenticalAcrossThreadCounts) {
     ExpectBitwiseEqual(runs[i].embedder_params, runs[0].embedder_params,
                        "embedder params");
   }
+}
+
+// Telemetry is a pure observer: spans, metric counters and per-epoch JSONL
+// records read losses and parameters but draw no RNG values and reorder no
+// work, so a fully instrumented run must be bitwise-identical to a dark one.
+TEST_F(DeterminismTest, SslRunByteIdenticalWithTelemetryOnAndOff) {
+  ProfileEncoder encoder(&dataset_.pois, &text_model_);
+  const std::vector<EncodedProfile> encoded =
+      encoder.EncodeAll(dataset_.train.profiles);
+
+  struct Run {
+    double final_poi_loss = 0.0;
+    double final_unsup_loss = 0.0;
+    std::vector<nn::Matrix> featurizer_params;
+    std::vector<nn::Matrix> classifier_params;
+    std::vector<nn::Matrix> embedder_params;
+  };
+  auto snapshot = [](const nn::Module& module) {
+    std::vector<nn::Matrix> out;
+    for (const nn::NamedParameter& param : module.Parameters()) {
+      out.push_back(param.tensor.value());
+    }
+    return out;
+  };
+  auto train_once = [&]() {
+    util::Rng init_rng(1);
+    FeaturizerConfig config;
+    config.hidden_dim = 6;
+    config.feature_dim = 12;
+    HisRectFeaturizer featurizer(config, dataset_.pois.size(),
+                                 text_model_.embeddings.get(), init_rng);
+    PoiClassifier classifier(12, dataset_.pois.size(), 2, init_rng, 0.1f);
+    Embedder embedder(12, 6, 2, init_rng, 0.1f);
+
+    SslTrainerOptions options;
+    options.steps = 30;
+    options.batch_size = 8;
+    options.num_shards = 4;
+    SslTrainer trainer(&featurizer, &classifier, &embedder, options);
+    util::Rng rng(3);
+    SslTrainStats stats =
+        trainer.Train(encoded, dataset_.train, dataset_.pois, rng);
+    return Run{stats.final_poi_loss, stats.final_unsup_loss,
+               snapshot(featurizer), snapshot(classifier),
+               snapshot(embedder)};
+  };
+
+  const Run dark = train_once();
+
+  const std::string out_dir = ::testing::TempDir();
+  obs::TraceRecorder::Start();
+  obs::TelemetrySink::Open(out_dir + "determinism_telemetry.jsonl");
+  const Run instrumented = train_once();
+  // The instrumentation must actually have observed the run, or this test
+  // compares two dark runs and proves nothing.
+  EXPECT_GT(obs::TelemetrySink::EmittedRecords(), 0u);
+  EXPECT_GT(obs::TraceRecorder::EventCount(), 0u);
+  EXPECT_EQ(obs::TraceRecorder::DroppedEvents(), 0u);
+  obs::TraceRecorder::Stop();
+  ASSERT_TRUE(obs::TraceRecorder::WriteChromeTrace(
+                  out_dir + "determinism_trace.json")
+                  .ok());
+  ASSERT_TRUE(obs::TelemetrySink::Close().ok());
+
+  ExpectBitwiseEqual(instrumented.final_poi_loss, dark.final_poi_loss,
+                     "final poi loss with telemetry on");
+  ExpectBitwiseEqual(instrumented.final_unsup_loss, dark.final_unsup_loss,
+                     "final unsup loss with telemetry on");
+  ExpectBitwiseEqual(instrumented.featurizer_params, dark.featurizer_params,
+                     "featurizer params with telemetry on");
+  ExpectBitwiseEqual(instrumented.classifier_params, dark.classifier_params,
+                     "classifier params with telemetry on");
+  ExpectBitwiseEqual(instrumented.embedder_params, dark.embedder_params,
+                     "embedder params with telemetry on");
 }
 
 }  // namespace

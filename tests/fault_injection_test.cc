@@ -17,6 +17,7 @@
 #include "core/judge_trainer.h"
 #include "core/profile_encoder.h"
 #include "core/ssl_trainer.h"
+#include "obs/metrics.h"
 #include "tests/test_common.h"
 #include "util/atomic_file.h"
 #include "util/fail_point.h"
@@ -324,6 +325,27 @@ TEST_F(FaultInjectionTest, SslKillAndResumeBitwise) {
     ExpectBitwiseEqual(modules.SslParams(), reference,
                        "ssl params after resume");
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fail-point observability
+
+TEST_F(FaultInjectionTest, FiredFailPointIncrementsMetricCounter) {
+  obs::Counter* hits = obs::MetricsRegistry::Global().GetCounter(
+      "hisrect.failpoint.test.metric_probe.hits");
+  const uint64_t before = hits->Value();
+
+  util::FailPoint::Arm("test.metric_probe", 2);
+  // First evaluation: below the threshold, the point does not fire and the
+  // counter must not move — it counts injected faults, not evaluations.
+  EXPECT_FALSE(util::FailPoint::ShouldFail("test.metric_probe"));
+  EXPECT_EQ(hits->Value(), before);
+  // Second evaluation fires (and self-disarms): exactly one increment.
+  EXPECT_TRUE(util::FailPoint::ShouldFail("test.metric_probe"));
+  EXPECT_EQ(hits->Value(), before + 1);
+  // Disarmed now: further evaluations neither fire nor count.
+  EXPECT_FALSE(util::FailPoint::ShouldFail("test.metric_probe"));
+  EXPECT_EQ(hits->Value(), before + 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -4,8 +4,12 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -218,6 +222,63 @@ TEST(CsvTest, WriteFileFailsOnBadPath) {
   Status s = csv.WriteFile("/nonexistent-dir/file.csv");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+/// Captures log lines through SetLogSink and restores the default writer
+/// (stderr, kInfo threshold) when it leaves scope, so a failing assertion
+/// can't leak a test sink into later tests.
+class LogCapture {
+ public:
+  LogCapture() {
+    SetLogSink([this](LogSeverity severity, const std::string& line) {
+      lines_.emplace_back(severity, line);
+    });
+  }
+  ~LogCapture() {
+    SetLogSink(nullptr);
+    SetMinLogSeverity(LogSeverity::kInfo);
+  }
+
+  const std::vector<std::pair<LogSeverity, std::string>>& lines() const {
+    return lines_;
+  }
+
+ private:
+  std::vector<std::pair<LogSeverity, std::string>> lines_;
+};
+
+TEST(LoggingTest, SinkReceivesOneFormattedLinePerMessage) {
+  LogCapture capture;
+  LOG(WARNING) << "sink probe " << 42;
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_EQ(capture.lines()[0].first, LogSeverity::kWarning);
+  const std::string& line = capture.lines()[0].second;
+  // Prefix: [YYYY-MM-DD HH:MM:SS.mmm WARN t<idx> util_test.cc:<line>] body
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_NE(line.find(" WARN t"), std::string::npos) << line;
+  EXPECT_NE(line.find("util_test.cc:"), std::string::npos) << line;
+  EXPECT_NE(line.find("] sink probe 42"), std::string::npos) << line;
+  EXPECT_EQ(line.find('\n'), std::string::npos)
+      << "sink lines must not carry a trailing newline";
+}
+
+TEST(LoggingTest, MessagesBelowMinSeverityAreSuppressed) {
+  LogCapture capture;
+  SetMinLogSeverity(LogSeverity::kError);
+  LOG(INFO) << "suppressed info";
+  LOG(WARNING) << "suppressed warning";
+  LOG(ERROR) << "kept error";
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_EQ(capture.lines()[0].first, LogSeverity::kError);
+  EXPECT_NE(capture.lines()[0].second.find("kept error"), std::string::npos);
+}
+
+TEST(LoggingTest, MinSeverityRoundTrips) {
+  LogCapture capture;  // Restores kInfo on scope exit.
+  SetMinLogSeverity(LogSeverity::kWarning);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kWarning);
+  LOG(WARNING) << "at threshold";
+  ASSERT_EQ(capture.lines().size(), 1u);
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

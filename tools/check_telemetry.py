@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Validates hisrect_cli observability artifacts.
+
+Checks (any subset, per the flags given):
+  --trace trace.json       Chrome trace-event JSON: well-formed, every event
+                           carries name/ph/ts/dur/pid/tid, ph == "X",
+                           durations are non-negative, begin timestamps are
+                           monotonically non-decreasing (the exporter sorts),
+                           and metadata.dropped_events == 0.
+  --telemetry telem.jsonl  JSONL: every line parses as an object with a
+                           "kind"; "epoch" records carry phase/step/loss/
+                           grad_norm/lr/rollbacks/pairs_per_sec; each phase
+                           ends with a record at step == steps_total, and
+                           epoch numbers increase within a (phase, steps_total)
+                           run segment.
+  --metrics metrics.json   JSON object; counters are non-negative; histogram
+                           bucket_counts sum to count.
+
+Exits 0 when every requested check passes, 1 otherwise (messages on stderr).
+Used by tools/run_benches.sh as the `obs` gate.
+"""
+
+import argparse
+import json
+import sys
+
+EPOCH_REQUIRED_KEYS = (
+    "phase",
+    "step",
+    "steps_total",
+    "loss",
+    "grad_norm",
+    "lr",
+    "rollbacks",
+    "pairs_per_sec",
+)
+
+errors = []
+
+
+def fail(message):
+    errors.append(message)
+
+
+def check_trace(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: cannot parse: {exc}")
+        return
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: missing traceEvents array")
+        return
+    if not events:
+        fail(f"{path}: traceEvents is empty (expected at least one span)")
+    last_ts = None
+    for index, event in enumerate(events):
+        for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                fail(f"{path}: event {index} missing '{key}': {event}")
+                break
+        else:
+            if event["ph"] != "X":
+                fail(f"{path}: event {index} has ph={event['ph']!r}, want 'X'")
+            if event["dur"] < 0:
+                fail(f"{path}: event {index} has negative dur {event['dur']}")
+            if event["ts"] < 0:
+                fail(f"{path}: event {index} has negative ts {event['ts']}")
+            if last_ts is not None and event["ts"] < last_ts:
+                fail(
+                    f"{path}: event {index} ts {event['ts']} < previous "
+                    f"{last_ts} (exporter must sort by begin time)"
+                )
+            last_ts = event["ts"]
+    dropped = trace.get("metadata", {}).get("dropped_events")
+    if dropped is None:
+        fail(f"{path}: metadata.dropped_events missing")
+    elif dropped != 0:
+        fail(f"{path}: {dropped} dropped span(s); raise the per-thread cap")
+
+
+def check_telemetry(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        fail(f"{path}: cannot read: {exc}")
+        return
+    if not lines:
+        fail(f"{path}: empty (expected at least one record)")
+        return
+    epochs = 0
+    # Per (phase, steps_total) segment: last epoch index and final step seen.
+    segments = {}
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            fail(f"{path}:{number}: blank line")
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{number}: not JSON: {exc}")
+            continue
+        if not isinstance(record, dict) or "kind" not in record:
+            fail(f"{path}:{number}: record without 'kind': {line[:120]}")
+            continue
+        if record["kind"] != "epoch":
+            continue
+        epochs += 1
+        missing = [key for key in EPOCH_REQUIRED_KEYS if key not in record]
+        if missing:
+            fail(f"{path}:{number}: epoch record missing {missing}")
+            continue
+        key = (record["phase"], record["steps_total"])
+        last_epoch, _ = segments.get(key, (0, 0))
+        if record["epoch"] <= last_epoch:
+            # A resumed or repeated run restarts its numbering; only flag
+            # non-increase when the step also went backwards.
+            _, last_step = segments[key]
+            if record["step"] <= last_step:
+                fail(
+                    f"{path}:{number}: epoch {record['epoch']} not increasing "
+                    f"within phase {record['phase']!r}"
+                )
+        segments[key] = (record["epoch"], record["step"])
+    if epochs == 0:
+        fail(f"{path}: no 'epoch' records (training telemetry missing)")
+    for (phase, steps_total), (_, last_step) in segments.items():
+        if last_step != steps_total:
+            fail(
+                f"{path}: phase {phase!r} last record at step {last_step}, "
+                f"want a final record at steps_total={steps_total}"
+            )
+
+
+def check_metrics(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            metrics = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: cannot parse: {exc}")
+        return
+    if not isinstance(metrics, dict) or not metrics:
+        fail(f"{path}: expected a non-empty JSON object keyed by metric name")
+        return
+    for name, value in metrics.items():
+        kind = value.get("type")
+        if kind in ("counter", "gauge"):
+            if kind == "counter" and value.get("value", 0) < 0:
+                fail(f"{path}: counter {name} is negative: {value}")
+        elif kind == "histogram":
+            buckets = value.get("bucket_counts", [])
+            boundaries = value.get("boundaries", [])
+            if len(buckets) != len(boundaries) + 1:
+                fail(
+                    f"{path}: histogram {name} has {len(buckets)} buckets for "
+                    f"{len(boundaries)} boundaries (want boundaries+1)"
+                )
+            if sum(buckets) != value.get("count"):
+                fail(
+                    f"{path}: histogram {name} bucket sum {sum(buckets)} != "
+                    f"count {value.get('count')}"
+                )
+        else:
+            fail(f"{path}: metric {name} has unknown type {kind!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome trace-event JSON to validate")
+    parser.add_argument("--telemetry", help="telemetry JSONL to validate")
+    parser.add_argument("--metrics", help="metrics JSON to validate")
+    args = parser.parse_args()
+    if not (args.trace or args.telemetry or args.metrics):
+        parser.error("nothing to check: pass --trace/--telemetry/--metrics")
+    if args.trace:
+        check_trace(args.trace)
+    if args.telemetry:
+        check_telemetry(args.telemetry)
+    if args.metrics:
+        check_metrics(args.metrics)
+    if errors:
+        for message in errors:
+            print(f"check_telemetry: {message}", file=sys.stderr)
+        print(f"check_telemetry: FAILED ({len(errors)} error(s))",
+              file=sys.stderr)
+        return 1
+    print("check_telemetry: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

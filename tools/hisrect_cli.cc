@@ -24,6 +24,15 @@
 // deterministic fault-injection registry, e.g.
 // `atomic_file.crash_before_rename=2` kills the 2nd checkpoint commit.
 // Any training/checkpoint failure is reported on stderr with exit code 1.
+//
+// Observability (any command): `--trace-out trace.json` records scoped spans
+// into per-thread buffers and exports Chrome trace-event JSON (load in
+// chrome://tracing or https://ui.perfetto.dev); `--telemetry-out t.jsonl`
+// emits one structured JSONL record per training epoch window / phase /
+// checkpoint; `--metrics-out m.json` dumps the merged counter/histogram
+// registry at exit. All three are off by default and add no hot-path cost
+// when off; the trained parameters are bitwise-identical either way. See
+// DESIGN.md §9.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -34,6 +43,9 @@
 #include "data/presets.h"
 #include "eval/pair_evaluator.h"
 #include "eval/poi_inference.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/fail_point.h"
 #include "util/status.h"
 #include "util/table.h"
@@ -63,6 +75,10 @@ struct CliOptions {
   bool resume = false;
   /// Fail-point spec armed before running (testing/drills).
   std::string failpoints;
+  /// Observability exports; empty = disabled (the default).
+  std::string metrics_out;
+  std::string trace_out;
+  std::string telemetry_out;
 };
 
 int Usage() {
@@ -75,6 +91,8 @@ int Usage() {
                "                   [--checkpoint-dir DIR] "
                "[--checkpoint-every N] [--keep-last N] [--resume]\n"
                "                   [--failpoints SPEC]\n"
+               "                   [--metrics-out FILE] [--trace-out FILE] "
+               "[--telemetry-out FILE]\n"
                "                   [--out FILE] [--model FILE]\n");
   return 2;
 }
@@ -137,6 +155,18 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (v == nullptr) return false;
       options.failpoints = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.trace_out = v;
+    } else if (arg == "--telemetry-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.telemetry_out = v;
     } else if (arg == "--out" || arg == "--model") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -284,10 +314,51 @@ int Run(int argc, char** argv) {
   if (options.threads > 0) {
     util::ThreadPool::SetGlobalNumThreads(options.threads);
   }
-  if (options.command == "stats") return RunStats(options);
-  if (options.command == "train") return RunTrain(options);
-  if (options.command == "eval") return RunEval(options);
-  return Usage();
+  if (!options.trace_out.empty()) obs::TraceRecorder::Start();
+  if (!options.telemetry_out.empty()) {
+    obs::TelemetrySink::Open(options.telemetry_out);
+  }
+
+  int code;
+  if (options.command == "stats") {
+    code = RunStats(options);
+  } else if (options.command == "train") {
+    code = RunTrain(options);
+  } else if (options.command == "eval") {
+    code = RunEval(options);
+  } else {
+    return Usage();
+  }
+
+  // Flush observability artifacts even when the command failed: a partial
+  // trace of a failed run is exactly when you want one.
+  if (!options.trace_out.empty()) {
+    obs::TraceRecorder::Stop();
+    util::Status status = obs::TraceRecorder::WriteChromeTrace(
+        options.trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   status.ToString().c_str());
+      if (code == 0) code = 1;
+    }
+  }
+  if (!options.telemetry_out.empty()) {
+    util::Status status = obs::TelemetrySink::Close();
+    if (!status.ok()) {
+      std::fprintf(stderr, "telemetry export failed: %s\n",
+                   status.ToString().c_str());
+      if (code == 0) code = 1;
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    util::Status status = obs::WriteMetricsJsonFile(options.metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.ToString().c_str());
+      if (code == 0) code = 1;
+    }
+  }
+  return code;
 }
 
 }  // namespace

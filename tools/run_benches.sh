@@ -27,6 +27,23 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # rollback) must also be green before numbers are recorded.
 (cd "$BUILD_DIR" && ctest -L robustness --output-on-failure)
 
+# Observability gate: obs unit tests, then a small CLI training run with all
+# three telemetry surfaces enabled, validated by check_telemetry.py (schema,
+# monotonic span timestamps, zero dropped events). Guards against the
+# telemetry subsystem silently rotting while the flags stay off by default.
+(cd "$BUILD_DIR" && ctest -L obs --output-on-failure)
+obs_dir="$OUT_DIR/obs_smoke"
+mkdir -p "$obs_dir"
+"$BUILD_DIR/tools/hisrect_cli" train --preset nyc --scale 0.1 --seed 7 \
+  --ssl-steps 60 --judge-steps 40 \
+  --trace-out "$obs_dir/trace.json" \
+  --telemetry-out "$obs_dir/telemetry.jsonl" \
+  --metrics-out "$obs_dir/metrics.json" > "$obs_dir/cli.log"
+python3 tools/check_telemetry.py \
+  --trace "$obs_dir/trace.json" \
+  --telemetry "$obs_dir/telemetry.jsonl" \
+  --metrics "$obs_dir/metrics.json"
+
 mkdir -p "$OUT_DIR"
 current="$OUT_DIR/BENCH_parallel.json"
 previous="$OUT_DIR/BENCH_parallel.prev.json"

@@ -1,28 +1,40 @@
 #!/usr/bin/env bash
-# Sanitizer smoke run: builds the tree twice (ASan, then UBSan) and runs the
-# robustness-labeled test suite under each — the checkpoint/resume and
-# fault-injection paths exercise raw byte I/O, partial writes, and injected
-# corruption, exactly where memory and UB bugs like to hide.
+# Sanitizer smoke run: builds the tree under each requested sanitizer and
+# runs the matching test label. ASan and UBSan run the robustness suite —
+# the checkpoint/resume and fault-injection paths exercise raw byte I/O,
+# partial writes, and injected corruption, exactly where memory and UB bugs
+# like to hide. TSan runs the obs suite — the metrics registry, trace ring
+# buffers, and telemetry sink are written from worker threads and scraped
+# concurrently, exactly where data races like to hide.
 #
 # Knobs:
-#   SANITIZERS   space-separated subset of "address undefined"
-#                (default: both)
+#   SANITIZERS   space-separated subset of "address undefined thread"
+#                (default: all three)
 #   BUILD_ROOT   prefix for the build trees (default: build-san)
-#   CTEST_LABEL  ctest -L selector (default: robustness)
+#   CTEST_LABEL  ctest -L selector override; empty picks per-sanitizer
+#                defaults (robustness for address/undefined, obs for thread)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SANITIZERS=${SANITIZERS:-"address undefined"}
+SANITIZERS=${SANITIZERS:-"address undefined thread"}
 BUILD_ROOT=${BUILD_ROOT:-build-san}
-CTEST_LABEL=${CTEST_LABEL:-robustness}
+CTEST_LABEL=${CTEST_LABEL:-}
+
+label_for() {
+  case "$1" in
+    thread) echo "obs" ;;
+    *) echo "robustness" ;;
+  esac
+}
 
 for sanitizer in $SANITIZERS; do
   build_dir="${BUILD_ROOT}-${sanitizer}"
-  echo "=== sanitize_smoke: ${sanitizer} -> ${build_dir} ==="
+  label=${CTEST_LABEL:-$(label_for "$sanitizer")}
+  echo "=== sanitize_smoke: ${sanitizer} -> ${build_dir} (ctest -L ${label}) ==="
   cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DHISRECT_SANITIZE="$sanitizer"
   cmake --build "$build_dir" -j "$(nproc)"
-  (cd "$build_dir" && ctest -L "$CTEST_LABEL" --output-on-failure)
+  (cd "$build_dir" && ctest -L "$label" --output-on-failure)
 done
 
 echo "sanitize_smoke: OK (${SANITIZERS})"
