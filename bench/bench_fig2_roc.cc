@@ -27,6 +27,16 @@ void RunDataset(const BenchEnv& env, BenchDataset bench_dataset,
     PhaseTimer stopwatch;
     approach->Fit(dataset, bench_dataset.text_model);
     eval::RocCurve roc = eval::EvaluateRoc(dataset.test, ScoreOf(*approach));
+    if (roc.degenerate) {
+      // One class absent in the split: no curve exists. Flag it instead of
+      // recording a fake AUC that a downstream average would swallow.
+      table.AddRow({approach->name(), "degenerate"});
+      std::fprintf(stderr, "[fig2] %-14s %-9s DEGENERATE split (one class "
+                   "absent), skipped (%.1fs)\n",
+                   approach->name().c_str(), dataset.name.c_str(),
+                   stopwatch.ElapsedSeconds());
+      continue;
+    }
     table.AddRow({approach->name(), util::Table::Fmt(roc.auc, 3)});
     for (const eval::RocPoint& point : roc.points) {
       csv.AddRow({approach->name(), util::Table::Fmt(point.fpr, 5),

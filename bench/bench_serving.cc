@@ -1,0 +1,294 @@
+// Online serving benchmark: closed-loop load against a JudgementServer
+// (src/serve) wrapping a fitted HisRect model with a small bounded encoder
+// cache. Measures end-to-end request latency (p50/p95/p99) and throughput,
+// checks that every served score is bitwise-identical to the offline
+// ScorePair on the same profiles, and soaks the bounded LRU cache with 10x
+// its capacity of distinct profiles to prove the bound holds with visible
+// evictions. Emits machine-readable bench_out/BENCH_serving.json for
+// tools/run_benches.sh and tools/check_telemetry.py.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/hisrect_model.h"
+#include "obs/metrics.h"
+#include "serve/judgement_server.h"
+#include "util/table.h"
+
+namespace hisrect::bench {
+namespace {
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t index = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+struct HistDelta {
+  std::vector<double> boundaries;
+  std::vector<uint64_t> counts;
+  uint64_t total = 0;
+  double sum = 0.0;
+};
+
+HistDelta HistogramDelta(const obs::MetricsSnapshot& before,
+                         const obs::MetricsSnapshot& after, const char* name) {
+  HistDelta delta;
+  const obs::MetricValue* b = before.Find(name);
+  const obs::MetricValue* a = after.Find(name);
+  if (a == nullptr) return delta;
+  delta.boundaries = a->boundaries;
+  delta.counts = a->bucket_counts;
+  delta.total = a->count;
+  delta.sum = a->sum;
+  if (b != nullptr) {
+    delta.total -= b->count;
+    delta.sum -= b->sum;
+    for (size_t i = 0; i < delta.counts.size() && i < b->bucket_counts.size();
+         ++i) {
+      delta.counts[i] -= b->bucket_counts[i];
+    }
+  }
+  return delta;
+}
+
+int64_t CounterDelta(const obs::MetricsSnapshot& before,
+                     const obs::MetricsSnapshot& after, const char* name) {
+  const obs::MetricValue* b = before.Find(name);
+  const obs::MetricValue* a = after.Find(name);
+  return (a == nullptr ? 0 : a->value) - (b == nullptr ? 0 : b->value);
+}
+
+int Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  // Serving latency, not model quality: short training budgets, small city.
+  env.ssl_steps = 400;
+  env.judge_steps = 300;
+  const size_t kCacheCapacity = 64;
+  const size_t kClientThreads = 4;
+  const size_t kRequestsPerClient = 200;
+  const size_t kVerifyPairs = 32;
+
+  BenchDataset data =
+      MakeBenchDataset(data::NycLikeConfig({.users = 0.15}), env.seed);
+
+  core::HisRectModelConfig config = baselines::BaseModelConfig(env.Budget());
+  config.encoder_options.cache_capacity = kCacheCapacity;
+  core::HisRectModel model(config);
+  {
+    PhaseTimer fit_watch;
+    model.Fit(data.dataset, data.text_model);
+    std::fprintf(stderr, "[serving] fit %.1fs\n", fit_watch.ElapsedSeconds());
+  }
+
+  const std::vector<data::Profile>& pool = data.dataset.test.profiles;
+  const size_t pool_size = pool.size();
+  if (pool_size < 4) {
+    std::fprintf(stderr, "[serving] test split too small (%zu)\n", pool_size);
+    return 1;
+  }
+
+  serve::ServeOptions serve_options;
+  serve_options.batch_size = 8;
+  serve_options.max_wait_us = 500;
+  serve_options.max_queue = 1024;
+  serve::JudgementServer server(&model, serve_options);
+
+  auto pair_for = [&](size_t i) {
+    serve::JudgementRequest request;
+    request.a = pool[i % pool_size];
+    request.b = pool[(i * 7 + 3) % pool_size];
+    return request;
+  };
+
+  // --- Closed-loop load phase: each client submits, waits, repeats. ---
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Scrape();
+  std::vector<std::vector<double>> latencies(kClientThreads);
+  std::vector<size_t> client_rejected(kClientThreads, 0);
+  const auto load_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> clients;
+    for (size_t t = 0; t < kClientThreads; ++t) {
+      clients.emplace_back([&, t] {
+        latencies[t].reserve(kRequestsPerClient);
+        for (size_t i = 0; i < kRequestsPerClient; ++i) {
+          const auto start = std::chrono::steady_clock::now();
+          auto result = server.Submit(pair_for(t * kRequestsPerClient + i));
+          if (!result.ok()) {
+            ++client_rejected[t];
+            continue;
+          }
+          std::move(result).value().get();
+          latencies[t].push_back(std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() - start)
+                                     .count());
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
+  const double load_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    load_start)
+          .count();
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Scrape();
+
+  std::vector<double> all_latencies;
+  size_t rejected_closed_loop = 0;
+  for (size_t t = 0; t < kClientThreads; ++t) {
+    all_latencies.insert(all_latencies.end(), latencies[t].begin(),
+                         latencies[t].end());
+    rejected_closed_loop += client_rejected[t];
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  const double qps =
+      static_cast<double>(all_latencies.size()) / load_seconds;
+  const double p50_ms = Percentile(all_latencies, 0.50) * 1e3;
+  const double p95_ms = Percentile(all_latencies, 0.95) * 1e3;
+  const double p99_ms = Percentile(all_latencies, 0.99) * 1e3;
+  const HistDelta batch_hist =
+      HistogramDelta(before, after, "hisrect.serve.batch_size");
+  const double mean_batch =
+      batch_hist.total == 0
+          ? 0.0
+          : batch_hist.sum / static_cast<double>(batch_hist.total);
+
+  // --- Bitwise verification: served == offline on the same pairs. ---
+  bool bitwise_identical = true;
+  for (size_t i = 0; i < kVerifyPairs; ++i) {
+    serve::JudgementRequest request = pair_for(i * 13 + 1);
+    auto result = server.Submit(request);
+    if (!result.ok()) {
+      bitwise_identical = false;
+      break;
+    }
+    double served = std::move(result).value().get().score;
+    double offline = model.ScorePair(request.a, request.b);
+    if (std::memcmp(&served, &offline, sizeof(double)) != 0) {
+      bitwise_identical = false;
+      std::fprintf(stderr,
+                   "[serving] BITWISE MISMATCH pair %zu: served %.17g vs "
+                   "offline %.17g\n",
+                   i, served, offline);
+    }
+  }
+
+  // --- Soak: 10x cache capacity of distinct profiles through the server.
+  // The old unbounded memo map would grow without limit; the bounded LRU
+  // must stay at its capacity and surface the churn as evictions. ---
+  const size_t evictions_before = model.encoder().cache_evictions();
+  const size_t soak_requests = 10 * kCacheCapacity;
+  for (size_t i = 0; i < soak_requests; ++i) {
+    serve::JudgementRequest request;
+    request.a = pool[0];
+    request.a.uid = 1'000'000 + i;  // Distinct cache key per request.
+    request.b = pool[1];
+    auto result = server.Submit(request);
+    if (!result.ok()) continue;
+    std::move(result).value().get();
+  }
+  const size_t cache_size_after = model.encoder().cache_size();
+  const size_t soak_evictions =
+      model.encoder().cache_evictions() - evictions_before;
+  const bool bound_held = cache_size_after <= kCacheCapacity;
+
+  server.Shutdown();
+  serve::JudgementServer::Stats stats = server.stats();
+  const uint64_t lost = stats.admitted - stats.completed;
+
+  util::Table table({"metric", "value"});
+  table.AddRow({"requests", std::to_string(all_latencies.size())});
+  table.AddRow({"qps", util::Table::Fmt(qps, 1)});
+  table.AddRow({"p50 ms", util::Table::Fmt(p50_ms, 3)});
+  table.AddRow({"p95 ms", util::Table::Fmt(p95_ms, 3)});
+  table.AddRow({"p99 ms", util::Table::Fmt(p99_ms, 3)});
+  table.AddRow({"mean batch", util::Table::Fmt(mean_batch, 2)});
+  table.AddRow({"lost", std::to_string(lost)});
+  table.AddRow({"bitwise vs offline", bitwise_identical ? "OK" : "VIOLATED"});
+  table.AddRow({"soak cache bound", bound_held ? "OK" : "VIOLATED"});
+  table.AddRow({"soak evictions", std::to_string(soak_evictions)});
+  std::printf("== Online serving (batch_size=%zu, max_wait=%lluus, "
+              "cache_capacity=%zu) ==\n",
+              serve_options.batch_size,
+              static_cast<unsigned long long>(serve_options.max_wait_us),
+              kCacheCapacity);
+  table.Print(std::cout);
+
+  std::string out_dir = "bench_out";
+  if (const char* v = std::getenv("HISRECT_BENCH_OUT")) out_dir = v;
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  std::string out_path = out_dir + "/BENCH_serving.json";
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "[serving] cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"client_threads\": %zu,\n", kClientThreads);
+  std::fprintf(json, "  \"batch_size\": %zu,\n", serve_options.batch_size);
+  std::fprintf(json, "  \"max_wait_us\": %llu,\n",
+               static_cast<unsigned long long>(serve_options.max_wait_us));
+  std::fprintf(json, "  \"requests\": %zu,\n", all_latencies.size());
+  std::fprintf(json, "  \"rejected_closed_loop\": %zu,\n",
+               rejected_closed_loop);
+  std::fprintf(json, "  \"qps\": %.2f,\n", qps);
+  std::fprintf(json,
+               "  \"latency_ms\": {\"p50\": %.4f, \"p95\": %.4f, "
+               "\"p99\": %.4f},\n",
+               p50_ms, p95_ms, p99_ms);
+  std::fprintf(json, "  \"batches\": %llu,\n",
+               static_cast<unsigned long long>(batch_hist.total));
+  std::fprintf(json, "  \"mean_batch_size\": %.3f,\n", mean_batch);
+  std::fprintf(json, "  \"batch_size_hist\": {\"boundaries\": [");
+  for (size_t i = 0; i < batch_hist.boundaries.size(); ++i) {
+    std::fprintf(json, "%s%.0f", i == 0 ? "" : ", ",
+                 batch_hist.boundaries[i]);
+  }
+  std::fprintf(json, "], \"counts\": [");
+  for (size_t i = 0; i < batch_hist.counts.size(); ++i) {
+    std::fprintf(json, "%s%llu", i == 0 ? "" : ", ",
+                 static_cast<unsigned long long>(batch_hist.counts[i]));
+  }
+  std::fprintf(json, "]},\n");
+  std::fprintf(json, "  \"admitted\": %llu,\n",
+               static_cast<unsigned long long>(stats.admitted));
+  std::fprintf(json, "  \"completed\": %llu,\n",
+               static_cast<unsigned long long>(stats.completed));
+  std::fprintf(json, "  \"rejected\": %llu,\n",
+               static_cast<unsigned long long>(stats.rejected));
+  std::fprintf(json, "  \"lost\": %llu,\n",
+               static_cast<unsigned long long>(lost));
+  std::fprintf(json, "  \"served_bitwise_identical\": %s,\n",
+               bitwise_identical ? "true" : "false");
+  std::fprintf(json,
+               "  \"cache\": {\"capacity\": %zu, \"hits\": %lld, "
+               "\"misses\": %lld, \"soak_requests\": %zu, "
+               "\"soak_evictions\": %zu, \"size_after\": %zu, "
+               "\"bound_held\": %s}\n",
+               kCacheCapacity, static_cast<long long>(CounterDelta(
+                                   before, after, "hisrect.encode.cache_hits")),
+               static_cast<long long>(
+                   CounterDelta(before, after, "hisrect.encode.cache_misses")),
+               soak_requests, soak_evictions, cache_size_after,
+               bound_held ? "true" : "false");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("Wrote %s\n", out_path.c_str());
+
+  return (lost == 0 && bitwise_identical && bound_held) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hisrect::bench
+
+int main() { return hisrect::bench::Run(); }

@@ -19,7 +19,9 @@ void HisRectModel::BuildModules(const data::Dataset& dataset,
   util::Rng rng(config_.seed);
 
   encoder_ = std::make_unique<ProfileEncoder>(pois_, text_model_,
-                                              config_.visit_options);
+                                              config_.visit_options,
+                                              /*min_words=*/3,
+                                              config_.encoder_options);
   featurizer_ = std::make_unique<HisRectFeaturizer>(
       config_.featurizer, pois_->size(), text_model_->embeddings.get(), rng);
   classifier_ = std::make_unique<PoiClassifier>(
@@ -131,7 +133,7 @@ double HisRectModel::ScorePairEncoded(const EncodedProfile& a,
 
 double HisRectModel::ScorePair(const data::Profile& a,
                                const data::Profile& b) const {
-  return ScorePairEncoded(Encode(a), Encode(b));
+  return ScorePairEncoded(*Encode(a), *Encode(b));
 }
 
 std::vector<std::pair<geo::PoiId, float>> HisRectModel::InferPoiEncoded(
@@ -152,15 +154,15 @@ std::vector<std::pair<geo::PoiId, float>> HisRectModel::InferPoiEncoded(
 
 std::vector<std::pair<geo::PoiId, float>> HisRectModel::InferPoi(
     const data::Profile& profile, size_t k) const {
-  return InferPoiEncoded(Encode(profile), k);
+  return InferPoiEncoded(*Encode(profile), k);
 }
 
 std::vector<float> HisRectModel::Feature(const data::Profile& profile) const {
-  nn::Tensor feature = FeaturizeEncoded(Encode(profile));
+  nn::Tensor feature = FeaturizeEncoded(*Encode(profile));
   return feature.value().values();
 }
 
-EncodedProfile HisRectModel::Encode(const data::Profile& profile) const {
+EncodedProfileHandle HisRectModel::Encode(const data::Profile& profile) const {
   CHECK(encoder_ != nullptr) << "call Fit before Encode";
   return encoder_->EncodeCached(profile);
 }

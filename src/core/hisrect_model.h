@@ -27,6 +27,9 @@ struct HisRectModelConfig {
   SslTrainerOptions ssl;
   JudgeTrainerOptions judge_trainer;
   VisitFeaturizerOptions visit_options;
+  /// Encoder memo-cache sizing (bounded LRU). Offline fits want the default
+  /// (larger than any split); serving sizes it to the live working set.
+  EncoderOptions encoder_options;
 
   /// Layers in the POI classifier P.
   size_t poi_classifier_layers = 2;
@@ -96,8 +99,10 @@ class HisRectModel {
 
   /// Preprocesses a raw profile with this model's encoder, through the
   /// encoder's cache: every split (train during Fit, val/test at inference)
-  /// encodes each profile at most once.
-  EncodedProfile Encode(const data::Profile& profile) const;
+  /// encodes each resident profile at most once. Returns a shared handle —
+  /// cache hits hand out the stored object without a deep copy, and the
+  /// handle stays valid after LRU eviction.
+  EncodedProfileHandle Encode(const data::Profile& profile) const;
 
   /// The model's profile encoder (cache stats live here). Requires
   /// Fit/InitializeForLoad to have built the modules.

@@ -14,11 +14,13 @@ namespace hisrect::core {
 ProfileEncoder::ProfileEncoder(const geo::PoiSet* pois,
                                const TextModel* text_model,
                                VisitFeaturizerOptions visit_options,
-                               size_t min_words)
+                               size_t min_words, EncoderOptions options)
     : text_model_(text_model),
       visit_featurizer_(pois, visit_options),
-      min_words_(min_words) {
+      min_words_(min_words),
+      options_(options) {
   CHECK(text_model_ != nullptr);
+  CHECK_GE(options_.cache_capacity, 1u) << "encoder cache capacity must be >= 1";
 }
 
 EncodedProfile ProfileEncoder::Encode(const data::Profile& profile) const {
@@ -37,18 +39,43 @@ EncodedProfile ProfileEncoder::Encode(const data::Profile& profile) const {
   return encoded;
 }
 
-EncodedProfile ProfileEncoder::EncodeCached(
+EncodedProfileHandle ProfileEncoder::InsertLocked(
+    const CacheKey& key, EncodedProfile encoded) const {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // A racing thread encoding the same profile computed the same
+    // deterministic value and landed first; keep its entry.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->value;
+  }
+  lru_.push_front(CacheEntry{
+      key, std::make_shared<const EncodedProfile>(std::move(encoded))});
+  index_.emplace(key, lru_.begin());
+  EncodedProfileHandle handle = lru_.front().value;
+  while (lru_.size() > options_.cache_capacity) {
+    ++cache_evictions_;
+    static obs::Counter* evictions = obs::MetricsRegistry::Global().GetCounter(
+        "hisrect.encode.cache_evictions");
+    evictions->Increment();
+    index_.erase(lru_.back().key);
+    lru_.pop_back();  // Outstanding handles keep the object alive.
+  }
+  return handle;
+}
+
+EncodedProfileHandle ProfileEncoder::EncodeCached(
     const data::Profile& profile) const {
   const CacheKey key{profile.uid, profile.tweet.ts};
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
       ++cache_hits_;
       static obs::Counter* hits = obs::MetricsRegistry::Global().GetCounter(
           "hisrect.encode.cache_hits");
       hits->Increment();
-      return it->second;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->value;
     }
     ++cache_misses_;
     static obs::Counter* misses = obs::MetricsRegistry::Global().GetCounter(
@@ -56,11 +83,11 @@ EncodedProfile ProfileEncoder::EncodeCached(
     misses->Increment();
   }
   // Compute outside the lock: encoding dominates and must overlap across
-  // threads. A racing thread encoding the same profile computes the same
-  // deterministic value, and emplace keeps whichever landed first.
+  // threads. InsertLocked resolves the race when two threads encode the same
+  // profile concurrently.
   EncodedProfile encoded = Encode(profile);
   std::lock_guard<std::mutex> lock(cache_mutex_);
-  return cache_.emplace(key, std::move(encoded)).first->second;
+  return InsertLocked(key, std::move(encoded));
 }
 
 std::vector<EncodedProfile> ProfileEncoder::EncodeAll(
@@ -75,7 +102,7 @@ std::vector<EncodedProfile> ProfileEncoder::EncodeAll(
                     util::ResolveNumShards(pool, num_shards),
                     [&](size_t /*shard*/, size_t begin, size_t end) {
                       for (size_t i = begin; i < end; ++i) {
-                        out[i] = EncodeCached(profiles[i]);
+                        out[i] = *EncodeCached(profiles[i]);
                       }
                     });
   const double seconds = encode_watch.ElapsedSeconds();
@@ -117,9 +144,14 @@ size_t ProfileEncoder::cache_misses() const {
   return cache_misses_;
 }
 
+size_t ProfileEncoder::cache_evictions() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_evictions_;
+}
+
 size_t ProfileEncoder::cache_size() const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
-  return cache_.size();
+  return lru_.size();
 }
 
 }  // namespace hisrect::core

@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/text_model.h"
@@ -31,43 +34,64 @@ struct EncodedProfile {
   bool labeled() const { return pid != geo::kInvalidPoiId; }
 };
 
+/// Shared immutable handle to a cached encoding: hits hand out the cached
+/// object without a deep copy, and an entry evicted from the cache stays
+/// alive for as long as any caller still holds its handle.
+using EncodedProfileHandle = std::shared_ptr<const EncodedProfile>;
+
+/// Encoder knobs beyond the featurizer configuration.
+struct EncoderOptions {
+  /// Maximum number of (uid, tweet ts) entries the memo cache retains; the
+  /// least recently used entry is evicted beyond that. The default covers
+  /// every offline split in this repo several times over; a long-lived
+  /// server should size it to its live-profile working set (DESIGN.md §10).
+  /// Must be >= 1.
+  size_t cache_capacity = 1u << 20;
+};
+
 /// Converts raw profiles into EncodedProfiles. Encoding is deterministic and
 /// done once per dataset split (tokenization and the O(|visits| x |P|) visit
 /// feature are the expensive parts of the pipeline).
 ///
-/// Encoded results are memoized in a thread-safe per-encoder cache keyed by
-/// (uid, tweet ts) — the identity of a profile, since a profile is one
-/// user's snapshot at one tweet. Both the bulk split pass (EncodeAll) and
-/// the single-profile inference path (EncodeCached) go through it, so no
-/// profile is ever featurized twice.
+/// Encoded results are memoized in a thread-safe per-encoder **bounded LRU**
+/// cache keyed by (uid, tweet ts) — the identity of a profile, since a
+/// profile is one user's snapshot at one tweet. Both the bulk split pass
+/// (EncodeAll) and the single-profile inference path (EncodeCached) go
+/// through it, so no resident profile is ever featurized twice, and a
+/// long-lived serving process holds at most `cache_capacity` entries
+/// (evictions are counted in `hisrect.encode.cache_evictions`).
 class ProfileEncoder {
  public:
   /// `pois` and `text_model` must outlive the encoder.
   ProfileEncoder(const geo::PoiSet* pois, const TextModel* text_model,
                  VisitFeaturizerOptions visit_options = {},
-                 size_t min_words = 3);
+                 size_t min_words = 3, EncoderOptions options = {});
 
   /// Pure stateless encode: always recomputes. Thread-safe (const reads of
   /// shared immutable state only).
   EncodedProfile Encode(const data::Profile& profile) const;
 
   /// Encode through the cache: the first call for a (uid, ts) computes and
-  /// stores, repeats return the stored copy. Thread-safe.
-  EncodedProfile EncodeCached(const data::Profile& profile) const;
+  /// stores, repeats return a handle to the stored object (no deep copy) and
+  /// refresh its LRU position. Thread-safe; the handle stays valid after
+  /// eviction.
+  EncodedProfileHandle EncodeCached(const data::Profile& profile) const;
 
   /// Encodes every profile via ParallelFor over the global thread pool
   /// (per-profile encoding is independent), each result written into its
   /// pre-sized slot. `num_shards` 0 means one shard per pool worker; the
   /// output is identical at any shard count and any thread count. Results
-  /// also land in the cache.
+  /// also land in the cache (subject to capacity).
   std::vector<EncodedProfile> EncodeAll(
       const std::vector<data::Profile>& profiles, size_t num_shards = 0) const;
 
   /// Cache observability for tests and benchmarks: lookups served from the
-  /// cache vs. encodes actually computed.
+  /// cache vs. encodes actually computed vs. entries evicted at capacity.
   size_t cache_hits() const;
   size_t cache_misses() const;
+  size_t cache_evictions() const;
   size_t cache_size() const;
+  size_t cache_capacity() const { return options_.cache_capacity; }
 
   const VisitFeaturizer& visit_featurizer() const { return visit_featurizer_; }
 
@@ -87,16 +111,31 @@ class ProfileEncoder {
       return std::hash<uint64_t>()(mixed);
     }
   };
+  struct CacheEntry {
+    CacheKey key;
+    EncodedProfileHandle value;
+  };
+  using LruList = std::list<CacheEntry>;
+
+  /// Inserts `encoded` under `key` (or returns the entry a racing thread
+  /// already inserted) and evicts the LRU tail beyond capacity. Requires
+  /// cache_mutex_ held.
+  EncodedProfileHandle InsertLocked(const CacheKey& key,
+                                    EncodedProfile encoded) const;
 
   const TextModel* text_model_;
   VisitFeaturizer visit_featurizer_;
   text::Tokenizer tokenizer_;
   size_t min_words_;
+  EncoderOptions options_;
 
   mutable std::mutex cache_mutex_;
-  mutable std::unordered_map<CacheKey, EncodedProfile, CacheKeyHash> cache_;
+  /// Most recently used at the front; index_ maps keys to list nodes.
+  mutable LruList lru_;
+  mutable std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index_;
   mutable size_t cache_hits_ = 0;
   mutable size_t cache_misses_ = 0;
+  mutable size_t cache_evictions_ = 0;
 };
 
 }  // namespace hisrect::core

@@ -1,6 +1,7 @@
 #include "eval/metrics.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "util/logging.h"
@@ -35,7 +36,10 @@ Confusion ConfusionAtThreshold(const std::vector<double>& scores,
   CHECK_EQ(scores.size(), labels.size());
   Confusion confusion;
   for (size_t i = 0; i < scores.size(); ++i) {
-    bool predicted = scores[i] > threshold;
+    // `>=`, not `>`: ties at the threshold are predicted positive, matching
+    // the ROC sweep (which consumes all pairs tied at a threshold before
+    // emitting the point reported for it).
+    bool predicted = scores[i] >= threshold;
     bool actual = labels[i] != 0;
     if (predicted && actual) ++confusion.tp;
     if (predicted && !actual) ++confusion.fp;
@@ -55,7 +59,10 @@ RocCurve ComputeRoc(const std::vector<double>& scores,
     label != 0 ? ++num_pos : ++num_neg;
   }
   if (num_pos == 0 || num_neg == 0) {
-    curve.auc = 0.0;
+    // One class absent: the curve is undefined. Report that explicitly —
+    // a silent 0 would average into bench aggregates as a fake result.
+    curve.degenerate = true;
+    curve.auc = std::numeric_limits<double>::quiet_NaN();
     return curve;
   }
 

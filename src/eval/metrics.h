@@ -27,6 +27,12 @@ struct BinaryMetrics {
 BinaryMetrics ComputeBinaryMetrics(const Confusion& confusion);
 
 /// Accumulates (score, label) observations at a fixed threshold.
+///
+/// Tie semantics: a pair is predicted positive iff `score >= threshold` —
+/// the same consumption order as the ROC sweep, which accumulates all pairs
+/// tied at a threshold before emitting that threshold's point. A confusion
+/// matrix computed at a reported RocPoint::threshold therefore reproduces
+/// that point's (fpr, tpr) exactly, ties included.
 Confusion ConfusionAtThreshold(const std::vector<double>& scores,
                                const std::vector<int>& labels,
                                double threshold);
@@ -40,10 +46,18 @@ struct RocPoint {
 struct RocCurve {
   std::vector<RocPoint> points;  // Sorted by increasing fpr.
   double auc = 0.0;
+  /// True when one class is absent: the curve is undefined, `points` is
+  /// empty, and `auc` is NaN. Aggregators (bench folds) must skip or flag
+  /// degenerate curves instead of averaging them in.
+  bool degenerate = false;
 };
 
 /// ROC curve and AUC by threshold sweep over the observed scores (ties
-/// handled by the trapezoid rule). `labels` are 0/1.
+/// handled by the trapezoid rule). `labels` are 0/1. Each emitted point's
+/// threshold is inclusive: the point counts every pair with
+/// `score >= threshold` as predicted positive (see ConfusionAtThreshold).
+/// With only one class present, returns a curve with `degenerate` set and
+/// `auc` NaN rather than a silently fake 0.
 RocCurve ComputeRoc(const std::vector<double>& scores,
                     const std::vector<int>& labels);
 

@@ -76,7 +76,8 @@ BinaryMetrics TenFoldFromScores(const ScoredPairs& scored,
   for (size_t fold = 0; fold < folds; ++fold) {
     Confusion confusion;
     auto add = [&](size_t index) {
-      bool predicted = scored.scores[index] > threshold;
+      // Same inclusive tie rule as ConfusionAtThreshold / the ROC sweep.
+      bool predicted = scored.scores[index] >= threshold;
       bool actual = scored.labels[index] != 0;
       if (predicted && actual) ++confusion.tp;
       if (predicted && !actual) ++confusion.fp;

@@ -1,0 +1,184 @@
+#include "serve/judgement_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace hisrect::serve {
+
+namespace {
+
+/// Power-of-two batch-size buckets (half-open at the upper boundary, like
+/// every Histogram in this library): a flush of exactly `batch_size`
+/// requests lands in the bucket whose lower boundary is that size.
+const std::vector<double>& BatchSizeBoundaries() {
+  static const std::vector<double>* boundaries = new std::vector<double>{
+      1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  return *boundaries;
+}
+
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("hisrect.serve.queue_depth");
+  return gauge;
+}
+
+}  // namespace
+
+JudgementServer::JudgementServer(const core::HisRectModel* model,
+                                 ServeOptions options)
+    : model_(model), options_(options) {
+  CHECK(model_ != nullptr);
+  CHECK(model_->fitted()) << "JudgementServer needs a fitted model";
+  CHECK_GE(options_.batch_size, 1u);
+  CHECK_GE(options_.max_queue, 1u);
+  batcher_ = std::thread([this] { BatchLoop(); });
+}
+
+JudgementServer::JudgementServer(
+    std::unique_ptr<const core::HisRectModel> model, ServeOptions options)
+    : JudgementServer(model.get(), options) {
+  owned_model_ = std::move(model);
+}
+
+JudgementServer::~JudgementServer() { Shutdown(); }
+
+util::Result<std::future<Judgement>> JudgementServer::Submit(
+    JudgementRequest request) {
+  static obs::Counter* admitted = obs::MetricsRegistry::Global().GetCounter(
+      "hisrect.serve.requests_admitted");
+  static obs::Counter* rejected = obs::MetricsRegistry::Global().GetCounter(
+      "hisrect.serve.requests_rejected");
+  std::future<Judgement> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      ++stats_.rejected;
+      rejected->Increment();
+      return util::Status::FailedPrecondition("judgement server shut down");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      ++stats_.rejected;
+      rejected->Increment();
+      return util::Status::Unavailable(
+          "judgement queue full (" + std::to_string(options_.max_queue) +
+          " pending); retry later");
+    }
+    Pending pending;
+    pending.request = std::move(request);
+    pending.admitted_at = std::chrono::steady_clock::now();
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+    ++stats_.admitted;
+    admitted->Increment();
+    QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+void JudgementServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && !batcher_.joinable()) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+bool JudgementServer::accepting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !stopping_;
+}
+
+size_t JudgementServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+JudgementServer::Stats JudgementServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void JudgementServer::BatchLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;  // Drained: every admitted request completed.
+      continue;
+    }
+    // A batch window opens at the first pending request: flush on size or
+    // after max_wait_us, whichever comes first. Shutdown flushes
+    // immediately — draining beats batching efficiency on the way out.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(options_.max_wait_us);
+    while (!stopping_ && queue_.size() < options_.batch_size) {
+      if (wake_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
+    const size_t take = std::min(queue_.size(), options_.batch_size);
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+    lock.unlock();
+    ProcessBatch(batch);
+    lock.lock();
+  }
+}
+
+void JudgementServer::ProcessBatch(std::vector<Pending>& batch) {
+  HISRECT_TRACE_SPAN("serve.batch");
+  static obs::Histogram* batch_sizes =
+      obs::MetricsRegistry::Global().GetHistogram("hisrect.serve.batch_size",
+                                                  BatchSizeBoundaries());
+  static obs::Histogram* latencies =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "hisrect.serve.request_latency_seconds",
+          obs::TimeHistogramBoundaries());
+  static obs::Counter* batches = obs::MetricsRegistry::Global().GetCounter(
+      "hisrect.serve.batches");
+  batch_sizes->Observe(static_cast<double>(batch.size()));
+  batches->Increment();
+
+  // The existing parallel inference path: per-request slots over the global
+  // pool, encoder-cache handles (no deep copy on hits), ScorePairEncoded.
+  // Identical arithmetic to the offline PairEvaluator path, so served
+  // scores are bitwise-equal to a batch eval of the same pairs.
+  std::vector<double> scores(batch.size());
+  util::ParallelFor(batch.size(), [&](size_t /*shard*/, size_t begin,
+                                      size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      core::EncodedProfileHandle a = model_->Encode(batch[i].request.a);
+      core::EncodedProfileHandle b = model_->Encode(batch[i].request.b);
+      scores[i] = model_->ScorePairEncoded(*a, *b);
+    }
+  });
+
+  // Count completions BEFORE fulfilling any promise: a client that wakes on
+  // its future must already see itself in stats().completed.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.completed += batch.size();
+    ++stats_.batches;
+  }
+  const auto completed_at = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    latencies->Observe(
+        std::chrono::duration<double>(completed_at - batch[i].admitted_at)
+            .count());
+    batch[i].promise.set_value(
+        Judgement{scores[i], scores[i] > 0.5});
+  }
+}
+
+}  // namespace hisrect::serve

@@ -17,6 +17,7 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kIoError,
+  kUnavailable,
 };
 
 /// Lightweight error-reporting type for recoverable failures (the library is
@@ -45,6 +46,9 @@ class Status {
   }
   static Status IoError(std::string message) {
     return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

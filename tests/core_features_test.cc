@@ -159,16 +159,18 @@ TEST_F(EncoderFixture, EncodeCachedSecondCallIsAHitNotARecompute) {
   EXPECT_EQ(encoder_->cache_hits(), 0u);
   EXPECT_EQ(encoder_->cache_misses(), 0u);
 
-  EncodedProfile first = encoder_->EncodeCached(profile);
+  EncodedProfileHandle first = encoder_->EncodeCached(profile);
   EXPECT_EQ(encoder_->cache_misses(), 1u);
   EXPECT_EQ(encoder_->cache_hits(), 0u);
 
-  EncodedProfile second = encoder_->EncodeCached(profile);
+  EncodedProfileHandle second = encoder_->EncodeCached(profile);
   // Regression guard: the repeat is served from the cache — the miss (=
-  // compute) counter must not move.
+  // compute) counter must not move — and hands back the *same object*, not
+  // a deep copy.
   EXPECT_EQ(encoder_->cache_misses(), 1u);
   EXPECT_EQ(encoder_->cache_hits(), 1u);
-  hisrect::testing::ExpectBitwiseEqual(first, second, "cached encode");
+  EXPECT_EQ(first.get(), second.get());
+  hisrect::testing::ExpectBitwiseEqual(*first, *second, "cached encode");
 }
 
 TEST_F(EncoderFixture, EncodeAllWarmsTheCacheForLaterSingleEncodes) {
@@ -178,10 +180,10 @@ TEST_F(EncoderFixture, EncodeAllWarmsTheCacheForLaterSingleEncodes) {
 
   // Re-encoding a profile the bulk pass already saw is a pure cache read.
   const size_t hits_before = encoder_->cache_hits();
-  EncodedProfile again = encoder_->EncodeCached(dataset_.train.profiles[0]);
+  EncodedProfileHandle again = encoder_->EncodeCached(dataset_.train.profiles[0]);
   EXPECT_EQ(encoder_->cache_misses(), misses_after_bulk);
   EXPECT_EQ(encoder_->cache_hits(), hits_before + 1);
-  hisrect::testing::ExpectBitwiseEqual(again, encoded[0], "warm encode");
+  hisrect::testing::ExpectBitwiseEqual(*again, encoded[0], "warm encode");
 }
 
 class FeaturizerVariantTest

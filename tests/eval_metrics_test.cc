@@ -85,12 +85,44 @@ TEST(RocTest, AllTiesGiveHalf) {
   EXPECT_NEAR(roc.auc, 0.5, 1e-9);
 }
 
-TEST(RocTest, DegenerateSingleClass) {
+TEST(RocTest, DegenerateSingleClassIsFlaggedNotFakeZero) {
   std::vector<double> scores = {0.5, 0.7};
   std::vector<int> labels = {1, 1};
   RocCurve roc = ComputeRoc(scores, labels);
-  EXPECT_DOUBLE_EQ(roc.auc, 0.0);
+  EXPECT_TRUE(roc.degenerate);
+  EXPECT_TRUE(std::isnan(roc.auc));
   EXPECT_TRUE(roc.points.empty());
+
+  RocCurve all_negative = ComputeRoc(scores, {0, 0});
+  EXPECT_TRUE(all_negative.degenerate);
+  EXPECT_TRUE(std::isnan(all_negative.auc));
+
+  RocCurve healthy = ComputeRoc(scores, {0, 1});
+  EXPECT_FALSE(healthy.degenerate);
+  EXPECT_FALSE(std::isnan(healthy.auc));
+}
+
+// Tie-semantics regression: a confusion matrix computed at a reported ROC
+// threshold must reproduce that ROC point exactly, including pairs whose
+// score ties the threshold (both sides consume ties as `>=`).
+TEST(RocTest, ConfusionAtRocThresholdReproducesRocPoint) {
+  std::vector<double> scores = {0.9, 0.7, 0.7, 0.7, 0.4, 0.4, 0.1};
+  std::vector<int> labels = {1, 1, 0, 1, 0, 1, 0};
+  size_t num_pos = 4;
+  size_t num_neg = 3;
+  RocCurve roc = ComputeRoc(scores, labels);
+  ASSERT_FALSE(roc.degenerate);
+  ASSERT_GE(roc.points.size(), 2u);
+  // Skip the synthetic (0, 0) anchor: its threshold is a placeholder above
+  // every score.
+  for (size_t i = 1; i < roc.points.size(); ++i) {
+    const RocPoint& point = roc.points[i];
+    Confusion c = ConfusionAtThreshold(scores, labels, point.threshold);
+    EXPECT_DOUBLE_EQ(static_cast<double>(c.fp) / num_neg, point.fpr)
+        << "threshold " << point.threshold;
+    EXPECT_DOUBLE_EQ(static_cast<double>(c.tp) / num_pos, point.tpr)
+        << "threshold " << point.threshold;
+  }
 }
 
 TEST(RocTest, CurveIsMonotone) {

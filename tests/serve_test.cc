@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/hisrect_model.h"
+#include "core/profile_encoder.h"
+#include "obs/metrics.h"
+#include "serve/judgement_server.h"
+#include "tests/test_common.h"
+
+namespace hisrect::serve {
+namespace {
+
+using hisrect::testing::MakeProfile;
+using hisrect::testing::TinyDataset;
+using hisrect::testing::TinyTextModel;
+
+core::HisRectModelConfig FastConfig() {
+  core::HisRectModelConfig config;
+  config.featurizer.hidden_dim = 6;
+  config.featurizer.feature_dim = 12;
+  config.ssl.steps = 200;
+  config.ssl.batch_size = 4;
+  config.judge_trainer.steps = 200;
+  config.judge_trainer.batch_size = 4;
+  return config;
+}
+
+// One fitted model for the whole suite — fitting dominates test time.
+class ServeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(TinyDataset());
+    text_model_ = new core::TextModel(TinyTextModel(*dataset_));
+    model_ = new core::HisRectModel(FastConfig());
+    model_->Fit(*dataset_, *text_model_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete text_model_;
+    delete dataset_;
+    model_ = nullptr;
+    text_model_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static JudgementRequest RequestFor(size_t i, size_t j) {
+    JudgementRequest request;
+    request.a = dataset_->test.profiles[i];
+    request.b = dataset_->test.profiles[j];
+    return request;
+  }
+
+  static data::Dataset* dataset_;
+  static core::TextModel* text_model_;
+  static core::HisRectModel* model_;
+};
+
+data::Dataset* ServeFixture::dataset_ = nullptr;
+core::TextModel* ServeFixture::text_model_ = nullptr;
+core::HisRectModel* ServeFixture::model_ = nullptr;
+
+TEST_F(ServeFixture, FlushesWhenBatchSizeReached) {
+  ServeOptions options;
+  options.batch_size = 4;
+  options.max_wait_us = 10'000'000;  // Size, not timeout, must trigger.
+  JudgementServer server(model_, options);
+
+  std::vector<std::future<Judgement>> futures;
+  for (size_t i = 0; i < 4; ++i) {
+    auto result = server.Submit(RequestFor(i, i + 1));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    futures.push_back(std::move(result).value());
+  }
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    Judgement judgement = future.get();
+    EXPECT_GE(judgement.score, 0.0);
+    EXPECT_LE(judgement.score, 1.0);
+    EXPECT_EQ(judgement.co_located, judgement.score > 0.5);
+  }
+  JudgementServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.admitted, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST_F(ServeFixture, FlushesPartialBatchOnTimeout) {
+  ServeOptions options;
+  options.batch_size = 100;  // Never reached: timeout must flush.
+  options.max_wait_us = 1000;
+  JudgementServer server(model_, options);
+
+  auto result = server.Submit(RequestFor(0, 1));
+  ASSERT_TRUE(result.ok());
+  auto future = std::move(result).value();
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_GE(future.get().score, 0.0);
+  EXPECT_EQ(server.stats().completed, 1u);
+}
+
+TEST_F(ServeFixture, OverloadRejectsAndShutdownDrainsAdmitted) {
+  ServeOptions options;
+  options.batch_size = 100;          // Larger than anything we submit...
+  options.max_wait_us = 10'000'000;  // ...and the window stays open, so the
+  options.max_queue = 4;             // queue fills deterministically.
+  JudgementServer server(model_, options);
+
+  std::vector<std::future<Judgement>> admitted;
+  size_t rejected = 0;
+  for (size_t i = 0; i < 10; ++i) {
+    auto result = server.Submit(RequestFor(i, i + 1));
+    if (result.ok()) {
+      admitted.push_back(std::move(result).value());
+    } else {
+      EXPECT_EQ(result.status().code(), util::StatusCode::kUnavailable);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(admitted.size(), 4u);
+  EXPECT_EQ(rejected, 6u);
+
+  // Shutdown must complete every admitted request — no future left hanging.
+  server.Shutdown();
+  for (auto& future : admitted) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_GE(future.get().score, 0.0);
+  }
+  JudgementServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.admitted, 4u);
+  EXPECT_EQ(stats.rejected, 6u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(server.queue_depth(), 0u);
+  EXPECT_FALSE(server.accepting());
+
+  // Late submissions are an explicit failed precondition, not a hang.
+  auto late = server.Submit(RequestFor(0, 1));
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeFixture, ShutdownIsIdempotent) {
+  JudgementServer server(model_);
+  server.Shutdown();
+  server.Shutdown();
+  EXPECT_FALSE(server.accepting());
+}
+
+// Golden contract: a served score is bitwise-identical to the offline
+// ScorePair on the same profiles — batching and threading change nothing.
+TEST_F(ServeFixture, ServedScoresBitwiseMatchOffline) {
+  ServeOptions options;
+  options.batch_size = 3;  // Forces multiple partial + full batches.
+  options.max_wait_us = 1000;
+  JudgementServer server(model_, options);
+
+  const size_t pairs = 8;
+  std::vector<std::future<Judgement>> futures;
+  for (size_t i = 0; i < pairs; ++i) {
+    auto result = server.Submit(RequestFor(i, i + 2));
+    ASSERT_TRUE(result.ok());
+    futures.push_back(std::move(result).value());
+  }
+  for (size_t i = 0; i < pairs; ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    double served = futures[i].get().score;
+    double offline = model_->ScorePair(dataset_->test.profiles[i],
+                                       dataset_->test.profiles[i + 2]);
+    hisrect::testing::ExpectBitwiseEqual(served, offline,
+                                         "served vs offline score");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded LRU encoder cache (the fix for the unbounded memo map).
+// ---------------------------------------------------------------------------
+
+TEST(EncoderLruTest, EvictsLeastRecentlyUsedAtCapacity) {
+  data::Dataset dataset = TinyDataset();
+  core::TextModel text_model = TinyTextModel(dataset);
+  core::EncoderOptions options;
+  options.cache_capacity = 2;
+  core::ProfileEncoder encoder(&dataset.pois, &text_model, {}, 3, options);
+  EXPECT_EQ(encoder.cache_capacity(), 2u);
+
+  geo::LatLon center{40.0, -74.0};
+  data::Profile a = MakeProfile(1, 100, center, 0, "alpha words here");
+  data::Profile b = MakeProfile(2, 200, center, 1, "beta words here");
+  data::Profile c = MakeProfile(3, 300, center, 0, "gamma words here");
+
+  core::EncodedProfileHandle handle_b;
+  {
+    encoder.EncodeCached(a);                       // cache: [a]
+    handle_b = encoder.EncodeCached(b);            // cache: [b, a]
+    encoder.EncodeCached(a);                       // hit -> [a, b]
+    EXPECT_EQ(encoder.cache_hits(), 1u);
+    EXPECT_EQ(encoder.cache_evictions(), 0u);
+
+    encoder.EncodeCached(c);                       // evicts b -> [c, a]
+    EXPECT_EQ(encoder.cache_evictions(), 1u);
+    EXPECT_EQ(encoder.cache_size(), 2u);
+  }
+
+  // a survived (recently used): hit. b was evicted: miss, evicting a or c.
+  size_t hits = encoder.cache_hits();
+  encoder.EncodeCached(a);
+  EXPECT_EQ(encoder.cache_hits(), hits + 1);
+  size_t misses = encoder.cache_misses();
+  core::EncodedProfileHandle b_again = encoder.EncodeCached(b);
+  EXPECT_EQ(encoder.cache_misses(), misses + 1);
+  EXPECT_EQ(encoder.cache_size(), 2u);  // Still bounded.
+
+  // The evicted entry's handle stayed valid, and re-encoding is bitwise
+  // identical to the evicted copy.
+  ASSERT_NE(handle_b, nullptr);
+  hisrect::testing::ExpectBitwiseEqual(handle_b->visit_hisrect,
+                                       b_again->visit_hisrect,
+                                       "evicted handle vs re-encode");
+  EXPECT_EQ(handle_b->words, b_again->words);
+}
+
+TEST(EncoderLruTest, HitsShareTheStoredObject) {
+  data::Dataset dataset = TinyDataset();
+  core::TextModel text_model = TinyTextModel(dataset);
+  core::ProfileEncoder encoder(&dataset.pois, &text_model);
+  data::Profile p = MakeProfile(7, 700, {40.0, -74.0}, 0);
+  core::EncodedProfileHandle first = encoder.EncodeCached(p);
+  core::EncodedProfileHandle second = encoder.EncodeCached(p);
+  EXPECT_EQ(first.get(), second.get());  // No deep copy on the hit path.
+}
+
+TEST(EncoderLruTest, SoakHoldsCacheAtBoundWithVisibleEvictions) {
+  data::Dataset dataset = TinyDataset();
+  core::TextModel text_model = TinyTextModel(dataset);
+  core::EncoderOptions options;
+  options.cache_capacity = 8;
+  core::ProfileEncoder encoder(&dataset.pois, &text_model, {}, 3, options);
+
+  // 10x capacity of distinct profiles: the old unbounded memo map would
+  // grow to 80 entries; the bounded cache must stay at 8 and evict.
+  geo::LatLon center{40.0, -74.0};
+  for (size_t i = 0; i < 10 * options.cache_capacity; ++i) {
+    encoder.EncodeCached(MakeProfile(1000 + i, 10 * i, center, 0));
+    EXPECT_LE(encoder.cache_size(), options.cache_capacity);
+  }
+  EXPECT_EQ(encoder.cache_size(), options.cache_capacity);
+  EXPECT_EQ(encoder.cache_evictions(),
+            10 * options.cache_capacity - options.cache_capacity);
+
+  // The eviction counter is also published as a metric.
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Scrape();
+  const obs::MetricValue* metric =
+      snapshot.Find("hisrect.encode.cache_evictions");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_GE(metric->value, static_cast<int64_t>(encoder.cache_evictions()));
+}
+
+}  // namespace
+}  // namespace hisrect::serve

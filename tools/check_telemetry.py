@@ -14,10 +14,18 @@ Checks (any subset, per the flags given):
                            epoch numbers increase within a (phase, steps_total)
                            run segment.
   --metrics metrics.json   JSON object; counters are non-negative; histogram
-                           bucket_counts sum to count.
+                           bucket_counts sum to count. With --serving also
+                           given, the hisrect.serve.* request/batch series
+                           must be present and consistent.
+  --serving BENCH.json     bench_serving record: qps > 0, latency percentiles
+                           present and ordered (p50 <= p95 <= p99), zero lost
+                           requests (admitted == completed), served scores
+                           bitwise-identical to offline, the encoder-cache
+                           soak held its bound with visible evictions, and
+                           the batch-size histogram sums to the batch count.
 
 Exits 0 when every requested check passes, 1 otherwise (messages on stderr).
-Used by tools/run_benches.sh as the `obs` gate.
+Used by tools/run_benches.sh as the `obs` and `serving` gates.
 """
 
 import argparse
@@ -167,20 +175,112 @@ def check_metrics(path):
             fail(f"{path}: metric {name} has unknown type {kind!r}")
 
 
+SERVE_METRICS = (
+    "hisrect.serve.requests_admitted",
+    "hisrect.serve.batches",
+    "hisrect.serve.batch_size",
+    "hisrect.serve.request_latency_seconds",
+)
+
+
+def check_serve_metrics(path):
+    """The hisrect.serve.* series a serving run must leave behind."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            metrics = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: cannot parse: {exc}")
+        return
+    for name in SERVE_METRICS:
+        if name not in metrics:
+            fail(f"{path}: serving run left no {name} metric")
+    admitted = metrics.get("hisrect.serve.requests_admitted", {}).get("value")
+    latency = metrics.get("hisrect.serve.request_latency_seconds", {})
+    if admitted is not None and latency.get("count") is not None:
+        if latency["count"] > admitted:
+            fail(
+                f"{path}: {latency['count']} latency observations for only "
+                f"{admitted} admitted requests"
+            )
+
+
+def check_serving(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: cannot parse: {exc}")
+        return
+    for key in ("qps", "latency_ms", "requests", "batches", "admitted",
+                "completed", "lost", "served_bitwise_identical", "cache",
+                "batch_size_hist"):
+        if key not in record:
+            fail(f"{path}: missing '{key}'")
+            return
+    if record["qps"] <= 0:
+        fail(f"{path}: qps must be positive, got {record['qps']}")
+    latency = record["latency_ms"]
+    for key in ("p50", "p95", "p99"):
+        if key not in latency:
+            fail(f"{path}: latency_ms missing '{key}'")
+            return
+    if not latency["p50"] <= latency["p95"] <= latency["p99"]:
+        fail(
+            f"{path}: latency percentiles not ordered: p50={latency['p50']} "
+            f"p95={latency['p95']} p99={latency['p99']}"
+        )
+    if record["lost"] != 0:
+        fail(f"{path}: {record['lost']} lost request(s) — drain must "
+             "complete every admitted request")
+    if record["admitted"] - record["completed"] != record["lost"]:
+        fail(
+            f"{path}: admitted {record['admitted']} - completed "
+            f"{record['completed']} != lost {record['lost']}"
+        )
+    if record["served_bitwise_identical"] is not True:
+        fail(f"{path}: served scores not bitwise-identical to offline eval")
+    cache = record["cache"]
+    for key in ("capacity", "soak_evictions", "size_after", "bound_held"):
+        if key not in cache:
+            fail(f"{path}: cache record missing '{key}'")
+            return
+    if cache["bound_held"] is not True:
+        fail(
+            f"{path}: encoder cache exceeded its bound "
+            f"({cache['size_after']} > {cache['capacity']})"
+        )
+    if cache["soak_evictions"] <= 0:
+        fail(f"{path}: soak produced no evictions — the bound was never "
+             "exercised")
+    hist = record["batch_size_hist"]
+    if sum(hist.get("counts", [])) != record["batches"]:
+        fail(
+            f"{path}: batch_size_hist counts sum "
+            f"{sum(hist.get('counts', []))} != batches {record['batches']}"
+        )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", help="Chrome trace-event JSON to validate")
     parser.add_argument("--telemetry", help="telemetry JSONL to validate")
     parser.add_argument("--metrics", help="metrics JSON to validate")
+    parser.add_argument("--serving", help="BENCH_serving.json to validate")
     args = parser.parse_args()
-    if not (args.trace or args.telemetry or args.metrics):
-        parser.error("nothing to check: pass --trace/--telemetry/--metrics")
+    if not (args.trace or args.telemetry or args.metrics or args.serving):
+        parser.error(
+            "nothing to check: pass --trace/--telemetry/--metrics/--serving"
+        )
     if args.trace:
         check_trace(args.trace)
     if args.telemetry:
         check_telemetry(args.telemetry)
     if args.metrics:
         check_metrics(args.metrics)
+        if args.serving:
+            check_serve_metrics(args.metrics)
+    if args.serving:
+        check_serving(args.serving)
     if errors:
         for message in errors:
             print(f"check_telemetry: {message}", file=sys.stderr)

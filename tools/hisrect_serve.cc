@@ -1,0 +1,240 @@
+// Online judgement serving front end:
+//
+//   hisrect_serve [--preset nyc|lv] [--scale S] [--seed N] [--model FILE]
+//                 [--ssl-steps N] [--judge-steps N] [--threads N]
+//                 [--batch-size N] [--max-wait-us N] [--max-queue N]
+//                 [--cache-capacity N] [--requests N] [--metrics-out FILE]
+//
+// Loads a model saved by `hisrect_cli train --out FILE` (or trains one from
+// scratch when --model is absent), stands up a JudgementServer (DESIGN.md
+// §10), drives --requests co-location queries sampled from the held-out test
+// split through it, and prints a sample of judgements plus the server /
+// encoder-cache statistics. `--cache-capacity` bounds the encoder's LRU
+// memo cache — size it to the live working set; `--batch-size` /
+// `--max-wait-us` trade batching efficiency against queueing latency;
+// `--max-queue` is the admission bound (overload is rejected, not queued
+// without limit). `--metrics-out` dumps the metrics registry at exit —
+// hisrect.serve.* carries the request/batch/queue series.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/hisrect_model.h"
+#include "core/text_model.h"
+#include "data/presets.h"
+#include "obs/metrics.h"
+#include "serve/judgement_server.h"
+#include "util/status.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace hisrect {
+namespace {
+
+struct ServeCliOptions {
+  std::string preset = "nyc";
+  double scale = 0.5;
+  uint64_t seed = 42;
+  size_t ssl_steps = 4000;
+  size_t judge_steps = 3000;
+  size_t threads = 0;
+  std::string model_path;
+  size_t batch_size = 32;
+  uint64_t max_wait_us = 1000;
+  size_t max_queue = 1024;
+  size_t cache_capacity = 4096;
+  size_t requests = 64;
+  std::string metrics_out;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hisrect_serve [--preset nyc|lv] [--scale S] [--seed N]"
+               " [--model FILE]\n"
+               "                     [--ssl-steps N] [--judge-steps N] "
+               "[--threads N]\n"
+               "                     [--batch-size N] [--max-wait-us N] "
+               "[--max-queue N]\n"
+               "                     [--cache-capacity N] [--requests N] "
+               "[--metrics-out FILE]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, ServeCliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--preset") {
+      if ((v = next()) == nullptr) return false;
+      options.preset = v;
+    } else if (arg == "--scale") {
+      if ((v = next()) == nullptr) return false;
+      options.scale = std::atof(v);
+    } else if (arg == "--seed") {
+      if ((v = next()) == nullptr) return false;
+      options.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--ssl-steps") {
+      if ((v = next()) == nullptr) return false;
+      options.ssl_steps = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--judge-steps") {
+      if ((v = next()) == nullptr) return false;
+      options.judge_steps = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--threads") {
+      if ((v = next()) == nullptr) return false;
+      options.threads = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--model") {
+      if ((v = next()) == nullptr) return false;
+      options.model_path = v;
+    } else if (arg == "--batch-size") {
+      if ((v = next()) == nullptr) return false;
+      options.batch_size = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--max-wait-us") {
+      if ((v = next()) == nullptr) return false;
+      options.max_wait_us = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--max-queue") {
+      if ((v = next()) == nullptr) return false;
+      options.max_queue = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--cache-capacity") {
+      if ((v = next()) == nullptr) return false;
+      options.cache_capacity = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--requests") {
+      if ((v = next()) == nullptr) return false;
+      options.requests = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--metrics-out") {
+      if ((v = next()) == nullptr) return false;
+      options.metrics_out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  ServeCliOptions options;
+  if (!ParseArgs(argc, argv, options)) return Usage();
+  if (options.threads > 0) {
+    util::ThreadPool::SetGlobalNumThreads(options.threads);
+  }
+
+  data::CityConfig city = options.preset == "lv"
+                              ? data::LvLikeConfig({.users = options.scale})
+                              : data::NycLikeConfig({.users = options.scale});
+  data::Dataset dataset = data::MakeDataset(city, options.seed);
+  core::TextModel text_model =
+      core::TrainTextModel(dataset, {}, options.seed);
+
+  core::HisRectModelConfig config;
+  config.ssl.steps = options.ssl_steps;
+  config.judge_trainer.steps = options.judge_steps;
+  config.seed = options.seed;
+  config.encoder_options.cache_capacity = options.cache_capacity;
+  core::HisRectModel model(config);
+  if (!options.model_path.empty()) {
+    model.InitializeForLoad(dataset, text_model);
+    util::Status status = model.Load(options.model_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s\n", options.model_path.c_str());
+  } else {
+    std::printf("no --model given; training from scratch...\n");
+    util::Status status = model.TryFit(dataset, text_model);
+    if (!status.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  serve::ServeOptions serve_options;
+  serve_options.batch_size = options.batch_size;
+  serve_options.max_wait_us = options.max_wait_us;
+  serve_options.max_queue = options.max_queue;
+  serve::JudgementServer server(&model, serve_options);
+
+  const std::vector<data::Profile>& pool = dataset.test.profiles;
+  if (pool.size() < 2) {
+    std::fprintf(stderr, "test split too small to serve from\n");
+    return 1;
+  }
+
+  // Submit everything up front (the server batches), then collect.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<serve::Judgement>> futures;
+  std::vector<std::pair<data::UserId, data::UserId>> who;
+  size_t rejected = 0;
+  for (size_t i = 0; i < options.requests; ++i) {
+    serve::JudgementRequest request;
+    request.a = pool[i % pool.size()];
+    request.b = pool[(i * 7 + 3) % pool.size()];
+    who.emplace_back(request.a.uid, request.b.uid);
+    auto result = server.Submit(std::move(request));
+    if (result.ok()) {
+      futures.push_back(std::move(result).value());
+    } else {
+      futures.emplace_back();  // Placeholder keeps indices aligned.
+      ++rejected;
+    }
+  }
+
+  util::Table sample({"uid a", "uid b", "score", "co-located"});
+  size_t completed = 0;
+  size_t positive = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    if (!futures[i].valid()) continue;
+    serve::Judgement judgement = futures[i].get();
+    ++completed;
+    if (judgement.co_located) ++positive;
+    if (i < 10) {
+      sample.AddRow({std::to_string(who[i].first),
+                     std::to_string(who[i].second),
+                     util::Table::Fmt(judgement.score, 4),
+                     judgement.co_located ? "yes" : "no"});
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  server.Shutdown();
+
+  std::printf("== sample judgements ==\n");
+  sample.Print(std::cout);
+  serve::JudgementServer::Stats stats = server.stats();
+  std::printf(
+      "served %zu/%zu requests in %.3fs (%.1f/s), %zu rejected, "
+      "%llu batches, %zu judged co-located\n",
+      completed, options.requests, seconds,
+      static_cast<double>(completed) / seconds, rejected,
+      static_cast<unsigned long long>(stats.batches), positive);
+  std::printf(
+      "encoder cache: capacity=%zu size=%zu hits=%zu misses=%zu "
+      "evictions=%zu\n",
+      model.encoder().cache_capacity(), model.encoder().cache_size(),
+      model.encoder().cache_hits(), model.encoder().cache_misses(),
+      model.encoder().cache_evictions());
+
+  if (!options.metrics_out.empty()) {
+    util::Status status = obs::WriteMetricsJsonFile(options.metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hisrect
+
+int main(int argc, char** argv) { return hisrect::Run(argc, argv); }

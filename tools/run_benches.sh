@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Builds everything in Release, runs the tier-1 test suite as a fail-fast
-# gate, then runs the micro-inference and parallel throughput benches and
-# diffs bench_out/BENCH_parallel.json against the
+# gate, then runs the micro-inference, serving, and parallel throughput
+# benches and diffs bench_out/BENCH_parallel.json against the
 # previous run. Exits non-zero when best-thread-count throughput (steps/sec
 # or pairs/sec) regressed by more than 20%, or when the determinism check
 # inside bench_training_throughput failed.
@@ -43,6 +43,14 @@ python3 tools/check_telemetry.py \
   --trace "$obs_dir/trace.json" \
   --telemetry "$obs_dir/telemetry.jsonl" \
   --metrics "$obs_dir/metrics.json"
+
+# Serving gate: the serve suite, then a closed-loop bench_serving run,
+# validated by check_telemetry.py — latency percentiles present and ordered,
+# zero lost requests, served scores bitwise-identical to offline eval, and
+# the bounded encoder cache holding its bound under a 10x-capacity soak.
+(cd "$BUILD_DIR" && ctest -L serve --output-on-failure)
+HISRECT_BENCH_OUT="$OUT_DIR" "$BUILD_DIR/bench/bench_serving"
+python3 tools/check_telemetry.py --serving "$OUT_DIR/BENCH_serving.json"
 
 mkdir -p "$OUT_DIR"
 current="$OUT_DIR/BENCH_parallel.json"

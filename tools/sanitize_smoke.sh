@@ -3,16 +3,19 @@
 # runs the matching test label. ASan and UBSan run the robustness suite —
 # the checkpoint/resume and fault-injection paths exercise raw byte I/O,
 # partial writes, and injected corruption, exactly where memory and UB bugs
-# like to hide. TSan runs the obs suite — the metrics registry, trace ring
-# buffers, and telemetry sink are written from worker threads and scraped
-# concurrently, exactly where data races like to hide.
+# like to hide. TSan runs the obs and serve suites — the metrics registry,
+# trace ring buffers, and telemetry sink are written from worker threads and
+# scraped concurrently, and the judgement server's submit/batch/drain paths
+# cross client, batcher, and pool threads — exactly where data races like to
+# hide.
 #
 # Knobs:
 #   SANITIZERS   space-separated subset of "address undefined thread"
 #                (default: all three)
 #   BUILD_ROOT   prefix for the build trees (default: build-san)
 #   CTEST_LABEL  ctest -L selector override; empty picks per-sanitizer
-#                defaults (robustness for address/undefined, obs for thread)
+#                defaults (robustness for address/undefined, obs|serve for
+#                thread)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,7 +25,7 @@ CTEST_LABEL=${CTEST_LABEL:-}
 
 label_for() {
   case "$1" in
-    thread) echo "obs" ;;
+    thread) echo "obs|serve" ;;  # ctest -L takes a regex
     *) echo "robustness" ;;
   esac
 }
