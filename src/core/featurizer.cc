@@ -1,5 +1,6 @@
 #include "core/featurizer.h"
 
+#include "nn/graph_recorder.h"
 #include "nn/ops.h"
 #include "util/logging.h"
 
@@ -7,7 +8,9 @@ namespace hisrect::core {
 
 namespace {
 
-/// Looks up frozen word vectors as constant leaf tensors.
+/// Looks up frozen word vectors as leaf tensors. Each row is declared as a
+/// plan input (not baked) so one recorded plan serves every profile with the
+/// same word count; BindPlanInputs stages the rows in the same order.
 std::vector<nn::Tensor> EmbedWords(const std::vector<text::WordId>& words,
                                    const text::SkipGramModel& embeddings) {
   std::vector<nn::Tensor> out;
@@ -15,6 +18,7 @@ std::vector<nn::Tensor> EmbedWords(const std::vector<text::WordId>& words,
   for (text::WordId w : words) {
     out.push_back(nn::Tensor::FromMatrix(
         nn::Matrix::RowVector(embeddings.Embedding(w))));
+    nn::RecordPlanInput(out.back());
   }
   return out;
 }
@@ -95,6 +99,7 @@ nn::Tensor HisRectFeaturizer::Featurize(const EncodedProfile& profile,
             : profile.visit_onehot;
     CHECK_EQ(visit.size(), num_pois_);
     combined = nn::Tensor::FromMatrix(nn::Matrix::RowVector(visit));
+    nn::RecordPlanInput(combined);
   }
   if (config_.use_tweet) {
     nn::Tensor tweet_feature = EncodeTweet(profile.words, rng, training);
@@ -107,6 +112,26 @@ nn::Tensor HisRectFeaturizer::Featurize(const EncodedProfile& profile,
 nn::Tensor HisRectFeaturizer::Featurize(const EncodedProfile& profile) const {
   util::Rng unused(0);
   return Featurize(profile, unused, /*training=*/false);
+}
+
+void HisRectFeaturizer::BindPlanInputs(const EncodedProfile& profile,
+                                       nn::PlanInputs& inputs) const {
+  // Must mirror the leaf order of Featurize exactly: visit row first, then
+  // one embedding row per word.
+  if (config_.use_history) {
+    const std::vector<float>& visit =
+        config_.visit_encoding == VisitEncodingKind::kHisRect
+            ? profile.visit_hisrect
+            : profile.visit_onehot;
+    CHECK_EQ(visit.size(), num_pois_);
+    inputs.AddDirect(visit.data());
+  }
+  if (config_.use_tweet) {
+    size_t dim = embeddings_->dim();
+    for (text::WordId w : profile.words) {
+      embeddings_->EmbeddingInto(w, inputs.AllocStaged(dim));
+    }
+  }
 }
 
 void HisRectFeaturizer::CollectParameters(

@@ -11,6 +11,7 @@
 #include "nn/lstm.h"
 #include "nn/mlp.h"
 #include "nn/module.h"
+#include "nn/plan_executor.h"
 #include "nn/temporal_conv.h"
 #include "text/skipgram.h"
 #include "util/rng.h"
@@ -70,6 +71,13 @@ class HisRectFeaturizer : public nn::Module {
 
   /// Inference-only convenience (no dropout, detached RNG).
   nn::Tensor Featurize(const EncodedProfile& profile) const;
+
+  /// Appends this profile's plan inputs (visit row, then one embedding row
+  /// per word) to `inputs`, in exactly the order Featurize declares its
+  /// leaves while a GraphRecorder is active. Used when replaying a recorded
+  /// featurize plan for a profile with the same word count.
+  void BindPlanInputs(const EncodedProfile& profile,
+                      nn::PlanInputs& inputs) const;
 
   void CollectParameters(const std::string& prefix,
                          std::vector<nn::NamedParameter>& out) const override;

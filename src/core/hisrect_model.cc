@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nn/graph_recorder.h"
 #include "nn/ops.h"
 #include "nn/serialize.h"
 #include "obs/trace.h"
@@ -82,8 +83,10 @@ util::Status HisRectModel::TryFit(const data::Dataset& dataset,
       encoder_->EncodeAll(dataset.train.profiles, config_.encode_shards);
 
   if (!config_.one_phase) {
+    SslTrainerOptions ssl_options = config_.ssl;
+    ssl_options.plan.enabled |= config_.plan.enabled;
     SslTrainer ssl_trainer(featurizer_.get(), classifier_.get(),
-                           embedder_.get(), config_.ssl);
+                           embedder_.get(), ssl_options);
     util::Status status =
         ssl_trainer.Train(encoded, dataset.train, dataset.pois, rng,
                           &ssl_stats_);
@@ -93,6 +96,7 @@ util::Status HisRectModel::TryFit(const data::Dataset& dataset,
   JudgeTrainerOptions judge_options = config_.judge_trainer;
   judge_options.train_featurizer =
       config_.one_phase || judge_options.train_featurizer;
+  judge_options.plan.enabled |= config_.plan.enabled;
   JudgeTrainer judge_trainer(featurizer_.get(), judge_.get(), judge_options);
   util::Status status =
       judge_trainer.Train(encoded, dataset.train, rng, &judge_stats_);
@@ -105,6 +109,7 @@ util::Status HisRectModel::TryFit(const data::Dataset& dataset,
     poi_only.use_unlabeled_pairs = false;
     poi_only.min_poi_step_fraction = 1.0;
     poi_only.steps = config_.ssl.steps / 2;
+    poi_only.plan.enabled |= config_.plan.enabled;
     SslTrainer poi_trainer(featurizer_.get(), classifier_.get(),
                            embedder_.get(), poi_only);
     // Freeze F by excluding it: emulate via a dedicated optimizer inside
@@ -126,9 +131,49 @@ nn::Tensor HisRectModel::FeaturizeEncoded(const EncodedProfile& profile) const {
 double HisRectModel::ScorePairEncoded(const EncodedProfile& a,
                                       const EncodedProfile& b) const {
   CHECK(fitted());
+  if (config_.plan.enabled) return ScorePairPlanned(a, b);
   nn::Tensor logit =
       judge_->CoLocationLogit(FeaturizeEncoded(a), FeaturizeEncoded(b));
   return nn::SigmoidValue(logit.value().At(0, 0));
+}
+
+double HisRectModel::ScorePairPlanned(const EncodedProfile& a,
+                                      const EncodedProfile& b) const {
+  HISRECT_TRACE_SPAN("nn.plan.execute");
+  const uint64_t key = (static_cast<uint64_t>(a.words.size()) << 32) |
+                       static_cast<uint64_t>(b.words.size());
+  std::shared_ptr<const nn::Graph> plan;
+  std::unique_ptr<nn::PlanRun> run;
+  {
+    std::lock_guard<std::mutex> lock(planned_scorer_.mu);
+    plan = planned_scorer_.plans.Get(key);
+    if (!planned_scorer_.pool.empty()) {
+      run = std::move(planned_scorer_.pool.back());
+      planned_scorer_.pool.pop_back();
+    }
+  }
+  if (run == nullptr) run = std::make_unique<nn::PlanRun>();
+  if (plan == nullptr) {
+    // Record outside the lock (the recorder is thread-local). Concurrent
+    // scorers may race to record the same shape; the recordings are
+    // identical, so last-Put-wins is harmless.
+    nn::GraphRecorder recorder(/*training=*/false);
+    util::Rng rec_rng(0);  // Eval mode consumes no draws.
+    nn::Tensor fi = featurizer_->Featurize(a, rec_rng, false);
+    nn::Tensor fj = featurizer_->Featurize(b, rec_rng, false);
+    plan = recorder.Finish(judge_->CoLocationLogit(fi, fj, rec_rng, false));
+    std::lock_guard<std::mutex> lock(planned_scorer_.mu);
+    planned_scorer_.plans.Put(key, plan);
+  }
+  run->inputs.Reset();
+  featurizer_->BindPlanInputs(a, run->inputs);
+  featurizer_->BindPlanInputs(b, run->inputs);
+  nn::PlanExecutor::Forward(*plan, *run, /*rng=*/nullptr);
+  const double score =
+      nn::SigmoidValue(nn::PlanExecutor::OutputScalar(*plan, *run));
+  std::lock_guard<std::mutex> lock(planned_scorer_.mu);
+  planned_scorer_.pool.push_back(std::move(run));
+  return score;
 }
 
 double HisRectModel::ScorePair(const data::Profile& a,

@@ -2,6 +2,7 @@
 #define HISRECT_CORE_HISRECT_MODEL_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,6 +31,11 @@ struct HisRectModelConfig {
   /// Encoder memo-cache sizing (bounded LRU). Offline fits want the default
   /// (larger than any split); serving sizes it to the live working set.
   EncoderOptions encoder_options;
+  /// Recorded-plan execution (see nn/plan_executor.h). When enabled, both
+  /// training phases and ScorePairEncoded replay static memory-planned
+  /// graphs — zero steady-state tensor allocations — with outputs
+  /// bitwise-identical to the eager tape.
+  nn::PlanOptions plan;
 
   /// Layers in the POI classifier P.
   size_t poi_classifier_layers = 2;
@@ -133,6 +139,13 @@ class HisRectModel {
  private:
   nn::Tensor FeaturizeEncoded(const EncodedProfile& profile) const;
 
+  /// Plan-replay scoring path (config_.plan.enabled): records one eval-mode
+  /// plan per (word count a, word count b) on first use, then replays it
+  /// from a pooled workspace. Thread-safe; bitwise-identical to the eager
+  /// ScorePairEncoded.
+  double ScorePairPlanned(const EncodedProfile& a,
+                          const EncodedProfile& b) const;
+
   /// Constructs encoder + networks from config (no training).
   void BuildModules(const data::Dataset& dataset, const TextModel& text_model);
 
@@ -151,6 +164,16 @@ class HisRectModel {
 
   SslTrainStats ssl_stats_;
   JudgeTrainStats judge_stats_;
+
+  /// ScorePairPlanned state: the plan cache plus a free list of PlanRun
+  /// workspaces (a run is checked out per call, so concurrent scorers never
+  /// share arenas). Guarded by `mu`; recording happens outside the lock.
+  struct PlannedScorer {
+    std::mutex mu;
+    nn::PlanCache plans;
+    std::vector<std::unique_ptr<nn::PlanRun>> pool;
+  };
+  mutable PlannedScorer planned_scorer_;
 };
 
 }  // namespace hisrect::core

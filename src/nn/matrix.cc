@@ -202,54 +202,51 @@ inline void CountMatMulCall() {
   calls->Increment();
 }
 
-}  // namespace
-
-Matrix MatMulValues(const Matrix& a, const Matrix& b) {
-  CountMatMulCall();
-  CHECK_EQ(a.cols(), b.rows());
-  Matrix out(a.rows(), b.cols());
-  const size_t n = b.cols();
-  const size_t depth = a.cols();
+// Kernel bodies shared by the Matrix overloads and the raw-pointer *Into
+// entry points. MatMulAccumulate / MatMulTransposedAAccumulate accumulate
+// into `out` and expect it pre-zeroed; the transposed-B kernel assigns every
+// output element outright.
+void MatMulAccumulate(const float* a, size_t a_rows, size_t a_cols,
+                      const float* b, size_t b_cols, float* out) {
+  const size_t n = b_cols;
+  const size_t depth = a_cols;
   for (size_t kb = 0; kb < depth; kb += kBlockK) {
     const size_t kend = std::min(depth, kb + kBlockK);
-    for (size_t i = 0; i < a.rows(); ++i) {
-      const float* a_row = a.data() + i * depth;
-      float* out_row = out.data() + i * n;
+    for (size_t i = 0; i < a_rows; ++i) {
+      const float* a_row = a + i * depth;
+      float* out_row = out + i * n;
       size_t k = kb;
       for (; k + 4 <= kend; k += 4) {
         float ak[4] = {a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]};
-        const float* b_row = b.data() + k * n;
+        const float* b_row = b + k * n;
         Axpy4(out_row, n, ak, b_row, b_row + n, b_row + 2 * n, b_row + 3 * n);
       }
       for (; k < kend; ++k) {
-        const float* b_row = b.data() + k * n;
+        const float* b_row = b + k * n;
         Axpy1(out_row, n, a_row[k], b_row);
       }
     }
   }
-  return out;
 }
 
-Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
-  CountMatMulCall();
-  CHECK_EQ(a.cols(), b.cols());
-  Matrix out(a.rows(), b.rows());
-  const size_t depth = a.cols();
-  const size_t out_cols = b.rows();
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const float* a_row = a.data() + i * depth;
-    float* out_row = out.data() + i * out_cols;
+void MatMulTransposedBAssign(const float* a, size_t a_rows, size_t a_cols,
+                             const float* b, size_t b_rows, float* out) {
+  const size_t depth = a_cols;
+  const size_t out_cols = b_rows;
+  for (size_t i = 0; i < a_rows; ++i) {
+    const float* a_row = a + i * depth;
+    float* out_row = out + i * out_cols;
     size_t j = 0;
 #if defined(__AVX2__)
     if (UseAvx2()) {
       for (; j + 8 <= out_cols; j += 8) {
-        DotTile8Avx2(a_row, b.data() + j * depth, depth, out_row + j);
+        DotTile8Avx2(a_row, b + j * depth, depth, out_row + j);
       }
     }
 #endif
     // Register tile: four dot products share one streaming pass of a_row.
     for (; j + 4 <= out_cols; j += 4) {
-      const float* b0 = b.data() + j * depth;
+      const float* b0 = b + j * depth;
       const float* b1 = b0 + depth;
       const float* b2 = b1 + depth;
       const float* b3 = b2 + depth;
@@ -267,41 +264,86 @@ Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
       out_row[j + 3] = acc3;
     }
     for (; j < out_cols; ++j) {
-      const float* b_row = b.data() + j * depth;
+      const float* b_row = b + j * depth;
       float acc = 0.0f;
       for (size_t k = 0; k < depth; ++k) acc += a_row[k] * b_row[k];
       out_row[j] = acc;
     }
   }
+}
+
+void MatMulTransposedAAccumulate(const float* a, size_t a_rows, size_t a_cols,
+                                 const float* b, size_t b_cols, float* out) {
+  const size_t n = b_cols;
+  const size_t depth = a_rows;
+  const size_t out_rows = a_cols;
+  for (size_t kb = 0; kb < depth; kb += kBlockK) {
+    const size_t kend = std::min(depth, kb + kBlockK);
+    for (size_t i = 0; i < out_rows; ++i) {
+      float* out_row = out + i * n;
+      size_t k = kb;
+      for (; k + 4 <= kend; k += 4) {
+        const float* a_col = a + k * out_rows + i;
+        float ak[4] = {a_col[0], a_col[out_rows], a_col[2 * out_rows],
+                       a_col[3 * out_rows]};
+        const float* b_row = b + k * n;
+        Axpy4(out_row, n, ak, b_row, b_row + n, b_row + 2 * n, b_row + 3 * n);
+      }
+      for (; k < kend; ++k) {
+        const float aki = a[k * out_rows + i];
+        Axpy1(out_row, n, aki, b + k * n);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matrix MatMulValues(const Matrix& a, const Matrix& b) {
+  CountMatMulCall();
+  CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());  // ctor zero-fills; kernel accumulates
+  MatMulAccumulate(a.data(), a.rows(), a.cols(), b.data(), b.cols(),
+                   out.data());
+  return out;
+}
+
+Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
+  CountMatMulCall();
+  CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows(), b.rows());
+  MatMulTransposedBAssign(a.data(), a.rows(), a.cols(), b.data(), b.rows(),
+                          out.data());
   return out;
 }
 
 Matrix MatMulTransposedA(const Matrix& a, const Matrix& b) {
   CountMatMulCall();
   CHECK_EQ(a.rows(), b.rows());
-  Matrix out(a.cols(), b.cols());
-  const size_t n = b.cols();
-  const size_t depth = a.rows();
-  const size_t out_rows = a.cols();
-  for (size_t kb = 0; kb < depth; kb += kBlockK) {
-    const size_t kend = std::min(depth, kb + kBlockK);
-    for (size_t i = 0; i < out_rows; ++i) {
-      float* out_row = out.data() + i * n;
-      size_t k = kb;
-      for (; k + 4 <= kend; k += 4) {
-        const float* a_col = a.data() + k * out_rows + i;
-        float ak[4] = {a_col[0], a_col[out_rows], a_col[2 * out_rows],
-                       a_col[3 * out_rows]};
-        const float* b_row = b.data() + k * n;
-        Axpy4(out_row, n, ak, b_row, b_row + n, b_row + 2 * n, b_row + 3 * n);
-      }
-      for (; k < kend; ++k) {
-        const float aki = a.data()[k * out_rows + i];
-        Axpy1(out_row, n, aki, b.data() + k * n);
-      }
-    }
-  }
+  Matrix out(a.cols(), b.cols());  // ctor zero-fills; kernel accumulates
+  MatMulTransposedAAccumulate(a.data(), a.rows(), a.cols(), b.data(), b.cols(),
+                              out.data());
   return out;
+}
+
+void MatMulInto(const float* a, size_t a_rows, size_t a_cols, const float* b,
+                size_t b_cols, float* out) {
+  CountMatMulCall();
+  std::fill(out, out + a_rows * b_cols, 0.0f);
+  MatMulAccumulate(a, a_rows, a_cols, b, b_cols, out);
+}
+
+void MatMulTransposedBInto(const float* a, size_t a_rows, size_t a_cols,
+                           const float* b, size_t b_rows, float* out) {
+  CountMatMulCall();
+  MatMulTransposedBAssign(a, a_rows, a_cols, b, b_rows, out);
+}
+
+void MatMulTransposedAInto(const float* a, size_t a_rows, size_t a_cols,
+                           const float* b, size_t b_cols, float* out) {
+  CountMatMulCall();
+  std::fill(out, out + a_cols * b_cols, 0.0f);
+  MatMulTransposedAAccumulate(a, a_rows, a_cols, b, b_cols, out);
 }
 
 }  // namespace hisrect::nn

@@ -69,6 +69,20 @@ Matrix MatMulTransposedB(const Matrix& a, const Matrix& b);
 /// out = a^T * b. Shapes: (k x r) * (k x c) -> (r x c).
 Matrix MatMulTransposedA(const Matrix& a, const Matrix& b);
 
+/// Raw-pointer GEMM entry points over the exact same blocked/AVX2 kernels as
+/// the Matrix overloads above — the plan executor (plan_executor.cc) runs on
+/// arena slices, and sharing one kernel body is what makes planned and eager
+/// execution bitwise-identical by construction. `out` must not alias a or b.
+/// out = a * b, a is (a_rows x a_cols), b is (a_cols x b_cols). Overwrites.
+void MatMulInto(const float* a, size_t a_rows, size_t a_cols, const float* b,
+                size_t b_cols, float* out);
+/// out = a * b^T, a is (a_rows x a_cols), b is (b_rows x a_cols). Overwrites.
+void MatMulTransposedBInto(const float* a, size_t a_rows, size_t a_cols,
+                           const float* b, size_t b_rows, float* out);
+/// out = a^T * b, a is (a_rows x a_cols), b is (a_rows x b_cols). Overwrites.
+void MatMulTransposedAInto(const float* a, size_t a_rows, size_t a_cols,
+                           const float* b, size_t b_cols, float* out);
+
 }  // namespace hisrect::nn
 
 #endif  // HISRECT_NN_MATRIX_H_

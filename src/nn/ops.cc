@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "nn/graph_recorder.h"
 #include "util/logging.h"
 
 namespace hisrect::nn {
+
+// Every op calls RecordOp/RecordOpMany after building its node: a no-op
+// (one thread-local load) unless a GraphRecorder is active on this thread,
+// in which case the op appends itself to the plan being recorded. The plan
+// kernels in graph_ir.cc mirror the arithmetic here expression-for-
+// expression — any change to an op body must be mirrored there, and the
+// bitwise tape-vs-plan tests will catch a drift.
 
 namespace {
 
@@ -21,7 +30,7 @@ void AccumulateInto(Node& parent, const Matrix& delta) {
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   Matrix out = MatMulValues(a.value(), b.value());
-  return Tensor::MakeOp(std::move(out), {a, b}, [](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {a, b}, [](Node& self) {
     Node& pa = *self.parents[0];
     Node& pb = *self.parents[1];
     if (pa.requires_grad) {
@@ -31,6 +40,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       AccumulateInto(pb, MatMulTransposedA(pa.value, self.grad));
     }
   });
+  RecordOp(OpKind::kMatMul, t, {&a, &b});
+  return t;
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
@@ -38,10 +49,12 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   CHECK_EQ(a.cols(), b.cols());
   Matrix out = a.value();
   out.AddInPlace(b.value());
-  return Tensor::MakeOp(std::move(out), {a, b}, [](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {a, b}, [](Node& self) {
     AccumulateInto(*self.parents[0], self.grad);
     AccumulateInto(*self.parents[1], self.grad);
   });
+  RecordOp(OpKind::kAdd, t, {&a, &b});
+  return t;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
@@ -49,7 +62,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   CHECK_EQ(a.cols(), b.cols());
   Matrix out = a.value();
   out.AddScaled(b.value(), -1.0f);
-  return Tensor::MakeOp(std::move(out), {a, b}, [](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {a, b}, [](Node& self) {
     AccumulateInto(*self.parents[0], self.grad);
     Node& pb = *self.parents[1];
     if (pb.requires_grad) {
@@ -57,6 +70,8 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
       pb.grad.AddScaled(self.grad, -1.0f);
     }
   });
+  RecordOp(OpKind::kSub, t, {&a, &b});
+  return t;
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
@@ -66,7 +81,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   const Matrix& av = a.value();
   const Matrix& bv = b.value();
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] = av.data()[i] * bv.data()[i];
-  return Tensor::MakeOp(std::move(out), {a, b}, [](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {a, b}, [](Node& self) {
     Node& pa = *self.parents[0];
     Node& pb = *self.parents[1];
     if (pa.requires_grad) {
@@ -84,6 +99,8 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
       AccumulateInto(pb, delta);
     }
   });
+  RecordOp(OpKind::kMul, t, {&a, &b});
+  return t;
 }
 
 Tensor AddBroadcastRow(const Tensor& x, const Tensor& row) {
@@ -95,7 +112,7 @@ Tensor AddBroadcastRow(const Tensor& x, const Tensor& row) {
     float* out_row = out.data() + i * out.cols();
     for (size_t j = 0; j < out.cols(); ++j) out_row[j] += r[j];
   }
-  return Tensor::MakeOp(std::move(out), {x, row}, [](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {x, row}, [](Node& self) {
     AccumulateInto(*self.parents[0], self.grad);
     Node& prow = *self.parents[1];
     if (prow.requires_grad) {
@@ -108,6 +125,8 @@ Tensor AddBroadcastRow(const Tensor& x, const Tensor& row) {
       }
     }
   });
+  RecordOp(OpKind::kAddBroadcastRow, t, {&x, &row});
+  return t;
 }
 
 Tensor MulBroadcastRow(const Tensor& x, const Tensor& row) {
@@ -119,7 +138,7 @@ Tensor MulBroadcastRow(const Tensor& x, const Tensor& row) {
     float* out_row = out.data() + i * out.cols();
     for (size_t j = 0; j < out.cols(); ++j) out_row[j] *= r[j];
   }
-  return Tensor::MakeOp(std::move(out), {x, row}, [](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {x, row}, [](Node& self) {
     Node& px = *self.parents[0];
     Node& prow = *self.parents[1];
     size_t cols = self.grad.cols();
@@ -144,24 +163,28 @@ Tensor MulBroadcastRow(const Tensor& x, const Tensor& row) {
       }
     }
   });
+  RecordOp(OpKind::kMulBroadcastRow, t, {&x, &row});
+  return t;
 }
 
 Tensor Scale(const Tensor& x, float s) {
   Matrix out = x.value();
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= s;
-  return Tensor::MakeOp(std::move(out), {x}, [s](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {x}, [s](Node& self) {
     Node& px = *self.parents[0];
     if (px.requires_grad) {
       px.EnsureGrad();
       px.grad.AddScaled(self.grad, s);
     }
   });
+  RecordOp(OpKind::kScale, t, {&x}, s);
+  return t;
 }
 
 Tensor Relu(const Tensor& x) {
   Matrix out = x.value();
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] = std::max(0.0f, out.data()[i]);
-  return Tensor::MakeOp(std::move(out), {x}, [](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {x}, [](Node& self) {
     Node& px = *self.parents[0];
     if (!px.requires_grad) return;
     Matrix delta(self.grad.rows(), self.grad.cols());
@@ -170,12 +193,14 @@ Tensor Relu(const Tensor& x) {
     }
     AccumulateInto(px, delta);
   });
+  RecordOp(OpKind::kRelu, t, {&x});
+  return t;
 }
 
 Tensor Tanh(const Tensor& x) {
   Matrix out = x.value();
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] = std::tanh(out.data()[i]);
-  return Tensor::MakeOp(std::move(out), {x}, [](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {x}, [](Node& self) {
     Node& px = *self.parents[0];
     if (!px.requires_grad) return;
     Matrix delta(self.grad.rows(), self.grad.cols());
@@ -185,12 +210,14 @@ Tensor Tanh(const Tensor& x) {
     }
     AccumulateInto(px, delta);
   });
+  RecordOp(OpKind::kTanh, t, {&x});
+  return t;
 }
 
 Tensor Sigmoid(const Tensor& x) {
   Matrix out = x.value();
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] = SigmoidValue(out.data()[i]);
-  return Tensor::MakeOp(std::move(out), {x}, [](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {x}, [](Node& self) {
     Node& px = *self.parents[0];
     if (!px.requires_grad) return;
     Matrix delta(self.grad.rows(), self.grad.cols());
@@ -200,12 +227,14 @@ Tensor Sigmoid(const Tensor& x) {
     }
     AccumulateInto(px, delta);
   });
+  RecordOp(OpKind::kSigmoid, t, {&x});
+  return t;
 }
 
 Tensor Abs(const Tensor& x) {
   Matrix out = x.value();
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] = std::fabs(out.data()[i]);
-  return Tensor::MakeOp(std::move(out), {x}, [](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {x}, [](Node& self) {
     Node& px = *self.parents[0];
     if (!px.requires_grad) return;
     Matrix delta(self.grad.rows(), self.grad.cols());
@@ -216,6 +245,8 @@ Tensor Abs(const Tensor& x) {
     }
     AccumulateInto(px, delta);
   });
+  RecordOp(OpKind::kAbs, t, {&x});
+  return t;
 }
 
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
@@ -231,7 +262,7 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
     std::copy(a_row, a_row + na, out_row);
     std::copy(b_row, b_row + nb, out_row + na);
   }
-  return Tensor::MakeOp(std::move(out), {a, b}, [na, nb](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {a, b}, [na, nb](Node& self) {
     Node& pa = *self.parents[0];
     Node& pb = *self.parents[1];
     size_t rows = self.grad.rows();
@@ -252,6 +283,8 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
       }
     }
   });
+  RecordOp(OpKind::kConcatCols, t, {&a, &b});
+  return t;
 }
 
 Tensor SliceCols(const Tensor& x, size_t start, size_t count) {
@@ -263,7 +296,7 @@ Tensor SliceCols(const Tensor& x, size_t start, size_t count) {
     const float* src = x.value().data() + i * cols + start;
     std::copy(src, src + count, out.data() + i * count);
   }
-  return Tensor::MakeOp(std::move(out), {x}, [start, count](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {x}, [start, count](Node& self) {
     Node& px = *self.parents[0];
     if (!px.requires_grad) return;
     px.EnsureGrad();
@@ -274,6 +307,9 @@ Tensor SliceCols(const Tensor& x, size_t start, size_t count) {
       for (size_t j = 0; j < count; ++j) p_row[j] += g_row[j];
     }
   });
+  RecordOp(OpKind::kSliceCols, t, {&x}, 0.0f, static_cast<int64_t>(start),
+           static_cast<int64_t>(count));
+  return t;
 }
 
 Tensor SliceRows(const Tensor& x, size_t start, size_t count) {
@@ -282,7 +318,7 @@ Tensor SliceRows(const Tensor& x, size_t start, size_t count) {
   Matrix out(count, cols);
   std::copy(x.value().data() + start * cols,
             x.value().data() + (start + count) * cols, out.data());
-  return Tensor::MakeOp(std::move(out), {x}, [start, count](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {x}, [start, count](Node& self) {
     Node& px = *self.parents[0];
     if (!px.requires_grad) return;
     px.EnsureGrad();
@@ -293,6 +329,9 @@ Tensor SliceRows(const Tensor& x, size_t start, size_t count) {
       for (size_t j = 0; j < cols; ++j) p_row[j] += g_row[j];
     }
   });
+  RecordOp(OpKind::kSliceRows, t, {&x}, 0.0f, static_cast<int64_t>(start),
+           static_cast<int64_t>(count));
+  return t;
 }
 
 Tensor RowStack(const std::vector<Tensor>& rows) {
@@ -305,7 +344,7 @@ Tensor RowStack(const std::vector<Tensor>& rows) {
     std::copy(rows[i].value().data(), rows[i].value().data() + cols,
               out.data() + i * cols);
   }
-  return Tensor::MakeOp(std::move(out), rows, [](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), rows, [](Node& self) {
     size_t cols = self.grad.cols();
     for (size_t i = 0; i < self.parents.size(); ++i) {
       Node& parent = *self.parents[i];
@@ -315,6 +354,8 @@ Tensor RowStack(const std::vector<Tensor>& rows) {
       for (size_t j = 0; j < cols; ++j) parent.grad.data()[j] += g_row[j];
     }
   });
+  RecordOpMany(OpKind::kRowStack, t, rows);
+  return t;
 }
 
 Tensor MeanRows(const Tensor& x) {
@@ -331,7 +372,7 @@ Tensor MeanRows(const Tensor& x) {
     out.data()[j] = static_cast<float>(sums[j] * inv_d);
   }
   float inv = 1.0f / static_cast<float>(rows);
-  return Tensor::MakeOp(std::move(out), {x}, [inv](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {x}, [inv](Node& self) {
     Node& px = *self.parents[0];
     if (!px.requires_grad) return;
     px.EnsureGrad();
@@ -343,6 +384,8 @@ Tensor MeanRows(const Tensor& x) {
       }
     }
   });
+  RecordOp(OpKind::kMeanRows, t, {&x});
+  return t;
 }
 
 Tensor SumAll(const Tensor& x) {
@@ -350,13 +393,15 @@ Tensor SumAll(const Tensor& x) {
   for (size_t i = 0; i < x.value().size(); ++i) total += x.value().data()[i];
   Matrix out(1, 1);
   out.At(0, 0) = static_cast<float>(total);
-  return Tensor::MakeOp(std::move(out), {x}, [](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {x}, [](Node& self) {
     Node& px = *self.parents[0];
     if (!px.requires_grad) return;
     px.EnsureGrad();
     float g = self.grad.At(0, 0);
     for (size_t i = 0; i < px.grad.size(); ++i) px.grad.data()[i] += g;
   });
+  RecordOp(OpKind::kSumAll, t, {&x});
+  return t;
 }
 
 Tensor MeanAll(const Tensor& x) {
@@ -379,7 +424,7 @@ Tensor L2NormalizeRow(const Tensor& x) {
   Matrix out = v;
   float inv = 1.0f / norm;
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= inv;
-  return Tensor::MakeOp(std::move(out), {x}, [inv](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {x}, [inv](Node& self) {
     Node& px = *self.parents[0];
     if (!px.requires_grad) return;
     // y = x / norm; dL/dx = (g - y * <g, y>) / norm (with the smoothed norm
@@ -397,6 +442,8 @@ Tensor L2NormalizeRow(const Tensor& x) {
     }
     AccumulateInto(px, delta);
   });
+  RecordOp(OpKind::kL2NormalizeRow, t, {&x});
+  return t;
 }
 
 Tensor Dot(const Tensor& a, const Tensor& b) {
@@ -409,7 +456,7 @@ Tensor Dot(const Tensor& a, const Tensor& b) {
   }
   Matrix out(1, 1);
   out.At(0, 0) = static_cast<float>(acc);
-  return Tensor::MakeOp(std::move(out), {a, b}, [](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {a, b}, [](Node& self) {
     Node& pa = *self.parents[0];
     Node& pb = *self.parents[1];
     float g = self.grad.At(0, 0);
@@ -422,6 +469,8 @@ Tensor Dot(const Tensor& a, const Tensor& b) {
       pb.grad.AddScaled(pa.value, g);
     }
   });
+  RecordOp(OpKind::kDot, t, {&a, &b});
+  return t;
 }
 
 Tensor SquaredL2Diff(const Tensor& a, const Tensor& b) {
@@ -429,14 +478,17 @@ Tensor SquaredL2Diff(const Tensor& a, const Tensor& b) {
   return SumAll(Mul(diff, diff));
 }
 
-Tensor SoftmaxCrossEntropy(const Tensor& logits, size_t target) {
+namespace {
+
+Tensor MakeSoftmaxCrossEntropy(const Tensor& logits, size_t target,
+                               std::vector<Tensor> parents) {
   CHECK_EQ(logits.rows(), 1u);
   CHECK_LT(target, logits.cols());
   Matrix probs = SoftmaxValues(logits.value());
   float p_target = std::max(probs.At(0, target), 1e-12f);
   Matrix out(1, 1);
   out.At(0, 0) = -std::log(p_target);
-  return Tensor::MakeOp(std::move(out), {logits},
+  return Tensor::MakeOp(std::move(out), std::move(parents),
                         [probs = std::move(probs), target](Node& self) {
                           Node& px = *self.parents[0];
                           if (!px.requires_grad) return;
@@ -450,7 +502,29 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits, size_t target) {
                         });
 }
 
-Tensor SigmoidBinaryCrossEntropy(const Tensor& logit, float label) {
+}  // namespace
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits, size_t target) {
+  Tensor t = MakeSoftmaxCrossEntropy(logits, target, {logits});
+  RecordOp(OpKind::kSoftmaxCrossEntropy, t, {&logits}, 0.0f,
+           static_cast<int64_t>(target), 0);
+  return t;
+}
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits, const Tensor& target) {
+  CHECK_EQ(target.rows(), 1u);
+  CHECK_EQ(target.cols(), 1u);
+  CHECK(!target.requires_grad()) << "class target is not differentiable";
+  size_t target_id = static_cast<size_t>(target.value().At(0, 0));
+  Tensor t = MakeSoftmaxCrossEntropy(logits, target_id, {logits, target});
+  RecordOp(OpKind::kSoftmaxCrossEntropy, t, {&logits, &target});
+  return t;
+}
+
+namespace {
+
+Tensor MakeSigmoidBinaryCrossEntropy(const Tensor& logit, float label,
+                                     std::vector<Tensor> parents) {
   CHECK_EQ(logit.rows(), 1u);
   CHECK_EQ(logit.cols(), 1u);
   float z = logit.value().At(0, 0);
@@ -459,12 +533,49 @@ Tensor SigmoidBinaryCrossEntropy(const Tensor& logit, float label) {
   Matrix out(1, 1);
   out.At(0, 0) = loss;
   float p = SigmoidValue(z);
-  return Tensor::MakeOp(std::move(out), {logit}, [p, label](Node& self) {
+  return Tensor::MakeOp(std::move(out), std::move(parents),
+                        [p, label](Node& self) {
+                          Node& px = *self.parents[0];
+                          if (!px.requires_grad) return;
+                          px.EnsureGrad();
+                          px.grad.At(0, 0) += self.grad.At(0, 0) * (p - label);
+                        });
+}
+
+}  // namespace
+
+Tensor SigmoidBinaryCrossEntropy(const Tensor& logit, float label) {
+  Tensor t = MakeSigmoidBinaryCrossEntropy(logit, label, {logit});
+  RecordOp(OpKind::kSigmoidBinaryCrossEntropy, t, {&logit}, label);
+  return t;
+}
+
+Tensor SigmoidBinaryCrossEntropy(const Tensor& logit, const Tensor& label) {
+  CHECK_EQ(label.rows(), 1u);
+  CHECK_EQ(label.cols(), 1u);
+  CHECK(!label.requires_grad()) << "label is not differentiable";
+  float label_value = label.value().At(0, 0);
+  Tensor t = MakeSigmoidBinaryCrossEntropy(logit, label_value, {logit, label});
+  RecordOp(OpKind::kSigmoidBinaryCrossEntropy, t, {&logit, &label});
+  return t;
+}
+
+Tensor MulScalar(const Tensor& x, const Tensor& s) {
+  CHECK_EQ(s.rows(), 1u);
+  CHECK_EQ(s.cols(), 1u);
+  CHECK(!s.requires_grad()) << "MulScalar scale is not differentiable";
+  float sv = s.value().At(0, 0);
+  Matrix out = x.value();
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= sv;
+  Tensor t = Tensor::MakeOp(std::move(out), {x, s}, [sv](Node& self) {
     Node& px = *self.parents[0];
-    if (!px.requires_grad) return;
-    px.EnsureGrad();
-    px.grad.At(0, 0) += self.grad.At(0, 0) * (p - label);
+    if (px.requires_grad) {
+      px.EnsureGrad();
+      px.grad.AddScaled(self.grad, sv);
+    }
   });
+  RecordOp(OpKind::kMulScalar, t, {&x, &s});
+  return t;
 }
 
 Tensor Dropout(const Tensor& x, float drop_rate, util::Rng& rng,
@@ -480,17 +591,19 @@ Tensor Dropout(const Tensor& x, float drop_rate, util::Rng& rng,
   }
   Matrix out = x.value();
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= mask.data()[i];
-  return Tensor::MakeOp(std::move(out), {x},
-                        [mask = std::move(mask)](Node& self) {
-                          Node& px = *self.parents[0];
-                          if (!px.requires_grad) return;
-                          Matrix delta(self.grad.rows(), self.grad.cols());
-                          for (size_t i = 0; i < delta.size(); ++i) {
-                            delta.data()[i] =
-                                self.grad.data()[i] * mask.data()[i];
-                          }
-                          AccumulateInto(px, delta);
-                        });
+  Tensor t = Tensor::MakeOp(std::move(out), {x},
+                            [mask = std::move(mask)](Node& self) {
+                              Node& px = *self.parents[0];
+                              if (!px.requires_grad) return;
+                              Matrix delta(self.grad.rows(), self.grad.cols());
+                              for (size_t i = 0; i < delta.size(); ++i) {
+                                delta.data()[i] =
+                                    self.grad.data()[i] * mask.data()[i];
+                              }
+                              AccumulateInto(px, delta);
+                            });
+  RecordOp(OpKind::kDropout, t, {&x}, drop_rate);
+  return t;
 }
 
 Tensor Conv1dSame(const Tensor& x, const Tensor& kernel) {
@@ -513,7 +626,7 @@ Tensor Conv1dSame(const Tensor& x, const Tensor& kernel) {
     }
     out.data()[j] = acc;
   }
-  return Tensor::MakeOp(std::move(out), {x, kernel}, [n, k, half](Node& self) {
+  Tensor t = Tensor::MakeOp(std::move(out), {x, kernel}, [n, k, half](Node& self) {
     Node& px = *self.parents[0];
     Node& pk = *self.parents[1];
     const float* g = self.grad.data();
@@ -542,6 +655,8 @@ Tensor Conv1dSame(const Tensor& x, const Tensor& kernel) {
       }
     }
   });
+  RecordOp(OpKind::kConv1dSame, t, {&x, &kernel});
+  return t;
 }
 
 Matrix SoftmaxValues(const Matrix& logits) {

@@ -2,17 +2,39 @@
 
 #include <unordered_set>
 
+// Header-only metrics core: no link dependency on hisrect_obs.
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace hisrect::nn {
 
+namespace {
+
+// Every Node creation is one (or more) heap allocations: the node itself,
+// its value matrix, and for ops the parents vector + backward closure. The
+// counter is the steady-state-allocation gate for the planned execution
+// path: after plan warmup a planned training/serving loop must not create a
+// single node (bench_training_throughput / bench_serving scrape the delta
+// and tools/run_benches.sh asserts zero).
+inline void CountTensorAlloc() {
+  static obs::Counter* allocs =
+      obs::MetricsRegistry::Global().GetCounter("hisrect.nn.tensor_allocs");
+  allocs->Increment();
+}
+
+}  // namespace
+
 void Tensor::Node::EnsureGrad() {
-  if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
-    grad = Matrix(value.rows(), value.cols());
-  }
+  // Grow-only: an already-sized grad keeps both its storage and its
+  // accumulated contents. Re-zeroing or re-allocating here would break
+  // gradient accumulation across a step and churn the allocator on every
+  // AccumulateInto call of the eager tape.
+  if (grad.rows() == value.rows() && grad.cols() == value.cols()) return;
+  grad = Matrix(value.rows(), value.cols());
 }
 
 Tensor Tensor::FromMatrix(Matrix value, bool requires_grad) {
+  CountTensorAlloc();
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
   node->requires_grad = requires_grad;
@@ -29,6 +51,7 @@ Tensor Tensor::RowVector(std::vector<float> values, bool requires_grad) {
 
 Tensor Tensor::MakeOp(Matrix value, std::vector<Tensor> parents,
                       std::function<void(Node&)> backward) {
+  CountTensorAlloc();
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
   node->parents.reserve(parents.size());
@@ -91,6 +114,9 @@ void Tensor::Backward() {
     size_t next_parent;
   };
   std::vector<Frame> stack;
+  order.reserve(256);
+  visited.reserve(256);
+  stack.reserve(64);
   if (node_->requires_grad) {
     stack.push_back({node_.get(), 0});
     visited.insert(node_.get());

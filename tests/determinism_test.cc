@@ -6,17 +6,22 @@
 // serial order exactly), so those are swept too.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/affinity.h"
 #include "core/featurizer.h"
 #include "core/heads.h"
+#include "core/hisrect_model.h"
 #include "core/profile_encoder.h"
 #include "core/ssl_trainer.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "tests/test_common.h"
+#include "util/atomic_file.h"
+#include "util/fail_point.h"
 #include "util/thread_pool.h"
 
 namespace hisrect::core {
@@ -223,6 +228,142 @@ TEST_F(DeterminismTest, SslRunByteIdenticalWithTelemetryOnAndOff) {
                      "classifier params with telemetry on");
   ExpectBitwiseEqual(instrumented.embedder_params, dark.embedder_params,
                      "embedder params with telemetry on");
+}
+
+// ---------------------------------------------------------------------------
+// Recorded-plan execution (nn/plan_executor.h): the planned path must be
+// bitwise-identical to the eager tape — same parameters after a full fit,
+// same served scores — at any thread count, while allocating zero tensors in
+// steady state.
+
+HisRectModelConfig SmallPlanSweepConfig() {
+  HisRectModelConfig config;
+  config.featurizer.hidden_dim = 6;
+  config.featurizer.feature_dim = 12;
+  config.embed_dim = 6;
+  config.judge_embed_dim = 6;
+  config.ssl.steps = 20;
+  config.ssl.batch_size = 8;
+  config.ssl.num_shards = 2;  // Sharded planned paths (serial: resume test).
+  config.judge_trainer.steps = 20;
+  config.judge_trainer.batch_size = 8;
+  config.judge_trainer.num_shards = 2;
+  return config;
+}
+
+TEST_F(DeterminismTest, PlannedFitByteIdenticalToEagerAcrossThreadCounts) {
+  const std::string dir = ::testing::TempDir();
+  auto fit_model = [&](bool plan_enabled) {
+    HisRectModelConfig config = SmallPlanSweepConfig();
+    config.plan.enabled = plan_enabled;
+    auto model = std::make_unique<HisRectModel>(config);
+    model->Fit(dataset_, text_model_);
+    return model;
+  };
+  const std::vector<data::Profile>& profiles = dataset_.train.profiles;
+  ASSERT_GE(profiles.size(), 3u);
+  auto score_pairs = [&](const HisRectModel& model) {
+    std::vector<double> scores;
+    for (size_t i = 0; i + 1 < std::min<size_t>(profiles.size(), 4); ++i) {
+      scores.push_back(model.ScorePair(profiles[i], profiles[i + 1]));
+    }
+    return scores;
+  };
+
+  util::ThreadPool::SetGlobalNumThreads(1);
+  auto reference = fit_model(/*plan_enabled=*/false);
+  const std::string reference_path = dir + "plan_sweep_reference.bin";
+  ASSERT_TRUE(reference->Save(reference_path).ok());
+  std::string reference_bytes;
+  ASSERT_TRUE(util::ReadFileToString(reference_path, &reference_bytes).ok());
+  const std::vector<double> reference_scores = score_pairs(*reference);
+  // The eager tape rebuilds every graph, so its steady-state alloc count
+  // must be large — otherwise the planned path's zero proves nothing.
+  EXPECT_GT(reference->ssl_stats().steady_tensor_allocs, 0);
+  EXPECT_GT(reference->judge_stats().steady_tensor_allocs, 0);
+
+  for (size_t threads : {1u, 2u, 4u}) {
+    util::ThreadPool::SetGlobalNumThreads(threads);
+    auto planned = fit_model(/*plan_enabled=*/true);
+    const std::string planned_path = dir + "plan_sweep_planned_" +
+                                     std::to_string(threads) + ".bin";
+    ASSERT_TRUE(planned->Save(planned_path).ok());
+    std::string planned_bytes;
+    ASSERT_TRUE(util::ReadFileToString(planned_path, &planned_bytes).ok());
+    EXPECT_EQ(planned_bytes, reference_bytes)
+        << "planned fit params differ from eager at threads=" << threads;
+    const std::vector<double> planned_scores = score_pairs(*planned);
+    ASSERT_EQ(planned_scores.size(), reference_scores.size());
+    for (size_t i = 0; i < planned_scores.size(); ++i) {
+      ExpectBitwiseEqual(planned_scores[i], reference_scores[i],
+                         "planned served score " + std::to_string(i) +
+                             " at threads=" + std::to_string(threads));
+    }
+    // Every step after prewarm replays recorded plans: no tape rebuilds.
+    EXPECT_EQ(planned->ssl_stats().steady_tensor_allocs, 0)
+        << "ssl planned path allocated tensors at threads=" << threads;
+    EXPECT_EQ(planned->judge_stats().steady_tensor_allocs, 0)
+        << "judge planned path allocated tensors at threads=" << threads;
+  }
+}
+
+// The SSL -> judge checkpoint boundary on the planned path: a run killed
+// inside the judge phase and resumed in a fresh "process" (fresh modules,
+// fresh plan recordings) must finish bitwise-identical to an uninterrupted
+// planned run.
+TEST_F(DeterminismTest, PlannedCrossPhaseResumeByteIdenticalToUninterrupted) {
+  const std::string dir = ::testing::TempDir() + "plan_resume/";
+  std::filesystem::create_directories(dir);
+
+  HisRectModelConfig config = SmallPlanSweepConfig();
+  config.plan.enabled = true;
+  config.ssl.num_shards = 1;  // Serial planned paths (sharded: sweep above).
+  config.judge_trainer.num_shards = 1;
+  CheckpointOptions checkpoint;
+  checkpoint.dir = dir;
+  checkpoint.every = 5;
+  config.ssl.checkpoint = checkpoint;
+  config.judge_trainer.checkpoint = checkpoint;
+
+  const std::string reference_path = dir + "reference.bin";
+  {
+    HisRectModel model(config);
+    util::Status status = model.TryFit(dataset_, text_model_);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_TRUE(model.Save(reference_path).ok());
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ckpt") {
+      std::filesystem::remove(entry.path());
+    }
+  }
+
+  {  // Killed inside the judge phase: 20 SSL evaluations + 10 judge steps.
+    HisRectModel model(config);
+    util::FailPoint::Arm("trainer.abort", 30);
+    util::Status status = model.TryFit(dataset_, text_model_);
+    ASSERT_EQ(status.code(), util::StatusCode::kInternal) << status.ToString();
+  }
+  util::FailPoint::DisarmAll();
+
+  {  // "New process": fresh modules re-record their plans after restore.
+    HisRectModelConfig resume_config = config;
+    resume_config.ssl.checkpoint.resume = true;
+    resume_config.judge_trainer.checkpoint.resume = true;
+    HisRectModel model(resume_config);
+    util::Status status = model.TryFit(dataset_, text_model_);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    const std::string resumed_path = dir + "resumed.bin";
+    ASSERT_TRUE(model.Save(resumed_path).ok());
+
+    std::string reference_bytes;
+    std::string resumed_bytes;
+    ASSERT_TRUE(
+        util::ReadFileToString(reference_path, &reference_bytes).ok());
+    ASSERT_TRUE(util::ReadFileToString(resumed_path, &resumed_bytes).ok());
+    EXPECT_EQ(resumed_bytes, reference_bytes)
+        << "planned resumed model differs from uninterrupted planned run";
+  }
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <future>
 #include <memory>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/hisrect_model.h"
@@ -176,6 +178,53 @@ TEST_F(ServeFixture, ServedScoresBitwiseMatchOffline) {
     hisrect::testing::ExpectBitwiseEqual(served, offline,
                                          "served vs offline score");
   }
+}
+
+// Planned serving path (config.plan.enabled): a planned fit is bitwise-
+// identical to the eager fit, so scores served through ScorePairPlanned by
+// many concurrent clients must bitwise-match the eager fixture model's
+// offline ScorePair. Racing clients exercise the plan-cache record path and
+// the PlanRun pool under contention (run under TSan by sanitize_smoke.sh).
+TEST_F(ServeFixture, PlannedServingBitwiseMatchesEagerOffline) {
+  core::HisRectModelConfig config = FastConfig();
+  config.plan.enabled = true;
+  core::HisRectModel planned(config);
+  planned.Fit(*dataset_, *text_model_);
+
+  ServeOptions options;
+  options.batch_size = 3;
+  options.max_wait_us = 1000;
+  JudgementServer server(&planned, options);
+
+  const size_t kClients = 4;
+  const size_t kPerClient = 12;
+  std::vector<std::vector<std::pair<size_t, double>>> served(kClients);
+  {
+    std::vector<std::thread> clients;
+    for (size_t t = 0; t < kClients; ++t) {
+      clients.emplace_back([&, t] {
+        for (size_t i = 0; i < kPerClient; ++i) {
+          const size_t p = (t * kPerClient + i) % 8;
+          auto result = server.Submit(RequestFor(p, p + 2));
+          if (!result.ok()) continue;  // Overload: nothing to compare.
+          served[t].emplace_back(p, std::move(result).value().get().score);
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
+
+  size_t compared = 0;
+  for (size_t t = 0; t < kClients; ++t) {
+    for (const auto& [p, score] : served[t]) {
+      double offline = model_->ScorePair(dataset_->test.profiles[p],
+                                         dataset_->test.profiles[p + 2]);
+      hisrect::testing::ExpectBitwiseEqual(
+          score, offline, "planned served vs eager offline score");
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -21,8 +21,13 @@ Checks (any subset, per the flags given):
                            present and ordered (p50 <= p95 <= p99), zero lost
                            requests (admitted == completed), served scores
                            bitwise-identical to offline, the encoder-cache
-                           soak held its bound with visible evictions, and
-                           the batch-size histogram sums to the batch count.
+                           soak held its bound with visible evictions, the
+                           batch-size histogram sums to the batch count, and
+                           (if a "plan" record is present) the recorded-plan
+                           path did zero steady-state tensor allocations.
+  --expect-plan            with --metrics: require the recorded-plan series
+                           (hisrect.nn.tensor_allocs, hisrect.nn.arena_bytes,
+                           hisrect.nn.plan_cache_hits) with cache hits > 0.
 
 Exits 0 when every requested check passes, 1 otherwise (messages on stderr).
 Used by tools/run_benches.sh as the `obs` and `serving` gates.
@@ -175,6 +180,36 @@ def check_metrics(path):
             fail(f"{path}: metric {name} has unknown type {kind!r}")
 
 
+PLAN_METRICS = (
+    "hisrect.nn.tensor_allocs",
+    "hisrect.nn.arena_bytes",
+    "hisrect.nn.plan_cache_hits",
+)
+
+
+def check_plan_metrics(path):
+    """The hisrect.nn.* series a recorded-plan (--plan) run must leave."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            metrics = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: cannot parse: {exc}")
+        return
+    for name in PLAN_METRICS:
+        if name not in metrics:
+            fail(f"{path}: plan run left no {name} metric")
+    hits = metrics.get("hisrect.nn.plan_cache_hits", {}).get("value", 0)
+    if hits <= 0:
+        fail(
+            f"{path}: hisrect.nn.plan_cache_hits is {hits} — the planned "
+            "path never replayed a cached plan"
+        )
+    arena = metrics.get("hisrect.nn.arena_bytes", {}).get("value", 0)
+    if arena <= 0:
+        fail(f"{path}: hisrect.nn.arena_bytes is {arena} — no plan was "
+             "memory-planned")
+
+
 SERVE_METRICS = (
     "hisrect.serve.requests_admitted",
     "hisrect.serve.batches",
@@ -258,6 +293,16 @@ def check_serving(path):
             f"{path}: batch_size_hist counts sum "
             f"{sum(hist.get('counts', []))} != batches {record['batches']}"
         )
+    plan = record.get("plan")
+    if plan is not None:
+        if plan.get("steady_state_allocs") != 0:
+            fail(
+                f"{path}: planned serving did "
+                f"{plan.get('steady_state_allocs')} steady-state tensor "
+                "allocation(s); want 0 after warmup"
+            )
+        if plan.get("arena_high_water_bytes", 0) <= 0:
+            fail(f"{path}: plan record has no arena high-water")
 
 
 def main():
@@ -266,6 +311,11 @@ def main():
     parser.add_argument("--telemetry", help="telemetry JSONL to validate")
     parser.add_argument("--metrics", help="metrics JSON to validate")
     parser.add_argument("--serving", help="BENCH_serving.json to validate")
+    parser.add_argument(
+        "--expect-plan",
+        action="store_true",
+        help="with --metrics: require the recorded-plan metric series",
+    )
     args = parser.parse_args()
     if not (args.trace or args.telemetry or args.metrics or args.serving):
         parser.error(
@@ -279,6 +329,10 @@ def main():
         check_metrics(args.metrics)
         if args.serving:
             check_serve_metrics(args.metrics)
+        if args.expect_plan:
+            check_plan_metrics(args.metrics)
+    elif args.expect_plan:
+        parser.error("--expect-plan requires --metrics")
     if args.serving:
         check_serving(args.serving)
     if errors:

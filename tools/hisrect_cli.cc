@@ -3,7 +3,7 @@
 //   hisrect_cli stats  [--preset nyc|lv] [--scale S] [--seed N]
 //   hisrect_cli train  [--preset ...] [--ssl-steps N] [--judge-steps N]
 //                      [--threads N] [--shards N] [--pipeline-shards N]
-//                      [--checkpoint-dir DIR] [--checkpoint-every N]
+//                      [--plan] [--checkpoint-dir DIR] [--checkpoint-every N]
 //                      [--keep-last N] [--resume] [--out model.bin]
 //   hisrect_cli eval   [--preset ...] [--threads N] [--model model.bin]
 //                      (fit if no model)
@@ -15,6 +15,9 @@
 // shard count but never on the thread count. `--pipeline-shards` shards the
 // pre-training passes (profile encoding, SSL graph build); unlike --shards
 // it is performance-only: those outputs are byte-identical at any value.
+// `--plan` runs training and scoring through the recorded-plan replay path
+// (nn/plan_executor.h): zero steady-state tensor allocations,
+// bitwise-identical results — see DESIGN.md §11.
 //
 // Fault tolerance: `--checkpoint-dir` + `--checkpoint-every` write periodic
 // HRCT2 checkpoints of the full trainer state; a re-run with `--resume`
@@ -73,6 +76,8 @@ struct CliOptions {
   size_t checkpoint_every = 0;
   size_t keep_last = 3;
   bool resume = false;
+  /// Recorded-plan execution for training + scoring (see nn/plan_executor.h).
+  bool plan = false;
   /// Fail-point spec armed before running (testing/drills).
   std::string failpoints;
   /// Observability exports; empty = disabled (the default).
@@ -87,7 +92,7 @@ int Usage() {
                "[--scale S] [--seed N]\n"
                "                   [--ssl-steps N] [--judge-steps N] "
                "[--threads N] [--shards N]\n"
-               "                   [--pipeline-shards N]\n"
+               "                   [--pipeline-shards N] [--plan]\n"
                "                   [--checkpoint-dir DIR] "
                "[--checkpoint-every N] [--keep-last N] [--resume]\n"
                "                   [--failpoints SPEC]\n"
@@ -151,6 +156,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       options.keep_last = static_cast<size_t>(std::atoll(v));
     } else if (arg == "--resume") {
       options.resume = true;
+    } else if (arg == "--plan") {
+      options.plan = true;
     } else if (arg == "--failpoints") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -217,6 +224,7 @@ core::HisRectModelConfig ModelConfig(const CliOptions& options) {
   config.judge_trainer.num_shards = options.shards;
   config.ssl.affinity.num_shards = options.pipeline_shards;
   config.encode_shards = options.pipeline_shards;
+  config.plan.enabled = options.plan;
   config.seed = options.seed;
   core::CheckpointOptions checkpoint;
   checkpoint.dir = options.checkpoint_dir;

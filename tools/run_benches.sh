@@ -3,8 +3,9 @@
 # gate, then runs the micro-inference, serving, and parallel throughput
 # benches and diffs bench_out/BENCH_parallel.json against the
 # previous run. Exits non-zero when best-thread-count throughput (steps/sec
-# or pairs/sec) regressed by more than 20%, or when the determinism check
-# inside bench_training_throughput failed.
+# or pairs/sec) regressed by more than 20%, when the determinism check
+# inside bench_training_throughput failed, or when the recorded-plan path
+# broke its contract (zero steady-state allocations, bitwise-equal to eager).
 #
 # Knobs:
 #   BUILD_DIR          build tree to use        (default: build-release)
@@ -31,23 +32,27 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # three telemetry surfaces enabled, validated by check_telemetry.py (schema,
 # monotonic span timestamps, zero dropped events). Guards against the
 # telemetry subsystem silently rotting while the flags stay off by default.
+# The run goes through --plan, so the metrics scrape must also carry the
+# recorded-plan series (tensor_allocs / arena_bytes / plan_cache_hits).
 (cd "$BUILD_DIR" && ctest -L obs --output-on-failure)
 obs_dir="$OUT_DIR/obs_smoke"
 mkdir -p "$obs_dir"
 "$BUILD_DIR/tools/hisrect_cli" train --preset nyc --scale 0.1 --seed 7 \
-  --ssl-steps 60 --judge-steps 40 \
+  --ssl-steps 60 --judge-steps 40 --plan \
   --trace-out "$obs_dir/trace.json" \
   --telemetry-out "$obs_dir/telemetry.jsonl" \
   --metrics-out "$obs_dir/metrics.json" > "$obs_dir/cli.log"
 python3 tools/check_telemetry.py \
   --trace "$obs_dir/trace.json" \
   --telemetry "$obs_dir/telemetry.jsonl" \
-  --metrics "$obs_dir/metrics.json"
+  --metrics "$obs_dir/metrics.json" \
+  --expect-plan
 
 # Serving gate: the serve suite, then a closed-loop bench_serving run,
 # validated by check_telemetry.py — latency percentiles present and ordered,
-# zero lost requests, served scores bitwise-identical to offline eval, and
-# the bounded encoder cache holding its bound under a 10x-capacity soak.
+# zero lost requests, served scores bitwise-identical to offline eval, the
+# bounded encoder cache holding its bound under a 10x-capacity soak, and the
+# recorded-plan serving path doing zero steady-state tensor allocations.
 (cd "$BUILD_DIR" && ctest -L serve --output-on-failure)
 HISRECT_BENCH_OUT="$OUT_DIR" "$BUILD_DIR/bench/bench_serving"
 python3 tools/check_telemetry.py --serving "$OUT_DIR/BENCH_serving.json"
@@ -62,6 +67,33 @@ fi
 "$BUILD_DIR/bench/bench_micro_inference" --benchmark_min_time=0.2 \
   | tee "$OUT_DIR/micro_inference.txt"
 HISRECT_BENCH_OUT="$OUT_DIR" "$BUILD_DIR/bench/bench_training_throughput"
+
+# Recorded-plan gate: the planned training path must do zero steady-state
+# tensor allocations after prewarm and match the eager run bitwise. The
+# bench exit code already enforces this; re-assert from the JSON so a future
+# bench refactor cannot silently drop the check.
+python3 - "$OUT_DIR/BENCH_parallel.json" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+plan = doc.get("plan")
+if plan is None:
+    print("run_benches: BENCH_parallel.json has no 'plan' record")
+    sys.exit(1)
+failed = False
+for key in ("ssl_steady_tensor_allocs", "judge_steady_tensor_allocs"):
+    if plan.get(key) != 0:
+        print(f"run_benches: planned path {key} = {plan.get(key)}; want 0")
+        failed = True
+if plan.get("matches_eager") is not True:
+    print("run_benches: planned path losses/scores differ from eager")
+    failed = True
+if failed:
+    sys.exit(1)
+print(f"run_benches: plan OK — 0 steady-state allocs, arena "
+      f"{plan.get('arena_high_water_bytes')} B, bitwise-equal to eager")
+EOF
 
 if [ ! -f "$previous" ]; then
   echo "run_benches: no previous BENCH_parallel.json — baseline recorded."

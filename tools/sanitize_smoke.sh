@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Sanitizer smoke run: builds the tree under each requested sanitizer and
-# runs the matching test label. ASan and UBSan run the robustness suite —
-# the checkpoint/resume and fault-injection paths exercise raw byte I/O,
-# partial writes, and injected corruption, exactly where memory and UB bugs
-# like to hide. TSan runs the obs and serve suites — the metrics registry,
+# runs the matching test label. ASan and UBSan run the robustness and plan
+# suites — the checkpoint/resume and fault-injection paths exercise raw byte
+# I/O, partial writes, and injected corruption, and the recorded-plan
+# executor indexes raw arena offsets computed by the memory planner — exactly
+# where memory and UB bugs like to hide. TSan runs the obs and serve suites —
+# the metrics registry,
 # trace ring buffers, and telemetry sink are written from worker threads and
 # scraped concurrently, and the judgement server's submit/batch/drain paths
 # cross client, batcher, and pool threads — exactly where data races like to
@@ -14,8 +16,8 @@
 #                (default: all three)
 #   BUILD_ROOT   prefix for the build trees (default: build-san)
 #   CTEST_LABEL  ctest -L selector override; empty picks per-sanitizer
-#                defaults (robustness for address/undefined, obs|serve for
-#                thread)
+#                defaults (robustness|plan for address/undefined, obs|serve
+#                for thread)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,7 +28,7 @@ CTEST_LABEL=${CTEST_LABEL:-}
 label_for() {
   case "$1" in
     thread) echo "obs|serve" ;;  # ctest -L takes a regex
-    *) echo "robustness" ;;
+    *) echo "robustness|plan" ;;
   esac
 }
 
