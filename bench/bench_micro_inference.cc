@@ -4,33 +4,93 @@
 // online use.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <string>
 
 #include "baselines/hisrect_approach.h"
 #include "bench/bench_common.h"
+#include "core/hisrect_model.h"
 
 namespace hisrect::bench {
 namespace {
 
 /// One trained model shared by all benchmarks (training excluded from
-/// timing).
+/// timing). Also saves a checkpoint so the plan-variant benchmarks below
+/// can rebuild the same weights under different PlanOptions.
 struct SharedModel {
   BenchDataset data;
+  core::HisRectModelConfig config;
   std::unique_ptr<baselines::HisRectApproach> approach;
+  std::string checkpoint;
 
   SharedModel() {
     BenchEnv env = BenchEnv::FromEnv();
     env.ssl_steps = 1500;  // Quality irrelevant for latency measurements.
     env.judge_steps = 1000;
     data = MakeBenchDataset(data::NycLikeConfig({.users = 0.3}), env.seed);
-    approach = std::make_unique<baselines::HisRectApproach>(
-        "HisRect", baselines::BaseModelConfig(env.Budget()));
+    config = baselines::BaseModelConfig(env.Budget());
+    approach =
+        std::make_unique<baselines::HisRectApproach>("HisRect", config);
     approach->Fit(data.dataset, data.text_model);
+    checkpoint = (std::filesystem::temp_directory_path() /
+                  "hisrect_micro_inference_model.bin")
+                     .string();
+    if (!approach->model()->Save(checkpoint).ok()) {
+      std::fprintf(stderr, "micro_inference: checkpoint save failed\n");
+      std::exit(1);
+    }
   }
 };
 
 SharedModel& Model() {
   static SharedModel* model = new SharedModel();
+  return *model;
+}
+
+/// Same weights as Model(), scored through the recorded-plan path with the
+/// given rewrite passes. Setup scores the labeled test pairs a few times so
+/// the per-shape plans are recorded — and, for int8, calibrated on real
+/// pairs and quantized — before timing starts.
+std::unique_ptr<core::HisRectModel> MakePlanVariant(bool fuse, bool quantize) {
+  SharedModel& shared = Model();
+  core::HisRectModelConfig config = shared.config;
+  config.plan.enabled = true;
+  config.plan.fuse = fuse;
+  config.plan.quantize = quantize;
+  config.plan.calibration_samples = 4;
+  auto model = std::make_unique<core::HisRectModel>(config);
+  model->InitializeForLoad(shared.data.dataset, shared.data.text_model);
+  if (!model->Load(shared.checkpoint).ok()) {
+    std::fprintf(stderr, "micro_inference: checkpoint load failed\n");
+    std::exit(1);
+  }
+  const core::HisRectModel* m = model.get();
+  eval::PairScorer scorer = [m](const data::Profile& a,
+                                const data::Profile& b) {
+    return m->ScorePair(a, b);
+  };
+  const int warm_passes = quantize ? 4 : 1;
+  for (int pass = 0; pass < warm_passes; ++pass) {
+    (void)eval::ScoreLabeledPairs(shared.data.dataset.test, scorer);
+  }
+  return model;
+}
+
+core::HisRectModel& PlanModel() {
+  static auto* model = MakePlanVariant(false, false).release();
+  return *model;
+}
+
+core::HisRectModel& PlanFuseModel() {
+  static auto* model = MakePlanVariant(true, false).release();
+  return *model;
+}
+
+core::HisRectModel& PlanFuseInt8Model() {
+  static auto* model = MakePlanVariant(true, true).release();
   return *model;
 }
 
@@ -69,6 +129,38 @@ void BM_CoLocationJudgement(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CoLocationJudgement);
+
+// Judgement through the recorded-plan executor, one benchmark per rewrite
+// tier: plain recorded plan, + op fusion, + int8 quantization. Same
+// pair stream as BM_CoLocationJudgement, so the four series are directly
+// comparable; the ≥1.2x plan+fuse+int8 vs plan gate itself lives in
+// bench_serving / run_benches.sh where the variants share one checkpoint
+// and interleaved timing.
+void JudgementThroughModel(benchmark::State& state,
+                           const core::HisRectModel& model) {
+  const auto& profiles = Model().data.dataset.test.profiles;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ScorePair(
+        profiles[i % profiles.size()], profiles[(i + 7) % profiles.size()]));
+    ++i;
+  }
+}
+
+void BM_CoLocationJudgementPlan(benchmark::State& state) {
+  JudgementThroughModel(state, PlanModel());
+}
+BENCHMARK(BM_CoLocationJudgementPlan);
+
+void BM_CoLocationJudgementPlanFuse(benchmark::State& state) {
+  JudgementThroughModel(state, PlanFuseModel());
+}
+BENCHMARK(BM_CoLocationJudgementPlanFuse);
+
+void BM_CoLocationJudgementPlanFuseInt8(benchmark::State& state) {
+  JudgementThroughModel(state, PlanFuseInt8Model());
+}
+BENCHMARK(BM_CoLocationJudgementPlanFuseInt8);
 
 void BM_PoiInferenceTop5(benchmark::State& state) {
   SharedModel& shared = Model();

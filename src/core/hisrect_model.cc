@@ -85,6 +85,7 @@ util::Status HisRectModel::TryFit(const data::Dataset& dataset,
   if (!config_.one_phase) {
     SslTrainerOptions ssl_options = config_.ssl;
     ssl_options.plan.enabled |= config_.plan.enabled;
+    ssl_options.plan.fuse |= config_.plan.fuse;
     SslTrainer ssl_trainer(featurizer_.get(), classifier_.get(),
                            embedder_.get(), ssl_options);
     util::Status status =
@@ -97,6 +98,7 @@ util::Status HisRectModel::TryFit(const data::Dataset& dataset,
   judge_options.train_featurizer =
       config_.one_phase || judge_options.train_featurizer;
   judge_options.plan.enabled |= config_.plan.enabled;
+  judge_options.plan.fuse |= config_.plan.fuse;
   JudgeTrainer judge_trainer(featurizer_.get(), judge_.get(), judge_options);
   util::Status status =
       judge_trainer.Train(encoded, dataset.train, rng, &judge_stats_);
@@ -110,6 +112,7 @@ util::Status HisRectModel::TryFit(const data::Dataset& dataset,
     poi_only.min_poi_step_fraction = 1.0;
     poi_only.steps = config_.ssl.steps / 2;
     poi_only.plan.enabled |= config_.plan.enabled;
+    poi_only.plan.fuse |= config_.plan.fuse;
     SslTrainer poi_trainer(featurizer_.get(), classifier_.get(),
                            embedder_.get(), poi_only);
     // Freeze F by excluding it: emulate via a dedicated optimizer inside
@@ -137,6 +140,22 @@ double HisRectModel::ScorePairEncoded(const EncodedProfile& a,
   return nn::SigmoidValue(logit.value().At(0, 0));
 }
 
+std::shared_ptr<const nn::Graph> HisRectModel::RecordScorePlan(
+    const EncodedProfile& a, const EncodedProfile& b) const {
+  nn::GraphRecorder recorder(/*training=*/false);
+  util::Rng rec_rng(0);  // Eval mode consumes no draws.
+  nn::Tensor fi = featurizer_->Featurize(a, rec_rng, false);
+  nn::Tensor fj = featurizer_->Featurize(b, rec_rng, false);
+  std::shared_ptr<const nn::Graph> plan =
+      recorder.Finish(judge_->CoLocationLogit(fi, fj, rec_rng, false));
+  // Int8 serving calibrates on — and quantizes from — the fused fp32 plan,
+  // so quantize implies fuse even when the flag wasn't set explicitly.
+  if (config_.plan.fuse || config_.plan.quantize) {
+    plan = nn::FuseGraph(*plan);
+  }
+  return plan;
+}
+
 double HisRectModel::ScorePairPlanned(const EncodedProfile& a,
                                       const EncodedProfile& b) const {
   HISRECT_TRACE_SPAN("nn.plan.execute");
@@ -153,17 +172,49 @@ double HisRectModel::ScorePairPlanned(const EncodedProfile& a,
     }
   }
   if (run == nullptr) run = std::make_unique<nn::PlanRun>();
-  if (plan == nullptr) {
+  if (plan == nullptr && !config_.plan.quantize) {
     // Record outside the lock (the recorder is thread-local). Concurrent
     // scorers may race to record the same shape; the recordings are
     // identical, so last-Put-wins is harmless.
-    nn::GraphRecorder recorder(/*training=*/false);
-    util::Rng rec_rng(0);  // Eval mode consumes no draws.
-    nn::Tensor fi = featurizer_->Featurize(a, rec_rng, false);
-    nn::Tensor fj = featurizer_->Featurize(b, rec_rng, false);
-    plan = recorder.Finish(judge_->CoLocationLogit(fi, fj, rec_rng, false));
+    plan = RecordScorePlan(a, b);
     std::lock_guard<std::mutex> lock(planned_scorer_.mu);
     planned_scorer_.plans.Put(key, plan);
+  }
+  if (plan == nullptr) {
+    // Int8 serving: until this shape has observed enough fp32 executions,
+    // score through its calibrator (which executes the fused fp32 plan and
+    // records activation ranges in stride), then swap the quantized plan
+    // into the cache. The observation runs under the lock so the per-site
+    // ranges stay race-free — only the first calibration_samples calls per
+    // shape pay for that.
+    std::shared_ptr<const nn::Graph> recorded = RecordScorePlan(a, b);
+    run->inputs.Reset();
+    featurizer_->BindPlanInputs(a, run->inputs);
+    featurizer_->BindPlanInputs(b, run->inputs);
+    std::lock_guard<std::mutex> lock(planned_scorer_.mu);
+    plan = planned_scorer_.plans.Get(key);
+    if (plan == nullptr) {
+      auto it = planned_scorer_.calibrating.find(key);
+      if (it == planned_scorer_.calibrating.end()) {
+        it = planned_scorer_.calibrating
+                 .emplace(key, std::make_unique<nn::Calibrator>(
+                                   std::move(recorded),
+                                   config_.plan.calibration_samples))
+                 .first;
+      }
+      nn::Calibrator& calibrator = *it->second;
+      calibrator.Observe(*run);
+      const double score = nn::SigmoidValue(
+          nn::PlanExecutor::OutputScalar(calibrator.graph(), *run));
+      if (calibrator.Ready()) {
+        planned_scorer_.plans.Put(key, calibrator.Quantize());
+        planned_scorer_.calibrating.erase(it);
+      }
+      planned_scorer_.pool.push_back(std::move(run));
+      return score;
+    }
+    // Lost the race to a finished calibration: fall through and replay the
+    // quantized plan this thread just observed in the cache.
   }
   run->inputs.Reset();
   featurizer_->BindPlanInputs(a, run->inputs);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "core/text_model.h"
 #include "data/dataset.h"
 #include "geo/poi.h"
+#include "nn/graph_optimizer.h"
 #include "util/status.h"
 
 namespace hisrect::core {
@@ -142,9 +144,15 @@ class HisRectModel {
   /// Plan-replay scoring path (config_.plan.enabled): records one eval-mode
   /// plan per (word count a, word count b) on first use, then replays it
   /// from a pooled workspace. Thread-safe; bitwise-identical to the eager
-  /// ScorePairEncoded.
+  /// ScorePairEncoded — except with config_.plan.quantize, where steady
+  /// state runs int8 kernels (AUC-gated, not bitwise).
   double ScorePairPlanned(const EncodedProfile& a,
                           const EncodedProfile& b) const;
+
+  /// Records (and, per config_.plan, fuses) one eval-mode scoring plan for
+  /// the shapes of `a` and `b`. Called outside the planned-scorer lock.
+  std::shared_ptr<const nn::Graph> RecordScorePlan(
+      const EncodedProfile& a, const EncodedProfile& b) const;
 
   /// Constructs encoder + networks from config (no training).
   void BuildModules(const data::Dataset& dataset, const TextModel& text_model);
@@ -172,6 +180,11 @@ class HisRectModel {
     std::mutex mu;
     nn::PlanCache plans;
     std::vector<std::unique_ptr<nn::PlanRun>> pool;
+    /// In-flight int8 calibration (config_.plan.quantize only), keyed like
+    /// `plans`: a shape scores through its fused fp32 plan under the
+    /// calibrator until enough executions are observed, then the quantized
+    /// plan is Put into `plans` and the entry is erased. Guarded by `mu`.
+    std::unordered_map<uint64_t, std::unique_ptr<nn::Calibrator>> calibrating;
   };
   mutable PlannedScorer planned_scorer_;
 };

@@ -8,6 +8,7 @@
 #include <memory>
 #include <utility>
 
+#include "nn/graph_optimizer.h"
 #include "nn/graph_recorder.h"
 #include "nn/ops.h"
 #include "nn/serialize.h"
@@ -320,6 +321,10 @@ util::Status JudgeTrainer::Train(const std::vector<EncodedProfile>& encoded,
   // rewrite the matrices in place, so they stay valid for the whole run.
   std::vector<std::shared_ptr<const nn::Graph>> plans;
   std::vector<nn::PlanRun> plan_runs;
+  // Keyed by shard. One setup-time miss per shard, then per-step hits on
+  // the serial path — the same plan_cache_{hits,misses} accounting as the
+  // SSL trainer and serving cache sites.
+  nn::PlanCache plan_cache;
   auto record_judge_plan = [&](const JudgeHead& judge) {
     nn::GraphRecorder recorder(/*training=*/true);
     // Representative feature rows: only the shape matters; the values are
@@ -332,7 +337,19 @@ util::Status JudgeTrainer::Train(const std::vector<EncodedProfile>& encoded,
     nn::Tensor logit = judge.CoLocationLogit(fi, fj, rec_rng, true);
     nn::Tensor label = nn::Tensor::FromMatrix(nn::Matrix(1, 1, 1.0f));
     nn::RecordPlanInput(label);
-    return recorder.Finish(nn::SigmoidBinaryCrossEntropy(logit, label));
+    std::shared_ptr<const nn::Graph> plan =
+        recorder.Finish(nn::SigmoidBinaryCrossEntropy(logit, label));
+    // Fused training plans stay bitwise-identical to the eager tape.
+    if (options_.plan.fuse) plan = nn::FuseGraph(*plan);
+    return plan;
+  };
+  auto judge_plan_for = [&](uint64_t shard, const JudgeHead& judge) {
+    std::shared_ptr<const nn::Graph> plan = plan_cache.Get(shard);
+    if (plan == nullptr) {
+      plan = record_judge_plan(judge);
+      plan_cache.Put(shard, plan);
+    }
+    return plan;
   };
   auto bind_judge_inputs = [&](const LabeledPair& pair, nn::PlanRun& run) {
     run.inputs.Reset();
@@ -344,11 +361,11 @@ util::Status JudgeTrainer::Train(const std::vector<EncodedProfile>& encoded,
     plan_runs.resize(batch_size);
     if (num_shards > 1) {
       plans.reserve(num_shards);
-      for (JudgeWorker& worker : workers) {
-        plans.push_back(record_judge_plan(*worker.judge));
+      for (size_t s = 0; s < workers.size(); ++s) {
+        plans.push_back(judge_plan_for(s, *workers[s].judge));
       }
     } else {
-      plans.push_back(record_judge_plan(*judge_));
+      plans.push_back(judge_plan_for(0, *judge_));
     }
   }
   static obs::Counter* tensor_allocs =
@@ -378,7 +395,10 @@ util::Status JudgeTrainer::Train(const std::vector<EncodedProfile>& encoded,
       // backward programs in reverse batch order with seed = inv_batch is
       // bitwise-identical. (The eager path additionally accumulates unused
       // gradients into the fixed featurizer; nothing reads those.)
-      const nn::Graph& plan = *plans[0];
+      // Per-step cache lookup (a hit after the setup miss) keeps this site's
+      // plan_cache stats consistent with the SSL and serving sites.
+      const std::shared_ptr<const nn::Graph> plan_ref = plan_cache.Get(0);
+      const nn::Graph& plan = plan_ref != nullptr ? *plan_ref : *plans[0];
       float acc = 0.0f;
       for (size_t b = 0; b < batch_size; ++b) {
         LabeledPair pair = next_pair();

@@ -9,6 +9,7 @@
 #include <memory>
 #include <utility>
 
+#include "nn/graph_optimizer.h"
 #include "nn/graph_recorder.h"
 #include "nn/ops.h"
 #include "nn/serialize.h"
@@ -491,6 +492,12 @@ util::Status SslTrainer::Train(const std::vector<EncodedProfile>& encoded,
   // is taken by value: recording consumes RNG draws for dropout masks, but
   // the recorded *structure* is RNG-independent, so the copy keeps the
   // caller's stream exactly where the eager path would leave it.
+  // Fused plans (options_.plan.fuse) run the GraphOptimizer rewrite after
+  // recording; fused training plans stay bitwise-identical to the eager
+  // tape, forward and backward.
+  auto maybe_fuse = [&](std::shared_ptr<const nn::Graph> plan) {
+    return options_.plan.fuse ? nn::FuseGraph(*plan) : plan;
+  };
   auto record_poi_plan = [&](const HisRectFeaturizer& featurizer,
                              const PoiClassifier& classifier,
                              const EncodedProfile& profile,
@@ -501,7 +508,7 @@ util::Status SslTrainer::Train(const std::vector<EncodedProfile>& encoded,
     nn::Tensor target = nn::Tensor::FromMatrix(
         nn::Matrix(1, 1, static_cast<float>(profile.pid)));
     nn::RecordPlanInput(target);
-    return recorder.Finish(nn::SoftmaxCrossEntropy(logits, target));
+    return maybe_fuse(recorder.Finish(nn::SoftmaxCrossEntropy(logits, target)));
   };
   auto record_unsup_plan = [&](const HisRectFeaturizer& featurizer,
                                const Embedder* embedder,
@@ -539,7 +546,7 @@ util::Status SslTrainer::Train(const std::vector<EncodedProfile>& encoded,
         break;
       }
     }
-    return recorder.Finish(sample_loss);
+    return maybe_fuse(recorder.Finish(sample_loss));
   };
 
   // Input binding must mirror the leaf-declaration order above exactly.
@@ -619,22 +626,25 @@ util::Status SslTrainer::Train(const std::vector<EncodedProfile>& encoded,
           num_shards > 1 ? *workers[s].classifier : *classifier_;
       const Embedder* embedder =
           num_shards > 1 ? workers[s].embedder.get() : embedder_;
+      // Routed through the cache-lookup helpers (rather than direct Puts) so
+      // the prewarm's one-miss-per-shape shows up in
+      // `hisrect.nn.plan_cache_misses` like every other cache site.
       for (const auto& [word_count, index] : poi_shapes) {
-        plan_sets[s].poi.Put(word_count,
-                             record_poi_plan(featurizer, classifier,
-                                             encoded[index], warm_rng));
+        (void)word_count;
+        poi_plan_for(plan_sets[s], featurizer, classifier, encoded[index],
+                     warm_rng);
       }
       if (gamma_poi < 1.0) {
         for (const auto& [wi, i] : pair_shapes) {
           for (const auto& [wj, j] : pair_shapes) {
+            (void)wi;
+            (void)wj;
             WeightedPair rep;
             rep.i = i;
             rep.j = j;
             rep.weight = 1.0f;
             rep.labeled = false;
-            plan_sets[s].unsup.Put(
-                (wi << 32) | wj,
-                record_unsup_plan(featurizer, embedder, rep, warm_rng));
+            unsup_plan_for(plan_sets[s], featurizer, embedder, rep, warm_rng);
           }
         }
       }

@@ -226,27 +226,7 @@ void GraphRecorder::BuildBackward(const Tensor& output) {
     }
   }
   graph_->backward_order.assign(order.rbegin(), order.rend());
-
-  // Grad buffers are arena-reused, so they are zeroed at first write — the
-  // backward step where a consumer first accumulates into them (or the own
-  // step, for a grad no consumer ever touched, mirroring EnsureGrad's
-  // zeros). The root grad is born at seed time instead.
-  graph_->zero_before.assign(graph_->backward_order.size(), {});
-  std::vector<char> born(graph_->buffers.size(), 0);
-  int32_t root_grad = graph_->instrs[root_instr].out_grad;
-  if (root_grad >= 0) born[root_grad] = 1;
-  for (size_t p = 0; p < graph_->backward_order.size(); ++p) {
-    const Instr& ins = graph_->instrs[graph_->backward_order[p]];
-    auto mark = [&](int32_t gb) {
-      if (gb < 0) return;
-      if (graph_->buffers[gb].kind != BufferDesc::Kind::kArenaGrad) return;
-      if (born[gb]) return;
-      born[gb] = 1;
-      graph_->zero_before[p].push_back(gb);
-    };
-    mark(ins.out_grad);
-    for (int32_t gb : ins.in_grad) mark(gb);
-  }
+  ComputeZeroBefore(graph_.get(), graph_->instrs[root_instr].out_grad);
 }
 
 std::shared_ptr<const Graph> GraphRecorder::Finish(const Tensor& output) {

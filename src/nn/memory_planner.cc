@@ -198,4 +198,26 @@ void PlanMemory(Graph* graph) {
   PublishArenaHighWater(graph->arena_floats * sizeof(float));
 }
 
+void ComputeZeroBefore(Graph* graph, int32_t root_grad) {
+  // Grad buffers are arena-reused, so they are zeroed at first write — the
+  // backward step where a consumer first accumulates into them (or the own
+  // step, for a grad no consumer ever touched, mirroring EnsureGrad's
+  // zeros). The root grad is born at seed time instead.
+  graph->zero_before.assign(graph->backward_order.size(), {});
+  std::vector<char> born(graph->buffers.size(), 0);
+  if (root_grad >= 0) born[root_grad] = 1;
+  for (size_t p = 0; p < graph->backward_order.size(); ++p) {
+    const Instr& ins = graph->instrs[graph->backward_order[p]];
+    auto mark = [&](int32_t gb) {
+      if (gb < 0) return;
+      if (graph->buffers[gb].kind != BufferDesc::Kind::kArenaGrad) return;
+      if (born[gb]) return;
+      born[gb] = 1;
+      graph->zero_before[p].push_back(gb);
+    };
+    mark(ins.out_grad);
+    for (int32_t gb : ins.in_grad) mark(gb);
+  }
+}
+
 }  // namespace hisrect::nn

@@ -32,6 +32,13 @@ namespace hisrect::nn {
 /// drives the `hisrect.nn.arena_bytes` high-water gauge.
 void PlanMemory(Graph* graph);
 
+/// Recomputes Graph::zero_before from Graph::backward_order: each arena grad
+/// buffer is zeroed at the backward step that first writes it (the root grad
+/// is born at seed time instead and never zeroed). Shared by GraphRecorder
+/// and GraphOptimizer — a rewrite that changes the backward program must
+/// rebuild first-write positions before re-planning memory.
+void ComputeZeroBefore(Graph* graph, int32_t root_grad);
+
 }  // namespace hisrect::nn
 
 #endif  // HISRECT_NN_MEMORY_PLANNER_H_

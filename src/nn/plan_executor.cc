@@ -64,11 +64,20 @@ inline void CountPlanCacheHit() {
   hits->Increment();
 }
 
+inline void CountPlanCacheMiss() {
+  static obs::Counter* misses = obs::MetricsRegistry::Global().GetCounter(
+      "hisrect.nn.plan_cache_misses");
+  misses->Increment();
+}
+
 }  // namespace
 
 std::shared_ptr<const Graph> PlanCache::Get(uint64_t key) {
   auto it = plans_.find(key);
-  if (it == plans_.end()) return nullptr;
+  if (it == plans_.end()) {
+    CountPlanCacheMiss();
+    return nullptr;
+  }
   CountPlanCacheHit();
   return it->second;
 }

@@ -15,6 +15,18 @@ namespace hisrect::nn {
 /// model configs. Off by default: the eager tape stays the reference path.
 struct PlanOptions {
   bool enabled = false;
+  /// Run GraphOptimizer fusion (Linear+ReLU / Linear+Tanh / MatMul+bias)
+  /// over recorded plans. Fused fp32 plans stay bitwise-identical to the
+  /// eager tape; safe for training and serving. Implies nothing else.
+  bool fuse = false;
+  /// Serving-only: after `calibration_samples` fp32 executions per plan
+  /// shape, rebuild the plan with int8 fused-linear kernels (per-channel
+  /// symmetric weights, fp32 accumulation epilogue). NOT bitwise — judgement
+  /// quality is gated by AUC deltas instead. Implies `fuse`. Ignored by the
+  /// trainers (quantized plans have no backward).
+  bool quantize = false;
+  /// Executions observed per plan shape before quantizing.
+  int calibration_samples = 16;
 };
 
 /// Per-run input binder. Inputs must be added in the exact order the leaves
@@ -107,7 +119,8 @@ class PlanExecutor {
   static const float* OutputData(const Graph& graph, const PlanRun& run);
 };
 
-/// Keyed plan store with a hit counter (`hisrect.nn.plan_cache_hits`).
+/// Keyed plan store with hit/miss counters
+/// (`hisrect.nn.plan_cache_{hits,misses}`).
 /// Not thread-safe; guard externally or keep one per worker.
 class PlanCache {
  public:

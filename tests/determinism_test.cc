@@ -17,6 +17,7 @@
 #include "core/hisrect_model.h"
 #include "core/profile_encoder.h"
 #include "core/ssl_trainer.h"
+#include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "tests/test_common.h"
@@ -363,6 +364,84 @@ TEST_F(DeterminismTest, PlannedCrossPhaseResumeByteIdenticalToUninterrupted) {
     ASSERT_TRUE(util::ReadFileToString(resumed_path, &resumed_bytes).ok());
     EXPECT_EQ(resumed_bytes, reference_bytes)
         << "planned resumed model differs from uninterrupted planned run";
+  }
+}
+
+// Fused plans (config.plan.fuse) carry the same bitwise contract as plain
+// plans, across the hardest boundary we have: a fused planned fit — both
+// uninterrupted and killed inside the judge phase then resumed in a fresh
+// "process" across the SSL -> judge checkpoint boundary — must produce
+// byte-identical saved parameters to the eager (non-plan) reference fit.
+TEST_F(DeterminismTest, FusedPlannedFitByteIdenticalToEagerAcrossResume) {
+  const std::string dir = ::testing::TempDir() + "fused_plan_resume/";
+  std::filesystem::create_directories(dir);
+
+  HisRectModelConfig config = SmallPlanSweepConfig();
+  config.ssl.num_shards = 1;  // Serial paths: per-step plan-cache lookups.
+  config.judge_trainer.num_shards = 1;
+
+  const std::string reference_path = dir + "eager_reference.bin";
+  {
+    HisRectModel eager(config);
+    eager.Fit(dataset_, text_model_);
+    ASSERT_TRUE(eager.Save(reference_path).ok());
+  }
+  std::string reference_bytes;
+  ASSERT_TRUE(util::ReadFileToString(reference_path, &reference_bytes).ok());
+
+  HisRectModelConfig fused_config = config;
+  fused_config.plan.enabled = true;
+  fused_config.plan.fuse = true;
+  CheckpointOptions checkpoint;
+  checkpoint.dir = dir;
+  checkpoint.every = 5;
+  fused_config.ssl.checkpoint = checkpoint;
+  fused_config.judge_trainer.checkpoint = checkpoint;
+
+  obs::Counter* fused_ops =
+      obs::MetricsRegistry::Global().GetCounter("hisrect.nn.fused_ops");
+  const int64_t fused_before = fused_ops->Value();
+  {
+    HisRectModel fused(fused_config);
+    util::Status status = fused.TryFit(dataset_, text_model_);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    const std::string fused_path = dir + "fused_uninterrupted.bin";
+    ASSERT_TRUE(fused.Save(fused_path).ok());
+    std::string fused_bytes;
+    ASSERT_TRUE(util::ReadFileToString(fused_path, &fused_bytes).ok());
+    EXPECT_EQ(fused_bytes, reference_bytes)
+        << "fused planned fit params differ from eager fit";
+  }
+  // The fusion pass must actually have rewritten ops during that fit, or
+  // the byte comparison above proved nothing about fused kernels.
+  EXPECT_GT(fused_ops->Value(), fused_before);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ckpt") {
+      std::filesystem::remove(entry.path());
+    }
+  }
+
+  {  // Killed inside the judge phase (20 SSL evaluations + 10 judge steps).
+    HisRectModel fused(fused_config);
+    util::FailPoint::Arm("trainer.abort", 30);
+    util::Status status = fused.TryFit(dataset_, text_model_);
+    ASSERT_EQ(status.code(), util::StatusCode::kInternal) << status.ToString();
+  }
+  util::FailPoint::DisarmAll();
+
+  {  // Fresh modules re-record and re-fuse their plans after restore.
+    HisRectModelConfig resume_config = fused_config;
+    resume_config.ssl.checkpoint.resume = true;
+    resume_config.judge_trainer.checkpoint.resume = true;
+    HisRectModel fused(resume_config);
+    util::Status status = fused.TryFit(dataset_, text_model_);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    const std::string resumed_path = dir + "fused_resumed.bin";
+    ASSERT_TRUE(fused.Save(resumed_path).ok());
+    std::string resumed_bytes;
+    ASSERT_TRUE(util::ReadFileToString(resumed_path, &resumed_bytes).ok());
+    EXPECT_EQ(resumed_bytes, reference_bytes)
+        << "fused planned resume differs from eager reference";
   }
 }
 

@@ -227,6 +227,54 @@ TEST_F(ServeFixture, PlannedServingBitwiseMatchesEagerOffline) {
   EXPECT_GT(compared, 0u);
 }
 
+// Fused serving path (config.plan.fuse): the GraphOptimizer rewrite keeps
+// the same bitwise contract as the plain plan — a JudgementServer on a
+// fused fp32 plan must serve scores bitwise-identical to the eager fixture
+// model's offline ScorePair, under racing clients (TSan leg of
+// sanitize_smoke.sh runs this under the `fusion` label).
+TEST_F(ServeFixture, FusedPlannedServingBitwiseMatchesEagerOffline) {
+  core::HisRectModelConfig config = FastConfig();
+  config.plan.enabled = true;
+  config.plan.fuse = true;
+  core::HisRectModel fused(config);
+  fused.Fit(*dataset_, *text_model_);
+
+  ServeOptions options;
+  options.batch_size = 3;
+  options.max_wait_us = 1000;
+  JudgementServer server(&fused, options);
+
+  const size_t kClients = 4;
+  const size_t kPerClient = 12;
+  std::vector<std::vector<std::pair<size_t, double>>> served(kClients);
+  {
+    std::vector<std::thread> clients;
+    for (size_t t = 0; t < kClients; ++t) {
+      clients.emplace_back([&, t] {
+        for (size_t i = 0; i < kPerClient; ++i) {
+          const size_t p = (t * kPerClient + i) % 8;
+          auto result = server.Submit(RequestFor(p, p + 2));
+          if (!result.ok()) continue;  // Overload: nothing to compare.
+          served[t].emplace_back(p, std::move(result).value().get().score);
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
+
+  size_t compared = 0;
+  for (size_t t = 0; t < kClients; ++t) {
+    for (const auto& [p, score] : served[t]) {
+      double offline = model_->ScorePair(dataset_->test.profiles[p],
+                                         dataset_->test.profiles[p + 2]);
+      hisrect::testing::ExpectBitwiseEqual(
+          score, offline, "fused served vs eager offline score");
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Bounded LRU encoder cache (the fix for the unbounded memo map).
 // ---------------------------------------------------------------------------

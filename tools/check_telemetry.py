@@ -25,9 +25,20 @@ Checks (any subset, per the flags given):
                            batch-size histogram sums to the batch count, and
                            (if a "plan" record is present) the recorded-plan
                            path did zero steady-state tensor allocations.
+                           If a "variants" array is present (single-thread
+                           scoring sweep), all four variants must be there;
+                           fp32 variants must match eager bitwise, planned
+                           variants must do zero steady-state allocations,
+                           and the int8 variant must have quantized at least
+                           one plan with AUC within 0.005 of fp32. (The
+                           ≥1.2x int8-vs-plan throughput gate lives in
+                           run_benches.sh, not here — throughput belongs to
+                           the bench harness, correctness to this checker.)
   --expect-plan            with --metrics: require the recorded-plan series
                            (hisrect.nn.tensor_allocs, hisrect.nn.arena_bytes,
-                           hisrect.nn.plan_cache_hits) with cache hits > 0.
+                           hisrect.nn.plan_cache_{hits,misses}) with cache
+                           hits > 0 and misses > 0 (all three cache sites —
+                           SSL, judge, scoring — export both counters).
 
 Exits 0 when every requested check passes, 1 otherwise (messages on stderr).
 Used by tools/run_benches.sh as the `obs` and `serving` gates.
@@ -184,6 +195,7 @@ PLAN_METRICS = (
     "hisrect.nn.tensor_allocs",
     "hisrect.nn.arena_bytes",
     "hisrect.nn.plan_cache_hits",
+    "hisrect.nn.plan_cache_misses",
 )
 
 
@@ -203,6 +215,12 @@ def check_plan_metrics(path):
         fail(
             f"{path}: hisrect.nn.plan_cache_hits is {hits} — the planned "
             "path never replayed a cached plan"
+        )
+    misses = metrics.get("hisrect.nn.plan_cache_misses", {}).get("value", 0)
+    if misses <= 0:
+        fail(
+            f"{path}: hisrect.nn.plan_cache_misses is {misses} — every plan "
+            "starts as a miss, so a planned run must record at least one"
         )
     arena = metrics.get("hisrect.nn.arena_bytes", {}).get("value", 0)
     if arena <= 0:
@@ -303,6 +321,40 @@ def check_serving(path):
             )
         if plan.get("arena_high_water_bytes", 0) <= 0:
             fail(f"{path}: plan record has no arena high-water")
+    variants = record.get("variants")
+    if variants is not None:
+        by_name = {}
+        for variant in variants:
+            for key in ("name", "pairs_per_sec", "fp32", "matches_eager",
+                        "auc", "steady_state_allocs", "quantized_plans"):
+                if key not in variant:
+                    fail(f"{path}: variant record missing '{key}'")
+                    return
+            by_name[variant["name"]] = variant
+        for name in ("baseline", "plan", "plan_fuse", "plan_fuse_int8"):
+            if name not in by_name:
+                fail(f"{path}: variants missing '{name}'")
+                return
+        for name, variant in by_name.items():
+            if variant["pairs_per_sec"] <= 0:
+                fail(f"{path}: variant {name} has non-positive throughput")
+            if variant["fp32"] and variant["matches_eager"] is not True:
+                fail(f"{path}: fp32 variant {name} diverged from eager")
+            if name != "baseline" and variant["steady_state_allocs"] != 0:
+                fail(
+                    f"{path}: variant {name} did "
+                    f"{variant['steady_state_allocs']} steady-state tensor "
+                    "allocation(s); want 0 after warmup"
+                )
+        int8 = by_name["plan_fuse_int8"]
+        if int8["quantized_plans"] <= 0:
+            fail(f"{path}: int8 variant never quantized a plan")
+        auc_delta = abs(int8["auc"] - by_name["baseline"]["auc"])
+        if auc_delta > 0.005:
+            fail(
+                f"{path}: int8 AUC delta {auc_delta:.4f} vs fp32 exceeds "
+                "0.005 absolute"
+            )
 
 
 def main():

@@ -49,6 +49,14 @@ struct ServeCliOptions {
   size_t cache_capacity = 4096;
   size_t requests = 64;
   std::string metrics_out;
+  /// Recorded-plan scoring (nn/plan_executor.h): --plan replays static
+  /// memory-planned graphs, --fuse adds the GraphOptimizer kernel-fusion
+  /// pass (both bitwise-identical to eager), --int8 swaps in calibrated
+  /// int8 fused-linear kernels (AUC-gated, not bitwise). Each stronger flag
+  /// implies the weaker ones.
+  bool plan = false;
+  bool fuse = false;
+  bool int8 = false;
 };
 
 int Usage() {
@@ -60,7 +68,8 @@ int Usage() {
                "                     [--batch-size N] [--max-wait-us N] "
                "[--max-queue N]\n"
                "                     [--cache-capacity N] [--requests N] "
-               "[--metrics-out FILE]\n");
+               "[--metrics-out FILE]\n"
+               "                     [--plan] [--fuse] [--int8]\n");
   return 2;
 }
 
@@ -110,6 +119,12 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions& options) {
     } else if (arg == "--metrics-out") {
       if ((v = next()) == nullptr) return false;
       options.metrics_out = v;
+    } else if (arg == "--plan") {
+      options.plan = true;
+    } else if (arg == "--fuse") {
+      options.fuse = true;
+    } else if (arg == "--int8") {
+      options.int8 = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -137,6 +152,9 @@ int Run(int argc, char** argv) {
   config.judge_trainer.steps = options.judge_steps;
   config.seed = options.seed;
   config.encoder_options.cache_capacity = options.cache_capacity;
+  config.plan.enabled = options.plan || options.fuse || options.int8;
+  config.plan.fuse = options.fuse || options.int8;
+  config.plan.quantize = options.int8;
   core::HisRectModel model(config);
   if (!options.model_path.empty()) {
     model.InitializeForLoad(dataset, text_model);

@@ -57,6 +57,48 @@ python3 tools/check_telemetry.py \
 HISRECT_BENCH_OUT="$OUT_DIR" "$BUILD_DIR/bench/bench_serving"
 python3 tools/check_telemetry.py --serving "$OUT_DIR/BENCH_serving.json"
 
+# Optimized-plan serving gate: fp32 variants bitwise with eager, every
+# planned variant at zero steady-state allocs, the int8 variant actually
+# quantized with AUC within 0.5% absolute of the fp32 baseline, and
+# plan+fuse+int8 clearing 1.2x the plain recorded-plan scoring throughput.
+python3 - "$OUT_DIR/BENCH_serving.json" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+variants = {v["name"]: v for v in doc.get("variants", [])}
+missing = {"baseline", "plan", "plan_fuse", "plan_fuse_int8"} - set(variants)
+if missing:
+    print(f"run_benches: BENCH_serving.json missing variants {sorted(missing)}")
+    sys.exit(1)
+failed = False
+for name, v in variants.items():
+    if v["fp32"] and v["matches_eager"] is not True:
+        print(f"run_benches: variant {name} diverged bitwise from eager")
+        failed = True
+    if name != "baseline" and v["steady_state_allocs"] != 0:
+        print(f"run_benches: variant {name} steady-state allocs = "
+              f"{v['steady_state_allocs']}; want 0")
+        failed = True
+int8 = variants["plan_fuse_int8"]
+if int8["quantized_plans"] <= 0:
+    print("run_benches: int8 variant never quantized a plan")
+    failed = True
+auc_delta = abs(int8["auc"] - variants["baseline"]["auc"])
+if auc_delta > 0.005:
+    print(f"run_benches: int8 AUC delta {auc_delta:.4f} exceeds 0.005")
+    failed = True
+speedup = int8["pairs_per_sec"] / variants["plan"]["pairs_per_sec"]
+if speedup < 1.2:
+    print(f"run_benches: plan+fuse+int8 scoring speedup {speedup:.2f}x vs "
+          f"plan; want >= 1.2x")
+    failed = True
+if failed:
+    sys.exit(1)
+print(f"run_benches: serving variants OK — int8 {speedup:.2f}x vs plan, "
+      f"AUC delta {auc_delta:.4f}")
+EOF
+
 mkdir -p "$OUT_DIR"
 current="$OUT_DIR/BENCH_parallel.json"
 previous="$OUT_DIR/BENCH_parallel.prev.json"

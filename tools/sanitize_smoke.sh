@@ -27,8 +27,8 @@ CTEST_LABEL=${CTEST_LABEL:-}
 
 label_for() {
   case "$1" in
-    thread) echo "obs|serve" ;;  # ctest -L takes a regex
-    *) echo "robustness|plan" ;;
+    thread) echo "obs|serve|fusion" ;;  # ctest -L takes a regex
+    *) echo "robustness|plan|fusion|quant" ;;
   esac
 }
 
