@@ -26,6 +26,7 @@
 #include "eval/metrics.h"
 #include "eval/pair_evaluator.h"
 #include "serve/judgement_server.h"
+#include "serve/model_registry.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -137,7 +138,7 @@ int Run() {
             ++client_rejected[t];
             continue;
           }
-          std::move(result).value().get();
+          if (!std::move(result).value().future().get().ok()) continue;
           latencies[t].push_back(std::chrono::duration<double>(
                                      std::chrono::steady_clock::now() - start)
                                      .count());
@@ -184,7 +185,13 @@ int Run() {
       bitwise_identical = false;
       break;
     }
-    double served = std::move(result).value().get().score;
+    util::Result<serve::Response> response =
+        std::move(result).value().future().get();
+    if (!response.ok()) {
+      bitwise_identical = false;
+      break;
+    }
+    double served = response.value().judgement.score;
     double offline = model.ScorePair(request.a, request.b);
     if (std::memcmp(&served, &offline, sizeof(double)) != 0) {
       bitwise_identical = false;
@@ -218,7 +225,7 @@ int Run() {
     request.b = pool[1];
     auto result = server.Submit(request);
     if (!result.ok()) continue;
-    std::move(result).value().get();
+    std::move(result).value().future().get();
   }
   const size_t cache_size_after = model.encoder().cache_size();
   const size_t soak_evictions =
@@ -227,12 +234,251 @@ int Run() {
 
   server.Shutdown();
   serve::JudgementServer::Stats stats = server.stats();
-  const uint64_t lost = stats.admitted - stats.completed;
+  // Every admitted request must resolve somewhere: scored, cancelled,
+  // expired, or aborted. Anything else was dropped.
+  const uint64_t lost = stats.admitted - stats.completed - stats.cancelled -
+                        stats.expired - stats.aborted;
 
   std::string out_dir = "bench_out";
   if (const char* v = std::getenv("HISRECT_BENCH_OUT")) out_dir = v;
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
+
+  // --- Open-loop overload + zero-downtime hot swap (DESIGN.md §13). ---
+  // Offered load is ≥2.2x the closed-loop capacity measured above: an
+  // interactive stream at a sub-capacity rate plus a bursty batch-class
+  // flood carrying 50ms deadlines. The server must shed batch (kUnavailable
+  // at its own bound) while interactive p99 stays within 2x its uncontended
+  // p99, and a ModelRegistry deploy mid-overload must swap the model with
+  // zero dropped requests — every response attributable to exactly one
+  // version and bitwise-identical to the offline scorer.
+  struct OverloadOutcome {
+    bool ran = false;
+    double interactive_qps = 0.0, offered_qps = 0.0;
+    double p99_uncontended_ms = 0.0, p99_overload_ms = 0.0;
+    size_t interactive_completed = 0, interactive_expired = 0;
+    size_t batch_admitted = 0, batch_shed = 0, batch_completed = 0;
+    size_t batch_expired = 0, batch_cancelled = 0;
+    size_t responses_v1 = 0, responses_v2 = 0, dropped = 0;
+    int64_t swap_rollbacks = 0;
+    uint64_t swapped_version = 0;
+    bool bitwise = true;
+    bool ratio_ok = false, shed_ok = false, versions_ok = false;
+    bool ok() const {
+      return ran && ratio_ok && shed_ok && versions_ok && dropped == 0 &&
+             bitwise && swap_rollbacks == 0;
+    }
+  };
+  OverloadOutcome overload;
+  const std::string swap_ckpt = out_dir + "/serving_swap_model.bin";
+  if (!model.Save(swap_ckpt).ok()) {
+    std::fprintf(stderr, "[serving] cannot save %s\n", swap_ckpt.c_str());
+  } else {
+    // Offline reference, one score per pair-pattern slot: the pairing walk
+    // (i % P, (i*7+3) % P) cycles with period P, so P scores cover every
+    // pair any open-loop request can carry.
+    std::vector<double> offline_scores(pool_size);
+    for (size_t i = 0; i < pool_size; ++i) {
+      offline_scores[i] =
+          model.ScorePair(pool[i % pool_size], pool[(i * 7 + 3) % pool_size]);
+    }
+    serve::RegistryOptions registry_options;
+    registry_options.model_config = config;
+    serve::ModelRegistry registry(&data.dataset, &data.text_model,
+                                  registry_options);
+    auto v1 = registry.Deploy(swap_ckpt);
+    if (!v1.ok()) {
+      std::fprintf(stderr, "[serving] overload: deploy v1 failed: %s\n",
+                   v1.status().ToString().c_str());
+    } else {
+      // The p99 ratio is a latency gate on a shared box: allow one retry.
+      for (int attempt = 0; attempt < 2 && !overload.ok(); ++attempt) {
+        OverloadOutcome out;
+        out.ran = true;
+        const obs::MetricsSnapshot overload_before =
+            obs::MetricsRegistry::Global().Scrape();
+        serve::ServeOptions overload_options;
+        overload_options.batch_size = 4;
+        overload_options.max_wait_us = 2000;
+        overload_options.max_queue = 512;
+        overload_options.max_batch_queue = 64;  // Shed batch first, hard.
+        const uint64_t base_version = registry.current_version();
+        serve::JudgementServer overload_server(registry.current(),
+                                               overload_options,
+                                               base_version);
+        registry.Attach(&overload_server);
+
+        const double capacity = std::max(qps, 200.0);
+        out.interactive_qps = 0.35 * capacity;
+        out.offered_qps = 2.2 * capacity;
+        const double batch_qps = out.offered_qps - out.interactive_qps;
+
+        struct Sub {
+          serve::Ticket ticket;
+          size_t pair = 0;
+          bool overload_phase = false;
+        };
+        std::vector<Sub> interactive_subs, batch_subs;
+        size_t interactive_rejected = 0;
+
+        // Paced open-loop submitter: submissions keyed to a wall-clock
+        // schedule, never blocked on responses.
+        auto run_interactive = [&](double seconds, bool overload_phase,
+                                   size_t base) {
+          const auto phase_start = std::chrono::steady_clock::now();
+          const double interval = 1.0 / out.interactive_qps;
+          for (size_t i = 0;; ++i) {
+            const double due = static_cast<double>(i) * interval;
+            if (due >= seconds) break;
+            std::this_thread::sleep_until(
+                phase_start + std::chrono::duration<double>(due));
+            serve::JudgementRequest request = pair_for(base + i);
+            request.priority = serve::Priority::kInteractive;
+            auto result = overload_server.Submit(std::move(request));
+            if (!result.ok()) {
+              ++interactive_rejected;
+              continue;
+            }
+            interactive_subs.push_back(Sub{std::move(result).value(),
+                                           (base + i) % pool_size,
+                                           overload_phase});
+          }
+        };
+
+        // Phase A: interactive alone, at the same rate it will see under
+        // overload — the uncontended baseline for the p99 ratio.
+        run_interactive(1.0, /*overload_phase=*/false, 0);
+
+        // Phase B: same interactive stream + bursty batch flood + a hot
+        // swap deployed mid-phase off the serving path.
+        const double kOverloadSeconds = 2.4;
+        std::thread batch_flood([&] {
+          const auto phase_start = std::chrono::steady_clock::now();
+          double due = 0.0;
+          for (size_t i = 0;; ++i) {
+            // Burst: the middle third offers 2x the batch rate.
+            const bool burst = due > kOverloadSeconds / 3 &&
+                               due < 2 * kOverloadSeconds / 3;
+            due += 1.0 / (burst ? 2.0 * batch_qps : batch_qps);
+            if (due >= kOverloadSeconds) break;
+            std::this_thread::sleep_until(
+                phase_start + std::chrono::duration<double>(due));
+            serve::JudgementRequest request = pair_for(i);
+            request.priority = serve::Priority::kBatch;
+            request.timeout_us = 50'000;  // Stale batch work expires.
+            auto result = overload_server.Submit(std::move(request));
+            if (!result.ok()) {
+              ++out.batch_shed;
+              continue;
+            }
+            ++out.batch_admitted;
+            batch_subs.push_back(
+                Sub{std::move(result).value(), i % pool_size, true});
+            if (batch_subs.size() % 37 == 0) {
+              batch_subs.back().ticket.Cancel();  // Client gave up.
+            }
+          }
+        });
+        std::thread deployer([&] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(800));
+          auto v2 = registry.Deploy(swap_ckpt);
+          if (v2.ok()) out.swapped_version = v2.value();
+        });
+        run_interactive(kOverloadSeconds, /*overload_phase=*/true, 100'000);
+        batch_flood.join();
+        deployer.join();
+        // Tail: traffic strictly after the swap, so v2 attribution is
+        // guaranteed even if the deploy landed late in the phase.
+        for (size_t i = 0; i < 8; ++i) {
+          auto result = overload_server.Submit(pair_for(i));
+          if (result.ok()) {
+            interactive_subs.push_back(
+                Sub{std::move(result).value(), i % pool_size, true});
+          }
+        }
+        overload_server.Shutdown();
+        registry.Attach(nullptr);
+
+        // Collect. After Shutdown every admitted future must be ready:
+        // scored, expired, cancelled, or aborted — anything else is a drop.
+        std::vector<double> unc_lat, over_lat;
+        auto collect = [&](std::vector<Sub>& subs, bool interactive) {
+          for (Sub& sub : subs) {
+            if (sub.ticket.future().wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready) {
+              ++out.dropped;
+              continue;
+            }
+            util::Result<serve::Response> response = sub.ticket.future().get();
+            if (!response.ok()) {
+              const util::StatusCode code = response.status().code();
+              if (code == util::StatusCode::kDeadlineExceeded) {
+                (interactive ? out.interactive_expired : out.batch_expired)++;
+              } else if (code == util::StatusCode::kCancelled) {
+                ++out.batch_cancelled;
+              }
+              continue;
+            }
+            const serve::Response& r = response.value();
+            if (r.model_version == base_version) {
+              ++out.responses_v1;
+            } else if (r.model_version == out.swapped_version) {
+              ++out.responses_v2;
+            } else {
+              out.versions_ok = false;  // Attributed to an unknown version.
+            }
+            double offline = offline_scores[sub.pair];
+            if (std::memcmp(&r.judgement.score, &offline, sizeof(double)) !=
+                0) {
+              out.bitwise = false;
+            }
+            if (interactive) {
+              ++out.interactive_completed;
+              (sub.overload_phase ? over_lat : unc_lat)
+                  .push_back(r.latency_seconds);
+            } else {
+              ++out.batch_completed;
+            }
+          }
+        };
+        out.versions_ok = true;
+        collect(interactive_subs, true);
+        collect(batch_subs, false);
+        std::sort(unc_lat.begin(), unc_lat.end());
+        std::sort(over_lat.begin(), over_lat.end());
+        out.p99_uncontended_ms = Percentile(unc_lat, 0.99) * 1e3;
+        out.p99_overload_ms = Percentile(over_lat, 0.99) * 1e3;
+        out.ratio_ok = unc_lat.size() >= 50 && over_lat.size() >= 50 &&
+                       out.p99_overload_ms <= 2.0 * out.p99_uncontended_ms;
+        out.shed_ok = out.batch_shed > 0;
+        out.versions_ok = out.versions_ok && out.swapped_version != 0 &&
+                          out.responses_v2 >= 1;
+        out.swap_rollbacks = CounterDelta(
+            overload_before, obs::MetricsRegistry::Global().Scrape(),
+            "hisrect.serve.swap_rollbacks");
+        if (!out.ratio_ok && attempt == 0) {
+          std::fprintf(stderr,
+                       "[serving] overload attempt %d: p99 %.3fms vs "
+                       "uncontended %.3fms — retrying\n",
+                       attempt, out.p99_overload_ms, out.p99_uncontended_ms);
+        }
+        overload = out;
+        // Re-deploy a fresh version for the retry so the swap is observable
+        // again (versions keep incrementing; the gate checks swapped, not 2).
+      }
+    }
+  }
+  if (!overload.ok()) {
+    std::fprintf(
+        stderr,
+        "[serving] overload gate FAILED: ran=%d ratio_ok=%d (p99 %.3fms vs "
+        "2x %.3fms) shed=%zu versions_ok=%d dropped=%zu bitwise=%d "
+        "rollbacks=%lld\n",
+        overload.ran, overload.ratio_ok, overload.p99_overload_ms,
+        overload.p99_uncontended_ms, overload.batch_shed,
+        overload.versions_ok, overload.dropped, overload.bitwise,
+        static_cast<long long>(overload.swap_rollbacks));
+  }
 
   // --- Execution-variant sweep: {baseline, plan, plan+fuse,
   // plan+fuse+int8} single-thread offline scoring throughput, all loading
@@ -463,6 +709,16 @@ int Run() {
                 std::to_string(static_cast<long long>(arena_bytes))});
   table.AddRow({"soak cache bound", bound_held ? "OK" : "VIOLATED"});
   table.AddRow({"soak evictions", std::to_string(soak_evictions)});
+  table.AddRow({"overload p99 unc/over ms",
+                util::Table::Fmt(overload.p99_uncontended_ms, 3) + " / " +
+                    util::Table::Fmt(overload.p99_overload_ms, 3)});
+  table.AddRow({"overload batch shed", std::to_string(overload.batch_shed)});
+  table.AddRow(
+      {"overload swap",
+       "v" + std::to_string(overload.swapped_version) + " (" +
+           std::to_string(overload.responses_v1) + " old / " +
+           std::to_string(overload.responses_v2) + " new responses)"});
+  table.AddRow({"overload gate", overload.ok() ? "OK" : "VIOLATED"});
   for (const VariantResult& v : variants) {
     table.AddRow({v.name + " pairs/s (1 thread)",
                   util::Table::Fmt(v.pairs_per_sec, 1)});
@@ -517,6 +773,12 @@ int Run() {
                static_cast<unsigned long long>(stats.completed));
   std::fprintf(json, "  \"rejected\": %llu,\n",
                static_cast<unsigned long long>(stats.rejected));
+  std::fprintf(json, "  \"cancelled\": %llu,\n",
+               static_cast<unsigned long long>(stats.cancelled));
+  std::fprintf(json, "  \"expired\": %llu,\n",
+               static_cast<unsigned long long>(stats.expired));
+  std::fprintf(json, "  \"aborted\": %llu,\n",
+               static_cast<unsigned long long>(stats.aborted));
   std::fprintf(json, "  \"lost\": %llu,\n",
                static_cast<unsigned long long>(lost));
   std::fprintf(json, "  \"served_bitwise_identical\": %s,\n",
@@ -545,6 +807,32 @@ int Run() {
   }
   std::fprintf(json, "\n  ],\n");
   std::fprintf(json,
+               "  \"overload\": {\"ran\": %s, \"offered_qps\": %.1f, "
+               "\"interactive_qps\": %.1f,\n"
+               "    \"p99_uncontended_ms\": %.4f, \"p99_overload_ms\": %.4f, "
+               "\"p99_ratio_ok\": %s,\n"
+               "    \"interactive_completed\": %zu, "
+               "\"interactive_expired\": %zu,\n"
+               "    \"batch_admitted\": %zu, \"batch_shed\": %zu, "
+               "\"batch_completed\": %zu, \"batch_expired\": %zu, "
+               "\"batch_cancelled\": %zu,\n"
+               "    \"swapped_version\": %llu, \"responses_old_version\": "
+               "%zu, \"responses_new_version\": %zu,\n"
+               "    \"dropped\": %zu, \"bitwise_identical\": %s, "
+               "\"swap_rollbacks\": %lld, \"ok\": %s},\n",
+               overload.ran ? "true" : "false", overload.offered_qps,
+               overload.interactive_qps, overload.p99_uncontended_ms,
+               overload.p99_overload_ms, overload.ratio_ok ? "true" : "false",
+               overload.interactive_completed, overload.interactive_expired,
+               overload.batch_admitted, overload.batch_shed,
+               overload.batch_completed, overload.batch_expired,
+               overload.batch_cancelled,
+               static_cast<unsigned long long>(overload.swapped_version),
+               overload.responses_v1, overload.responses_v2, overload.dropped,
+               overload.bitwise ? "true" : "false",
+               static_cast<long long>(overload.swap_rollbacks),
+               overload.ok() ? "true" : "false");
+  std::fprintf(json,
                "  \"cache\": {\"capacity\": %zu, \"hits\": %lld, "
                "\"misses\": %lld, \"soak_requests\": %zu, "
                "\"soak_evictions\": %zu, \"size_after\": %zu, "
@@ -560,7 +848,7 @@ int Run() {
   std::printf("Wrote %s\n", out_path.c_str());
 
   return (lost == 0 && bitwise_identical && bound_held &&
-          steady_tensor_allocs == 0 && variants_ok)
+          steady_tensor_allocs == 0 && variants_ok && overload.ok())
              ? 0
              : 1;
 }

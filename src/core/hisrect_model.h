@@ -88,12 +88,13 @@ class HisRectModel {
   util::Status TryFit(const data::Dataset& dataset,
                       const TextModel& text_model);
 
-  /// p_co in [0, 1] for two raw profiles; > 0.5 means judged co-located.
+  /// p_co in [0, 1] for two raw profiles; >= 0.5 means judged co-located
+  /// (tie rule shared with eval::ConfusionAtThreshold and the ROC sweep).
   double ScorePair(const data::Profile& a, const data::Profile& b) const;
   double ScorePairEncoded(const EncodedProfile& a,
                           const EncodedProfile& b) const;
   bool JudgePair(const data::Profile& a, const data::Profile& b) const {
-    return ScorePair(a, b) > 0.5;
+    return ScorePair(a, b) >= 0.5;
   }
 
   /// POI inference: the top-k POIs by classifier probability, best first.

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fail_point.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -27,33 +28,92 @@ obs::Gauge* QueueDepthGauge() {
   return gauge;
 }
 
+obs::Counter* DeadlineExceededCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "hisrect.serve.deadline_exceeded");
+  return counter;
+}
+
+obs::Counter* CancelledCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("hisrect.serve.cancelled");
+  return counter;
+}
+
+obs::Counter* SwapsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("hisrect.serve.swaps");
+  return counter;
+}
+
+obs::Counter* SwapRollbacksCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "hisrect.serve.swap_rollbacks");
+  return counter;
+}
+
+std::shared_ptr<const core::HisRectModel> Unowned(
+    const core::HisRectModel* model) {
+  return std::shared_ptr<const core::HisRectModel>(
+      model, [](const core::HisRectModel*) {});
+}
+
 }  // namespace
+
+bool Ticket::Cancel() {
+  if (server_ == nullptr) return false;
+  return server_->Cancel(id_);
+}
 
 JudgementServer::JudgementServer(const core::HisRectModel* model,
                                  ServeOptions options)
-    : model_(model), options_(options) {
+    : JudgementServer(Unowned(model), options) {}
+
+JudgementServer::JudgementServer(
+    std::unique_ptr<const core::HisRectModel> model, ServeOptions options)
+    : JudgementServer(std::shared_ptr<const core::HisRectModel>(
+                          std::move(model)),
+                      options) {}
+
+JudgementServer::JudgementServer(
+    std::shared_ptr<const core::HisRectModel> model, ServeOptions options,
+    uint64_t initial_version)
+    : options_(options),
+      model_(std::move(model)),
+      model_version_(initial_version) {
   CHECK(model_ != nullptr);
   CHECK(model_->fitted()) << "JudgementServer needs a fitted model";
   CHECK_GE(options_.batch_size, 1u);
   CHECK_GE(options_.max_queue, 1u);
+  CHECK_GE(options_.max_batch_queue, 1u);
+  // Register the robustness series eagerly so a metrics dump from any
+  // serving run carries them, even at zero (check_telemetry.py --serving).
+  DeadlineExceededCounter();
+  CancelledCounter();
+  SwapsCounter();
+  SwapRollbacksCounter();
   batcher_ = std::thread([this] { BatchLoop(); });
-}
-
-JudgementServer::JudgementServer(
-    std::unique_ptr<const core::HisRectModel> model, ServeOptions options)
-    : JudgementServer(model.get(), options) {
-  owned_model_ = std::move(model);
 }
 
 JudgementServer::~JudgementServer() { Shutdown(); }
 
-util::Result<std::future<Judgement>> JudgementServer::Submit(
-    JudgementRequest request) {
+size_t JudgementServer::PendingCountLocked() const {
+  size_t count = 0;
+  for (const std::deque<Pending>& queue : queues_) count += queue.size();
+  return count;
+}
+
+util::Result<Ticket> JudgementServer::Submit(JudgementRequest request) {
   static obs::Counter* admitted = obs::MetricsRegistry::Global().GetCounter(
       "hisrect.serve.requests_admitted");
   static obs::Counter* rejected = obs::MetricsRegistry::Global().GetCounter(
       "hisrect.serve.requests_rejected");
-  std::future<Judgement> future;
+  const size_t klass = static_cast<size_t>(request.priority);
+  CHECK_LT(klass, kNumPriorities);
+  const size_t bound = request.priority == Priority::kInteractive
+                           ? options_.max_queue
+                           : options_.max_batch_queue;
+  Ticket ticket;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
@@ -61,24 +121,77 @@ util::Result<std::future<Judgement>> JudgementServer::Submit(
       rejected->Increment();
       return util::Status::FailedPrecondition("judgement server shut down");
     }
-    if (queue_.size() >= options_.max_queue) {
+    if (queues_[klass].size() >= bound) {
       ++stats_.rejected;
       rejected->Increment();
       return util::Status::Unavailable(
-          "judgement queue full (" + std::to_string(options_.max_queue) +
+          (request.priority == Priority::kInteractive
+               ? std::string("interactive")
+               : std::string("batch")) +
+          " judgement queue full (" + std::to_string(bound) +
           " pending); retry later");
     }
     Pending pending;
-    pending.request = std::move(request);
     pending.admitted_at = std::chrono::steady_clock::now();
-    future = pending.promise.get_future();
-    queue_.push_back(std::move(pending));
+    pending.deadline =
+        request.timeout_us == 0
+            ? std::chrono::steady_clock::time_point::max()
+            : pending.admitted_at +
+                  std::chrono::microseconds(request.timeout_us);
+    pending.request = std::move(request);
+    pending.id = next_id_++;
+    ticket.future_ = pending.promise.get_future();
+    ticket.server_ = this;
+    ticket.id_ = pending.id;
+    queues_[klass].push_back(std::move(pending));
     ++stats_.admitted;
     admitted->Increment();
-    QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+    QueueDepthGauge()->Set(static_cast<int64_t>(PendingCountLocked()));
   }
   wake_.notify_one();
-  return future;
+  return ticket;
+}
+
+bool JudgementServer::Cancel(uint64_t id) {
+  std::promise<util::Result<Response>> promise;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool found = false;
+    for (std::deque<Pending>& queue : queues_) {
+      for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (it->id != id) continue;
+        promise = std::move(it->promise);
+        queue.erase(it);
+        found = true;
+        break;
+      }
+      if (found) break;
+    }
+    if (!found) return false;  // Already batched or resolved: too late.
+    ++stats_.cancelled;
+    QueueDepthGauge()->Set(static_cast<int64_t>(PendingCountLocked()));
+  }
+  CancelledCounter()->Increment();
+  promise.set_value(util::Status::Cancelled("cancelled by client"));
+  return true;
+}
+
+void JudgementServer::SwapModel(
+    std::shared_ptr<const core::HisRectModel> model, uint64_t version) {
+  CHECK(model != nullptr);
+  CHECK(model->fitted()) << "SwapModel needs a fitted model";
+  std::shared_ptr<const core::HisRectModel> retired;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (model.get() == model_.get() && version == model_version_) return;
+    retired = std::move(model_);
+    model_ = std::move(model);
+    model_version_ = version;
+    ++stats_.swaps;
+  }
+  SwapsCounter()->Increment();
+  // `retired` may hold the last reference; destroy it outside the lock so
+  // model teardown never blocks Submit or the batcher.
 }
 
 void JudgementServer::Shutdown() {
@@ -98,7 +211,17 @@ bool JudgementServer::accepting() const {
 
 size_t JudgementServer::queue_depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return PendingCountLocked();
+}
+
+uint64_t JudgementServer::model_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return model_version_;
+}
+
+std::shared_ptr<const core::HisRectModel> JudgementServer::model() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return model_;
 }
 
 JudgementServer::Stats JudgementServer::stats() const {
@@ -109,34 +232,61 @@ JudgementServer::Stats JudgementServer::stats() const {
 void JudgementServer::BatchLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stopping_) return;  // Drained: every admitted request completed.
+    wake_.wait(lock, [this] { return stopping_ || PendingCountLocked() > 0; });
+    if (PendingCountLocked() == 0) {
+      if (stopping_) return;  // Drained: every admitted request resolved.
       continue;
     }
     // A batch window opens at the first pending request: flush on size or
     // after max_wait_us, whichever comes first. Shutdown flushes
     // immediately — draining beats batching efficiency on the way out.
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::microseconds(options_.max_wait_us);
-    while (!stopping_ && queue_.size() < options_.batch_size) {
-      if (wake_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    const auto wait_deadline = std::chrono::steady_clock::now() +
+                               std::chrono::microseconds(options_.max_wait_us);
+    while (!stopping_ && PendingCountLocked() < options_.batch_size) {
+      if (wake_.wait_until(lock, wait_deadline) == std::cv_status::timeout) {
+        break;
+      }
     }
-    const size_t take = std::min(queue_.size(), options_.batch_size);
+    // Form the batch in strict priority order, expiring overdue requests as
+    // they are popped. Expiry happens only here — a request that enters the
+    // batch is always scored, so served scores stay bitwise-identical to
+    // offline eval regardless of deadline pressure.
+    const auto now = std::chrono::steady_clock::now();
     std::vector<Pending> batch;
-    batch.reserve(take);
-    for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    std::vector<Pending> expired;
+    batch.reserve(std::min(PendingCountLocked(), options_.batch_size));
+    while (batch.size() < options_.batch_size && PendingCountLocked() > 0) {
+      std::deque<Pending>& queue =
+          queues_[0].empty() ? queues_[1] : queues_[0];
+      Pending pending = std::move(queue.front());
+      queue.pop_front();
+      if (pending.deadline <= now) {
+        ++stats_.expired;
+        expired.push_back(std::move(pending));
+        continue;
+      }
+      batch.push_back(std::move(pending));
     }
-    QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+    QueueDepthGauge()->Set(static_cast<int64_t>(PendingCountLocked()));
+    // Snapshot the published model under the lock: a SwapModel racing this
+    // flush either lands before (batch scores on the new version) or after
+    // (batch finishes on the old one) — never mid-batch.
+    std::shared_ptr<const core::HisRectModel> model = model_;
+    const uint64_t version = model_version_;
     lock.unlock();
-    ProcessBatch(batch);
+    for (Pending& pending : expired) {
+      DeadlineExceededCounter()->Increment();
+      pending.promise.set_value(util::Status::DeadlineExceeded(
+          "deadline exceeded before batch formation"));
+    }
+    if (!batch.empty()) ProcessBatch(batch, *model, version);
     lock.lock();
   }
 }
 
-void JudgementServer::ProcessBatch(std::vector<Pending>& batch) {
+void JudgementServer::ProcessBatch(std::vector<Pending>& batch,
+                                   const core::HisRectModel& model,
+                                   uint64_t version) {
   HISRECT_TRACE_SPAN("serve.batch");
   static obs::Histogram* batch_sizes =
       obs::MetricsRegistry::Global().GetHistogram("hisrect.serve.batch_size",
@@ -150,6 +300,28 @@ void JudgementServer::ProcessBatch(std::vector<Pending>& batch) {
   batch_sizes->Observe(static_cast<double>(batch.size()));
   batches->Increment();
 
+  // serve.slow_batch: stall the batcher before scoring (payload:
+  // milliseconds, floored at 1) — lets tests build deterministic queue
+  // backlogs for the deadline/cancel paths.
+  if (auto ms = util::FailPoint::Fire("serve.slow_batch")) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::max<int64_t>(*ms, 1)));
+  }
+  // serve.score_abort: the scoring pass dies. Every request in the batch
+  // still resolves — with kInternal, never a hung future.
+  if (util::FailPoint::ShouldFail("serve.score_abort")) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.aborted += batch.size();
+      ++stats_.batches;
+    }
+    for (Pending& pending : batch) {
+      pending.promise.set_value(
+          util::Status::Internal("injected score abort (serve.score_abort)"));
+    }
+    return;
+  }
+
   // The existing parallel inference path: per-request slots over the global
   // pool, encoder-cache handles (no deep copy on hits), ScorePairEncoded.
   // Identical arithmetic to the offline PairEvaluator path, so served
@@ -158,9 +330,9 @@ void JudgementServer::ProcessBatch(std::vector<Pending>& batch) {
   util::ParallelFor(batch.size(), [&](size_t /*shard*/, size_t begin,
                                       size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      core::EncodedProfileHandle a = model_->Encode(batch[i].request.a);
-      core::EncodedProfileHandle b = model_->Encode(batch[i].request.b);
-      scores[i] = model_->ScorePairEncoded(*a, *b);
+      core::EncodedProfileHandle a = model.Encode(batch[i].request.a);
+      core::EncodedProfileHandle b = model.Encode(batch[i].request.b);
+      scores[i] = model.ScorePairEncoded(*a, *b);
     }
   });
 
@@ -173,11 +345,15 @@ void JudgementServer::ProcessBatch(std::vector<Pending>& batch) {
   }
   const auto completed_at = std::chrono::steady_clock::now();
   for (size_t i = 0; i < batch.size(); ++i) {
-    latencies->Observe(
+    const double latency =
         std::chrono::duration<double>(completed_at - batch[i].admitted_at)
-            .count());
-    batch[i].promise.set_value(
-        Judgement{scores[i], scores[i] > 0.5});
+            .count();
+    latencies->Observe(latency);
+    Response response;
+    response.judgement = Judgement{scores[i], CoLocatedScore(scores[i])};
+    response.model_version = version;
+    response.latency_seconds = latency;
+    batch[i].promise.set_value(std::move(response));
   }
 }
 

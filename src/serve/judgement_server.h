@@ -1,23 +1,41 @@
 #ifndef HISRECT_SERVE_JUDGEMENT_SERVER_H_
 #define HISRECT_SERVE_JUDGEMENT_SERVER_H_
 
-// Online co-location judgement serving (DESIGN.md §10).
+// Online co-location judgement serving (DESIGN.md §10, failure model §13).
 //
 // A JudgementServer wraps a fitted HisRectModel behind a long-lived,
 // thread-safe submission API: clients Submit (profile, profile, Δt)
-// requests from any thread and receive a std::future of the judgement. A
-// dedicated batcher thread collects admitted requests into micro-batches —
-// flushed when `batch_size` requests are pending or `max_wait_us` has
-// elapsed since the batch opened, whichever comes first — and scores each
-// batch on the existing parallel inference path (ParallelFor over the
-// global pool, encoder-cache handles, ScorePairEncoded). Served scores are
-// bitwise-identical to the offline PairEvaluator path on the same pairs.
+// requests from any thread and receive a Ticket — a std::future of the
+// response plus a cancel handle. A dedicated batcher thread collects
+// admitted requests into micro-batches — flushed when `batch_size` requests
+// are pending or `max_wait_us` has elapsed since the batch opened, whichever
+// comes first — and scores each batch on the existing parallel inference
+// path (ParallelFor over the global pool, encoder-cache handles,
+// ScorePairEncoded). Served scores are bitwise-identical to the offline
+// PairEvaluator path on the same pairs.
 //
-// Admission is bounded: at most `max_queue` requests may be pending; beyond
-// that Submit returns StatusCode::kUnavailable immediately (shed load at
-// the edge instead of growing an unbounded queue). Shutdown() stops
-// admission, drains every already-admitted request, and joins the batcher —
-// no admitted request is ever dropped.
+// Robustness contracts layered on top of that core:
+//  - Priority admission: each request carries a Priority class
+//    (kInteractive > kBatch) with its own queue bound (`max_queue` /
+//    `max_batch_queue`); Submit sheds the overflowing class with
+//    kUnavailable, and batches flush in strict priority order, so overload
+//    starves batch traffic first and interactive latency stays bounded.
+//  - Deadlines: a request may carry `timeout_us`; the batcher expires
+//    overdue requests with kDeadlineExceeded when it forms a batch — never
+//    mid-batch, so a request that makes it into a batch is always scored
+//    and served scores stay bitwise-identical to offline eval.
+//  - Cancellation: Ticket::Cancel() removes a still-queued request and
+//    resolves its future with kCancelled.
+//  - Hot swap: the model is held by shared_ptr and can be replaced
+//    atomically via SwapModel (normally driven by serve::ModelRegistry);
+//    a batch snapshots (model, version) when it is formed, so in-flight
+//    batches finish on the old version and every Response names the exact
+//    version that scored it.
+//
+// Every admitted request's future resolves exactly once — with a scored
+// Response or with a kDeadlineExceeded / kCancelled / kInternal status.
+// Shutdown() stops admission, drains every already-admitted request, and
+// joins the batcher; no admitted future is ever left hanging.
 
 #include <chrono>
 #include <condition_variable>
@@ -35,6 +53,15 @@
 
 namespace hisrect::serve {
 
+/// Admission classes, strongest first. Interactive requests are admitted
+/// against their own bound and always flushed before batch-class requests;
+/// under overload the batch class is shed (kUnavailable) and starved first.
+enum class Priority {
+  kInteractive = 0,
+  kBatch = 1,
+};
+inline constexpr size_t kNumPriorities = 2;
+
 struct ServeOptions {
   /// Requests per micro-batch; a batch is flushed as soon as this many are
   /// pending.
@@ -42,9 +69,12 @@ struct ServeOptions {
   /// Max time a batch waits for company before a partial flush, in
   /// microseconds. Bounds the queueing latency a lone request pays.
   uint64_t max_wait_us = 1000;
-  /// Admission bound: Submit rejects with kUnavailable once this many
-  /// requests are pending (admitted but not yet completed).
+  /// Admission bound for Priority::kInteractive: Submit rejects with
+  /// kUnavailable once this many interactive requests are pending.
   size_t max_queue = 1024;
+  /// Admission bound for Priority::kBatch. Size it smaller than `max_queue`
+  /// so overload sheds batch traffic first.
+  size_t max_batch_queue = 1024;
 };
 
 /// One online query: are the two profile owners co-located within
@@ -55,11 +85,60 @@ struct JudgementRequest {
   data::Profile a;
   data::Profile b;
   data::Timestamp delta_t = 3600;
+  /// Admission class (see Priority).
+  Priority priority = Priority::kInteractive;
+  /// Per-request deadline, in microseconds from admission; 0 means none.
+  /// An overdue request is expired with kDeadlineExceeded when the batcher
+  /// next forms a batch — never after it entered a batch.
+  uint64_t timeout_us = 0;
 };
 
+/// Tie rule shared with offline eval: `>= 0.5` judges co-located, matching
+/// eval::ConfusionAtThreshold / the ROC sweep (DESIGN.md §5).
+inline bool CoLocatedScore(double score) { return score >= 0.5; }
+
 struct Judgement {
-  double score = 0.0;     // p_co in [0, 1]
-  bool co_located = false;  // score > 0.5
+  double score = 0.0;       // p_co in [0, 1]
+  bool co_located = false;  // CoLocatedScore(score)
+};
+
+/// What a completed (scored) request resolves to.
+struct Response {
+  Judgement judgement;
+  /// The model version that scored this request (SwapModel / ModelRegistry
+  /// versioning; 1 for a never-swapped server). Every response is
+  /// attributable to exactly one version.
+  uint64_t model_version = 0;
+  /// Admission-to-completion latency as measured by the server.
+  double latency_seconds = 0.0;
+};
+
+class JudgementServer;
+
+/// A submitted request: the response future plus a cancel handle. Movable,
+/// not copyable; must not outlive its server.
+class Ticket {
+ public:
+  Ticket() = default;
+
+  /// Resolves when the request is scored (ok Response), expired
+  /// (kDeadlineExceeded), cancelled (kCancelled), or aborted (kInternal).
+  std::future<util::Result<Response>>& future() { return future_; }
+
+  /// Cancels the request if it is still queued: the future resolves with
+  /// kCancelled and true is returned. Returns false when the request
+  /// already entered a batch (it will be scored) or already resolved.
+  /// Thread-safe; safe concurrently with Shutdown.
+  bool Cancel();
+
+  /// True for a ticket obtained from a successful Submit.
+  bool valid() const { return server_ != nullptr; }
+
+ private:
+  friend class JudgementServer;
+  std::future<util::Result<Response>> future_;
+  JudgementServer* server_ = nullptr;
+  uint64_t id_ = 0;
 };
 
 class JudgementServer {
@@ -71,17 +150,32 @@ class JudgementServer {
   JudgementServer(std::unique_ptr<const core::HisRectModel> model,
                   ServeOptions options = {});
 
+  /// Shared variant (hot-swap entry point): the server holds a reference
+  /// until SwapModel replaces it. `initial_version` names this model in
+  /// Response::model_version.
+  JudgementServer(std::shared_ptr<const core::HisRectModel> model,
+                  ServeOptions options = {}, uint64_t initial_version = 1);
+
   /// Shuts down (draining admitted requests) if not already shut down.
   ~JudgementServer();
 
   JudgementServer(const JudgementServer&) = delete;
   JudgementServer& operator=(const JudgementServer&) = delete;
 
-  /// Admits the request and returns a future that resolves when its batch
-  /// is scored, or fails fast: kUnavailable when `max_queue` requests are
-  /// already pending (overload), kFailedPrecondition after Shutdown.
-  /// Thread-safe; never blocks on scoring.
-  util::Result<std::future<Judgement>> Submit(JudgementRequest request);
+  /// Admits the request and returns a Ticket, or fails fast: kUnavailable
+  /// when the request's priority class is at its queue bound (overload),
+  /// kFailedPrecondition after Shutdown. Thread-safe; never blocks on
+  /// scoring.
+  util::Result<Ticket> Submit(JudgementRequest request);
+
+  /// Atomically replaces the served model. Batches already formed finish on
+  /// the version they snapshotted; every batch formed afterwards scores on
+  /// `model` and stamps `version` into its responses. The retired
+  /// shared_ptr is released outside the server lock. No-op when (model,
+  /// version) already is the published pair. Thread-safe, including
+  /// concurrently with Submit and Shutdown.
+  void SwapModel(std::shared_ptr<const core::HisRectModel> model,
+                 uint64_t version);
 
   /// Stops admission, drains every admitted request, joins the batcher.
   /// Idempotent; safe to call concurrently with Submit (late submissions
@@ -91,37 +185,57 @@ class JudgementServer {
   /// False once Shutdown has begun.
   bool accepting() const;
 
-  /// Pending (admitted, not yet scored) requests right now.
+  /// Pending (admitted, not yet scored) requests right now, both classes.
   size_t queue_depth() const;
+
+  /// The currently published model version.
+  uint64_t model_version() const;
+
+  /// The currently published model (a swap may retire it at any time; the
+  /// returned handle keeps it alive).
+  std::shared_ptr<const core::HisRectModel> model() const;
 
   struct Stats {
     uint64_t admitted = 0;
     uint64_t rejected = 0;
-    uint64_t completed = 0;
+    uint64_t completed = 0;  // scored
     uint64_t batches = 0;
+    uint64_t cancelled = 0;  // resolved kCancelled via Ticket::Cancel
+    uint64_t expired = 0;    // resolved kDeadlineExceeded at batch formation
+    uint64_t aborted = 0;    // resolved kInternal (serve.score_abort)
+    uint64_t swaps = 0;      // SwapModel publications after the first
   };
   Stats stats() const;
 
-  const core::HisRectModel& model() const { return *model_; }
   const ServeOptions& options() const { return options_; }
 
  private:
+  friend class Ticket;
+
   struct Pending {
     JudgementRequest request;
-    std::promise<Judgement> promise;
+    std::promise<util::Result<Response>> promise;
     std::chrono::steady_clock::time_point admitted_at;
+    /// Absolute deadline; time_point::max() when the request has none.
+    std::chrono::steady_clock::time_point deadline;
+    uint64_t id = 0;
   };
 
   void BatchLoop();
-  void ProcessBatch(std::vector<Pending>& batch);
+  void ProcessBatch(std::vector<Pending>& batch,
+                    const core::HisRectModel& model, uint64_t version);
+  bool Cancel(uint64_t id);
+  size_t PendingCountLocked() const;
 
-  std::unique_ptr<const core::HisRectModel> owned_model_;
-  const core::HisRectModel* model_;
   ServeOptions options_;
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;
-  std::deque<Pending> queue_;
+  /// One queue per Priority, drained in strict priority order.
+  std::deque<Pending> queues_[kNumPriorities];
+  std::shared_ptr<const core::HisRectModel> model_;
+  uint64_t model_version_ = 1;
+  uint64_t next_id_ = 1;
   bool stopping_ = false;
   Stats stats_;
   std::thread batcher_;

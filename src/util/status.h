@@ -18,6 +18,8 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kUnavailable,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Lightweight error-reporting type for recoverable failures (the library is
@@ -49,6 +51,12 @@ class Status {
   }
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -126,7 +126,7 @@ TEST_F(ModelFixture, FeatureHasConfiguredDimension) {
 TEST_F(ModelFixture, JudgePairConsistentWithScore) {
   const auto& a = dataset_->test.profiles[0];
   const auto& b = dataset_->test.profiles[1];
-  EXPECT_EQ(model_->JudgePair(a, b), model_->ScorePair(a, b) > 0.5);
+  EXPECT_EQ(model_->JudgePair(a, b), model_->ScorePair(a, b) >= 0.5);
 }
 
 TEST(ModelTest, SameSeedSameResults) {

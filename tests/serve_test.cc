@@ -71,19 +71,23 @@ TEST_F(ServeFixture, FlushesWhenBatchSizeReached) {
   options.max_wait_us = 10'000'000;  // Size, not timeout, must trigger.
   JudgementServer server(model_, options);
 
-  std::vector<std::future<Judgement>> futures;
+  std::vector<Ticket> tickets;
   for (size_t i = 0; i < 4; ++i) {
     auto result = server.Submit(RequestFor(i, i + 1));
     ASSERT_TRUE(result.ok()) << result.status().ToString();
-    futures.push_back(std::move(result).value());
+    tickets.push_back(std::move(result).value());
   }
-  for (auto& future : futures) {
-    ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+  for (Ticket& ticket : tickets) {
+    ASSERT_EQ(ticket.future().wait_for(std::chrono::seconds(30)),
               std::future_status::ready);
-    Judgement judgement = future.get();
+    util::Result<Response> response = ticket.future().get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const Judgement& judgement = response.value().judgement;
     EXPECT_GE(judgement.score, 0.0);
     EXPECT_LE(judgement.score, 1.0);
-    EXPECT_EQ(judgement.co_located, judgement.score > 0.5);
+    EXPECT_EQ(judgement.co_located, CoLocatedScore(judgement.score));
+    EXPECT_EQ(response.value().model_version, 1u);
+    EXPECT_GE(response.value().latency_seconds, 0.0);
   }
   JudgementServer::Stats stats = server.stats();
   EXPECT_EQ(stats.admitted, 4u);
@@ -99,10 +103,12 @@ TEST_F(ServeFixture, FlushesPartialBatchOnTimeout) {
 
   auto result = server.Submit(RequestFor(0, 1));
   ASSERT_TRUE(result.ok());
-  auto future = std::move(result).value();
-  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+  Ticket ticket = std::move(result).value();
+  ASSERT_EQ(ticket.future().wait_for(std::chrono::seconds(30)),
             std::future_status::ready);
-  EXPECT_GE(future.get().score, 0.0);
+  util::Result<Response> response = ticket.future().get();
+  ASSERT_TRUE(response.ok());
+  EXPECT_GE(response.value().judgement.score, 0.0);
   EXPECT_EQ(server.stats().completed, 1u);
 }
 
@@ -113,7 +119,7 @@ TEST_F(ServeFixture, OverloadRejectsAndShutdownDrainsAdmitted) {
   options.max_queue = 4;             // queue fills deterministically.
   JudgementServer server(model_, options);
 
-  std::vector<std::future<Judgement>> admitted;
+  std::vector<Ticket> admitted;
   size_t rejected = 0;
   for (size_t i = 0; i < 10; ++i) {
     auto result = server.Submit(RequestFor(i, i + 1));
@@ -129,10 +135,12 @@ TEST_F(ServeFixture, OverloadRejectsAndShutdownDrainsAdmitted) {
 
   // Shutdown must complete every admitted request — no future left hanging.
   server.Shutdown();
-  for (auto& future : admitted) {
-    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+  for (Ticket& ticket : admitted) {
+    ASSERT_EQ(ticket.future().wait_for(std::chrono::seconds(0)),
               std::future_status::ready);
-    EXPECT_GE(future.get().score, 0.0);
+    util::Result<Response> response = ticket.future().get();
+    ASSERT_TRUE(response.ok());
+    EXPECT_GE(response.value().judgement.score, 0.0);
   }
   JudgementServer::Stats stats = server.stats();
   EXPECT_EQ(stats.admitted, 4u);
@@ -163,16 +171,18 @@ TEST_F(ServeFixture, ServedScoresBitwiseMatchOffline) {
   JudgementServer server(model_, options);
 
   const size_t pairs = 8;
-  std::vector<std::future<Judgement>> futures;
+  std::vector<Ticket> tickets;
   for (size_t i = 0; i < pairs; ++i) {
     auto result = server.Submit(RequestFor(i, i + 2));
     ASSERT_TRUE(result.ok());
-    futures.push_back(std::move(result).value());
+    tickets.push_back(std::move(result).value());
   }
   for (size_t i = 0; i < pairs; ++i) {
-    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(30)),
+    ASSERT_EQ(tickets[i].future().wait_for(std::chrono::seconds(30)),
               std::future_status::ready);
-    double served = futures[i].get().score;
+    util::Result<Response> response = tickets[i].future().get();
+    ASSERT_TRUE(response.ok());
+    double served = response.value().judgement.score;
     double offline = model_->ScorePair(dataset_->test.profiles[i],
                                        dataset_->test.profiles[i + 2]);
     hisrect::testing::ExpectBitwiseEqual(served, offline,
@@ -207,7 +217,10 @@ TEST_F(ServeFixture, PlannedServingBitwiseMatchesEagerOffline) {
           const size_t p = (t * kPerClient + i) % 8;
           auto result = server.Submit(RequestFor(p, p + 2));
           if (!result.ok()) continue;  // Overload: nothing to compare.
-          served[t].emplace_back(p, std::move(result).value().get().score);
+          util::Result<Response> response =
+              std::move(result).value().future().get();
+          if (!response.ok()) continue;
+          served[t].emplace_back(p, response.value().judgement.score);
         }
       });
     }
@@ -255,7 +268,10 @@ TEST_F(ServeFixture, FusedPlannedServingBitwiseMatchesEagerOffline) {
           const size_t p = (t * kPerClient + i) % 8;
           auto result = server.Submit(RequestFor(p, p + 2));
           if (!result.ok()) continue;  // Overload: nothing to compare.
-          served[t].emplace_back(p, std::move(result).value().get().score);
+          util::Result<Response> response =
+              std::move(result).value().future().get();
+          if (!response.ok()) continue;
+          served[t].emplace_back(p, response.value().judgement.score);
         }
       });
     }

@@ -233,6 +233,12 @@ SERVE_METRICS = (
     "hisrect.serve.batches",
     "hisrect.serve.batch_size",
     "hisrect.serve.request_latency_seconds",
+    # Robustness series, registered eagerly at server construction so they
+    # are present (possibly 0) in every serving metrics dump.
+    "hisrect.serve.deadline_exceeded",
+    "hisrect.serve.cancelled",
+    "hisrect.serve.swaps",
+    "hisrect.serve.swap_rollbacks",
 )
 
 
@@ -285,10 +291,14 @@ def check_serving(path):
     if record["lost"] != 0:
         fail(f"{path}: {record['lost']} lost request(s) — drain must "
              "complete every admitted request")
-    if record["admitted"] - record["completed"] != record["lost"]:
+    resolved_elsewhere = (record.get("cancelled", 0) + record.get("expired", 0)
+                          + record.get("aborted", 0))
+    if (record["admitted"] - record["completed"] - resolved_elsewhere
+            != record["lost"]):
         fail(
             f"{path}: admitted {record['admitted']} - completed "
-            f"{record['completed']} != lost {record['lost']}"
+            f"{record['completed']} - cancelled/expired/aborted "
+            f"{resolved_elsewhere} != lost {record['lost']}"
         )
     if record["served_bitwise_identical"] is not True:
         fail(f"{path}: served scores not bitwise-identical to offline eval")
@@ -321,6 +331,42 @@ def check_serving(path):
             )
         if plan.get("arena_high_water_bytes", 0) <= 0:
             fail(f"{path}: plan record has no arena high-water")
+    overload = record.get("overload")
+    if overload is not None:
+        for key in ("ran", "p99_uncontended_ms", "p99_overload_ms",
+                    "p99_ratio_ok", "batch_shed", "swapped_version",
+                    "responses_new_version", "dropped", "bitwise_identical",
+                    "swap_rollbacks", "ok"):
+            if key not in overload:
+                fail(f"{path}: overload record missing '{key}'")
+                return
+        if overload["ran"] is not True:
+            fail(f"{path}: overload phase never ran")
+        if overload["ok"] is not True:
+            fail(f"{path}: overload gate failed")
+        if overload["p99_ratio_ok"] is not True:
+            fail(
+                f"{path}: interactive p99 under overload "
+                f"({overload['p99_overload_ms']}ms) exceeds 2x uncontended "
+                f"({overload['p99_uncontended_ms']}ms)"
+            )
+        if overload["batch_shed"] <= 0:
+            fail(f"{path}: overload shed no batch-class requests — the "
+                 "priority bound was never exercised")
+        if overload["swapped_version"] <= 0:
+            fail(f"{path}: no model version was hot-swapped during overload")
+        if overload["responses_new_version"] <= 0:
+            fail(f"{path}: no response attributable to the swapped-in "
+                 "model version")
+        if overload["dropped"] != 0:
+            fail(f"{path}: {overload['dropped']} request(s) dropped across "
+                 "the hot swap")
+        if overload["bitwise_identical"] is not True:
+            fail(f"{path}: scores served across the swap diverged from "
+                 "offline eval")
+        if overload["swap_rollbacks"] != 0:
+            fail(f"{path}: {overload['swap_rollbacks']} unexpected swap "
+                 "rollback(s) during the overload run")
     variants = record.get("variants")
     if variants is not None:
         by_name = {}

@@ -1,26 +1,40 @@
 // Online judgement serving front end:
 //
-//   hisrect_serve [--preset nyc|lv] [--scale S] [--seed N] [--model FILE]
+//   hisrect_serve [--preset nyc|lv] [--scale S] [--seed N]
+//                 [--model FILE | --registry-dir DIR]
 //                 [--ssl-steps N] [--judge-steps N] [--threads N]
 //                 [--batch-size N] [--max-wait-us N] [--max-queue N]
-//                 [--cache-capacity N] [--requests N] [--metrics-out FILE]
+//                 [--max-batch-queue N] [--cache-capacity N] [--requests N]
+//                 [--deadline-ms N] [--priority interactive|batch]
+//                 [--metrics-out FILE] [--failpoints SPEC]
+//                 [--plan] [--fuse] [--int8]
 //
 // Loads a model saved by `hisrect_cli train --out FILE` (or trains one from
-// scratch when --model is absent), stands up a JudgementServer (DESIGN.md
-// §10), drives --requests co-location queries sampled from the held-out test
-// split through it, and prints a sample of judgements plus the server /
-// encoder-cache statistics. `--cache-capacity` bounds the encoder's LRU
-// memo cache — size it to the live working set; `--batch-size` /
-// `--max-wait-us` trade batching efficiency against queueing latency;
-// `--max-queue` is the admission bound (overload is rejected, not queued
-// without limit). `--metrics-out` dumps the metrics registry at exit —
-// hisrect.serve.* carries the request/batch/queue series.
+// scratch when neither --model nor --registry-dir is given), stands up a
+// JudgementServer (DESIGN.md §10, failure model §13), drives --requests
+// co-location queries sampled from the held-out test split through it, and
+// prints a sample of judgements plus the server / encoder-cache statistics.
+//
+// `--registry-dir DIR` serves through a serve::ModelRegistry instead of a
+// fixed model: the newest *.bin checkpoint in DIR is deployed (loaded,
+// CRC-verified, warmed up) and published; sending the process SIGHUP
+// rescans DIR and hot-swaps the newest checkpoint in with zero downtime —
+// in-flight requests finish on the old version. `--deadline-ms` attaches a
+// per-request deadline (0 = none) and `--priority` picks the admission
+// class; `--max-batch-queue` bounds the batch class separately so overload
+// sheds batch traffic first. `--failpoints` arms util::FailPoint specs
+// ("point=hit[:payload],...") for fault drills. All flags are validated up
+// front; invalid usage exits 2 with a message instead of CHECK-failing.
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <future>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/hisrect_model.h"
@@ -28,12 +42,18 @@
 #include "data/presets.h"
 #include "obs/metrics.h"
 #include "serve/judgement_server.h"
+#include "serve/model_registry.h"
+#include "util/fail_point.h"
 #include "util/status.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
 namespace hisrect {
 namespace {
+
+volatile std::sig_atomic_t g_reload_requested = 0;
+
+void HandleSighup(int) { g_reload_requested = 1; }
 
 struct ServeCliOptions {
   std::string preset = "nyc";
@@ -43,12 +63,17 @@ struct ServeCliOptions {
   size_t judge_steps = 3000;
   size_t threads = 0;
   std::string model_path;
+  std::string registry_dir;
   size_t batch_size = 32;
   uint64_t max_wait_us = 1000;
   size_t max_queue = 1024;
+  size_t max_batch_queue = 1024;
   size_t cache_capacity = 4096;
   size_t requests = 64;
+  uint64_t deadline_ms = 0;
+  std::string priority = "interactive";
   std::string metrics_out;
+  std::string failpoints;
   /// Recorded-plan scoring (nn/plan_executor.h): --plan replays static
   /// memory-planned graphs, --fuse adds the GraphOptimizer kernel-fusion
   /// pass (both bitwise-identical to eager), --int8 swaps in calibrated
@@ -61,16 +86,27 @@ struct ServeCliOptions {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: hisrect_serve [--preset nyc|lv] [--scale S] [--seed N]"
-               " [--model FILE]\n"
+               "usage: hisrect_serve [--preset nyc|lv] [--scale S] [--seed N]\n"
+               "                     [--model FILE | --registry-dir DIR]\n"
                "                     [--ssl-steps N] [--judge-steps N] "
                "[--threads N]\n"
                "                     [--batch-size N] [--max-wait-us N] "
                "[--max-queue N]\n"
-               "                     [--cache-capacity N] [--requests N] "
-               "[--metrics-out FILE]\n"
-               "                     [--plan] [--fuse] [--int8]\n");
+               "                     [--max-batch-queue N] "
+               "[--cache-capacity N] [--requests N]\n"
+               "                     [--deadline-ms N] "
+               "[--priority interactive|batch]\n"
+               "                     [--metrics-out FILE] [--failpoints SPEC]\n"
+               "                     [--plan] [--fuse] [--int8]\n"
+               "\n"
+               "SIGHUP (with --registry-dir): hot-swap the newest *.bin in "
+               "the directory.\n");
   return 2;
+}
+
+int Invalid(const std::string& message) {
+  std::fprintf(stderr, "hisrect_serve: %s\n", message.c_str());
+  return Usage();
 }
 
 bool ParseArgs(int argc, char** argv, ServeCliOptions& options) {
@@ -101,6 +137,9 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions& options) {
     } else if (arg == "--model") {
       if ((v = next()) == nullptr) return false;
       options.model_path = v;
+    } else if (arg == "--registry-dir") {
+      if ((v = next()) == nullptr) return false;
+      options.registry_dir = v;
     } else if (arg == "--batch-size") {
       if ((v = next()) == nullptr) return false;
       options.batch_size = static_cast<size_t>(std::atoll(v));
@@ -110,15 +149,27 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions& options) {
     } else if (arg == "--max-queue") {
       if ((v = next()) == nullptr) return false;
       options.max_queue = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--max-batch-queue") {
+      if ((v = next()) == nullptr) return false;
+      options.max_batch_queue = static_cast<size_t>(std::atoll(v));
     } else if (arg == "--cache-capacity") {
       if ((v = next()) == nullptr) return false;
       options.cache_capacity = static_cast<size_t>(std::atoll(v));
     } else if (arg == "--requests") {
       if ((v = next()) == nullptr) return false;
       options.requests = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--deadline-ms") {
+      if ((v = next()) == nullptr) return false;
+      options.deadline_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--priority") {
+      if ((v = next()) == nullptr) return false;
+      options.priority = v;
     } else if (arg == "--metrics-out") {
       if ((v = next()) == nullptr) return false;
       options.metrics_out = v;
+    } else if (arg == "--failpoints") {
+      if ((v = next()) == nullptr) return false;
+      options.failpoints = v;
     } else if (arg == "--plan") {
       options.plan = true;
     } else if (arg == "--fuse") {
@@ -133,12 +184,73 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions& options) {
   return true;
 }
 
+/// Rejects unusable configurations before any dataset/model work, so bad
+/// usage exits fast with a message instead of CHECK-failing mid-setup.
+int Validate(const ServeCliOptions& options) {
+  if (options.preset != "nyc" && options.preset != "lv") {
+    return Invalid("--preset must be 'nyc' or 'lv', got '" + options.preset +
+                   "'");
+  }
+  if (!(options.scale > 0.0)) {
+    return Invalid("--scale must be > 0");
+  }
+  if (options.batch_size == 0) return Invalid("--batch-size must be >= 1");
+  if (options.max_queue == 0) return Invalid("--max-queue must be >= 1");
+  if (options.max_batch_queue == 0) {
+    return Invalid("--max-batch-queue must be >= 1");
+  }
+  if (options.cache_capacity == 0) {
+    return Invalid("--cache-capacity must be >= 1");
+  }
+  if (options.requests == 0) return Invalid("--requests must be >= 1");
+  if (options.priority != "interactive" && options.priority != "batch") {
+    return Invalid("--priority must be 'interactive' or 'batch', got '" +
+                   options.priority + "'");
+  }
+  if (!options.model_path.empty() && !options.registry_dir.empty()) {
+    return Invalid("--model and --registry-dir are mutually exclusive");
+  }
+  if (!options.registry_dir.empty() &&
+      !std::filesystem::is_directory(options.registry_dir)) {
+    return Invalid("--registry-dir '" + options.registry_dir +
+                   "' is not a directory");
+  }
+  if (!options.failpoints.empty()) {
+    util::Status status = util::FailPoint::ArmFromSpec(options.failpoints);
+    if (!status.ok()) {
+      return Invalid("--failpoints: " + status.ToString());
+    }
+  }
+  return 0;
+}
+
+/// The newest (by mtime) "*.bin" regular file in `dir`, or empty.
+std::string NewestCheckpoint(const std::string& dir) {
+  std::string newest;
+  std::filesystem::file_time_type newest_time;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".bin") {
+      continue;
+    }
+    const auto mtime = entry.last_write_time(ec);
+    if (ec) continue;
+    if (newest.empty() || mtime > newest_time) {
+      newest = entry.path().string();
+      newest_time = mtime;
+    }
+  }
+  return newest;
+}
+
 int Run(int argc, char** argv) {
   ServeCliOptions options;
   if (!ParseArgs(argc, argv, options)) return Usage();
+  if (int rc = Validate(options); rc != 0) return rc;
   if (options.threads > 0) {
     util::ThreadPool::SetGlobalNumThreads(options.threads);
   }
+  util::FailPoint::ArmFromEnv();
 
   data::CityConfig city = options.preset == "lv"
                               ? data::LvLikeConfig({.users = options.scale})
@@ -155,10 +267,39 @@ int Run(int argc, char** argv) {
   config.plan.enabled = options.plan || options.fuse || options.int8;
   config.plan.fuse = options.fuse || options.int8;
   config.plan.quantize = options.int8;
-  core::HisRectModel model(config);
-  if (!options.model_path.empty()) {
-    model.InitializeForLoad(dataset, text_model);
-    util::Status status = model.Load(options.model_path);
+
+  const std::vector<data::Profile>& pool = dataset.test.profiles;
+  if (pool.size() < 2) {
+    std::fprintf(stderr, "test split too small to serve from\n");
+    return 1;
+  }
+
+  // Three model sources: a registry directory (hot-swappable), a fixed
+  // checkpoint file, or train-from-scratch.
+  serve::RegistryOptions registry_options;
+  registry_options.model_config = config;
+  serve::ModelRegistry registry(&dataset, &text_model, registry_options);
+  core::HisRectModel local_model(config);  // --model / from-scratch path.
+  const bool use_registry = !options.registry_dir.empty();
+  if (use_registry) {
+    const std::string newest = NewestCheckpoint(options.registry_dir);
+    if (newest.empty()) {
+      std::fprintf(stderr, "no *.bin checkpoint found in %s\n",
+                   options.registry_dir.c_str());
+      return 1;
+    }
+    auto version = registry.Deploy(newest);
+    if (!version.ok()) {
+      std::fprintf(stderr, "deploy failed: %s\n",
+                   version.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("deployed %s as v%llu\n", newest.c_str(),
+                static_cast<unsigned long long>(version.value()));
+    std::signal(SIGHUP, HandleSighup);
+  } else if (!options.model_path.empty()) {
+    local_model.InitializeForLoad(dataset, text_model);
+    util::Status status = local_model.Load(options.model_path);
     if (!status.ok()) {
       std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
       return 1;
@@ -166,7 +307,7 @@ int Run(int argc, char** argv) {
     std::printf("loaded %s\n", options.model_path.c_str());
   } else {
     std::printf("no --model given; training from scratch...\n");
-    util::Status status = model.TryFit(dataset, text_model);
+    util::Status status = local_model.TryFit(dataset, text_model);
     if (!status.ok()) {
       std::fprintf(stderr, "training failed: %s\n",
                    status.ToString().c_str());
@@ -178,62 +319,107 @@ int Run(int argc, char** argv) {
   serve_options.batch_size = options.batch_size;
   serve_options.max_wait_us = options.max_wait_us;
   serve_options.max_queue = options.max_queue;
-  serve::JudgementServer server(&model, serve_options);
+  serve_options.max_batch_queue = options.max_batch_queue;
+  auto server =
+      use_registry
+          ? std::make_unique<serve::JudgementServer>(
+                registry.current(), serve_options, registry.current_version())
+          : std::make_unique<serve::JudgementServer>(&local_model,
+                                                     serve_options);
+  if (use_registry) registry.Attach(server.get());
 
-  const std::vector<data::Profile>& pool = dataset.test.profiles;
-  if (pool.size() < 2) {
-    std::fprintf(stderr, "test split too small to serve from\n");
-    return 1;
-  }
+  const serve::Priority priority = options.priority == "batch"
+                                       ? serve::Priority::kBatch
+                                       : serve::Priority::kInteractive;
+
+  // A SIGHUP observed between submissions (or between collected responses)
+  // triggers a zero-downtime hot swap: in-flight batches finish on the old
+  // version while the newest checkpoint loads and warms off the hot path.
+  auto maybe_reload = [&] {
+    if (!use_registry || !g_reload_requested) return;
+    g_reload_requested = 0;
+    const std::string newest = NewestCheckpoint(options.registry_dir);
+    if (newest.empty()) {
+      std::fprintf(stderr, "reload: no *.bin checkpoint in %s\n",
+                   options.registry_dir.c_str());
+      return;
+    }
+    auto version = registry.Deploy(newest);
+    if (version.ok()) {
+      std::printf("reload: deployed %s as v%llu\n", newest.c_str(),
+                  static_cast<unsigned long long>(version.value()));
+    } else {
+      std::fprintf(stderr, "reload failed (still serving v%llu): %s\n",
+                   static_cast<unsigned long long>(registry.current_version()),
+                   version.status().ToString().c_str());
+    }
+  };
 
   // Submit everything up front (the server batches), then collect.
   const auto start = std::chrono::steady_clock::now();
-  std::vector<std::future<serve::Judgement>> futures;
+  std::vector<serve::Ticket> tickets;
   std::vector<std::pair<data::UserId, data::UserId>> who;
   size_t rejected = 0;
   for (size_t i = 0; i < options.requests; ++i) {
+    maybe_reload();
     serve::JudgementRequest request;
     request.a = pool[i % pool.size()];
     request.b = pool[(i * 7 + 3) % pool.size()];
+    request.priority = priority;
+    request.timeout_us = options.deadline_ms * 1000;
     who.emplace_back(request.a.uid, request.b.uid);
-    auto result = server.Submit(std::move(request));
+    auto result = server->Submit(std::move(request));
     if (result.ok()) {
-      futures.push_back(std::move(result).value());
+      tickets.push_back(std::move(result).value());
     } else {
-      futures.emplace_back();  // Placeholder keeps indices aligned.
+      tickets.emplace_back();  // Placeholder keeps indices aligned.
       ++rejected;
     }
   }
 
-  util::Table sample({"uid a", "uid b", "score", "co-located"});
+  util::Table sample({"uid a", "uid b", "score", "co-located", "version"});
   size_t completed = 0;
   size_t positive = 0;
-  for (size_t i = 0; i < futures.size(); ++i) {
-    if (!futures[i].valid()) continue;
-    serve::Judgement judgement = futures[i].get();
+  size_t expired = 0;
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    maybe_reload();
+    if (!tickets[i].valid()) continue;
+    util::Result<serve::Response> response = tickets[i].future().get();
+    if (!response.ok()) {
+      if (response.status().code() == util::StatusCode::kDeadlineExceeded) {
+        ++expired;
+      }
+      continue;
+    }
     ++completed;
+    const serve::Judgement& judgement = response.value().judgement;
     if (judgement.co_located) ++positive;
     if (i < 10) {
       sample.AddRow({std::to_string(who[i].first),
                      std::to_string(who[i].second),
                      util::Table::Fmt(judgement.score, 4),
-                     judgement.co_located ? "yes" : "no"});
+                     judgement.co_located ? "yes" : "no",
+                     "v" + std::to_string(response.value().model_version)});
     }
   }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  server.Shutdown();
+  server->Shutdown();
+  if (use_registry) registry.Attach(nullptr);
 
   std::printf("== sample judgements ==\n");
   sample.Print(std::cout);
-  serve::JudgementServer::Stats stats = server.stats();
+  serve::JudgementServer::Stats stats = server->stats();
   std::printf(
       "served %zu/%zu requests in %.3fs (%.1f/s), %zu rejected, "
-      "%llu batches, %zu judged co-located\n",
+      "%zu expired, %llu batches, %llu swaps, %zu judged co-located\n",
       completed, options.requests, seconds,
-      static_cast<double>(completed) / seconds, rejected,
-      static_cast<unsigned long long>(stats.batches), positive);
+      static_cast<double>(completed) / seconds, rejected, expired,
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.swaps), positive);
+  const core::HisRectModel& model =
+      use_registry ? *server->model() : local_model;
   std::printf(
       "encoder cache: capacity=%zu size=%zu hits=%zu misses=%zu "
       "evictions=%zu\n",

@@ -51,11 +51,37 @@ python3 tools/check_telemetry.py \
 # Serving gate: the serve suite, then a closed-loop bench_serving run,
 # validated by check_telemetry.py — latency percentiles present and ordered,
 # zero lost requests, served scores bitwise-identical to offline eval, the
-# bounded encoder cache holding its bound under a 10x-capacity soak, and the
-# recorded-plan serving path doing zero steady-state tensor allocations.
+# bounded encoder cache holding its bound under a 10x-capacity soak, the
+# recorded-plan serving path doing zero steady-state tensor allocations, and
+# the open-loop overload record (interactive p99 within 2x uncontended while
+# batch traffic is shed, plus a zero-downtime hot swap with every response
+# attributable to exactly one model version).
 (cd "$BUILD_DIR" && ctest -L serve --output-on-failure)
 HISRECT_BENCH_OUT="$OUT_DIR" "$BUILD_DIR/bench/bench_serving"
 python3 tools/check_telemetry.py --serving "$OUT_DIR/BENCH_serving.json"
+
+# Overload / hot-swap gate: restate the robustness numbers so a regression
+# is visible in the bench log, not just as a check_telemetry failure.
+python3 - "$OUT_DIR/BENCH_serving.json" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+overload = doc.get("overload")
+if not overload:
+    print("run_benches: BENCH_serving.json has no overload record")
+    sys.exit(1)
+if overload.get("ok") is not True:
+    print(f"run_benches: overload/hot-swap gate failed: {overload}")
+    sys.exit(1)
+print(
+    "run_benches: overload OK — interactive p99 "
+    f"{overload['p99_overload_ms']:.2f}ms under {overload['offered_qps']:.0f} "
+    f"offered qps (uncontended {overload['p99_uncontended_ms']:.2f}ms), "
+    f"{overload['batch_shed']} batch shed, swap v{overload['swapped_version']} "
+    f"with {overload['dropped']} dropped"
+)
+EOF
 
 # Optimized-plan serving gate: fp32 variants bitwise with eager, every
 # planned variant at zero steady-state allocs, the int8 variant actually

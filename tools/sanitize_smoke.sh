@@ -5,11 +5,14 @@
 # I/O, partial writes, and injected corruption, and the recorded-plan
 # executor indexes raw arena offsets computed by the memory planner — exactly
 # where memory and UB bugs like to hide. TSan runs the obs and serve suites —
-# the metrics registry,
-# trace ring buffers, and telemetry sink are written from worker threads and
-# scraped concurrently, and the judgement server's submit/batch/drain paths
-# cross client, batcher, and pool threads — exactly where data races like to
-# hide.
+# the metrics registry, trace ring buffers, and telemetry sink are written
+# from worker threads and scraped concurrently, and the judgement server's
+# submit/batch/drain paths cross client, batcher, and pool threads — exactly
+# where data races like to hide. serve_robustness_test carries both the
+# `serve` and `robustness` labels, so its cancel-vs-drain,
+# deadline-vs-flush, and registry-swap-vs-Shutdown races run under TSan and
+# its failpoint faults (serve.slow_batch, serve.score_abort,
+# registry.corrupt_load) run under ASan/UBSan as well.
 #
 # Knobs:
 #   SANITIZERS   space-separated subset of "address undefined thread"
