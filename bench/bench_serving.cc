@@ -9,24 +9,36 @@
 // zero tensor allocations — measured across the verification pass and gated
 // in the exit code. Emits machine-readable bench_out/BENCH_serving.json for
 // tools/run_benches.sh and tools/check_telemetry.py.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "core/hisrect_model.h"
+#include "obs/admin_server.h"
 #include "obs/metrics.h"
 #include "eval/metrics.h"
 #include "eval/pair_evaluator.h"
+#include "serve/introspection.h"
 #include "serve/judgement_server.h"
 #include "serve/model_registry.h"
+#include "serve/stage_trace.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -73,6 +85,47 @@ int64_t CounterDelta(const obs::MetricsSnapshot& before,
   const obs::MetricValue* b = before.Find(name);
   const obs::MetricValue* a = after.Find(name);
   return (a == nullptr ? 0 : a->value) - (b == nullptr ? 0 : b->value);
+}
+
+/// One-shot loopback HTTP/1.0 GET against an obs::AdminServer — the bench
+/// polls through the real socket path, exactly like an external scraper.
+bool AdminGet(uint16_t port, const char* path, std::string* body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  timeval tv{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request =
+      std::string("GET ") + path + " HTTP/1.0\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return false;
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos ||
+      response.compare(9, 3, "200") != 0) {
+    return false;
+  }
+  *body = response.substr(head_end + 4);
+  return true;
 }
 
 int Run() {
@@ -264,9 +317,23 @@ int Run() {
     uint64_t swapped_version = 0;
     bool bitwise = true;
     bool ratio_ok = false, shed_ok = false, versions_ok = false;
+    // Stage-trace introspection (DESIGN.md §14), recorded while an admin
+    // endpoint is scraped at 10 Hz through the real socket path. The
+    // accounting gate: every admitted request left exactly one trace, and
+    // every retained scored trace's per-stage sum reproduces the
+    // server-measured latency within 1%.
+    struct StageStat {
+      double mean_ms = 0.0, p99_ms = 0.0;
+    };
+    StageStat stage_queue, stage_batch, stage_encode, stage_score,
+        stage_resolve;
+    uint64_t traces_recorded = 0;
+    size_t traces_scored = 0;
+    size_t admin_polls = 0;
+    bool accounting_ok = false;
     bool ok() const {
       return ran && ratio_ok && shed_ok && versions_ok && dropped == 0 &&
-             bitwise && swap_rollbacks == 0;
+             bitwise && swap_rollbacks == 0 && accounting_ok;
     }
   };
   OverloadOutcome overload;
@@ -302,11 +369,35 @@ int Run() {
         overload_options.max_wait_us = 2000;
         overload_options.max_queue = 512;
         overload_options.max_batch_queue = 64;  // Shed batch first, hard.
+        // Full introspection plane on during overload: stage traces for the
+        // breakdown + accounting gate, windowed percentiles for /statusz.
+        overload_options.stage_trace_capacity = 1u << 15;
+        overload_options.stats_window_s = 10.0;
         const uint64_t base_version = registry.current_version();
         serve::JudgementServer overload_server(registry.current(),
                                                overload_options,
                                                base_version);
         registry.Attach(&overload_server);
+
+        // Admin endpoint scraped at 10 Hz through the socket path for the
+        // whole phase — production-shaped observability load.
+        serve::ServerIntrospection overload_intro(&overload_server);
+        obs::AdminServer overload_admin;
+        overload_intro.RegisterHandlers(&overload_admin);
+        std::atomic<bool> poll_stop{false};
+        std::thread poller;
+        if (overload_admin.Start(0).ok()) {
+          poller = std::thread([&] {
+            std::string body;
+            while (!poll_stop.load(std::memory_order_relaxed)) {
+              if (AdminGet(overload_admin.port(), "/statusz", &body) &&
+                  AdminGet(overload_admin.port(), "/metrics", &body)) {
+                ++out.admin_polls;
+              }
+              std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            }
+          });
+        }
 
         const double capacity = std::max(qps, 200.0);
         out.interactive_qps = 0.35 * capacity;
@@ -397,7 +488,54 @@ int Run() {
           }
         }
         overload_server.Shutdown();
+        poll_stop.store(true, std::memory_order_relaxed);
+        if (poller.joinable()) poller.join();
+        overload_admin.Stop();
         registry.Attach(nullptr);
+
+        // Stage accounting: one trace per admitted request, and retained
+        // scored traces must telescope — stage sum == latency_seconds
+        // within 1%. Also the per-stage breakdown for the JSON record.
+        {
+          const serve::JudgementServer::Stats ostats =
+              overload_server.stats();
+          const serve::StageTraceBuffer* traces =
+              overload_server.stage_traces();
+          out.traces_recorded = traces->recorded();
+          bool sums_ok = true;
+          std::vector<double> stage_vals[5];
+          for (const serve::StageTrace& trace :
+               traces->Recent(overload_options.stage_trace_capacity)) {
+            if (trace.outcome != serve::StageTrace::Outcome::kScored) {
+              continue;
+            }
+            ++out.traces_scored;
+            const double sum = trace.StageSum();
+            if (std::fabs(sum - trace.total_seconds) >
+                std::max(1e-6, 0.01 * trace.total_seconds)) {
+              sums_ok = false;
+            }
+            stage_vals[0].push_back(trace.queue_seconds);
+            stage_vals[1].push_back(trace.batch_seconds);
+            stage_vals[2].push_back(trace.encode_seconds);
+            stage_vals[3].push_back(trace.score_seconds);
+            stage_vals[4].push_back(trace.resolve_seconds);
+          }
+          out.accounting_ok = sums_ok && out.traces_scored > 0 &&
+                              out.traces_recorded == ostats.admitted;
+          OverloadOutcome::StageStat* stats_out[5] = {
+              &out.stage_queue, &out.stage_batch, &out.stage_encode,
+              &out.stage_score, &out.stage_resolve};
+          for (int s = 0; s < 5; ++s) {
+            if (stage_vals[s].empty()) continue;
+            double total = 0.0;
+            for (double v : stage_vals[s]) total += v;
+            std::sort(stage_vals[s].begin(), stage_vals[s].end());
+            stats_out[s]->mean_ms =
+                total / static_cast<double>(stage_vals[s].size()) * 1e3;
+            stats_out[s]->p99_ms = Percentile(stage_vals[s], 0.99) * 1e3;
+          }
+        }
 
         // Collect. After Shutdown every admitted future must be ready:
         // scored, expired, cancelled, or aborted — anything else is a drop.
@@ -473,11 +611,119 @@ int Run() {
         stderr,
         "[serving] overload gate FAILED: ran=%d ratio_ok=%d (p99 %.3fms vs "
         "2x %.3fms) shed=%zu versions_ok=%d dropped=%zu bitwise=%d "
-        "rollbacks=%lld\n",
+        "rollbacks=%lld accounting_ok=%d (%llu traces, %zu scored)\n",
         overload.ran, overload.ratio_ok, overload.p99_overload_ms,
         overload.p99_uncontended_ms, overload.batch_shed,
         overload.versions_ok, overload.dropped, overload.bitwise,
-        static_cast<long long>(overload.swap_rollbacks));
+        static_cast<long long>(overload.swap_rollbacks),
+        overload.accounting_ok,
+        static_cast<unsigned long long>(overload.traces_recorded),
+        overload.traces_scored);
+  }
+
+  // --- Admin-plane overhead A/B (DESIGN.md §14 overhead budget). Two
+  // servers over the same model: one bare, one with the full introspection
+  // plane (stage traces + windowed stats) AND a live admin endpoint being
+  // scraped at 10 Hz through the socket path. Closed-loop rounds alternate
+  // between them so box-speed drift hits both modes equally. Gate: the
+  // instrumented server's interactive p99 stays within 5% of the bare one
+  // (one retry — this is a latency ratio on a shared box). ---
+  struct AdminAb {
+    bool ran = false;
+    double p99_noadmin_ms = 0.0, p99_admin_ms = 0.0;
+    size_t polls = 0;
+    size_t requests_per_mode = 0;
+    bool ok() const {
+      return ran && polls >= 5 && requests_per_mode >= 100 &&
+             p99_admin_ms <= 1.05 * p99_noadmin_ms;
+    }
+  };
+  AdminAb admin_ab;
+  for (int attempt = 0; attempt < 2 && !admin_ab.ok(); ++attempt) {
+    AdminAb ab;
+    ab.ran = true;
+    serve::ServeOptions plain_options;
+    plain_options.batch_size = 8;
+    plain_options.max_wait_us = 500;
+    serve::JudgementServer plain_server(&model, plain_options);
+    serve::ServeOptions instr_options = plain_options;
+    instr_options.stage_trace_capacity = 1u << 14;
+    instr_options.stats_window_s = 10.0;
+    serve::JudgementServer instr_server(&model, instr_options);
+    serve::ServerIntrospection instr_intro(&instr_server);
+    obs::AdminServer ab_admin;
+    instr_intro.RegisterHandlers(&ab_admin);
+    std::atomic<bool> ab_poll_stop{false};
+    std::atomic<size_t> ab_polls{0};
+    std::thread ab_poller;
+    if (ab_admin.Start(0).ok()) {
+      ab_poller = std::thread([&] {
+        std::string body;
+        while (!ab_poll_stop.load(std::memory_order_relaxed)) {
+          if (AdminGet(ab_admin.port(), "/statusz", &body) &&
+              AdminGet(ab_admin.port(), "/metrics", &body)) {
+            ab_polls.fetch_add(1, std::memory_order_relaxed);
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      });
+    }
+    const size_t kAbThreads = 2;
+    const size_t kAbPerThread = 120;
+    const size_t kAbRounds = 3;
+    std::vector<double> lat_plain, lat_admin;
+    std::mutex lat_mutex;
+    auto run_mode = [&](serve::JudgementServer& target,
+                        std::vector<double>& lat) {
+      std::vector<std::thread> clients;
+      for (size_t t = 0; t < kAbThreads; ++t) {
+        clients.emplace_back([&, t] {
+          std::vector<double> local;
+          local.reserve(kAbPerThread);
+          for (size_t i = 0; i < kAbPerThread; ++i) {
+            auto result = target.Submit(pair_for(t * kAbPerThread + i));
+            if (!result.ok()) continue;
+            util::Result<serve::Response> response =
+                std::move(result).value().future().get();
+            if (response.ok()) {
+              local.push_back(response.value().latency_seconds);
+            }
+          }
+          std::lock_guard<std::mutex> lock(lat_mutex);
+          lat.insert(lat.end(), local.begin(), local.end());
+        });
+      }
+      for (std::thread& client : clients) client.join();
+    };
+    for (size_t round = 0; round < kAbRounds; ++round) {
+      run_mode(plain_server, lat_plain);
+      run_mode(instr_server, lat_admin);
+    }
+    ab_poll_stop.store(true, std::memory_order_relaxed);
+    if (ab_poller.joinable()) ab_poller.join();
+    ab_admin.Stop();
+    instr_server.Shutdown();
+    plain_server.Shutdown();
+    std::sort(lat_plain.begin(), lat_plain.end());
+    std::sort(lat_admin.begin(), lat_admin.end());
+    ab.requests_per_mode = lat_plain.size();
+    ab.polls = ab_polls.load(std::memory_order_relaxed);
+    ab.p99_noadmin_ms = Percentile(lat_plain, 0.99) * 1e3;
+    ab.p99_admin_ms = Percentile(lat_admin, 0.99) * 1e3;
+    if (!ab.ok() && attempt == 0) {
+      std::fprintf(stderr,
+                   "[serving] admin A/B attempt %d: p99 %.3fms (admin) vs "
+                   "%.3fms (bare) — retrying\n",
+                   attempt, ab.p99_admin_ms, ab.p99_noadmin_ms);
+    }
+    admin_ab = ab;
+  }
+  if (!admin_ab.ok()) {
+    std::fprintf(stderr,
+                 "[serving] admin overhead gate FAILED: p99 %.3fms (admin, "
+                 "%zu polls) vs %.3fms (bare) over %zu requests/mode\n",
+                 admin_ab.p99_admin_ms, admin_ab.polls,
+                 admin_ab.p99_noadmin_ms, admin_ab.requests_per_mode);
   }
 
   // --- Execution-variant sweep: {baseline, plan, plan+fuse,
@@ -719,6 +965,20 @@ int Run() {
            std::to_string(overload.responses_v1) + " old / " +
            std::to_string(overload.responses_v2) + " new responses)"});
   table.AddRow({"overload gate", overload.ok() ? "OK" : "VIOLATED"});
+  table.AddRow({"stage means q/b/e/s ms",
+                util::Table::Fmt(overload.stage_queue.mean_ms, 3) + " / " +
+                    util::Table::Fmt(overload.stage_batch.mean_ms, 3) +
+                    " / " +
+                    util::Table::Fmt(overload.stage_encode.mean_ms, 3) +
+                    " / " +
+                    util::Table::Fmt(overload.stage_score.mean_ms, 3)});
+  table.AddRow({"trace accounting",
+                overload.accounting_ok ? "OK" : "VIOLATED"});
+  table.AddRow({"admin A/B p99 ms",
+                util::Table::Fmt(admin_ab.p99_noadmin_ms, 3) + " bare / " +
+                    util::Table::Fmt(admin_ab.p99_admin_ms, 3) + " admin (" +
+                    std::to_string(admin_ab.polls) + " polls)"});
+  table.AddRow({"admin overhead gate", admin_ab.ok() ? "OK" : "VIOLATED"});
   for (const VariantResult& v : variants) {
     table.AddRow({v.name + " pairs/s (1 thread)",
                   util::Table::Fmt(v.pairs_per_sec, 1)});
@@ -819,7 +1079,7 @@ int Run() {
                "    \"swapped_version\": %llu, \"responses_old_version\": "
                "%zu, \"responses_new_version\": %zu,\n"
                "    \"dropped\": %zu, \"bitwise_identical\": %s, "
-               "\"swap_rollbacks\": %lld, \"ok\": %s},\n",
+               "\"swap_rollbacks\": %lld,\n",
                overload.ran ? "true" : "false", overload.offered_qps,
                overload.interactive_qps, overload.p99_uncontended_ms,
                overload.p99_overload_ms, overload.ratio_ok ? "true" : "false",
@@ -830,8 +1090,34 @@ int Run() {
                static_cast<unsigned long long>(overload.swapped_version),
                overload.responses_v1, overload.responses_v2, overload.dropped,
                overload.bitwise ? "true" : "false",
-               static_cast<long long>(overload.swap_rollbacks),
-               overload.ok() ? "true" : "false");
+               static_cast<long long>(overload.swap_rollbacks));
+  std::fprintf(json,
+               "    \"stages\": {"
+               "\"queue\": {\"mean_ms\": %.4f, \"p99_ms\": %.4f}, "
+               "\"batch\": {\"mean_ms\": %.4f, \"p99_ms\": %.4f}, "
+               "\"encode\": {\"mean_ms\": %.4f, \"p99_ms\": %.4f}, "
+               "\"score\": {\"mean_ms\": %.4f, \"p99_ms\": %.4f}, "
+               "\"resolve\": {\"mean_ms\": %.4f, \"p99_ms\": %.4f}},\n",
+               overload.stage_queue.mean_ms, overload.stage_queue.p99_ms,
+               overload.stage_batch.mean_ms, overload.stage_batch.p99_ms,
+               overload.stage_encode.mean_ms, overload.stage_encode.p99_ms,
+               overload.stage_score.mean_ms, overload.stage_score.p99_ms,
+               overload.stage_resolve.mean_ms, overload.stage_resolve.p99_ms);
+  std::fprintf(json,
+               "    \"traces_recorded\": %llu, \"traces_scored\": %zu, "
+               "\"trace_accounting_ok\": %s, \"admin_polls\": %zu, "
+               "\"ok\": %s},\n",
+               static_cast<unsigned long long>(overload.traces_recorded),
+               overload.traces_scored,
+               overload.accounting_ok ? "true" : "false",
+               overload.admin_polls, overload.ok() ? "true" : "false");
+  std::fprintf(json,
+               "  \"admin\": {\"ran\": %s, \"p99_noadmin_ms\": %.4f, "
+               "\"p99_admin_ms\": %.4f, \"polls\": %zu, "
+               "\"requests_per_mode\": %zu, \"ok\": %s},\n",
+               admin_ab.ran ? "true" : "false", admin_ab.p99_noadmin_ms,
+               admin_ab.p99_admin_ms, admin_ab.polls,
+               admin_ab.requests_per_mode, admin_ab.ok() ? "true" : "false");
   std::fprintf(json,
                "  \"cache\": {\"capacity\": %zu, \"hits\": %lld, "
                "\"misses\": %lld, \"soak_requests\": %zu, "
@@ -848,7 +1134,8 @@ int Run() {
   std::printf("Wrote %s\n", out_path.c_str());
 
   return (lost == 0 && bitwise_identical && bound_held &&
-          steady_tensor_allocs == 0 && variants_ok && overload.ok())
+          steady_tensor_allocs == 0 && variants_ok && overload.ok() &&
+          admin_ab.ok())
              ? 0
              : 1;
 }

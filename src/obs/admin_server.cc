@@ -1,0 +1,281 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/fail_point.h"
+#include "util/logging.h"
+
+namespace hisrect::obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+void SetTimeout(int fd, int option, uint64_t ms) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+/// Writes the whole buffer or gives up on error/timeout (the client only
+/// hurts itself; the accept loop moves on).
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+obs::Counter* AdminRequestsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("hisrect.admin.requests");
+  return counter;
+}
+
+}  // namespace
+
+AdminServer::AdminServer() : AdminServer(Options()) {}
+
+AdminServer::AdminServer(Options options) : options_(std::move(options)) {
+  // Built-in /metrics: JSON scrape of the global registry, Prometheus text
+  // with ?format=prom. Registered like any other handler so callers can
+  // replace it (tests do, to serve fixed goldens).
+  Handle("/metrics", [](const std::string& query) {
+    AdminResponse response;
+    const MetricsSnapshot snapshot = MetricsRegistry::Global().Scrape();
+    if (query.find("format=prom") != std::string::npos) {
+      response.body = MetricsToPrometheus(snapshot);
+      response.content_type = "text/plain; version=0.0.4";
+    } else {
+      response.body = MetricsToJson(snapshot);
+    }
+    return response;
+  });
+}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Handle(const std::string& path, Handler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_[path] = std::move(handler);
+}
+
+util::Status AdminServer::Start(uint16_t port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) {
+    return util::Status::FailedPrecondition("admin server already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::Unavailable(std::string("socket(): ") +
+                                     std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return util::Status::InvalidArgument("bad admin bind address '" +
+                                         options_.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return util::Status::Unavailable("bind(" + options_.bind_address + ":" +
+                                     std::to_string(port) + "): " + error);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return util::Status::Unavailable("listen(): " + error);
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return util::Status::Unavailable("getsockname(): " + error);
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  running_ = true;
+  requests_served_ = 0;
+  thread_ = std::thread([this] { AcceptLoop(); });
+  LOG(INFO) << "admin server listening on " << options_.bind_address << ":"
+            << port_;
+  return util::Status::Ok();
+}
+
+void AdminServer::Stop() {
+  uint16_t port = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+    port = port_;
+  }
+  // Nudge the blocking accept() awake with a throwaway connection; the loop
+  // re-checks running_ before serving it.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd >= 0) {
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::close(fd);
+  }
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+bool AdminServer::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+uint16_t AdminServer::port() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_ ? port_ : 0;
+}
+
+uint64_t AdminServer::requests_served() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return requests_served_;
+}
+
+void AdminServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!running_) {
+        if (fd >= 0) ::close(fd);
+        return;
+      }
+    }
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // Listening socket is gone; Stop() will join us.
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::ServeConnection(int fd) {
+  SetTimeout(fd, SO_RCVTIMEO, options_.io_timeout_ms);
+  SetTimeout(fd, SO_SNDTIMEO, options_.io_timeout_ms);
+
+  // Read until the end of the request head (we ignore any body — every
+  // admin surface is a GET) or a modest cap.
+  std::string request;
+  char buffer[2048];
+  while (request.size() < (8u << 10) &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buffer, static_cast<size_t>(n));
+  }
+
+  AdminResponse response;
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  std::string path;
+  std::string query;
+  if (line.compare(0, 4, "GET ") != 0) {
+    response.status = 400;
+    response.content_type = "text/plain";
+    response.body = "admin endpoint only serves GET\n";
+  } else {
+    const size_t target_end = line.find(' ', 4);
+    std::string target = line.substr(
+        4, target_end == std::string::npos ? std::string::npos
+                                           : target_end - 4);
+    const size_t question = target.find('?');
+    if (question != std::string::npos) {
+      query = target.substr(question + 1);
+      target.resize(question);
+    }
+    path = target;
+    Handler handler;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = handlers_.find(path);
+      if (it != handlers_.end()) handler = it->second;
+    }
+    if (handler) {
+      response = handler(query);
+    } else {
+      response.status = 404;
+      response.content_type = "text/plain";
+      response.body = "no admin handler for " + path + "\n";
+    }
+  }
+
+  // admin.slow_scrape: stall the admin thread mid-response (payload:
+  // milliseconds, floored at 1). The handler already ran and every lock is
+  // released, so serving traffic is provably unaffected — the fail point
+  // exists so tests can park a scrape here while the batcher keeps scoring.
+  if (auto ms = util::FailPoint::Fire("admin.slow_scrape")) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::max<int64_t>(*ms, 1)));
+  }
+
+  std::string head = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                     StatusText(response.status) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  SendAll(fd, head + response.body);
+  AdminRequestsCounter()->Increment();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++requests_served_;
+}
+
+}  // namespace hisrect::obs

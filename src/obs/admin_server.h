@@ -1,0 +1,101 @@
+#ifndef HISRECT_OBS_ADMIN_SERVER_H_
+#define HISRECT_OBS_ADMIN_SERVER_H_
+
+// Embedded admin/introspection endpoint (DESIGN.md §14).
+//
+// A tiny TCP/HTTP server for operating a live process: plain HTTP/1.0 text
+// responses, loopback-only by default, zero external dependencies. One
+// dedicated thread runs a blocking accept loop and serves one connection at
+// a time — the admin plane is strictly off the hot path, so a stalled or
+// slow scrape client can at worst delay the *next* scrape, never a request
+// thread (proven by the `admin.slow_scrape` fail point, which stalls the
+// admin thread mid-response while serving traffic flows).
+//
+// `/metrics` is built in: a JSON scrape of the global MetricsRegistry, or
+// the Prometheus text exposition with `?format=prom`. Everything else is a
+// registered handler — serve::ServerIntrospection adds /healthz, /statusz
+// and /tracez for a JudgementServer. Handlers run on the admin thread; they
+// should snapshot state under short locks and format outside them.
+//
+// Start(0) binds an ephemeral port (port() reports the actual one), which
+// is what tests use. Stop() is idempotent and runs from the destructor.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace hisrect::obs {
+
+/// What a handler returns. `content_type` defaults to JSON because most
+/// admin surfaces are; /healthz and the Prometheus variant override it.
+struct AdminResponse {
+  std::string body;
+  std::string content_type = "application/json";
+  int status = 200;
+};
+
+class AdminServer {
+ public:
+  /// Handler for one path; `query` is the raw string after '?' (may be
+  /// empty). Runs on the admin thread.
+  using Handler = std::function<AdminResponse(const std::string& query)>;
+
+  struct Options {
+    /// Address to bind; loopback by default — the admin plane is an
+    /// operator surface, not a public API.
+    std::string bind_address = "127.0.0.1";
+    /// Per-connection socket read/write timeout. Bounds how long one
+    /// misbehaving client can occupy the (serial) admin thread.
+    uint64_t io_timeout_ms = 2000;
+  };
+
+  AdminServer();  // Default Options.
+  explicit AdminServer(Options options);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers (or replaces) the handler for an exact path, e.g. "/statusz".
+  /// Safe before or after Start.
+  void Handle(const std::string& path, Handler handler);
+
+  /// Binds `port` (0 = ephemeral), starts the accept-loop thread. Fails with
+  /// kUnavailable when the port cannot be bound, kFailedPrecondition when
+  /// already started.
+  util::Status Start(uint16_t port);
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const;
+
+  /// The bound port (the actual one when Start(0) picked an ephemeral
+  /// port); 0 when not running.
+  uint16_t port() const;
+
+  /// Requests served since Start (any status).
+  uint64_t requests_served() const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Handler> handlers_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool running_ = false;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace hisrect::obs
+
+#endif  // HISRECT_OBS_ADMIN_SERVER_H_

@@ -71,6 +71,63 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricValue& metric : snapshot.metrics) {
+    const std::string name = PrometheusName(metric.name);
+    switch (metric.kind) {
+      case MetricValue::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n" + name + " ";
+        AppendInt(&out, metric.value);
+        out += "\n";
+        break;
+      case MetricValue::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n" + name + " ";
+        AppendInt(&out, metric.value);
+        out += "\n";
+        break;
+      case MetricValue::Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < metric.bucket_counts.size(); ++i) {
+          cumulative += metric.bucket_counts[i];
+          out += name + "_bucket{le=\"";
+          if (i < metric.boundaries.size()) {
+            AppendDouble(&out, metric.boundaries[i]);
+          } else {
+            out += "+Inf";
+          }
+          out += "\"} ";
+          AppendUint(&out, cumulative);
+          out += "\n";
+        }
+        out += name + "_sum ";
+        AppendDouble(&out, metric.sum);
+        out += "\n" + name + "_count ";
+        AppendUint(&out, metric.count);
+        out += "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 util::Status WriteMetricsJsonFile(const std::string& path) {
   util::AtomicFileWriter writer(path);
   writer.Append(MetricsToJson(MetricsRegistry::Global().Scrape()));

@@ -22,8 +22,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -193,6 +195,163 @@ class Histogram {
   internal::HistogramStripe stripes_[kMetricStripes];
 };
 
+/// Percentile estimate from fixed-bucket histogram counts, Prometheus
+/// histogram_quantile style: find the bucket holding rank q*count and
+/// linearly interpolate inside it. The open-ended end buckets are clamped to
+/// the outer boundaries (an underflow observation reads as 0, an overflow
+/// one as the last boundary), so estimates are conservative, never invented
+/// beyond the configured range. Returns 0 when the histogram is empty.
+inline double HistogramPercentile(const std::vector<double>& boundaries,
+                                  const std::vector<uint64_t>& counts,
+                                  double q) {
+  uint64_t total = 0;
+  for (uint64_t count : counts) total += count;
+  if (total == 0 || boundaries.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double lo = i == 0 ? 0.0 : boundaries[i - 1];
+    const double hi =
+        i < boundaries.size() ? boundaries[i] : boundaries.back();
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      if (hi <= lo) return hi;
+      const double frac =
+          std::min(1.0, std::max(0.0, (rank - before) /
+                                          static_cast<double>(counts[i])));
+      return lo + (hi - lo) * frac;
+    }
+  }
+  return boundaries.back();
+}
+
+/// Histogram whose counts cover only the last ~`window_seconds`: the window
+/// is split into `num_slots` rotating slots, Observe lands in the slot that
+/// owns the current instant (recycling it when its time range has passed),
+/// and Snap() merges only the slots still inside the window. Percentiles
+/// from a snapshot therefore answer "over the last ~10 s", not over process
+/// lifetime — the live view /statusz needs, where the cumulative Histogram
+/// above would average today's burst against yesterday's idle hours.
+///
+/// The clock is injectable (monotonic nanoseconds) so tests drive decay
+/// deterministically. A single mutex guards the slots: Observe is O(1) under
+/// it, and the expected writers are one batcher thread plus an occasional
+/// scrape — not the striped-hot-path regime of the cumulative Histogram.
+class WindowedHistogram {
+ public:
+  using Clock = std::function<uint64_t()>;  // monotonic nanoseconds
+
+  struct Snapshot {
+    std::vector<double> boundaries;
+    std::vector<uint64_t> bucket_counts;  // boundaries.size() + 1
+    uint64_t count = 0;
+    double sum = 0.0;
+    double window_seconds = 0.0;
+
+    double Percentile(double q) const {
+      return HistogramPercentile(boundaries, bucket_counts, q);
+    }
+    double Mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+
+  WindowedHistogram(std::string name, std::vector<double> boundaries,
+                    double window_seconds = 10.0, std::size_t num_slots = 20,
+                    Clock clock = nullptr)
+      : name_(std::move(name)),
+        boundaries_(std::move(boundaries)),
+        window_seconds_(window_seconds),
+        clock_(std::move(clock)),
+        slots_(num_slots == 0 ? 1 : num_slots) {
+    if (window_seconds_ <= 0.0) window_seconds_ = 10.0;
+    slot_ns_ = static_cast<uint64_t>(window_seconds_ * 1e9 /
+                                     static_cast<double>(slots_.size()));
+    if (slot_ns_ == 0) slot_ns_ = 1;
+    for (Slot& slot : slots_) {
+      slot.counts.assign(boundaries_.size() + 1, 0);
+    }
+  }
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  void Observe(double value) {
+    const uint64_t epoch = Now() / slot_ns_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_[epoch % slots_.size()];
+    if (slot.epoch != static_cast<int64_t>(epoch)) {
+      slot.counts.assign(boundaries_.size() + 1, 0);
+      slot.sum = 0.0;
+      slot.count = 0;
+      slot.epoch = static_cast<int64_t>(epoch);
+    }
+    ++slot.counts[BucketIndex(value)];
+    slot.sum += value;
+    ++slot.count;
+  }
+
+  /// Merges the slots still inside the window ending now. The current slot
+  /// is typically partial, so the snapshot covers between (window - slot)
+  /// and window seconds of history.
+  Snapshot Snap() const {
+    const uint64_t epoch = Now() / slot_ns_;
+    Snapshot snapshot;
+    snapshot.boundaries = boundaries_;
+    snapshot.bucket_counts.assign(boundaries_.size() + 1, 0);
+    snapshot.window_seconds = window_seconds_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Slot& slot : slots_) {
+      if (slot.epoch < 0) continue;
+      const uint64_t slot_epoch = static_cast<uint64_t>(slot.epoch);
+      // Live range: (epoch - num_slots, epoch]. Anything older has been
+      // superseded by a full rotation and just hasn't been recycled yet.
+      if (slot_epoch > epoch || slot_epoch + slots_.size() <= epoch) continue;
+      for (std::size_t i = 0; i < snapshot.bucket_counts.size(); ++i) {
+        snapshot.bucket_counts[i] += slot.counts[i];
+      }
+      snapshot.sum += slot.sum;
+      snapshot.count += slot.count;
+    }
+    return snapshot;
+  }
+
+  const std::string& name() const { return name_; }
+  double window_seconds() const { return window_seconds_; }
+
+ private:
+  struct Slot {
+    int64_t epoch = -1;  // slot index this slot's counts belong to; -1 unused
+    std::vector<uint64_t> counts;
+    double sum = 0.0;
+    uint64_t count = 0;
+  };
+
+  uint64_t Now() const {
+    if (clock_) return clock_();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  std::size_t BucketIndex(double value) const {
+    return static_cast<std::size_t>(
+        std::upper_bound(boundaries_.begin(), boundaries_.end(), value) -
+        boundaries_.begin());
+  }
+
+  std::string name_;
+  std::vector<double> boundaries_;
+  double window_seconds_;
+  Clock clock_;
+  uint64_t slot_ns_ = 1;
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+};
+
 /// One merged metric in a scrape snapshot.
 struct MetricValue {
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -325,6 +484,12 @@ inline const std::vector<double>& TimeHistogramBoundaries() {
 
 /// Serializes a scrape as a JSON object keyed by metric name.
 std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// Serializes a scrape in the Prometheus text exposition format (0.0.4):
+/// metric names sanitized to [a-zA-Z0-9_:], one # TYPE line per family,
+/// histograms as cumulative `_bucket{le="..."}` series plus `_sum`/`_count`.
+/// Served by the admin endpoint as `/metrics?format=prom`.
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot);
 
 /// Scrapes the global registry and atomically writes MetricsToJson output.
 /// Defined in metrics.cc (hisrect_obs) — needs util file I/O, so hot-path

@@ -1,0 +1,257 @@
+#include "serve/introspection.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/hisrect_model.h"
+#include "core/profile_encoder.h"
+#include "obs/metrics.h"
+#include "serve/stage_trace.h"
+
+namespace hisrect::serve {
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  out->append(buffer);
+}
+
+void AppendUint(std::string* out, uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  out->append(buffer);
+}
+
+const char* PriorityName(uint8_t priority) {
+  return priority == static_cast<uint8_t>(Priority::kInteractive)
+             ? "interactive"
+             : "batch";
+}
+
+void AppendWindowSnapshot(std::string* out,
+                          const obs::WindowedHistogram::Snapshot& snap) {
+  *out += "{\"count\": ";
+  AppendUint(out, snap.count);
+  *out += ", \"mean\": ";
+  AppendDouble(out, snap.Mean());
+  *out += ", \"p50\": ";
+  AppendDouble(out, snap.Percentile(0.50));
+  *out += ", \"p95\": ";
+  AppendDouble(out, snap.Percentile(0.95));
+  *out += ", \"p99\": ";
+  AppendDouble(out, snap.Percentile(0.99));
+  *out += "}";
+}
+
+void AppendTrace(std::string* out, const StageTrace& trace) {
+  *out += "{\"request_id\": ";
+  AppendUint(out, trace.request_id);
+  *out += ", \"priority\": \"";
+  *out += PriorityName(trace.priority);
+  *out += "\", \"outcome\": \"";
+  *out += StageTraceOutcomeName(trace.outcome);
+  *out += "\", \"model_version\": ";
+  AppendUint(out, trace.model_version);
+  *out += ", \"uid_a\": ";
+  AppendDouble(out, trace.uid_a);
+  *out += ", \"uid_b\": ";
+  AppendDouble(out, trace.uid_b);
+  *out += ", \"stages\": {\"queue\": ";
+  AppendDouble(out, trace.queue_seconds);
+  *out += ", \"batch\": ";
+  AppendDouble(out, trace.batch_seconds);
+  *out += ", \"encode\": ";
+  AppendDouble(out, trace.encode_seconds);
+  *out += ", \"score\": ";
+  AppendDouble(out, trace.score_seconds);
+  *out += ", \"resolve\": ";
+  AppendDouble(out, trace.resolve_seconds);
+  *out += "}, \"total_seconds\": ";
+  AppendDouble(out, trace.total_seconds);
+  *out += ", \"stage_sum_seconds\": ";
+  AppendDouble(out, trace.StageSum());
+  *out += ", \"score\": ";
+  AppendDouble(out, trace.score);
+  *out += ", \"sequence\": ";
+  AppendUint(out, trace.sequence);
+  *out += "}";
+}
+
+}  // namespace
+
+ServerIntrospection::ServerIntrospection(const JudgementServer* server)
+    : server_(server), started_(std::chrono::steady_clock::now()) {}
+
+double ServerIntrospection::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started_)
+      .count();
+}
+
+void ServerIntrospection::RegisterHandlers(obs::AdminServer* admin) {
+  admin->Handle("/healthz",
+                [this](const std::string&) { return Healthz(); });
+  admin->Handle("/statusz",
+                [this](const std::string&) { return Statusz(); });
+  admin->Handle("/tracez",
+                [this](const std::string& query) { return Tracez(query); });
+}
+
+obs::AdminResponse ServerIntrospection::Healthz() const {
+  const bool drain = draining();
+  obs::AdminResponse response;
+  response.body = std::string("{\"status\": \"") +
+                  (drain ? "draining" : "ok") + "\", \"accepting\": " +
+                  (server_->accepting() ? "true" : "false") +
+                  ", \"draining\": " + (drain ? "true" : "false") +
+                  ", \"uptime_seconds\": ";
+  AppendDouble(&response.body, uptime_seconds());
+  response.body += "}\n";
+  return response;
+}
+
+obs::AdminResponse ServerIntrospection::Statusz() const {
+  const JudgementServer::Stats stats = server_->stats();
+  const auto depths = server_->queue_depths();
+  const std::shared_ptr<const core::HisRectModel> model = server_->model();
+  const core::ProfileEncoder& encoder = model->encoder();
+  const ServeOptions& options = server_->options();
+
+  std::string body = "{\n  \"uptime_seconds\": ";
+  AppendDouble(&body, uptime_seconds());
+  body += ",\n  \"build\": {\"compiler\": \"" __VERSION__ "\", \"mode\": \"";
+#ifdef NDEBUG
+  body += "release";
+#else
+  body += "debug";
+#endif
+  body += "\"},\n  \"accepting\": ";
+  body += server_->accepting() ? "true" : "false";
+  body += ",\n  \"draining\": ";
+  body += draining() ? "true" : "false";
+  body += ",\n  \"model_version\": ";
+  AppendUint(&body, server_->model_version());
+  body += ",\n  \"queue_depth\": {\"interactive\": ";
+  AppendUint(&body, depths[static_cast<size_t>(Priority::kInteractive)]);
+  body += ", \"batch\": ";
+  AppendUint(&body, depths[static_cast<size_t>(Priority::kBatch)]);
+  body += "},\n  \"stats\": {\"admitted\": ";
+  AppendUint(&body, stats.admitted);
+  body += ", \"rejected\": ";
+  AppendUint(&body, stats.rejected);
+  body += ", \"completed\": ";
+  AppendUint(&body, stats.completed);
+  body += ", \"batches\": ";
+  AppendUint(&body, stats.batches);
+  body += ", \"cancelled\": ";
+  AppendUint(&body, stats.cancelled);
+  body += ", \"expired\": ";
+  AppendUint(&body, stats.expired);
+  body += ", \"aborted\": ";
+  AppendUint(&body, stats.aborted);
+  body += ", \"swaps\": ";
+  AppendUint(&body, stats.swaps);
+  body += "},\n  \"encoder_cache\": {\"size\": ";
+  AppendUint(&body, encoder.cache_size());
+  body += ", \"capacity\": ";
+  AppendUint(&body, encoder.cache_capacity());
+  body += ", \"hits\": ";
+  AppendUint(&body, encoder.cache_hits());
+  body += ", \"misses\": ";
+  AppendUint(&body, encoder.cache_misses());
+  body += ", \"evictions\": ";
+  AppendUint(&body, encoder.cache_evictions());
+  body += "},\n  \"arena_bytes\": ";
+  AppendUint(&body, static_cast<uint64_t>(
+                        obs::MetricsRegistry::Global()
+                            .GetGauge("hisrect.nn.arena_bytes")
+                            ->Value()));
+  body += ",\n  \"window_latency\": ";
+  if (server_->window_latency(Priority::kInteractive) == nullptr) {
+    body += "null";
+  } else {
+    body += "{\"window_seconds\": ";
+    AppendDouble(&body, options.stats_window_s);
+    body += ", \"interactive\": ";
+    AppendWindowSnapshot(
+        &body, server_->window_latency(Priority::kInteractive)->Snap());
+    body += ", \"batch\": ";
+    AppendWindowSnapshot(&body,
+                         server_->window_latency(Priority::kBatch)->Snap());
+    body += "}";
+  }
+  body += ",\n  \"stage_traces\": ";
+  if (const StageTraceBuffer* traces = server_->stage_traces()) {
+    body += "{\"recorded\": ";
+    AppendUint(&body, traces->recorded());
+    body += ", \"capacity\": ";
+    AppendUint(&body, traces->capacity());
+    body += ", \"slow_threshold_seconds\": ";
+    AppendDouble(&body, traces->slow_threshold_seconds());
+    body += ", \"slow_retained\": ";
+    AppendUint(&body, traces->SlowExemplars().size());
+    body += "}";
+  } else {
+    body += "null";
+  }
+  body += "\n}\n";
+
+  obs::AdminResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+obs::AdminResponse ServerIntrospection::Tracez(
+    const std::string& query) const {
+  size_t max_traces = 32;
+  const size_t pos = query.find("n=");
+  if (pos != std::string::npos &&
+      (pos == 0 || query[pos - 1] == '&' || query[pos - 1] == '?')) {
+    const long parsed = std::strtol(query.c_str() + pos + 2, nullptr, 10);
+    if (parsed > 0) max_traces = static_cast<size_t>(parsed);
+  }
+
+  obs::AdminResponse response;
+  const StageTraceBuffer* traces = server_->stage_traces();
+  if (traces == nullptr) {
+    response.body =
+        "{\"error\": \"stage tracing disabled "
+        "(ServeOptions::stage_trace_capacity is 0)\"}\n";
+    response.status = 404;
+    return response;
+  }
+
+  std::string body = "{\n  \"recorded\": ";
+  AppendUint(&body, traces->recorded());
+  body += ",\n  \"traces\": [";
+  bool first = true;
+  for (const StageTrace& trace : traces->Recent(max_traces)) {
+    body += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendTrace(&body, trace);
+  }
+  body += first ? "]" : "\n  ]";
+  body += ",\n  \"slow\": [";
+  first = true;
+  for (const SlowExemplar& exemplar : traces->SlowExemplars()) {
+    body += first ? "\n    " : ",\n    ";
+    first = false;
+    body += "{\"trace\": ";
+    AppendTrace(&body, exemplar.trace);
+    body += ", \"delta_t\": ";
+    AppendDouble(&body, static_cast<double>(exemplar.delta_t));
+    body += ", \"timeout_us\": ";
+    AppendUint(&body, exemplar.timeout_us);
+    body += "}";
+  }
+  body += first ? "]" : "\n  ]";
+  body += "\n}\n";
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace hisrect::serve

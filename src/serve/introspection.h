@@ -1,0 +1,70 @@
+#ifndef HISRECT_SERVE_INTROSPECTION_H_
+#define HISRECT_SERVE_INTROSPECTION_H_
+
+// Admin-plane wiring for a JudgementServer (DESIGN.md §14).
+//
+// obs::AdminServer is deliberately ignorant of serving: it owns the socket,
+// the accept loop, and /metrics. ServerIntrospection is the serve-side
+// counterpart — it snapshots a JudgementServer and registers the remaining
+// operator surfaces:
+//
+//   /healthz  liveness + drain state ("ok" until SetDraining(true) or the
+//             server stops accepting; then "draining")
+//   /statusz  uptime, build info, model version, per-priority queue depths,
+//             encoder-cache occupancy, arena high-water bytes, lifetime
+//             Stats, and live p50/p95/p99 over the sliding window
+//   /tracez   the most recent N completed StageTraces (?n=, default 32)
+//             plus the retained slow-request exemplars
+//
+// Handlers run on the admin thread and only take the same short locks any
+// other reader of JudgementServer state takes (stats(), queue_depths(),
+// Recent()); they never touch the batcher's flush path.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "obs/admin_server.h"
+#include "serve/judgement_server.h"
+
+namespace hisrect::serve {
+
+class ServerIntrospection {
+ public:
+  /// `server` must outlive both this object and the AdminServer the
+  /// handlers are registered on.
+  explicit ServerIntrospection(const JudgementServer* server);
+
+  ServerIntrospection(const ServerIntrospection&) = delete;
+  ServerIntrospection& operator=(const ServerIntrospection&) = delete;
+
+  /// Registers /healthz, /statusz and /tracez on `admin`. `this` must
+  /// outlive `admin`'s accept loop.
+  void RegisterHandlers(obs::AdminServer* admin);
+
+  /// Flips /healthz to "draining". Call when graceful shutdown begins,
+  /// before JudgementServer::Shutdown, so load balancers see the drain
+  /// while admitted requests are still being resolved.
+  void SetDraining(bool draining) {
+    draining_.store(draining, std::memory_order_relaxed);
+  }
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed) || !server_->accepting();
+  }
+
+  double uptime_seconds() const;
+
+  // Exposed for tests; the handlers call these.
+  obs::AdminResponse Healthz() const;
+  obs::AdminResponse Statusz() const;
+  obs::AdminResponse Tracez(const std::string& query) const;
+
+ private:
+  const JudgementServer* server_;
+  std::chrono::steady_clock::time_point started_;
+  std::atomic<bool> draining_{false};
+};
+
+}  // namespace hisrect::serve
+
+#endif  // HISRECT_SERVE_INTROSPECTION_H_

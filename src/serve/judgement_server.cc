@@ -92,6 +92,21 @@ JudgementServer::JudgementServer(
   CancelledCounter();
   SwapsCounter();
   SwapRollbacksCounter();
+  if (options_.stage_trace_capacity > 0) {
+    traces_ = std::make_unique<StageTraceBuffer>(
+        options_.stage_trace_capacity, options_.slow_trace_threshold_s,
+        options_.slow_trace_capacity);
+  }
+  if (options_.stats_window_s > 0) {
+    static const char* kWindowNames[kNumPriorities] = {
+        "hisrect.serve.window_latency.interactive",
+        "hisrect.serve.window_latency.batch"};
+    for (size_t p = 0; p < kNumPriorities; ++p) {
+      window_hist_[p] = std::make_unique<obs::WindowedHistogram>(
+          kWindowNames[p], obs::TimeHistogramBoundaries(),
+          options_.stats_window_s, /*num_slots=*/20, options_.window_clock);
+    }
+  }
   batcher_ = std::thread([this] { BatchLoop(); });
 }
 
@@ -153,14 +168,14 @@ util::Result<Ticket> JudgementServer::Submit(JudgementRequest request) {
 }
 
 bool JudgementServer::Cancel(uint64_t id) {
-  std::promise<util::Result<Response>> promise;
+  Pending cancelled;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     bool found = false;
     for (std::deque<Pending>& queue : queues_) {
       for (auto it = queue.begin(); it != queue.end(); ++it) {
         if (it->id != id) continue;
-        promise = std::move(it->promise);
+        cancelled = std::move(*it);
         queue.erase(it);
         found = true;
         break;
@@ -172,7 +187,10 @@ bool JudgementServer::Cancel(uint64_t id) {
     QueueDepthGauge()->Set(static_cast<int64_t>(PendingCountLocked()));
   }
   CancelledCounter()->Increment();
-  promise.set_value(util::Status::Cancelled("cancelled by client"));
+  const auto resolved_at = std::chrono::steady_clock::now();
+  TraceUnscored(cancelled, StageTrace::Outcome::kCancelled, resolved_at,
+                resolved_at);
+  cancelled.promise.set_value(util::Status::Cancelled("cancelled by client"));
   return true;
 }
 
@@ -212,6 +230,32 @@ bool JudgementServer::accepting() const {
 size_t JudgementServer::queue_depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return PendingCountLocked();
+}
+
+std::array<size_t, kNumPriorities> JudgementServer::queue_depths() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::array<size_t, kNumPriorities> depths;
+  for (size_t p = 0; p < kNumPriorities; ++p) depths[p] = queues_[p].size();
+  return depths;
+}
+
+void JudgementServer::TraceUnscored(
+    const Pending& pending, StageTrace::Outcome outcome,
+    std::chrono::steady_clock::time_point dropped_at,
+    std::chrono::steady_clock::time_point resolved_at) {
+  if (traces_ == nullptr) return;
+  StageTrace trace;
+  trace.request_id = pending.id;
+  trace.priority = static_cast<uint8_t>(pending.request.priority);
+  trace.outcome = outcome;
+  trace.uid_a = pending.request.a.uid;
+  trace.uid_b = pending.request.b.uid;
+  trace.queue_seconds =
+      std::chrono::duration<double>(dropped_at - pending.admitted_at).count();
+  trace.resolve_seconds =
+      std::chrono::duration<double>(resolved_at - dropped_at).count();
+  trace.total_seconds = trace.queue_seconds + trace.resolve_seconds;
+  traces_->Record(trace);
 }
 
 uint64_t JudgementServer::model_version() const {
@@ -276,17 +320,19 @@ void JudgementServer::BatchLoop() {
     lock.unlock();
     for (Pending& pending : expired) {
       DeadlineExceededCounter()->Increment();
+      TraceUnscored(pending, StageTrace::Outcome::kExpired, now,
+                    std::chrono::steady_clock::now());
       pending.promise.set_value(util::Status::DeadlineExceeded(
           "deadline exceeded before batch formation"));
     }
-    if (!batch.empty()) ProcessBatch(batch, *model, version);
+    if (!batch.empty()) ProcessBatch(batch, *model, version, now);
     lock.lock();
   }
 }
 
-void JudgementServer::ProcessBatch(std::vector<Pending>& batch,
-                                   const core::HisRectModel& model,
-                                   uint64_t version) {
+void JudgementServer::ProcessBatch(
+    std::vector<Pending>& batch, const core::HisRectModel& model,
+    uint64_t version, std::chrono::steady_clock::time_point formed_at) {
   HISRECT_TRACE_SPAN("serve.batch");
   static obs::Histogram* batch_sizes =
       obs::MetricsRegistry::Global().GetHistogram("hisrect.serve.batch_size",
@@ -315,7 +361,10 @@ void JudgementServer::ProcessBatch(std::vector<Pending>& batch,
       stats_.aborted += batch.size();
       ++stats_.batches;
     }
+    const auto aborted_at = std::chrono::steady_clock::now();
     for (Pending& pending : batch) {
+      TraceUnscored(pending, StageTrace::Outcome::kAborted, formed_at,
+                    aborted_at);
       pending.promise.set_value(
           util::Status::Internal("injected score abort (serve.score_abort)"));
     }
@@ -325,14 +374,27 @@ void JudgementServer::ProcessBatch(std::vector<Pending>& batch,
   // The existing parallel inference path: per-request slots over the global
   // pool, encoder-cache handles (no deep copy on hits), ScorePairEncoded.
   // Identical arithmetic to the offline PairEvaluator path, so served
-  // scores are bitwise-equal to a batch eval of the same pairs.
+  // scores are bitwise-equal to a batch eval of the same pairs. With stage
+  // tracing on, each request additionally stamps its encode/score
+  // boundaries — clock reads only, nothing that feeds the arithmetic.
+  using TimePoint = std::chrono::steady_clock::time_point;
+  const bool tracing = traces_ != nullptr;
   std::vector<double> scores(batch.size());
+  std::vector<TimePoint> encode_start, score_start, score_end;
+  if (tracing) {
+    encode_start.resize(batch.size());
+    score_start.resize(batch.size());
+    score_end.resize(batch.size());
+  }
   util::ParallelFor(batch.size(), [&](size_t /*shard*/, size_t begin,
                                       size_t end) {
     for (size_t i = begin; i < end; ++i) {
+      if (tracing) encode_start[i] = std::chrono::steady_clock::now();
       core::EncodedProfileHandle a = model.Encode(batch[i].request.a);
       core::EncodedProfileHandle b = model.Encode(batch[i].request.b);
+      if (tracing) score_start[i] = std::chrono::steady_clock::now();
       scores[i] = model.ScorePairEncoded(*a, *b);
+      if (tracing) score_end[i] = std::chrono::steady_clock::now();
     }
   });
 
@@ -349,6 +411,38 @@ void JudgementServer::ProcessBatch(std::vector<Pending>& batch,
         std::chrono::duration<double>(completed_at - batch[i].admitted_at)
             .count();
     latencies->Observe(latency);
+    const size_t klass = static_cast<size_t>(batch[i].request.priority);
+    if (window_hist_[klass] != nullptr) window_hist_[klass]->Observe(latency);
+    if (tracing) {
+      // Stage boundaries telescope over shared timestamps, so the stage sum
+      // reproduces `latency` exactly (bench_serving and
+      // admin_server_test.cc both assert this accounting).
+      const auto seconds = [](TimePoint from, TimePoint to) {
+        return std::chrono::duration<double>(to - from).count();
+      };
+      StageTrace trace;
+      trace.request_id = batch[i].id;
+      trace.priority = static_cast<uint8_t>(klass);
+      trace.outcome = StageTrace::Outcome::kScored;
+      trace.model_version = version;
+      trace.uid_a = batch[i].request.a.uid;
+      trace.uid_b = batch[i].request.b.uid;
+      trace.queue_seconds = seconds(batch[i].admitted_at, formed_at);
+      trace.batch_seconds = seconds(formed_at, encode_start[i]);
+      trace.encode_seconds = seconds(encode_start[i], score_start[i]);
+      trace.score_seconds = seconds(score_start[i], score_end[i]);
+      trace.resolve_seconds = seconds(score_end[i], completed_at);
+      trace.total_seconds = latency;
+      trace.score = scores[i];
+      traces_->Record(trace);
+      if (latency >= traces_->slow_threshold_seconds()) {
+        SlowExemplar exemplar;
+        exemplar.trace = trace;
+        exemplar.delta_t = batch[i].request.delta_t;
+        exemplar.timeout_us = batch[i].request.timeout_us;
+        traces_->RecordSlow(std::move(exemplar));
+      }
+    }
     Response response;
     response.judgement = Judgement{scores[i], CoLocatedScore(scores[i])};
     response.model_version = version;

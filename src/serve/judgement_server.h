@@ -37,6 +37,7 @@
 // Shutdown() stops admission, drains every already-admitted request, and
 // joins the batcher; no admitted future is ever left hanging.
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -49,6 +50,8 @@
 
 #include "core/hisrect_model.h"
 #include "data/types.h"
+#include "obs/metrics.h"
+#include "serve/stage_trace.h"
 #include "util/status.h"
 
 namespace hisrect::serve {
@@ -75,6 +78,25 @@ struct ServeOptions {
   /// Admission bound for Priority::kBatch. Size it smaller than `max_queue`
   /// so overload sheds batch traffic first.
   size_t max_batch_queue = 1024;
+
+  // --- Introspection (DESIGN.md §14). All off by default; none of it
+  // changes served scores (determinism contract, serve_test.cc).
+
+  /// Stage-trace ring capacity (requests). 0 disables per-request stage
+  /// tracing entirely — no clock reads beyond the existing latency stamp.
+  size_t stage_trace_capacity = 0;
+  /// Requests slower than this (seconds, admission to resolution) are also
+  /// kept as full SlowExemplars. Only meaningful with tracing enabled.
+  double slow_trace_threshold_s = 0.050;
+  /// How many slow exemplars to retain (the slowest win).
+  size_t slow_trace_capacity = 16;
+  /// Sliding window (seconds) for live per-priority latency percentiles
+  /// (window_latency(), /statusz). 0 disables the windowed histograms.
+  double stats_window_s = 0.0;
+  /// Clock for the windowed histograms, monotonic nanoseconds; nullptr =
+  /// std::chrono::steady_clock. Tests inject one to make decay
+  /// deterministic.
+  obs::WindowedHistogram::Clock window_clock = nullptr;
 };
 
 /// One online query: are the two profile owners co-located within
@@ -188,6 +210,19 @@ class JudgementServer {
   /// Pending (admitted, not yet scored) requests right now, both classes.
   size_t queue_depth() const;
 
+  /// Pending requests per priority class (indexed by Priority).
+  std::array<size_t, kNumPriorities> queue_depths() const;
+
+  /// The stage-trace buffer, or nullptr when `stage_trace_capacity` is 0.
+  /// Valid for the server's lifetime.
+  const StageTraceBuffer* stage_traces() const { return traces_.get(); }
+
+  /// Windowed latency histogram for one priority class (scored requests
+  /// only), or nullptr when `stats_window_s` is 0.
+  const obs::WindowedHistogram* window_latency(Priority priority) const {
+    return window_hist_[static_cast<size_t>(priority)].get();
+  }
+
   /// The currently published model version.
   uint64_t model_version() const;
 
@@ -223,9 +258,15 @@ class JudgementServer {
 
   void BatchLoop();
   void ProcessBatch(std::vector<Pending>& batch,
-                    const core::HisRectModel& model, uint64_t version);
+                    const core::HisRectModel& model, uint64_t version,
+                    std::chrono::steady_clock::time_point formed_at);
   bool Cancel(uint64_t id);
   size_t PendingCountLocked() const;
+  /// Records a trace for a request resolved without scoring (expired /
+  /// cancelled / aborted). No-op when tracing is disabled.
+  void TraceUnscored(const Pending& pending, StageTrace::Outcome outcome,
+                     std::chrono::steady_clock::time_point dropped_at,
+                     std::chrono::steady_clock::time_point resolved_at);
 
   ServeOptions options_;
 
@@ -238,6 +279,9 @@ class JudgementServer {
   uint64_t next_id_ = 1;
   bool stopping_ = false;
   Stats stats_;
+  /// Created in the constructor, immutable after; both have internal locks.
+  std::unique_ptr<StageTraceBuffer> traces_;
+  std::unique_ptr<obs::WindowedHistogram> window_hist_[kNumPriorities];
   std::thread batcher_;
 };
 

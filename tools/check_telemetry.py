@@ -34,6 +34,16 @@ Checks (any subset, per the flags given):
                            ≥1.2x int8-vs-plan throughput gate lives in
                            run_benches.sh, not here — throughput belongs to
                            the bench harness, correctness to this checker.)
+  --admin snapshots.jsonl  Admin-endpoint poll capture (one JSON object per
+                           line, each {"statusz": ..., "metrics": ...} as
+                           scraped from a live --admin-port server): required
+                           /statusz keys present, uptime and the serving
+                           counters monotonically non-decreasing across
+                           polls, the admin request counter strictly
+                           increasing (every poll is itself a scrape), live
+                           window percentiles ordered (p50 <= p95 <= p99),
+                           and stage-trace accounting visible (recorded
+                           traces track admitted requests).
   --expect-plan            with --metrics: require the recorded-plan series
                            (hisrect.nn.tensor_allocs, hisrect.nn.arena_bytes,
                            hisrect.nn.plan_cache_{hits,misses}) with cache
@@ -263,6 +273,137 @@ def check_serve_metrics(path):
             )
 
 
+STATUSZ_REQUIRED_KEYS = (
+    "uptime_seconds",
+    "build",
+    "accepting",
+    "draining",
+    "model_version",
+    "queue_depth",
+    "stats",
+    "encoder_cache",
+    "arena_bytes",
+    "window_latency",
+    "stage_traces",
+)
+
+# Serving counters that must never decrease across successive scrapes of the
+# same process.
+STATUSZ_MONOTONIC_STATS = (
+    "admitted",
+    "rejected",
+    "completed",
+    "batches",
+    "cancelled",
+    "expired",
+    "aborted",
+    "swaps",
+)
+
+
+def check_admin(path):
+    """Validates a JSONL capture of live /statusz + /metrics polls."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line.strip()]
+    except OSError as exc:
+        fail(f"{path}: cannot read: {exc}")
+        return
+    if len(lines) < 2:
+        fail(f"{path}: want at least 2 poll snapshots to check monotonicity, "
+             f"got {len(lines)}")
+        return
+    snapshots = []
+    for number, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{number}: not JSON: {exc}")
+            return
+        if "statusz" not in record or "metrics" not in record:
+            fail(f"{path}:{number}: snapshot missing 'statusz' or 'metrics'")
+            return
+        snapshots.append(record)
+
+    previous_stats = None
+    previous_uptime = None
+    previous_admin_requests = None
+    previous_recorded = None
+    for number, snapshot in enumerate(snapshots, start=1):
+        statusz = snapshot["statusz"]
+        for key in STATUSZ_REQUIRED_KEYS:
+            if key not in statusz:
+                fail(f"{path}:{number}: /statusz missing '{key}'")
+                return
+        for klass in ("interactive", "batch"):
+            if klass not in statusz["queue_depth"]:
+                fail(f"{path}:{number}: queue_depth missing '{klass}'")
+        uptime = statusz["uptime_seconds"]
+        if previous_uptime is not None and uptime < previous_uptime:
+            fail(f"{path}:{number}: uptime went backwards "
+                 f"({previous_uptime} -> {uptime})")
+        previous_uptime = uptime
+        stats = statusz["stats"]
+        for key in STATUSZ_MONOTONIC_STATS:
+            if key not in stats:
+                fail(f"{path}:{number}: stats missing '{key}'")
+                return
+            if previous_stats is not None and stats[key] < previous_stats[key]:
+                fail(
+                    f"{path}:{number}: counter stats.{key} decreased "
+                    f"({previous_stats[key]} -> {stats[key]})"
+                )
+        previous_stats = stats
+        window = statusz["window_latency"]
+        if window is not None:
+            for klass in ("interactive", "batch"):
+                live = window.get(klass)
+                if live is None:
+                    fail(f"{path}:{number}: window_latency missing '{klass}'")
+                    continue
+                if live.get("count", 0) > 0:
+                    p50, p95, p99 = live["p50"], live["p95"], live["p99"]
+                    if not p50 <= p95 <= p99:
+                        fail(
+                            f"{path}:{number}: live {klass} percentiles not "
+                            f"ordered: p50={p50} p95={p95} p99={p99}"
+                        )
+        traces = statusz["stage_traces"]
+        if traces is not None:
+            recorded = traces.get("recorded", 0)
+            if previous_recorded is not None and recorded < previous_recorded:
+                fail(f"{path}:{number}: stage_traces.recorded decreased "
+                     f"({previous_recorded} -> {recorded})")
+            previous_recorded = recorded
+            # Every admitted request leaves exactly one trace; a scrape can
+            # race a completion, so allow recorded to trail admitted.
+            if recorded > stats["admitted"]:
+                fail(
+                    f"{path}:{number}: {recorded} stage traces for only "
+                    f"{stats['admitted']} admitted requests"
+                )
+        admin_requests = (
+            snapshot["metrics"]
+            .get("hisrect.admin.requests", {})
+            .get("value")
+        )
+        if admin_requests is None:
+            fail(f"{path}:{number}: /metrics missing hisrect.admin.requests")
+        elif (previous_admin_requests is not None
+              and admin_requests <= previous_admin_requests):
+            fail(
+                f"{path}:{number}: hisrect.admin.requests did not advance "
+                f"between polls ({previous_admin_requests} -> "
+                f"{admin_requests}) — each poll is itself a scrape"
+            )
+        if admin_requests is not None:
+            previous_admin_requests = admin_requests
+
+    last_traces = snapshots[-1]["statusz"]["stage_traces"]
+    if last_traces is not None and last_traces.get("recorded", 0) <= 0:
+        fail(f"{path}: tracing enabled but no stage trace was ever recorded")
+
+
 def check_serving(path):
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -367,6 +508,48 @@ def check_serving(path):
         if overload["swap_rollbacks"] != 0:
             fail(f"{path}: {overload['swap_rollbacks']} unexpected swap "
                  "rollback(s) during the overload run")
+        stages = overload.get("stages")
+        if stages is not None:
+            for stage in ("queue", "batch", "encode", "score", "resolve"):
+                if stage not in stages:
+                    fail(f"{path}: overload stages missing '{stage}'")
+                    continue
+                for key in ("mean_ms", "p99_ms"):
+                    if stages[stage].get(key, -1) < 0:
+                        fail(
+                            f"{path}: overload stage {stage}.{key} is "
+                            f"{stages[stage].get(key)!r}; want >= 0"
+                        )
+            if overload.get("trace_accounting_ok") is not True:
+                fail(
+                    f"{path}: stage-trace accounting failed — per-stage sums "
+                    "must reproduce each request's measured latency within 1%"
+                )
+            if overload.get("traces_scored", 0) <= 0:
+                fail(f"{path}: overload recorded no scored stage traces")
+            if overload.get("admin_polls", 0) <= 0:
+                fail(f"{path}: no admin scrape landed during the overload run")
+    admin = record.get("admin")
+    if admin is not None:
+        for key in ("ran", "p99_noadmin_ms", "p99_admin_ms", "polls",
+                    "requests_per_mode", "ok"):
+            if key not in admin:
+                fail(f"{path}: admin record missing '{key}'")
+                return
+        if admin["ran"] is not True:
+            fail(f"{path}: admin A/B phase never ran")
+        if admin["ok"] is not True:
+            fail(
+                f"{path}: admin overhead gate failed — p99 with a 10 Hz "
+                f"scraper ({admin['p99_admin_ms']}ms) exceeds 1.05x the "
+                f"admin-disabled run ({admin['p99_noadmin_ms']}ms)"
+            )
+        if admin["polls"] < 5:
+            fail(f"{path}: admin A/B saw only {admin['polls']} scrape(s); "
+                 "the instrumented mode was not meaningfully polled")
+        if admin["requests_per_mode"] < 100:
+            fail(f"{path}: admin A/B scored only "
+                 f"{admin['requests_per_mode']} requests per mode")
     variants = record.get("variants")
     if variants is not None:
         by_name = {}
@@ -410,14 +593,20 @@ def main():
     parser.add_argument("--metrics", help="metrics JSON to validate")
     parser.add_argument("--serving", help="BENCH_serving.json to validate")
     parser.add_argument(
+        "--admin",
+        help="JSONL capture of live /statusz + /metrics polls to validate",
+    )
+    parser.add_argument(
         "--expect-plan",
         action="store_true",
         help="with --metrics: require the recorded-plan metric series",
     )
     args = parser.parse_args()
-    if not (args.trace or args.telemetry or args.metrics or args.serving):
+    if not (args.trace or args.telemetry or args.metrics or args.serving
+            or args.admin):
         parser.error(
             "nothing to check: pass --trace/--telemetry/--metrics/--serving"
+            "/--admin"
         )
     if args.trace:
         check_trace(args.trace)
@@ -433,6 +622,8 @@ def main():
         parser.error("--expect-plan requires --metrics")
     if args.serving:
         check_serving(args.serving)
+    if args.admin:
+        check_admin(args.admin)
     if errors:
         for message in errors:
             print(f"check_telemetry: {message}", file=sys.stderr)

@@ -8,6 +8,7 @@
 //                 [--deadline-ms N] [--priority interactive|batch]
 //                 [--metrics-out FILE] [--failpoints SPEC]
 //                 [--plan] [--fuse] [--int8]
+//                 [--admin-port N] [--linger-ms N]
 //
 // Loads a model saved by `hisrect_cli train --out FILE` (or trains one from
 // scratch when neither --model nor --registry-dir is given), stands up a
@@ -25,6 +26,15 @@
 // sheds batch traffic first. `--failpoints` arms util::FailPoint specs
 // ("point=hit[:payload],...") for fault drills. All flags are validated up
 // front; invalid usage exits 2 with a message instead of CHECK-failing.
+//
+// `--admin-port N` stands up the live introspection plane (DESIGN.md §14)
+// on 127.0.0.1:N (0 picks an ephemeral port, printed at startup): /metrics,
+// /healthz, /statusz, /tracez, plus stage tracing and 10s-window latency
+// percentiles on the server. `--linger-ms N` keeps the process (and the
+// admin endpoint) alive that long after the request sweep, so external
+// pollers like `hisrect_top` have a live window; /healthz flips to
+// "draining" when the graceful shutdown begins. Successful SIGHUP reloads
+// increment `hisrect.serve.reloads`.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -34,13 +44,16 @@
 #include <future>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/hisrect_model.h"
 #include "core/text_model.h"
 #include "data/presets.h"
+#include "obs/admin_server.h"
 #include "obs/metrics.h"
+#include "serve/introspection.h"
 #include "serve/judgement_server.h"
 #include "serve/model_registry.h"
 #include "util/fail_point.h"
@@ -82,6 +95,11 @@ struct ServeCliOptions {
   bool plan = false;
   bool fuse = false;
   bool int8 = false;
+  /// Admin endpoint port: -1 off (default), 0 ephemeral, else fixed.
+  int admin_port = -1;
+  /// Keep the process alive this long after the request sweep (admin
+  /// endpoint stays scrapeable; SIGHUP reloads still apply).
+  uint64_t linger_ms = 0;
 };
 
 int Usage() {
@@ -98,7 +116,12 @@ int Usage() {
                "[--priority interactive|batch]\n"
                "                     [--metrics-out FILE] [--failpoints SPEC]\n"
                "                     [--plan] [--fuse] [--int8]\n"
+               "                     [--admin-port N] [--linger-ms N]\n"
                "\n"
+               "--admin-port N: serve /metrics /healthz /statusz /tracez on "
+               "127.0.0.1:N\n"
+               "                (0 = ephemeral; the bound port is printed at "
+               "startup).\n"
                "SIGHUP (with --registry-dir): hot-swap the newest *.bin in "
                "the directory.\n");
   return 2;
@@ -170,6 +193,12 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions& options) {
     } else if (arg == "--failpoints") {
       if ((v = next()) == nullptr) return false;
       options.failpoints = v;
+    } else if (arg == "--admin-port") {
+      if ((v = next()) == nullptr) return false;
+      options.admin_port = std::atoi(v);
+    } else if (arg == "--linger-ms") {
+      if ((v = next()) == nullptr) return false;
+      options.linger_ms = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--plan") {
       options.plan = true;
     } else if (arg == "--fuse") {
@@ -206,6 +235,9 @@ int Validate(const ServeCliOptions& options) {
   if (options.priority != "interactive" && options.priority != "batch") {
     return Invalid("--priority must be 'interactive' or 'batch', got '" +
                    options.priority + "'");
+  }
+  if (options.admin_port > 65535) {
+    return Invalid("--admin-port must be in [0, 65535]");
   }
   if (!options.model_path.empty() && !options.registry_dir.empty()) {
     return Invalid("--model and --registry-dir are mutually exclusive");
@@ -320,6 +352,12 @@ int Run(int argc, char** argv) {
   serve_options.max_wait_us = options.max_wait_us;
   serve_options.max_queue = options.max_queue;
   serve_options.max_batch_queue = options.max_batch_queue;
+  if (options.admin_port >= 0) {
+    // The introspection plane wants stage traces and live percentiles;
+    // both stay off without --admin-port (zero overhead by default).
+    serve_options.stage_trace_capacity = 1u << 14;
+    serve_options.stats_window_s = 10.0;
+  }
   auto server =
       use_registry
           ? std::make_unique<serve::JudgementServer>(
@@ -328,6 +366,24 @@ int Run(int argc, char** argv) {
                                                      serve_options);
   if (use_registry) registry.Attach(server.get());
 
+  serve::ServerIntrospection introspection(server.get());
+  obs::AdminServer admin;
+  if (options.admin_port >= 0) {
+    introspection.RegisterHandlers(&admin);
+    util::Status status =
+        admin.Start(static_cast<uint16_t>(options.admin_port));
+    if (!status.ok()) {
+      std::fprintf(stderr, "admin endpoint failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "admin endpoint on http://127.0.0.1:%u "
+        "(/metrics /healthz /statusz /tracez)\n",
+        admin.port());
+    std::fflush(stdout);
+  }
+
   const serve::Priority priority = options.priority == "batch"
                                        ? serve::Priority::kBatch
                                        : serve::Priority::kInteractive;
@@ -335,6 +391,10 @@ int Run(int argc, char** argv) {
   // A SIGHUP observed between submissions (or between collected responses)
   // triggers a zero-downtime hot swap: in-flight batches finish on the old
   // version while the newest checkpoint loads and warms off the hot path.
+  // Registered eagerly so every metrics dump carries the series, even at
+  // zero reloads (check_telemetry.py --serving).
+  obs::Counter* reloads =
+      obs::MetricsRegistry::Global().GetCounter("hisrect.serve.reloads");
   auto maybe_reload = [&] {
     if (!use_registry || !g_reload_requested) return;
     g_reload_requested = 0;
@@ -346,6 +406,7 @@ int Run(int argc, char** argv) {
     }
     auto version = registry.Deploy(newest);
     if (version.ok()) {
+      reloads->Increment();
       std::printf("reload: deployed %s as v%llu\n", newest.c_str(),
                   static_cast<unsigned long long>(version.value()));
     } else {
@@ -405,6 +466,20 @@ int Run(int argc, char** argv) {
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  // Hold the process open for external pollers (hisrect_top, the bench
+  // smoke) before draining; SIGHUP reloads still land during the window.
+  if (options.linger_ms > 0) {
+    const auto linger_until =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options.linger_ms);
+    while (std::chrono::steady_clock::now() < linger_until) {
+      maybe_reload();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  // Graceful shutdown: advertise the drain first so /healthz flips to
+  // "draining" while admitted requests are still being resolved.
+  introspection.SetDraining(true);
   server->Shutdown();
   if (use_registry) registry.Attach(nullptr);
 

@@ -1,0 +1,406 @@
+// Live operator view over a hisrect_serve admin endpoint:
+//
+//   hisrect_top [--host H] [--port P] [--interval-ms N] [--iterations N]
+//               [--no-clear]
+//
+// Polls /statusz and /metrics (DESIGN.md §14) and renders a refreshing
+// one-screen summary: throughput since the previous poll, live latency
+// percentiles per priority class over the server's sliding window, queue
+// depths, sheds, hot swaps and reloads, and encoder-cache hit rate. Pure
+// client — plain HTTP/1.0 GETs over a loopback socket, a minimal JSON
+// reader for the two admin documents, no external dependencies.
+//
+// `--iterations N` exits after N polls (0 = run until interrupted or the
+// endpoint goes away); `--no-clear` appends frames instead of redrawing,
+// which is what scripted smokes use. Exits 1 when the first poll fails.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hisrect {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough for the admin documents this repo emits
+// (objects, arrays, strings without exotic escapes, numbers, true/false/null).
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  double Num(const std::string& key, double fallback = 0.0) const {
+    const JsonValue* v = Find(key);
+    return (v != nullptr && v->kind == Kind::kNumber) ? v->number : fallback;
+  }
+  std::string Str(const std::string& key) const {
+    const JsonValue* v = Find(key);
+    return (v != nullptr && v->kind == Kind::kString) ? v->string : "";
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    pos_ = 0;
+    return ParseValue(out) && (SkipSpace(), pos_ == text_.size());
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: c = esc; break;
+        }
+      }
+      out->push_back(c);
+    }
+    return pos_ < text_.size() && text_[pos_++] == '"';
+  }
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        std::string key;
+        JsonValue value;
+        if (!ParseString(&key) || !Consume(':') || !ParseValue(&value)) {
+          return false;
+        }
+        out->object.emplace(std::move(key), std::move(value));
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    char* end = nullptr;
+    const double number = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = number;
+    pos_ = static_cast<size_t>(end - text_.c_str());
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// One-shot HTTP/1.0 GET; returns false on any connect/IO/HTTP failure.
+
+bool HttpGet(const std::string& host, uint16_t port, const std::string& path,
+             std::string* body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  timeval tv{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) return false;
+  if (response.compare(0, 9, "HTTP/1.0 ") != 0 &&
+      response.compare(0, 9, "HTTP/1.1 ") != 0) {
+    return false;
+  }
+  if (response.compare(9, 3, "200") != 0) return false;
+  *body = response.substr(head_end + 4);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+struct TopOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  uint64_t interval_ms = 1000;
+  uint64_t iterations = 0;  // 0 = until interrupted.
+  bool clear = true;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hisrect_top --port P [--host H] [--interval-ms N]\n"
+               "                   [--iterations N] [--no-clear]\n");
+  return 2;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[32];
+  if (seconds <= 0.0) {
+    std::snprintf(buffer, sizeof(buffer), "-");
+  } else if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", seconds);
+  }
+  return buffer;
+}
+
+void PrintWindowRow(const char* label, const JsonValue* window) {
+  if (window == nullptr || window->kind != JsonValue::Kind::kObject) return;
+  std::printf("  %-12s %10.0f %11s %10s %10s %10s\n", label,
+              window->Num("count"),
+              FormatSeconds(window->Num("mean")).c_str(),
+              FormatSeconds(window->Num("p50")).c_str(),
+              FormatSeconds(window->Num("p95")).c_str(),
+              FormatSeconds(window->Num("p99")).c_str());
+}
+
+int Run(int argc, char** argv) {
+  TopOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host") {
+      if ((v = next()) == nullptr) return Usage();
+      options.host = v;
+    } else if (arg == "--port") {
+      if ((v = next()) == nullptr) return Usage();
+      options.port = std::atoi(v);
+    } else if (arg == "--interval-ms") {
+      if ((v = next()) == nullptr) return Usage();
+      options.interval_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--iterations") {
+      if ((v = next()) == nullptr) return Usage();
+      options.iterations = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--no-clear") {
+      options.clear = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (options.port <= 0 || options.port > 65535) {
+    std::fprintf(stderr, "hisrect_top: --port is required\n");
+    return Usage();
+  }
+  const uint16_t port = static_cast<uint16_t>(options.port);
+
+  double previous_completed = -1.0;
+  auto previous_poll = std::chrono::steady_clock::now();
+  for (uint64_t iteration = 0;
+       options.iterations == 0 || iteration < options.iterations;
+       ++iteration) {
+    std::string statusz_body;
+    std::string metrics_body;
+    const bool ok =
+        HttpGet(options.host, port, "/statusz", &statusz_body) &&
+        HttpGet(options.host, port, "/metrics", &metrics_body);
+    if (!ok) {
+      if (iteration == 0) {
+        std::fprintf(stderr, "hisrect_top: no admin endpoint at %s:%u\n",
+                     options.host.c_str(), port);
+        return 1;
+      }
+      std::printf("endpoint at %s:%u went away; exiting\n",
+                  options.host.c_str(), port);
+      return 0;
+    }
+    JsonValue statusz;
+    JsonValue metrics;
+    if (!JsonParser(statusz_body).Parse(&statusz) ||
+        !JsonParser(metrics_body).Parse(&metrics)) {
+      std::fprintf(stderr, "hisrect_top: unparseable admin response\n");
+      return 1;
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    const double dt =
+        std::chrono::duration<double>(now - previous_poll).count();
+    previous_poll = now;
+
+    const JsonValue* stats = statusz.Find("stats");
+    const double completed = stats != nullptr ? stats->Num("completed") : 0;
+    const double qps = (previous_completed >= 0.0 && dt > 0)
+                           ? (completed - previous_completed) / dt
+                           : 0.0;
+    previous_completed = completed;
+
+    auto counter = [&](const char* name) -> double {
+      const JsonValue* metric = metrics.Find(name);
+      return metric != nullptr ? metric->Num("value") : 0.0;
+    };
+
+    if (options.clear) std::printf("\x1b[H\x1b[2J");
+    const JsonValue* draining = statusz.Find("draining");
+    std::printf("hisrect_top — %s:%u   uptime %.1fs   model v%.0f   %s\n",
+                options.host.c_str(), port, statusz.Num("uptime_seconds"),
+                statusz.Num("model_version"),
+                (draining != nullptr && draining->boolean) ? "DRAINING"
+                                                           : "serving");
+    if (stats != nullptr) {
+      std::printf(
+          "qps %.1f   admitted %.0f   completed %.0f   shed %.0f   "
+          "expired %.0f   cancelled %.0f\n",
+          qps, stats->Num("admitted"), completed, stats->Num("rejected"),
+          stats->Num("expired"), stats->Num("cancelled"));
+    }
+    const JsonValue* window = statusz.Find("window_latency");
+    if (window != nullptr && window->kind == JsonValue::Kind::kObject) {
+      std::printf("window (%.0fs)        count        mean        p50"
+                  "        p95        p99\n",
+                  window->Num("window_seconds"));
+      PrintWindowRow("interactive", window->Find("interactive"));
+      PrintWindowRow("batch", window->Find("batch"));
+    }
+    const JsonValue* queues = statusz.Find("queue_depth");
+    if (queues != nullptr && stats != nullptr) {
+      std::printf(
+          "queues: interactive %.0f / batch %.0f   batches %.0f   "
+          "swaps %.0f   reloads %.0f\n",
+          queues->Num("interactive"), queues->Num("batch"),
+          stats->Num("batches"), stats->Num("swaps"),
+          counter("hisrect.serve.reloads"));
+    }
+    const JsonValue* cache = statusz.Find("encoder_cache");
+    if (cache != nullptr) {
+      const double hits = cache->Num("hits");
+      const double lookups = hits + cache->Num("misses");
+      std::printf(
+          "encoder cache: %.0f/%.0f entries   hit rate %.1f%%   "
+          "arena %.1f KiB\n",
+          cache->Num("size"), cache->Num("capacity"),
+          lookups > 0 ? 100.0 * hits / lookups : 0.0,
+          statusz.Num("arena_bytes") / 1024.0);
+    }
+    const JsonValue* traces = statusz.Find("stage_traces");
+    if (traces != nullptr && traces->kind == JsonValue::Kind::kObject) {
+      std::printf(
+          "stage traces: recorded %.0f   slow retained %.0f "
+          "(threshold %s)\n",
+          traces->Num("recorded"), traces->Num("slow_retained"),
+          FormatSeconds(traces->Num("slow_threshold_seconds")).c_str());
+    }
+    std::fflush(stdout);
+
+    if (options.iterations != 0 && iteration + 1 == options.iterations) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.interval_ms));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hisrect
+
+int main(int argc, char** argv) { return hisrect::Run(argc, argv); }

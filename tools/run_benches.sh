@@ -60,6 +60,89 @@ python3 tools/check_telemetry.py \
 HISRECT_BENCH_OUT="$OUT_DIR" "$BUILD_DIR/bench/bench_serving"
 python3 tools/check_telemetry.py --serving "$OUT_DIR/BENCH_serving.json"
 
+# Admin-plane smoke gate (DESIGN.md §14): stand up hisrect_serve with the
+# live introspection endpoint, poll /statusz + /metrics 10x at 10 Hz while
+# the process serves and then lingers, and validate the capture (required
+# keys, monotonic counters, ordered live percentiles, stage-trace
+# accounting) with check_telemetry.py --admin.
+admin_dir="$OUT_DIR/admin_smoke"
+mkdir -p "$admin_dir"
+"$BUILD_DIR/tools/hisrect_serve" --preset nyc --scale 0.1 --seed 7 \
+  --ssl-steps 60 --judge-steps 40 --requests 64 \
+  --admin-port 0 --linger-ms 20000 > "$admin_dir/serve.log" 2>&1 &
+serve_pid=$!
+admin_port=""
+for _ in $(seq 1 300); do
+  admin_port=$(grep -oE 'http://127\.0\.0\.1:[0-9]+' "$admin_dir/serve.log" \
+    | head -1 | sed 's/.*://') || true
+  [ -n "$admin_port" ] && break
+  if ! kill -0 "$serve_pid" 2>/dev/null; then
+    echo "run_benches: hisrect_serve exited before the admin endpoint came up"
+    cat "$admin_dir/serve.log"
+    exit 1
+  fi
+  sleep 0.2
+done
+if [ -z "$admin_port" ]; then
+  echo "run_benches: admin endpoint never appeared in serve.log"
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+python3 - "$admin_port" "$admin_dir/snapshots.jsonl" <<'EOF'
+import json
+import sys
+import time
+import urllib.request
+
+port, out_path = sys.argv[1], sys.argv[2]
+
+def get(path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=5
+    ) as response:
+        return json.loads(response.read())
+
+with open(out_path, "w", encoding="utf-8") as out:
+    for poll in range(10):
+        snapshot = {"statusz": get("/statusz"), "metrics": get("/metrics")}
+        out.write(json.dumps(snapshot) + "\n")
+        time.sleep(0.1)
+healthz = get("/healthz")
+if healthz.get("status") not in ("ok", "draining"):
+    print(f"run_benches: unexpected /healthz: {healthz}")
+    sys.exit(1)
+tracez = get("/tracez?n=4")
+if not tracez.get("traces"):
+    print(f"run_benches: /tracez returned no traces: {tracez}")
+    sys.exit(1)
+print(f"run_benches: polled admin endpoint on :{port} 10x at 10 Hz")
+EOF
+python3 tools/check_telemetry.py --admin "$admin_dir/snapshots.jsonl"
+wait "$serve_pid"
+
+# Admin overhead gate: re-assert from BENCH_serving.json that a 10 Hz
+# scraper against the instrumented server kept interactive p99 within 5% of
+# the admin-disabled A/B leg.
+python3 - "$OUT_DIR/BENCH_serving.json" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+admin = doc.get("admin")
+if not admin:
+    print("run_benches: BENCH_serving.json has no admin record")
+    sys.exit(1)
+if admin.get("ok") is not True:
+    print(f"run_benches: admin overhead gate failed: {admin}")
+    sys.exit(1)
+print(
+    "run_benches: admin overhead OK — p99 "
+    f"{admin['p99_admin_ms']:.2f}ms with a 10 Hz scraper vs "
+    f"{admin['p99_noadmin_ms']:.2f}ms without "
+    f"({admin['polls']} polls, {admin['requests_per_mode']} req/mode)"
+)
+EOF
+
 # Overload / hot-swap gate: restate the robustness numbers so a regression
 # is visible in the bench log, not just as a check_telemetry failure.
 python3 - "$OUT_DIR/BENCH_serving.json" <<'EOF'
