@@ -1,9 +1,11 @@
 #ifndef HISRECT_BENCH_BENCH_COMMON_H_
 #define HISRECT_BENCH_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/registry.h"
 #include "core/text_model.h"
@@ -14,6 +16,21 @@
 #include "obs/timer.h"
 
 namespace hisrect::bench {
+
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// element whose rank covers q*n of the mass, i.e. index ceil(q*n)-1.
+/// (The naive q*n index is one element high whenever q*n is an exact rank:
+/// p50 of a 2-element vector must read [0], p99 of 100 samples [98].)
+/// Shared by the bench harnesses; takes the vector by const ref — latency
+/// vectors get large and are queried for several quantiles each.
+inline double SortedPercentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  size_t index = static_cast<size_t>(std::ceil(rank));
+  if (index > 0) --index;  // 1-based rank -> 0-based index; q=0 stays at 0.
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
 
 /// Shared wall-clock phase timer for the bench harness. Same mid-scope read
 /// interface as util::Stopwatch, but every timed phase is also observed into

@@ -7,8 +7,12 @@
 // evictions. Serving runs on the recorded-plan path (config.plan.enabled):
 // the closed-loop load warms every pair shape, after which scoring must do
 // zero tensor allocations — measured across the verification pass and gated
-// in the exit code. Emits machine-readable bench_out/BENCH_serving.json for
-// tools/run_benches.sh and tools/check_telemetry.py.
+// in the exit code. A hash-sharded ShardRouter phase (DESIGN.md §15) gates
+// shard-count admission-capacity scaling, bitwise identity through the
+// router, an all-or-nothing fleet deploy with an injected one-shard warmup
+// failure, and shard balance under a burst/diurnal open-loop replay. Emits
+// machine-readable bench_out/BENCH_serving.json for tools/run_benches.sh
+// and tools/check_telemetry.py.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -38,19 +42,14 @@
 #include "serve/introspection.h"
 #include "serve/judgement_server.h"
 #include "serve/model_registry.h"
+#include "serve/shard_router.h"
 #include "serve/stage_trace.h"
+#include "util/fail_point.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
 namespace hisrect::bench {
 namespace {
-
-double Percentile(std::vector<double> sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  size_t index = static_cast<size_t>(q * static_cast<double>(sorted.size()));
-  if (index >= sorted.size()) index = sorted.size() - 1;
-  return sorted[index];
-}
 
 struct HistDelta {
   std::vector<double> boundaries;
@@ -216,9 +215,9 @@ int Run() {
   std::sort(all_latencies.begin(), all_latencies.end());
   const double qps =
       static_cast<double>(all_latencies.size()) / load_seconds;
-  const double p50_ms = Percentile(all_latencies, 0.50) * 1e3;
-  const double p95_ms = Percentile(all_latencies, 0.95) * 1e3;
-  const double p99_ms = Percentile(all_latencies, 0.99) * 1e3;
+  const double p50_ms = SortedPercentile(all_latencies, 0.50) * 1e3;
+  const double p95_ms = SortedPercentile(all_latencies, 0.95) * 1e3;
+  const double p99_ms = SortedPercentile(all_latencies, 0.99) * 1e3;
   const HistDelta batch_hist =
       HistogramDelta(before, after, "hisrect.serve.batch_size");
   const double mean_batch =
@@ -491,7 +490,7 @@ int Run() {
         poll_stop.store(true, std::memory_order_relaxed);
         if (poller.joinable()) poller.join();
         overload_admin.Stop();
-        registry.Attach(nullptr);
+        registry.Detach();
 
         // Stage accounting: one trace per admitted request, and retained
         // scored traces must telescope — stage sum == latency_seconds
@@ -533,7 +532,7 @@ int Run() {
             std::sort(stage_vals[s].begin(), stage_vals[s].end());
             stats_out[s]->mean_ms =
                 total / static_cast<double>(stage_vals[s].size()) * 1e3;
-            stats_out[s]->p99_ms = Percentile(stage_vals[s], 0.99) * 1e3;
+            stats_out[s]->p99_ms = SortedPercentile(stage_vals[s], 0.99) * 1e3;
           }
         }
 
@@ -584,8 +583,8 @@ int Run() {
         collect(batch_subs, false);
         std::sort(unc_lat.begin(), unc_lat.end());
         std::sort(over_lat.begin(), over_lat.end());
-        out.p99_uncontended_ms = Percentile(unc_lat, 0.99) * 1e3;
-        out.p99_overload_ms = Percentile(over_lat, 0.99) * 1e3;
+        out.p99_uncontended_ms = SortedPercentile(unc_lat, 0.99) * 1e3;
+        out.p99_overload_ms = SortedPercentile(over_lat, 0.99) * 1e3;
         out.ratio_ok = unc_lat.size() >= 50 && over_lat.size() >= 50 &&
                        out.p99_overload_ms <= 2.0 * out.p99_uncontended_ms;
         out.shed_ok = out.batch_shed > 0;
@@ -708,8 +707,8 @@ int Run() {
     std::sort(lat_admin.begin(), lat_admin.end());
     ab.requests_per_mode = lat_plain.size();
     ab.polls = ab_polls.load(std::memory_order_relaxed);
-    ab.p99_noadmin_ms = Percentile(lat_plain, 0.99) * 1e3;
-    ab.p99_admin_ms = Percentile(lat_admin, 0.99) * 1e3;
+    ab.p99_noadmin_ms = SortedPercentile(lat_plain, 0.99) * 1e3;
+    ab.p99_admin_ms = SortedPercentile(lat_admin, 0.99) * 1e3;
     if (!ab.ok() && attempt == 0) {
       std::fprintf(stderr,
                    "[serving] admin A/B attempt %d: p99 %.3fms (admin) vs "
@@ -724,6 +723,315 @@ int Run() {
                  "%zu polls) vs %.3fms (bare) over %zu requests/mode\n",
                  admin_ab.p99_admin_ms, admin_ab.polls,
                  admin_ab.p99_noadmin_ms, admin_ab.requests_per_mode);
+  }
+
+  // --- Hash-sharded router phase (DESIGN.md §15). Three sub-phases:
+  //  1. Burst capacity scaling: with the shard batchers parked (huge batch,
+  //     long wait), an instantaneous burst 4x the widest fleet's admission
+  //     capacity must admit ~S*max_queue requests — admission capacity
+  //     scales with shard count by construction, and Shutdown must then
+  //     drain every admitted future (zero drops).
+  //  2. Diurnal/burst open-loop replay on a 2-shard fleet fed by a
+  //     ModelRegistry, with a mid-run fleet deploy whose second shard's
+  //     warmup is made to fail (registry.shard_warmup_fail): the whole
+  //     deploy must roll back (incumbent everywhere, exactly one rollback),
+  //     a clean redeploy must then reach both shards, and every response
+  //     must be bitwise-identical to the offline scorer and attributable to
+  //     incumbent or fleet version — never a mix.
+  //  3. Balance: 4096 distinct canonical user pairs against a 4-shard
+  //     router; the max/min routed-per-shard ratio is gated (splitmix64
+  //     spread), with the requests cancelled instead of scored so the gate
+  //     measures the hash, not the scorer.
+  constexpr size_t kScales = 3;
+  struct RouterOutcome {
+    bool ran = false;
+    size_t shard_counts[kScales] = {1, 2, 4};
+    size_t burst_offered = 0;
+    size_t per_shard_queue_bound = 0;
+    size_t admitted_by_scale[kScales] = {0, 0, 0};
+    size_t burst_dropped = 0;
+    bool scaling_ok = false;
+    size_t replay_shards = 0;
+    double replay_seconds = 0.0;
+    size_t replay_offered = 0, replay_admitted = 0, replay_completed = 0;
+    size_t replay_shed = 0, replay_dropped = 0;
+    bool replay_bitwise = true;
+    uint64_t incumbent_version = 0, fleet_version = 0;
+    size_t responses_incumbent = 0, responses_fleet = 0;
+    bool versions_known = true;
+    bool failed_deploy_rolled_back = false;
+    int64_t swap_rollbacks = 0;
+    bool deploy_ok = false;
+    size_t balance_shards = 0, balance_requests = 0;
+    std::vector<uint64_t> routed_per_shard;
+    double max_min_ratio = 0.0;
+    double balance_bound = 1.35;
+    bool balance_ok = false;
+    bool ok() const {
+      return ran && scaling_ok && burst_dropped == 0 && replay_bitwise &&
+             replay_dropped == 0 && deploy_ok && balance_ok;
+    }
+  };
+  RouterOutcome router_out;
+  if (!model.Save(swap_ckpt).ok()) {
+    std::fprintf(stderr, "[serving] router: cannot save %s\n",
+                 swap_ckpt.c_str());
+  } else {
+    router_out.ran = true;
+
+    // Sub-phase 1: burst capacity scaling.
+    router_out.per_shard_queue_bound = 64;
+    router_out.burst_offered = 16 * router_out.per_shard_queue_bound;
+    router_out.scaling_ok = true;
+    for (size_t sc = 0; sc < kScales; ++sc) {
+      const size_t shards = router_out.shard_counts[sc];
+      serve::RouterOptions burst_options;
+      burst_options.num_shards = shards;
+      // Park the batchers: nothing drains while the burst is admitted, so
+      // admitted == min(offered to shard, max_queue) summed over shards.
+      burst_options.shard_options.batch_size = 4096;
+      burst_options.shard_options.max_wait_us = 30'000'000;
+      burst_options.shard_options.max_queue =
+          router_out.per_shard_queue_bound;
+      burst_options.shard_options.max_batch_queue = 1;
+      serve::ShardRouter burst_router(&model, burst_options);
+      std::vector<serve::Ticket> tickets;
+      tickets.reserve(router_out.burst_offered);
+      for (size_t i = 0; i < router_out.burst_offered; ++i) {
+        // Distinct canonical pair per request: capacity scaling must not
+        // depend on the test pool's size or its hash spread.
+        serve::JudgementRequest request;
+        request.a = pool[i % pool_size];
+        request.a.uid = 5'000'000 + static_cast<data::UserId>(2 * i);
+        request.b = pool[(i * 7 + 3) % pool_size];
+        request.b.uid = 5'000'001 + static_cast<data::UserId>(2 * i);
+        auto result = burst_router.Submit(std::move(request));
+        if (result.ok()) tickets.push_back(std::move(result).value());
+      }
+      router_out.admitted_by_scale[sc] = tickets.size();
+      burst_router.Shutdown();  // Drains (scores) every admitted request.
+      for (serve::Ticket& ticket : tickets) {
+        if (ticket.future().wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+          ++router_out.burst_dropped;
+        }
+      }
+      // The parked batcher can still time out and drain a little on a very
+      // slow box, so admitted can exceed S*bound — never legitimately fall
+      // 10% under it.
+      if (tickets.size() <
+          (9 * shards * router_out.per_shard_queue_bound) / 10) {
+        router_out.scaling_ok = false;
+      }
+    }
+    router_out.scaling_ok =
+        router_out.scaling_ok &&
+        router_out.admitted_by_scale[1] >
+            router_out.admitted_by_scale[0] &&
+        router_out.admitted_by_scale[2] >
+            router_out.admitted_by_scale[1] &&
+        static_cast<double>(router_out.admitted_by_scale[2]) >=
+            2.5 * static_cast<double>(router_out.admitted_by_scale[0]);
+
+    // Sub-phase 2: diurnal replay + all-or-nothing fleet deploy drill.
+    std::vector<double> offline_scores(pool_size);
+    for (size_t i = 0; i < pool_size; ++i) {
+      offline_scores[i] =
+          model.ScorePair(pool[i % pool_size], pool[(i * 7 + 3) % pool_size]);
+    }
+    serve::RegistryOptions fleet_registry_options;
+    fleet_registry_options.model_config = config;
+    serve::ModelRegistry fleet_registry(&data.dataset, &data.text_model,
+                                        fleet_registry_options);
+    auto incumbent = fleet_registry.Deploy(swap_ckpt);
+    if (!incumbent.ok()) {
+      std::fprintf(stderr, "[serving] router: incumbent deploy failed: %s\n",
+                   incumbent.status().ToString().c_str());
+      router_out.deploy_ok = false;
+    } else {
+      const obs::MetricsSnapshot fleet_before =
+          obs::MetricsRegistry::Global().Scrape();
+      router_out.incumbent_version = incumbent.value();
+      serve::RouterOptions replay_options;
+      replay_options.num_shards = 2;
+      replay_options.shard_options.batch_size = 8;
+      replay_options.shard_options.max_wait_us = 500;
+      replay_options.shard_options.max_queue = 512;
+      serve::ShardRouter replay_router(fleet_registry.current(),
+                                       replay_options,
+                                       router_out.incumbent_version);
+      fleet_registry.Attach(&replay_router);
+      router_out.replay_shards = replay_options.num_shards;
+
+      struct RouterSub {
+        serve::Ticket ticket;
+        size_t pair = 0;
+      };
+      std::vector<RouterSub> subs;
+      bool rolled_back = false;
+      std::thread fleet_deployer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(700));
+        // Shard 0's instance loads and warms cleanly; shard 1's warmup
+        // fails on its (second) evaluation of the point. All-or-nothing:
+        // nothing may be published.
+        util::FailPoint::Arm("registry.shard_warmup_fail", 2);
+        auto bad = fleet_registry.Deploy(swap_ckpt);
+        util::FailPoint::Disarm("registry.shard_warmup_fail");
+        const std::vector<uint64_t> versions =
+            replay_router.model_versions();
+        rolled_back =
+            !bad.ok() &&
+            fleet_registry.current_version() ==
+                router_out.incumbent_version &&
+            versions[0] == router_out.incumbent_version &&
+            versions[1] == router_out.incumbent_version;
+        auto good = fleet_registry.Deploy(swap_ckpt);
+        if (good.ok()) router_out.fleet_version = good.value();
+      });
+
+      // Open-loop burst/diurnal replay: offered rate swings 0.6x..1.4x of
+      // ~capacity over the phase (half a "day"), with the middle third
+      // bursting at 2x on top — transient overload is expected and shed is
+      // allowed; drops are not.
+      const double kReplaySeconds = 2.0;
+      router_out.replay_seconds = kReplaySeconds;
+      const double base_rate = std::max(qps, 200.0) * 0.9;
+      {
+        const auto phase_start = std::chrono::steady_clock::now();
+        double due = 0.0;
+        for (size_t i = 0;; ++i) {
+          const double diurnal =
+              0.6 + 0.8 * std::pow(std::sin(M_PI * due / kReplaySeconds), 2);
+          const bool burst = due > kReplaySeconds / 3 &&
+                             due < 2 * kReplaySeconds / 3;
+          due += 1.0 / (base_rate * diurnal * (burst ? 2.0 : 1.0));
+          if (due >= kReplaySeconds) break;
+          std::this_thread::sleep_until(
+              phase_start + std::chrono::duration<double>(due));
+          ++router_out.replay_offered;
+          auto result = replay_router.Submit(pair_for(i));
+          if (!result.ok()) {
+            ++router_out.replay_shed;
+            continue;
+          }
+          subs.push_back(
+              RouterSub{std::move(result).value(), i % pool_size});
+        }
+      }
+      fleet_deployer.join();
+      router_out.failed_deploy_rolled_back = rolled_back;
+      // Tail traffic strictly after the redeploy: fleet-version attribution
+      // is guaranteed even if the replay ended before the deploy landed.
+      for (size_t i = 0; i < 8; ++i) {
+        ++router_out.replay_offered;
+        auto result = replay_router.Submit(pair_for(i));
+        if (result.ok()) {
+          subs.push_back(RouterSub{std::move(result).value(), i % pool_size});
+        } else {
+          ++router_out.replay_shed;
+        }
+      }
+      replay_router.Shutdown();
+      fleet_registry.Detach();
+      router_out.replay_admitted = subs.size();
+      for (RouterSub& sub : subs) {
+        if (sub.ticket.future().wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+          ++router_out.replay_dropped;
+          continue;
+        }
+        util::Result<serve::Response> response = sub.ticket.future().get();
+        if (!response.ok()) continue;
+        const serve::Response& r = response.value();
+        ++router_out.replay_completed;
+        if (r.model_version == router_out.incumbent_version) {
+          ++router_out.responses_incumbent;
+        } else if (r.model_version == router_out.fleet_version) {
+          ++router_out.responses_fleet;
+        } else {
+          router_out.versions_known = false;
+        }
+        double offline = offline_scores[sub.pair];
+        if (std::memcmp(&r.judgement.score, &offline, sizeof(double)) != 0) {
+          router_out.replay_bitwise = false;
+        }
+      }
+      router_out.swap_rollbacks =
+          CounterDelta(fleet_before, obs::MetricsRegistry::Global().Scrape(),
+                       "hisrect.serve.swap_rollbacks");
+      // Exactly the injected failure rolled back — the incumbent deploy and
+      // the redeploy contributed none.
+      router_out.deploy_ok =
+          router_out.failed_deploy_rolled_back &&
+          router_out.swap_rollbacks == 1 && router_out.fleet_version != 0 &&
+          router_out.responses_fleet >= 1 && router_out.versions_known;
+    }
+
+    // Sub-phase 3: shard balance under distinct canonical pairs.
+    {
+      serve::RouterOptions balance_options;
+      balance_options.num_shards = 4;
+      balance_options.shard_options.batch_size = 4096;
+      balance_options.shard_options.max_wait_us = 30'000'000;
+      balance_options.shard_options.max_queue = 4096;
+      serve::ShardRouter balance_router(&model, balance_options);
+      router_out.balance_shards = balance_options.num_shards;
+      router_out.balance_requests = 4096;
+      std::vector<serve::Ticket> tickets;
+      tickets.reserve(router_out.balance_requests);
+      for (size_t i = 0; i < router_out.balance_requests; ++i) {
+        serve::JudgementRequest request;
+        request.a = pool[0];
+        request.a.uid = 7'000'000 + static_cast<data::UserId>(2 * i);
+        request.b = pool[1];
+        request.b.uid = 7'000'001 + static_cast<data::UserId>(2 * i);
+        auto result = balance_router.Submit(std::move(request));
+        if (result.ok()) tickets.push_back(std::move(result).value());
+      }
+      router_out.routed_per_shard = balance_router.routed_per_shard();
+      uint64_t min_routed = router_out.routed_per_shard[0];
+      uint64_t max_routed = router_out.routed_per_shard[0];
+      for (uint64_t routed : router_out.routed_per_shard) {
+        min_routed = std::min(min_routed, routed);
+        max_routed = std::max(max_routed, routed);
+      }
+      router_out.max_min_ratio =
+          min_routed == 0 ? 0.0
+                          : static_cast<double>(max_routed) /
+                                static_cast<double>(min_routed);
+      // Cancel instead of scoring: the gate measures the hash spread, and
+      // every cancelled future still resolves exactly once.
+      bool balance_resolved = true;
+      for (serve::Ticket& ticket : tickets) ticket.Cancel();
+      balance_router.Shutdown();
+      for (serve::Ticket& ticket : tickets) {
+        if (ticket.future().wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+          balance_resolved = false;
+        }
+      }
+      router_out.balance_ok =
+          tickets.size() == router_out.balance_requests && min_routed > 0 &&
+          router_out.max_min_ratio <= router_out.balance_bound &&
+          balance_resolved;
+    }
+  }
+  if (!router_out.ok()) {
+    std::fprintf(
+        stderr,
+        "[serving] router gate FAILED: ran=%d scaling_ok=%d "
+        "(admitted %zu/%zu/%zu, burst_dropped=%zu) bitwise=%d "
+        "replay_dropped=%zu deploy_ok=%d (rolled_back=%d rollbacks=%lld "
+        "fleet_v=%llu fleet_responses=%zu) balance_ok=%d (ratio %.3f)\n",
+        router_out.ran, router_out.scaling_ok,
+        router_out.admitted_by_scale[0], router_out.admitted_by_scale[1],
+        router_out.admitted_by_scale[2], router_out.burst_dropped,
+        router_out.replay_bitwise, router_out.replay_dropped,
+        router_out.deploy_ok, router_out.failed_deploy_rolled_back,
+        static_cast<long long>(router_out.swap_rollbacks),
+        static_cast<unsigned long long>(router_out.fleet_version),
+        router_out.responses_fleet, router_out.balance_ok,
+        router_out.max_min_ratio);
   }
 
   // --- Execution-variant sweep: {baseline, plan, plan+fuse,
@@ -979,6 +1287,21 @@ int Run() {
                     util::Table::Fmt(admin_ab.p99_admin_ms, 3) + " admin (" +
                     std::to_string(admin_ab.polls) + " polls)"});
   table.AddRow({"admin overhead gate", admin_ab.ok() ? "OK" : "VIOLATED"});
+  table.AddRow({"router burst admitted 1/2/4",
+                std::to_string(router_out.admitted_by_scale[0]) + " / " +
+                    std::to_string(router_out.admitted_by_scale[1]) + " / " +
+                    std::to_string(router_out.admitted_by_scale[2])});
+  table.AddRow({"router fleet deploy",
+                "v" + std::to_string(router_out.fleet_version) +
+                    " after rollback (" +
+                    std::to_string(router_out.responses_incumbent) +
+                    " incumbent / " +
+                    std::to_string(router_out.responses_fleet) +
+                    " fleet responses)"});
+  table.AddRow({"router balance max/min",
+                util::Table::Fmt(router_out.max_min_ratio, 3) + " over " +
+                    std::to_string(router_out.balance_shards) + " shards"});
+  table.AddRow({"router gate", router_out.ok() ? "OK" : "VIOLATED"});
   for (const VariantResult& v : variants) {
     table.AddRow({v.name + " pairs/s (1 thread)",
                   util::Table::Fmt(v.pairs_per_sec, 1)});
@@ -1119,6 +1442,54 @@ int Run() {
                admin_ab.p99_admin_ms, admin_ab.polls,
                admin_ab.requests_per_mode, admin_ab.ok() ? "true" : "false");
   std::fprintf(json,
+               "  \"router\": {\"ran\": %s,\n"
+               "    \"scaling\": {\"shard_counts\": [%zu, %zu, %zu], "
+               "\"burst_offered\": %zu, \"per_shard_queue_bound\": %zu, "
+               "\"admitted\": [%zu, %zu, %zu], \"dropped\": %zu, "
+               "\"ok\": %s},\n",
+               router_out.ran ? "true" : "false",
+               router_out.shard_counts[0], router_out.shard_counts[1],
+               router_out.shard_counts[2], router_out.burst_offered,
+               router_out.per_shard_queue_bound,
+               router_out.admitted_by_scale[0],
+               router_out.admitted_by_scale[1],
+               router_out.admitted_by_scale[2], router_out.burst_dropped,
+               router_out.scaling_ok ? "true" : "false");
+  std::fprintf(
+      json,
+      "    \"replay\": {\"shards\": %zu, \"seconds\": %.2f, "
+      "\"offered\": %zu, \"admitted\": %zu, \"completed\": %zu, "
+      "\"shed\": %zu, \"dropped\": %zu, \"bitwise_identical\": %s,\n"
+      "      \"incumbent_version\": %llu, \"fleet_version\": %llu, "
+      "\"responses_incumbent\": %zu, \"responses_fleet\": %zu,\n"
+      "      \"failed_deploy_rolled_back\": %s, \"swap_rollbacks\": %lld, "
+      "\"ok\": %s},\n",
+      router_out.replay_shards, router_out.replay_seconds,
+      router_out.replay_offered, router_out.replay_admitted,
+      router_out.replay_completed, router_out.replay_shed,
+      router_out.replay_dropped, router_out.replay_bitwise ? "true" : "false",
+      static_cast<unsigned long long>(router_out.incumbent_version),
+      static_cast<unsigned long long>(router_out.fleet_version),
+      router_out.responses_incumbent, router_out.responses_fleet,
+      router_out.failed_deploy_rolled_back ? "true" : "false",
+      static_cast<long long>(router_out.swap_rollbacks),
+      router_out.deploy_ok ? "true" : "false");
+  std::fprintf(json,
+               "    \"balance\": {\"shards\": %zu, \"requests\": %zu, "
+               "\"routed_per_shard\": [",
+               router_out.balance_shards, router_out.balance_requests);
+  for (size_t i = 0; i < router_out.routed_per_shard.size(); ++i) {
+    std::fprintf(json, "%s%llu", i == 0 ? "" : ", ",
+                 static_cast<unsigned long long>(
+                     router_out.routed_per_shard[i]));
+  }
+  std::fprintf(json,
+               "], \"max_min_ratio\": %.4f, \"bound\": %.2f, \"ok\": %s},\n"
+               "    \"ok\": %s},\n",
+               router_out.max_min_ratio, router_out.balance_bound,
+               router_out.balance_ok ? "true" : "false",
+               router_out.ok() ? "true" : "false");
+  std::fprintf(json,
                "  \"cache\": {\"capacity\": %zu, \"hits\": %lld, "
                "\"misses\": %lld, \"soak_requests\": %zu, "
                "\"soak_evictions\": %zu, \"size_after\": %zu, "
@@ -1135,7 +1506,7 @@ int Run() {
 
   return (lost == 0 && bitwise_identical && bound_held &&
           steady_tensor_allocs == 0 && variants_ok && overload.ok() &&
-          admin_ab.ok())
+          admin_ab.ok() && router_out.ok())
              ? 0
              : 1;
 }

@@ -200,10 +200,16 @@ class Histogram {
 /// linearly interpolate inside it. The open-ended end buckets are clamped to
 /// the outer boundaries (an underflow observation reads as 0, an overflow
 /// one as the last boundary), so estimates are conservative, never invented
-/// beyond the configured range. Returns 0 when the histogram is empty.
+/// beyond the configured range. The overflow bucket is zero-width under the
+/// clamp — `[back, back]` — so a rank landing there reports exactly the last
+/// boundary; `saturated` (when non-null) is set to true in that case so the
+/// caller can tell a clamped estimate from a real one instead of silently
+/// reading the boundary as the percentile. Returns 0 when the histogram is
+/// empty.
 inline double HistogramPercentile(const std::vector<double>& boundaries,
                                   const std::vector<uint64_t>& counts,
-                                  double q) {
+                                  double q, bool* saturated = nullptr) {
+  if (saturated != nullptr) *saturated = false;
   uint64_t total = 0;
   for (uint64_t count : counts) total += count;
   if (total == 0 || boundaries.empty()) return 0.0;
@@ -213,18 +219,22 @@ inline double HistogramPercentile(const std::vector<double>& boundaries,
   for (std::size_t i = 0; i < counts.size(); ++i) {
     if (counts[i] == 0) continue;
     const double lo = i == 0 ? 0.0 : boundaries[i - 1];
-    const double hi =
-        i < boundaries.size() ? boundaries[i] : boundaries.back();
+    const bool overflow = i >= boundaries.size();
+    const double hi = overflow ? boundaries.back() : boundaries[i];
     const double before = static_cast<double>(cumulative);
     cumulative += counts[i];
     if (static_cast<double>(cumulative) >= rank) {
-      if (hi <= lo) return hi;
+      if (hi <= lo) {
+        if (overflow && saturated != nullptr) *saturated = true;
+        return hi;
+      }
       const double frac =
           std::min(1.0, std::max(0.0, (rank - before) /
                                           static_cast<double>(counts[i])));
       return lo + (hi - lo) * frac;
     }
   }
+  if (saturated != nullptr) *saturated = true;
   return boundaries.back();
 }
 
@@ -250,6 +260,10 @@ class WindowedHistogram {
     uint64_t count = 0;
     double sum = 0.0;
     double window_seconds = 0.0;
+    // True when the window saw observations above the last boundary: every
+    // percentile landing in the overflow bucket is clamped to the boundary,
+    // so high quantiles are lower bounds, not estimates.
+    bool saturated = false;
 
     double Percentile(double q) const {
       return HistogramPercentile(boundaries, bucket_counts, q);
@@ -315,6 +329,7 @@ class WindowedHistogram {
       snapshot.sum += slot.sum;
       snapshot.count += slot.count;
     }
+    snapshot.saturated = snapshot.bucket_counts.back() > 0;
     return snapshot;
   }
 

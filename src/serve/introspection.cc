@@ -3,12 +3,14 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <unordered_set>
 #include <vector>
 
 #include "core/hisrect_model.h"
 #include "core/profile_encoder.h"
 #include "obs/metrics.h"
 #include "serve/stage_trace.h"
+#include "util/logging.h"
 
 namespace hisrect::serve {
 
@@ -44,11 +46,23 @@ void AppendWindowSnapshot(std::string* out,
   AppendDouble(out, snap.Percentile(0.95));
   *out += ", \"p99\": ";
   AppendDouble(out, snap.Percentile(0.99));
+  // Overflow observations clamp high percentiles to the last boundary; an
+  // operator reading p99 == boundary needs to know it is a floor, not an
+  // estimate.
+  *out += ", \"saturated\": ";
+  *out += snap.saturated ? "true" : "false";
   *out += "}";
 }
 
-void AppendTrace(std::string* out, const StageTrace& trace) {
-  *out += "{\"request_id\": ";
+/// `shard` >= 0 tags the trace with the shard that scored it (router mode).
+void AppendTrace(std::string* out, const StageTrace& trace, int shard = -1) {
+  *out += "{";
+  if (shard >= 0) {
+    *out += "\"shard\": ";
+    AppendUint(out, static_cast<uint64_t>(shard));
+    *out += ", ";
+  }
+  *out += "\"request_id\": ";
   AppendUint(out, trace.request_id);
   *out += ", \"priority\": \"";
   *out += PriorityName(trace.priority);
@@ -81,10 +95,141 @@ void AppendTrace(std::string* out, const StageTrace& trace) {
   *out += "}";
 }
 
+JudgementServer::Stats MergedStats(
+    const std::vector<const JudgementServer*>& shards) {
+  JudgementServer::Stats totals;
+  for (const JudgementServer* shard : shards) {
+    const JudgementServer::Stats s = shard->stats();
+    totals.admitted += s.admitted;
+    totals.rejected += s.rejected;
+    totals.completed += s.completed;
+    totals.batches += s.batches;
+    totals.cancelled += s.cancelled;
+    totals.expired += s.expired;
+    totals.aborted += s.aborted;
+    totals.swaps += s.swaps;
+  }
+  return totals;
+}
+
+/// Bucket-wise merge of one priority class's windowed latency over shards.
+/// Boundaries are identical across shards (same ServeOptions), so summing
+/// counts yields the fleet-wide distribution; `saturated` ORs.
+bool MergedWindowSnapshot(const std::vector<const JudgementServer*>& shards,
+                          Priority priority,
+                          obs::WindowedHistogram::Snapshot* merged) {
+  bool any = false;
+  for (const JudgementServer* shard : shards) {
+    const obs::WindowedHistogram* hist = shard->window_latency(priority);
+    if (hist == nullptr) continue;
+    obs::WindowedHistogram::Snapshot snap = hist->Snap();
+    if (!any) {
+      *merged = std::move(snap);
+      any = true;
+      continue;
+    }
+    CHECK_EQ(merged->bucket_counts.size(), snap.bucket_counts.size());
+    for (size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+      merged->bucket_counts[i] += snap.bucket_counts[i];
+    }
+    merged->count += snap.count;
+    merged->sum += snap.sum;
+    merged->saturated = merged->saturated || snap.saturated;
+  }
+  return any;
+}
+
+struct CacheTotals {
+  uint64_t size = 0;
+  uint64_t capacity = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// Encoder-cache occupancy summed over the *distinct* model instances the
+/// shards publish: after a fleet deploy each shard has its own cache, but
+/// shards can also share one instance (pre-router deploys), and counting a
+/// shared cache once per shard would overstate occupancy.
+CacheTotals MergedCacheTotals(
+    const std::vector<const JudgementServer*>& shards) {
+  CacheTotals totals;
+  std::unordered_set<const core::HisRectModel*> seen;
+  for (const JudgementServer* shard : shards) {
+    const std::shared_ptr<const core::HisRectModel> model = shard->model();
+    if (!seen.insert(model.get()).second) continue;
+    const core::ProfileEncoder& encoder = model->encoder();
+    totals.size += encoder.cache_size();
+    totals.capacity += encoder.cache_capacity();
+    totals.hits += encoder.cache_hits();
+    totals.misses += encoder.cache_misses();
+    totals.evictions += encoder.cache_evictions();
+  }
+  return totals;
+}
+
+void AppendCacheTotals(std::string* out, const CacheTotals& totals) {
+  *out += "{\"size\": ";
+  AppendUint(out, totals.size);
+  *out += ", \"capacity\": ";
+  AppendUint(out, totals.capacity);
+  *out += ", \"hits\": ";
+  AppendUint(out, totals.hits);
+  *out += ", \"misses\": ";
+  AppendUint(out, totals.misses);
+  *out += ", \"evictions\": ";
+  AppendUint(out, totals.evictions);
+  *out += "}";
+}
+
+void AppendStats(std::string* out, const JudgementServer::Stats& stats) {
+  *out += "{\"admitted\": ";
+  AppendUint(out, stats.admitted);
+  *out += ", \"rejected\": ";
+  AppendUint(out, stats.rejected);
+  *out += ", \"completed\": ";
+  AppendUint(out, stats.completed);
+  *out += ", \"batches\": ";
+  AppendUint(out, stats.batches);
+  *out += ", \"cancelled\": ";
+  AppendUint(out, stats.cancelled);
+  *out += ", \"expired\": ";
+  AppendUint(out, stats.expired);
+  *out += ", \"aborted\": ";
+  AppendUint(out, stats.aborted);
+  *out += ", \"swaps\": ";
+  AppendUint(out, stats.swaps);
+  *out += "}";
+}
+
+void AppendQueueDepths(std::string* out,
+                       const std::array<size_t, kNumPriorities>& depths) {
+  *out += "{\"interactive\": ";
+  AppendUint(out, depths[static_cast<size_t>(Priority::kInteractive)]);
+  *out += ", \"batch\": ";
+  AppendUint(out, depths[static_cast<size_t>(Priority::kBatch)]);
+  *out += "}";
+}
+
 }  // namespace
 
 ServerIntrospection::ServerIntrospection(const JudgementServer* server)
-    : server_(server), started_(std::chrono::steady_clock::now()) {}
+    : server_(server), started_(std::chrono::steady_clock::now()) {
+  CHECK(server_ != nullptr);
+  shards_.push_back(server_);
+}
+
+ServerIntrospection::ServerIntrospection(const ShardRouter* router)
+    : router_(router), started_(std::chrono::steady_clock::now()) {
+  CHECK(router_ != nullptr);
+  for (size_t i = 0; i < router_->num_shards(); ++i) {
+    shards_.push_back(&router_->shard(i));
+  }
+}
+
+bool ServerIntrospection::accepting() const {
+  return router_ != nullptr ? router_->accepting() : server_->accepting();
+}
 
 double ServerIntrospection::uptime_seconds() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -106,7 +251,7 @@ obs::AdminResponse ServerIntrospection::Healthz() const {
   obs::AdminResponse response;
   response.body = std::string("{\"status\": \"") +
                   (drain ? "draining" : "ok") + "\", \"accepting\": " +
-                  (server_->accepting() ? "true" : "false") +
+                  (accepting() ? "true" : "false") +
                   ", \"draining\": " + (drain ? "true" : "false") +
                   ", \"uptime_seconds\": ";
   AppendDouble(&response.body, uptime_seconds());
@@ -115,11 +260,15 @@ obs::AdminResponse ServerIntrospection::Healthz() const {
 }
 
 obs::AdminResponse ServerIntrospection::Statusz() const {
-  const JudgementServer::Stats stats = server_->stats();
-  const auto depths = server_->queue_depths();
-  const std::shared_ptr<const core::HisRectModel> model = server_->model();
-  const core::ProfileEncoder& encoder = model->encoder();
-  const ServeOptions& options = server_->options();
+  const JudgementServer::Stats stats = MergedStats(shards());
+  std::array<size_t, kNumPriorities> depths{};
+  for (const JudgementServer* shard : shards()) {
+    const auto d = shard->queue_depths();
+    for (size_t klass = 0; klass < kNumPriorities; ++klass) {
+      depths[klass] += d[klass];
+    }
+  }
+  const ServeOptions& options = shards().front()->options();
 
   std::string body = "{\n  \"uptime_seconds\": ";
   AppendDouble(&body, uptime_seconds());
@@ -130,73 +279,107 @@ obs::AdminResponse ServerIntrospection::Statusz() const {
   body += "debug";
 #endif
   body += "\"},\n  \"accepting\": ";
-  body += server_->accepting() ? "true" : "false";
+  body += accepting() ? "true" : "false";
   body += ",\n  \"draining\": ";
   body += draining() ? "true" : "false";
   body += ",\n  \"model_version\": ";
-  AppendUint(&body, server_->model_version());
-  body += ",\n  \"queue_depth\": {\"interactive\": ";
-  AppendUint(&body, depths[static_cast<size_t>(Priority::kInteractive)]);
-  body += ", \"batch\": ";
-  AppendUint(&body, depths[static_cast<size_t>(Priority::kBatch)]);
-  body += "},\n  \"stats\": {\"admitted\": ";
-  AppendUint(&body, stats.admitted);
-  body += ", \"rejected\": ";
-  AppendUint(&body, stats.rejected);
-  body += ", \"completed\": ";
-  AppendUint(&body, stats.completed);
-  body += ", \"batches\": ";
-  AppendUint(&body, stats.batches);
-  body += ", \"cancelled\": ";
-  AppendUint(&body, stats.cancelled);
-  body += ", \"expired\": ";
-  AppendUint(&body, stats.expired);
-  body += ", \"aborted\": ";
-  AppendUint(&body, stats.aborted);
-  body += ", \"swaps\": ";
-  AppendUint(&body, stats.swaps);
-  body += "},\n  \"encoder_cache\": {\"size\": ";
-  AppendUint(&body, encoder.cache_size());
-  body += ", \"capacity\": ";
-  AppendUint(&body, encoder.cache_capacity());
-  body += ", \"hits\": ";
-  AppendUint(&body, encoder.cache_hits());
-  body += ", \"misses\": ";
-  AppendUint(&body, encoder.cache_misses());
-  body += ", \"evictions\": ";
-  AppendUint(&body, encoder.cache_evictions());
-  body += "},\n  \"arena_bytes\": ";
+  AppendUint(&body, shards().front()->model_version());
+  body += ",\n  \"queue_depth\": ";
+  AppendQueueDepths(&body, depths);
+  body += ",\n  \"stats\": ";
+  AppendStats(&body, stats);
+  body += ",\n  \"encoder_cache\": ";
+  AppendCacheTotals(&body, MergedCacheTotals(shards()));
+  body += ",\n  \"arena_bytes\": ";
   AppendUint(&body, static_cast<uint64_t>(
                         obs::MetricsRegistry::Global()
                             .GetGauge("hisrect.nn.arena_bytes")
                             ->Value()));
   body += ",\n  \"window_latency\": ";
-  if (server_->window_latency(Priority::kInteractive) == nullptr) {
+  obs::WindowedHistogram::Snapshot interactive;
+  if (!MergedWindowSnapshot(shards(), Priority::kInteractive, &interactive)) {
     body += "null";
   } else {
+    obs::WindowedHistogram::Snapshot batch;
+    MergedWindowSnapshot(shards(), Priority::kBatch, &batch);
     body += "{\"window_seconds\": ";
     AppendDouble(&body, options.stats_window_s);
     body += ", \"interactive\": ";
-    AppendWindowSnapshot(
-        &body, server_->window_latency(Priority::kInteractive)->Snap());
+    AppendWindowSnapshot(&body, interactive);
     body += ", \"batch\": ";
-    AppendWindowSnapshot(&body,
-                         server_->window_latency(Priority::kBatch)->Snap());
+    AppendWindowSnapshot(&body, batch);
     body += "}";
   }
   body += ",\n  \"stage_traces\": ";
-  if (const StageTraceBuffer* traces = server_->stage_traces()) {
+  if (shards().front()->stage_traces() != nullptr) {
+    uint64_t recorded = 0;
+    uint64_t capacity = 0;
+    uint64_t slow_retained = 0;
+    for (const JudgementServer* shard : shards()) {
+      const StageTraceBuffer* traces = shard->stage_traces();
+      if (traces == nullptr) continue;
+      recorded += traces->recorded();
+      capacity += traces->capacity();
+      slow_retained += traces->SlowExemplars().size();
+    }
     body += "{\"recorded\": ";
-    AppendUint(&body, traces->recorded());
+    AppendUint(&body, recorded);
     body += ", \"capacity\": ";
-    AppendUint(&body, traces->capacity());
+    AppendUint(&body, capacity);
     body += ", \"slow_threshold_seconds\": ";
-    AppendDouble(&body, traces->slow_threshold_seconds());
+    AppendDouble(&body,
+                 shards().front()->stage_traces()->slow_threshold_seconds());
     body += ", \"slow_retained\": ";
-    AppendUint(&body, traces->SlowExemplars().size());
+    AppendUint(&body, slow_retained);
     body += "}";
   } else {
     body += "null";
+  }
+  if (router_ != nullptr) {
+    const std::vector<uint64_t> routed = router_->routed_per_shard();
+    body += ",\n  \"router\": {\"shards\": ";
+    AppendUint(&body, router_->num_shards());
+    body += "},\n  \"shards\": [";
+    for (size_t i = 0; i < shards().size(); ++i) {
+      const JudgementServer* shard = shards()[i];
+      body += i == 0 ? "\n    " : ",\n    ";
+      body += "{\"shard\": ";
+      AppendUint(&body, i);
+      body += ", \"model_version\": ";
+      AppendUint(&body, shard->model_version());
+      body += ", \"routed\": ";
+      AppendUint(&body, routed[i]);
+      body += ", \"queue_depth\": ";
+      AppendQueueDepths(&body, shard->queue_depths());
+      body += ", \"stats\": ";
+      AppendStats(&body, shard->stats());
+      body += ", \"encoder_cache\": ";
+      AppendCacheTotals(&body,
+                        MergedCacheTotals({shard}));
+      body += ", \"window_latency\": ";
+      const obs::WindowedHistogram* hist =
+          shard->window_latency(Priority::kInteractive);
+      if (hist == nullptr) {
+        body += "null";
+      } else {
+        body += "{\"interactive\": ";
+        AppendWindowSnapshot(&body, hist->Snap());
+        body += ", \"batch\": ";
+        AppendWindowSnapshot(
+            &body, shard->window_latency(Priority::kBatch)->Snap());
+        body += "}";
+      }
+      body += ", \"stage_traces\": ";
+      if (const StageTraceBuffer* traces = shard->stage_traces()) {
+        body += "{\"recorded\": ";
+        AppendUint(&body, traces->recorded());
+        body += "}";
+      } else {
+        body += "null";
+      }
+      body += "}";
+    }
+    body += shards().empty() ? "]" : "\n  ]";
   }
   body += "\n}\n";
 
@@ -216,8 +399,7 @@ obs::AdminResponse ServerIntrospection::Tracez(
   }
 
   obs::AdminResponse response;
-  const StageTraceBuffer* traces = server_->stage_traces();
-  if (traces == nullptr) {
+  if (shards().front()->stage_traces() == nullptr) {
     response.body =
         "{\"error\": \"stage tracing disabled "
         "(ServeOptions::stage_trace_capacity is 0)\"}\n";
@@ -225,28 +407,46 @@ obs::AdminResponse ServerIntrospection::Tracez(
     return response;
   }
 
+  const bool fleet = router_ != nullptr;
+  uint64_t recorded = 0;
+  for (const JudgementServer* shard : shards()) {
+    if (shard->stage_traces() != nullptr) {
+      recorded += shard->stage_traces()->recorded();
+    }
+  }
+
   std::string body = "{\n  \"recorded\": ";
-  AppendUint(&body, traces->recorded());
+  AppendUint(&body, recorded);
+  // In fleet mode `n=` applies per shard: each shard's ring contributes its
+  // own most-recent window, tagged with the shard index.
   body += ",\n  \"traces\": [";
   bool first = true;
-  for (const StageTrace& trace : traces->Recent(max_traces)) {
-    body += first ? "\n    " : ",\n    ";
-    first = false;
-    AppendTrace(&body, trace);
+  for (size_t i = 0; i < shards().size(); ++i) {
+    const StageTraceBuffer* traces = shards()[i]->stage_traces();
+    if (traces == nullptr) continue;
+    for (const StageTrace& trace : traces->Recent(max_traces)) {
+      body += first ? "\n    " : ",\n    ";
+      first = false;
+      AppendTrace(&body, trace, fleet ? static_cast<int>(i) : -1);
+    }
   }
   body += first ? "]" : "\n  ]";
   body += ",\n  \"slow\": [";
   first = true;
-  for (const SlowExemplar& exemplar : traces->SlowExemplars()) {
-    body += first ? "\n    " : ",\n    ";
-    first = false;
-    body += "{\"trace\": ";
-    AppendTrace(&body, exemplar.trace);
-    body += ", \"delta_t\": ";
-    AppendDouble(&body, static_cast<double>(exemplar.delta_t));
-    body += ", \"timeout_us\": ";
-    AppendUint(&body, exemplar.timeout_us);
-    body += "}";
+  for (size_t i = 0; i < shards().size(); ++i) {
+    const StageTraceBuffer* traces = shards()[i]->stage_traces();
+    if (traces == nullptr) continue;
+    for (const SlowExemplar& exemplar : traces->SlowExemplars()) {
+      body += first ? "\n    " : ",\n    ";
+      first = false;
+      body += "{\"trace\": ";
+      AppendTrace(&body, exemplar.trace, fleet ? static_cast<int>(i) : -1);
+      body += ", \"delta_t\": ";
+      AppendDouble(&body, static_cast<double>(exemplar.delta_t));
+      body += ", \"timeout_us\": ";
+      AppendUint(&body, exemplar.timeout_us);
+      body += "}";
+    }
   }
   body += first ? "]" : "\n  ]";
   body += "\n}\n";

@@ -1,20 +1,26 @@
 #ifndef HISRECT_SERVE_INTROSPECTION_H_
 #define HISRECT_SERVE_INTROSPECTION_H_
 
-// Admin-plane wiring for a JudgementServer (DESIGN.md §14).
+// Admin-plane wiring for a JudgementServer or ShardRouter (DESIGN.md §14,
+// fleet view §15).
 //
 // obs::AdminServer is deliberately ignorant of serving: it owns the socket,
 // the accept loop, and /metrics. ServerIntrospection is the serve-side
-// counterpart — it snapshots a JudgementServer and registers the remaining
-// operator surfaces:
+// counterpart — it snapshots a JudgementServer (or every shard of a
+// ShardRouter) and registers the remaining operator surfaces:
 //
 //   /healthz  liveness + drain state ("ok" until SetDraining(true) or the
 //             server stops accepting; then "draining")
 //   /statusz  uptime, build info, model version, per-priority queue depths,
 //             encoder-cache occupancy, arena high-water bytes, lifetime
-//             Stats, and live p50/p95/p99 over the sliding window
+//             Stats, and live p50/p95/p99 over the sliding window. In
+//             router mode every top-level field is the fleet-merged total
+//             (stats summed, window histograms merged bucket-wise, encoder
+//             caches deduped by model instance) and a "shards" array breaks
+//             the same surfaces out per shard.
 //   /tracez   the most recent N completed StageTraces (?n=, default 32)
-//             plus the retained slow-request exemplars
+//             plus the retained slow-request exemplars; router mode merges
+//             all shards' rings, tagging each trace with its shard.
 //
 // Handlers run on the admin thread and only take the same short locks any
 // other reader of JudgementServer state takes (stats(), queue_depths(),
@@ -23,9 +29,11 @@
 #include <atomic>
 #include <chrono>
 #include <string>
+#include <vector>
 
 #include "obs/admin_server.h"
 #include "serve/judgement_server.h"
+#include "serve/shard_router.h"
 
 namespace hisrect::serve {
 
@@ -35,6 +43,10 @@ class ServerIntrospection {
   /// handlers are registered on.
   explicit ServerIntrospection(const JudgementServer* server);
 
+  /// Fleet variant: snapshots every shard of `router` and serves merged
+  /// totals plus per-shard breakdowns. Same lifetime rules.
+  explicit ServerIntrospection(const ShardRouter* router);
+
   ServerIntrospection(const ServerIntrospection&) = delete;
   ServerIntrospection& operator=(const ServerIntrospection&) = delete;
 
@@ -43,13 +55,13 @@ class ServerIntrospection {
   void RegisterHandlers(obs::AdminServer* admin);
 
   /// Flips /healthz to "draining". Call when graceful shutdown begins,
-  /// before JudgementServer::Shutdown, so load balancers see the drain
-  /// while admitted requests are still being resolved.
+  /// before Shutdown, so load balancers see the drain while admitted
+  /// requests are still being resolved.
   void SetDraining(bool draining) {
     draining_.store(draining, std::memory_order_relaxed);
   }
   bool draining() const {
-    return draining_.load(std::memory_order_relaxed) || !server_->accepting();
+    return draining_.load(std::memory_order_relaxed) || !accepting();
   }
 
   double uptime_seconds() const;
@@ -60,7 +72,17 @@ class ServerIntrospection {
   obs::AdminResponse Tracez(const std::string& query) const;
 
  private:
-  const JudgementServer* server_;
+  /// True while the (single server / whole fleet) accepts submissions.
+  bool accepting() const;
+
+  /// The servers behind this surface: the one server, or every shard.
+  const std::vector<const JudgementServer*>& shards() const {
+    return shards_;
+  }
+
+  const JudgementServer* server_ = nullptr;  // null in router mode
+  const ShardRouter* router_ = nullptr;      // null in single-server mode
+  std::vector<const JudgementServer*> shards_;
   std::chrono::steady_clock::time_point started_;
   std::atomic<bool> draining_{false};
 };

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/shard_router.h"
 #include "util/fail_point.h"
 #include "util/logging.h"
 
@@ -32,8 +33,44 @@ ModelRegistry::ModelRegistry(const data::Dataset* dataset,
 void ModelRegistry::Attach(JudgementServer* server) {
   std::lock_guard<std::mutex> lock(mu_);
   server_ = server;
+  router_ = nullptr;
   if (server_ != nullptr && !entries_.empty()) {
-    server_->SwapModel(entries_.back().model, entries_.back().version);
+    PublishLocked(entries_.back());
+  }
+}
+
+void ModelRegistry::Attach(ShardRouter* router) {
+  std::lock_guard<std::mutex> lock(mu_);
+  router_ = router;
+  server_ = nullptr;
+  if (router_ != nullptr && !entries_.empty()) {
+    PublishLocked(entries_.back());
+  }
+}
+
+void ModelRegistry::Detach() {
+  std::lock_guard<std::mutex> lock(mu_);
+  server_ = nullptr;
+  router_ = nullptr;
+}
+
+void ModelRegistry::PublishLocked(const Entry& entry) {
+  if (router_ != nullptr) {
+    if (!entry.shard_models.empty()) {
+      // Fleet entry: each shard gets its own warmed instance (own encoder
+      // cache). All instances loaded from the same checkpoint, so served
+      // scores stay bitwise-identical across shards.
+      for (size_t i = 0; i < router_->num_shards(); ++i) {
+        router_->shard(i).SwapModel(
+            entry.shard_models[i % entry.shard_models.size()], entry.version);
+      }
+    } else {
+      // Single-instance entry (deployed before the router was attached):
+      // every shard shares it.
+      router_->SwapModel(entry.model, entry.version);
+    }
+  } else if (server_ != nullptr) {
+    server_->SwapModel(entry.model, entry.version);
   }
 }
 
@@ -60,11 +97,27 @@ util::Status ModelRegistry::WarmUp(const core::HisRectModel& model) const {
   return util::Status::Ok();
 }
 
+util::Result<std::shared_ptr<const core::HisRectModel>>
+ModelRegistry::LoadAndWarm(const std::string& path, size_t shard) const {
+  if (util::FailPoint::ShouldFail("registry.shard_warmup_fail")) {
+    return util::Status::Internal(
+        "injected warmup failure (registry.shard_warmup_fail) on shard " +
+        std::to_string(shard));
+  }
+  auto model = std::make_unique<core::HisRectModel>(options_.model_config);
+  model->InitializeForLoad(*dataset_, *text_model_);
+  util::Status status = model->Load(path);  // HRCT2: CRC-verified, strict.
+  if (!status.ok()) return status;
+  status = WarmUp(*model);
+  if (!status.ok()) return status;
+  return std::shared_ptr<const core::HisRectModel>(std::move(model));
+}
+
 util::Result<uint64_t> ModelRegistry::Deploy(const std::string& path) {
   HISRECT_TRACE_SPAN("serve.swap");
   // Everything up to publication runs off the serving hot path: the
-  // attached server keeps scoring on the current version while the new one
-  // loads and warms.
+  // attached server / fleet keeps scoring on the current version while the
+  // new instances load and warm.
   auto fail = [&](util::Status status) -> util::Result<uint64_t> {
     SwapRollbacksCounter()->Increment();
     LOG(WARNING) << "registry: deploy of " << path
@@ -75,29 +128,46 @@ util::Result<uint64_t> ModelRegistry::Deploy(const std::string& path) {
     return fail(util::Status::IoError(
         "injected corrupt checkpoint (registry.corrupt_load): " + path));
   }
-  auto model = std::make_unique<core::HisRectModel>(options_.model_config);
-  model->InitializeForLoad(*dataset_, *text_model_);
-  util::Status status = model->Load(path);  // HRCT2: CRC-verified, strict.
-  if (!status.ok()) return fail(std::move(status));
-  status = WarmUp(*model);
-  if (!status.ok()) return fail(std::move(status));
+  // Snapshot the fleet width without holding mu_ through the loads. A
+  // concurrent re-Attach mid-deploy can change it; PublishLocked re-reads
+  // the attachment at publication time and maps instances modulo the list.
+  size_t instances = 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (router_ != nullptr) instances = router_->num_shards();
+  }
+  // Stage-then-publish: every instance must load and warm before any shard
+  // sees the new version. One shard's failure aborts the whole deploy with
+  // the incumbent still serving everywhere — all-or-nothing, never mixed.
+  std::vector<std::shared_ptr<const core::HisRectModel>> staged;
+  staged.reserve(instances);
+  for (size_t shard = 0; shard < instances; ++shard) {
+    auto loaded = LoadAndWarm(path, shard);
+    if (!loaded.ok()) return fail(loaded.status());
+    staged.push_back(std::move(loaded).value());
+  }
 
-  std::shared_ptr<const core::HisRectModel> published = std::move(model);
   std::lock_guard<std::mutex> lock(mu_);
   Entry entry;
   entry.version = next_version_++;
   entry.path = path;
-  entry.model = published;
+  entry.model = staged.front();
+  if (staged.size() > 1 || router_ != nullptr) {
+    entry.shard_models = std::move(staged);
+  }
   entries_.push_back(std::move(entry));
   // Retain keep_versions + the incumbent: drop from the front (oldest).
   while (entries_.size() > std::max<size_t>(options_.keep_versions, 1)) {
     entries_.erase(entries_.begin());
   }
-  if (server_ != nullptr) {
-    server_->SwapModel(published, entries_.back().version);
-  }
+  PublishLocked(entries_.back());
   LOG(INFO) << "registry: published " << path << " as v"
-            << entries_.back().version;
+            << entries_.back().version
+            << (entries_.back().shard_models.empty()
+                    ? ""
+                    : " (fleet of " +
+                          std::to_string(entries_.back().shard_models.size()) +
+                          ")");
   return entries_.back().version;
 }
 
@@ -110,9 +180,7 @@ util::Status ModelRegistry::Rollback() {
   const Entry dropped = std::move(entries_.back());
   entries_.pop_back();
   SwapRollbacksCounter()->Increment();
-  if (server_ != nullptr) {
-    server_->SwapModel(entries_.back().model, entries_.back().version);
-  }
+  PublishLocked(entries_.back());
   LOG(WARNING) << "registry: rolled back v" << dropped.version << " ("
                << dropped.path << ") to v" << entries_.back().version;
   return util::Status::Ok();

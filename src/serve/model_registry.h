@@ -25,6 +25,16 @@
 // Rollback() re-publishes the previous retained version explicitly (bad
 // model discovered after deploy). The registry retains the last
 // `keep_versions` models so a rollback target is always resident.
+//
+// Fleet deploys (DESIGN.md §15): when a ShardRouter is attached instead of
+// a single server, Deploy stages one model instance per shard — each with
+// its own encoder cache, so shard caches stay partitioned by the shard's
+// user population — and runs steps 1–3 for every instance before
+// publishing anything. All-or-nothing: one shard's failed load or warmup
+// aborts the whole deploy with the incumbent still serving on every shard,
+// so there is never a mixed-version steady state. Publication then swaps
+// every shard under the registry lock; a Response can name the old or new
+// version during the fan-out instant, but steady state is always uniform.
 
 #include <cstdint>
 #include <memory>
@@ -39,6 +49,8 @@
 #include "util/status.h"
 
 namespace hisrect::serve {
+
+class ShardRouter;
 
 struct RegistryOptions {
   /// Architecture + plan options every deployed model is built with; must
@@ -65,8 +77,18 @@ class ModelRegistry {
   /// Attaches a server: the current version (if any) is published to it
   /// immediately, and every later Deploy/Rollback publication is pushed via
   /// SwapModel. The server must outlive the registry or be shut down first;
-  /// pass nullptr to detach.
+  /// pass nullptr (or call Detach) to detach.
   void Attach(JudgementServer* server);
+
+  /// Fleet variant: attaches a router; the current version (if any) is
+  /// published to every shard immediately, and every later Deploy stages
+  /// one warmed model instance per shard before the all-or-nothing fleet
+  /// publication. Mutually exclusive with the single-server attachment
+  /// (the most recent Attach wins).
+  void Attach(ShardRouter* router);
+
+  /// Detaches whatever is attached; later publications go nowhere.
+  void Detach();
 
   /// Loads, warms up, and publishes `path` as the next version. Returns the
   /// new version number; on any failure the previously published version
@@ -89,12 +111,25 @@ class ModelRegistry {
   struct Entry {
     uint64_t version = 0;
     std::string path;
+    /// The published model; for a fleet entry this aliases shard_models[0].
     std::shared_ptr<const core::HisRectModel> model;
+    /// One instance per shard for fleet entries (own encoder cache each);
+    /// empty for single-server entries.
+    std::vector<std::shared_ptr<const core::HisRectModel>> shard_models;
   };
 
   /// Scores warmup pairs and verifies the outputs; non-OK means the model
   /// must not be published.
   util::Status WarmUp(const core::HisRectModel& model) const;
+
+  /// Loads `path` into a fresh instance and warms it (steps 1–3 of Deploy).
+  /// `shard` tags failure messages and the registry.shard_warmup_fail
+  /// injection point (evaluated once per call, in shard order).
+  util::Result<std::shared_ptr<const core::HisRectModel>> LoadAndWarm(
+      const std::string& path, size_t shard) const;
+
+  /// Publishes an entry to whatever is attached, under mu_.
+  void PublishLocked(const Entry& entry);
 
   const data::Dataset* dataset_;
   const core::TextModel* text_model_;
@@ -104,6 +139,7 @@ class ModelRegistry {
   std::vector<Entry> entries_;  // Newest last.
   uint64_t next_version_ = 1;
   JudgementServer* server_ = nullptr;
+  ShardRouter* router_ = nullptr;
 };
 
 }  // namespace hisrect::serve

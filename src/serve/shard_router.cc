@@ -1,0 +1,160 @@
+#include "serve/shard_router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace hisrect::serve {
+
+namespace {
+
+obs::Counter* RoutedCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "hisrect.router.requests_routed");
+  return counter;
+}
+
+obs::Counter* RouterRejectedCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "hisrect.router.requests_rejected");
+  return counter;
+}
+
+obs::Gauge* ShardsGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("hisrect.router.shards");
+  return gauge;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::shared_ptr<const core::HisRectModel> model,
+                         RouterOptions options, uint64_t initial_version)
+    : options_(std::move(options)) {
+  Init(std::move(model), initial_version);
+}
+
+ShardRouter::ShardRouter(const core::HisRectModel* model,
+                         RouterOptions options, uint64_t initial_version)
+    : options_(std::move(options)) {
+  CHECK(model != nullptr);
+  // Aliasing no-op deleter: the caller guarantees lifetime.
+  Init(std::shared_ptr<const core::HisRectModel>(
+           model, [](const core::HisRectModel*) {}),
+       initial_version);
+}
+
+ShardRouter::~ShardRouter() { Shutdown(); }
+
+void ShardRouter::Init(std::shared_ptr<const core::HisRectModel> model,
+                       uint64_t initial_version) {
+  CHECK(model != nullptr);
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<JudgementServer>(
+        model, options_.shard_options, initial_version));
+  }
+  routed_ = std::make_unique<std::atomic<uint64_t>[]>(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) routed_[i].store(0);
+  ShardsGauge()->Set(static_cast<int64_t>(shards_.size()));
+}
+
+uint64_t ShardRouter::PairHash(data::UserId a, data::UserId b) {
+  // Canonical ordered key: (min, max) packs both orderings of a pair into
+  // the same 64-bit word, so the hash — and hence the shard — is symmetric.
+  const uint64_t lo = static_cast<uint32_t>(std::min(a, b));
+  const uint64_t hi = static_cast<uint32_t>(std::max(a, b));
+  uint64_t x = (hi << 32) | lo;
+  // splitmix64 finalizer: full-avalanche mixing so consecutive uids spread
+  // uniformly over shards instead of striping.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+size_t ShardRouter::ShardFor(data::UserId a, data::UserId b) const {
+  return static_cast<size_t>(PairHash(a, b) % shards_.size());
+}
+
+util::Result<Ticket> ShardRouter::Submit(JudgementRequest request) {
+  const size_t shard = ShardFor(request.a.uid, request.b.uid);
+  routed_[shard].fetch_add(1, std::memory_order_relaxed);
+  RoutedCounter()->Increment();
+  util::Result<Ticket> result = shards_[shard]->Submit(std::move(request));
+  if (!result.ok()) RouterRejectedCounter()->Increment();
+  return result;
+}
+
+void ShardRouter::SwapModel(std::shared_ptr<const core::HisRectModel> model,
+                            uint64_t version) {
+  for (auto& shard : shards_) shard->SwapModel(model, version);
+}
+
+void ShardRouter::Shutdown() {
+  // Serial drain: each shard stops admission and resolves every admitted
+  // future exactly once (JudgementServer::Shutdown contract); the router
+  // adds nothing that could double-resolve or drop one.
+  for (auto& shard : shards_) shard->Shutdown();
+}
+
+bool ShardRouter::accepting() const {
+  for (const auto& shard : shards_) {
+    if (!shard->accepting()) return false;
+  }
+  return true;
+}
+
+size_t ShardRouter::queue_depth() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->queue_depth();
+  return total;
+}
+
+std::array<size_t, kNumPriorities> ShardRouter::queue_depths() const {
+  std::array<size_t, kNumPriorities> totals{};
+  for (const auto& shard : shards_) {
+    const auto depths = shard->queue_depths();
+    for (size_t klass = 0; klass < kNumPriorities; ++klass) {
+      totals[klass] += depths[klass];
+    }
+  }
+  return totals;
+}
+
+JudgementServer::Stats ShardRouter::stats() const {
+  JudgementServer::Stats totals;
+  for (const auto& shard : shards_) {
+    const JudgementServer::Stats s = shard->stats();
+    totals.admitted += s.admitted;
+    totals.rejected += s.rejected;
+    totals.completed += s.completed;
+    totals.batches += s.batches;
+    totals.cancelled += s.cancelled;
+    totals.expired += s.expired;
+    totals.aborted += s.aborted;
+    totals.swaps += s.swaps;
+  }
+  return totals;
+}
+
+std::vector<uint64_t> ShardRouter::routed_per_shard() const {
+  std::vector<uint64_t> counts(shards_.size(), 0);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    counts[i] = routed_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::vector<uint64_t> ShardRouter::model_versions() const {
+  std::vector<uint64_t> versions(shards_.size(), 0);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    versions[i] = shards_[i]->model_version();
+  }
+  return versions;
+}
+
+}  // namespace hisrect::serve

@@ -1,0 +1,135 @@
+#ifndef HISRECT_SERVE_SHARD_ROUTER_H_
+#define HISRECT_SERVE_SHARD_ROUTER_H_
+
+// Hash-sharded judgement serving front-end (DESIGN.md §15).
+//
+// A ShardRouter owns N in-process JudgementServer shards and routes every
+// request by a stable user-pair hash: the pair key is the canonical ordered
+// (min_uid, max_uid), so both orderings of a pair land on the same shard,
+// repeat queries for a pair always hit the same encoder LRU, and each
+// shard's cache stays hot on its own slice of the user population.
+//
+// The full Ticket contract is preserved per shard — a Ticket returned by
+// Submit is bound to the shard that admitted it, so deadlines, cancellation,
+// priority classes, and per-class overload shedding behave exactly as on a
+// single JudgementServer; the router adds only the hash hop plus aggregate
+// admission counters (hisrect.router.*). Served scores are bitwise-identical
+// to the single-server path on the same model: sharding changes where a pair
+// is scored, never how.
+//
+// Fleet operations layer on top:
+//  - SwapModel fans one (model, version) publication out to every shard;
+//    serve::ModelRegistry drives all-or-nothing fleet deploys through it
+//    (per-shard model instances, staged warmup, full rollback on any
+//    shard's failure — see model_registry.h).
+//  - Shutdown drains the shards one by one; every admitted future resolves
+//    exactly once, exactly as for a single server.
+//  - ServerIntrospection accepts a router and serves fleet-aware /statusz
+//    and /tracez (merged totals plus per-shard breakdowns).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/hisrect_model.h"
+#include "data/types.h"
+#include "serve/judgement_server.h"
+#include "util/status.h"
+
+namespace hisrect::serve {
+
+struct RouterOptions {
+  /// Number of in-process JudgementServer shards. Clamped to >= 1.
+  size_t num_shards = 2;
+  /// Options applied to every shard. Queue bounds are per shard: a router
+  /// with S shards and max_queue=Q admits up to S*Q interactive requests.
+  ServeOptions shard_options;
+};
+
+class ShardRouter {
+ public:
+  /// Every shard starts on `model` (shared; hot-swap replaces it per shard).
+  /// `model` must be fitted and non-null.
+  ShardRouter(std::shared_ptr<const core::HisRectModel> model,
+              RouterOptions options = {}, uint64_t initial_version = 1);
+
+  /// Non-owning variant: `model` must outlive the router.
+  ShardRouter(const core::HisRectModel* model, RouterOptions options = {},
+              uint64_t initial_version = 1);
+
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Stable hash of the canonical ordered user pair: symmetric in (a, b),
+  /// uniform via a splitmix64-style finalizer over the packed 64-bit key.
+  static uint64_t PairHash(data::UserId a, data::UserId b);
+
+  /// The shard PairHash maps (a, b) to. Symmetric in (a, b).
+  size_t ShardFor(data::UserId a, data::UserId b) const;
+
+  /// Routes the request to ShardFor(request.a.uid, request.b.uid) and
+  /// returns that shard's Ticket — already bound to the admitting shard, so
+  /// Cancel and the future behave exactly as on a single server. Fails with
+  /// kUnavailable when that shard's priority-class queue is at its bound
+  /// (per-shard shedding), kFailedPrecondition after Shutdown.
+  util::Result<Ticket> Submit(JudgementRequest request);
+
+  /// Publishes (model, version) to every shard. Per-shard no-op rules apply
+  /// (a shard already on this exact pair ignores it). For all-or-nothing
+  /// deploys with per-shard model instances go through ModelRegistry.
+  void SwapModel(std::shared_ptr<const core::HisRectModel> model,
+                 uint64_t version);
+
+  /// Stops admission and drains every shard; each admitted future resolves
+  /// exactly once. Idempotent.
+  void Shutdown();
+
+  /// True while every shard accepts submissions (shards flip together under
+  /// Shutdown, so this is also "any shard accepting" in steady state).
+  bool accepting() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  JudgementServer& shard(size_t index) { return *shards_[index]; }
+  const JudgementServer& shard(size_t index) const { return *shards_[index]; }
+
+  /// Pending requests summed over shards, both classes.
+  size_t queue_depth() const;
+
+  /// Pending requests per priority class, summed over shards.
+  std::array<size_t, kNumPriorities> queue_depths() const;
+
+  /// Shard stats summed over shards (admission totals for the fleet).
+  JudgementServer::Stats stats() const;
+
+  /// Requests routed to each shard since construction (admitted or shed —
+  /// the routing decision, not the admission outcome). Basis for the bench
+  /// shard-balance gate.
+  std::vector<uint64_t> routed_per_shard() const;
+
+  /// Published model version per shard. All equal in steady state; a failed
+  /// fleet deploy never leaves them mixed (registry publishes all or none).
+  std::vector<uint64_t> model_versions() const;
+
+  /// The published version on shard 0 (== every shard in steady state).
+  uint64_t model_version() const { return shards_[0]->model_version(); }
+
+  const RouterOptions& options() const { return options_; }
+
+ private:
+  void Init(std::shared_ptr<const core::HisRectModel> model,
+            uint64_t initial_version);
+
+  RouterOptions options_;
+  std::vector<std::unique_ptr<JudgementServer>> shards_;
+  /// Routing decisions per shard; relaxed counters, read by routed_per_shard.
+  std::unique_ptr<std::atomic<uint64_t>[]> routed_;
+};
+
+}  // namespace hisrect::serve
+
+#endif  // HISRECT_SERVE_SHARD_ROUTER_H_

@@ -7,6 +7,8 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -147,6 +149,64 @@ TEST(AdminServerTest, EphemeralPortsAreIndependent) {
   EXPECT_FALSE(a.Start(0).ok());  // Already running.
 }
 
+// Regression (satellite: signal handling): repeated SIGHUPs during an
+// active scrape stream must never break a poll. The handler is installed
+// WITHOUT SA_RESTART, so every delivery surfaces EINTR from whatever
+// syscall the admin thread is blocked in — accept, recv, or send — and the
+// loops must retry. SIGHUP is blocked on every other thread so each
+// delivery lands on the admin thread specifically.
+TEST(AdminServerTest, SurvivesRepeatedSighupUnderActiveScrape) {
+  obs::AdminServer admin;
+  ASSERT_TRUE(admin.Start(0).ok());  // Admin thread inherits SIGHUP unblocked.
+
+  struct sigaction noop_action;
+  struct sigaction old_action;
+  std::memset(&noop_action, 0, sizeof(noop_action));
+  noop_action.sa_handler = [](int) {};
+  sigemptyset(&noop_action.sa_mask);
+  noop_action.sa_flags = 0;  // Deliberately no SA_RESTART.
+  ASSERT_EQ(sigaction(SIGHUP, &noop_action, &old_action), 0);
+
+  // Block SIGHUP here (and in the sender thread, which inherits the mask):
+  // the admin thread is the only delivery target left.
+  sigset_t block_hup;
+  sigset_t old_mask;
+  sigemptyset(&block_hup);
+  sigaddset(&block_hup, SIGHUP);
+  ASSERT_EQ(pthread_sigmask(SIG_BLOCK, &block_hup, &old_mask), 0);
+
+  std::atomic<bool> stop{false};
+  std::thread sender([&stop] {
+    while (!stop.load()) {
+      ::kill(::getpid(), SIGHUP);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // A 10 Hz-equivalent scrape stream (tighter, to widen the race window):
+  // every poll must come back 200 despite the signal storm.
+  obs::MetricsRegistry::Global().GetCounter("hisrect.test.sighup_series")
+      ->Increment();
+  size_t polls = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+  while (std::chrono::steady_clock::now() < deadline) {
+    HttpResult metrics = Get(admin.port(), "/metrics");
+    ASSERT_TRUE(metrics.ok) << "scrape " << polls << " failed mid-signal";
+    EXPECT_EQ(metrics.status, 200);
+    EXPECT_NE(metrics.body.find("\"hisrect.test.sighup_series\""),
+              std::string::npos);
+    ++polls;
+  }
+  EXPECT_GE(polls, 4u);
+
+  stop.store(true);
+  sender.join();
+  admin.Stop();
+  ASSERT_EQ(pthread_sigmask(SIG_SETMASK, &old_mask, nullptr), 0);
+  ASSERT_EQ(sigaction(SIGHUP, &old_action, nullptr), 0);
+}
+
 // ---------------------------------------------------------------------------
 // WindowedHistogram: decay is deterministic under an injected clock.
 
@@ -191,6 +251,71 @@ TEST(WindowedHistogramTest, DecaysUnderInjectedClock) {
   // Slots recycle after decay: new observations are visible again.
   hist.Observe(0.005);
   EXPECT_EQ(hist.Snap().count, 1u);
+}
+
+// An idle gap longer than the full window must not resurrect stale slot
+// contents: every slot's epoch is behind the live range, so the first Snap
+// after the gap is empty and the first Observe recycles a slot rather than
+// adding to its stale counts.
+TEST(WindowedHistogramTest, IdleGapLongerThanWindowRecyclesSlots) {
+  uint64_t now_ns = 0;
+  obs::WindowedHistogram hist(
+      "test.window_gap", {0.001, 0.01, 0.1}, /*window_seconds=*/10.0,
+      /*num_slots=*/10, [&now_ns] { return now_ns; });
+
+  // Fill every slot across one full window (the clock advances one slot
+  // width between observations, not after the last, so all ten slots are
+  // still inside the live range at snap time).
+  for (size_t slot = 0; slot < 10; ++slot) {
+    if (slot > 0) now_ns += 1'000'000'000ull;  // One slot width.
+    hist.Observe(0.005);
+  }
+  EXPECT_EQ(hist.Snap().count, 10u);
+
+  // Idle for several full windows — far past every slot's epoch.
+  now_ns += 35'000'000'000ull;
+  obs::WindowedHistogram::Snapshot snap = hist.Snap();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0.0);
+
+  // The next observation recycles its slot: exactly one visible, the ten
+  // pre-gap observations stay gone.
+  hist.Observe(0.05);
+  snap = hist.Snap();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_NEAR(snap.sum, 0.05, 1e-12);
+
+  // And another full-window gap clears that one too.
+  now_ns += 30'000'000'000ull;
+  EXPECT_EQ(hist.Snap().count, 0u);
+}
+
+// Snapshot::saturated (satellite: overflow-bucket accounting): set exactly
+// when the live window holds observations above the last boundary, so
+// /statusz can mark clamped percentiles as lower bounds.
+TEST(WindowedHistogramTest, SnapshotFlagsOverflowSaturation) {
+  uint64_t now_ns = 0;
+  obs::WindowedHistogram hist(
+      "test.window_saturated", {0.001, 0.01, 0.1}, /*window_seconds=*/10.0,
+      /*num_slots=*/10, [&now_ns] { return now_ns; });
+
+  hist.Observe(0.005);
+  obs::WindowedHistogram::Snapshot snap = hist.Snap();
+  EXPECT_FALSE(snap.saturated);
+
+  // One observation above the last boundary saturates the window: high
+  // percentiles clamp to the boundary instead of estimating.
+  hist.Observe(5.0);
+  snap = hist.Snap();
+  EXPECT_TRUE(snap.saturated);
+  EXPECT_EQ(snap.Percentile(0.99), 0.1);
+
+  // Once the overflow observation ages out, the flag clears with it.
+  now_ns += 60'000'000'000ull;
+  hist.Observe(0.005);
+  snap = hist.Snap();
+  EXPECT_FALSE(snap.saturated);
+  EXPECT_LE(snap.Percentile(0.99), 0.01);
 }
 
 // ---------------------------------------------------------------------------

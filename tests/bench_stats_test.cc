@@ -1,0 +1,56 @@
+// bench::SortedPercentile (bench/bench_common.h): the nearest-rank
+// percentile shared by the bench harnesses. Regression coverage for the
+// off-by-one the old per-bench copy had — index ceil(q*n)-1, not q*n, so
+// p50 of {1, 2} reads the first element and p99 of 100 samples the 99th.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace hisrect::bench {
+namespace {
+
+TEST(SortedPercentileTest, EmptyAndSingleton) {
+  EXPECT_EQ(SortedPercentile({}, 0.5), 0.0);
+  EXPECT_EQ(SortedPercentile({7.5}, 0.0), 7.5);
+  EXPECT_EQ(SortedPercentile({7.5}, 0.5), 7.5);
+  EXPECT_EQ(SortedPercentile({7.5}, 0.99), 7.5);
+  EXPECT_EQ(SortedPercentile({7.5}, 1.0), 7.5);
+}
+
+TEST(SortedPercentileTest, ExactRankReadsLowerElement) {
+  // The regression the shared helper fixes: q*n landing exactly on a rank
+  // must read that rank's element, not the one above it.
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_EQ(SortedPercentile(two, 0.5), 1.0);
+
+  std::vector<double> hundred;
+  for (int i = 1; i <= 100; ++i) hundred.push_back(static_cast<double>(i));
+  EXPECT_EQ(SortedPercentile(hundred, 0.99), 99.0);
+  EXPECT_EQ(SortedPercentile(hundred, 0.50), 50.0);
+  EXPECT_EQ(SortedPercentile(hundred, 0.95), 95.0);
+  EXPECT_EQ(SortedPercentile(hundred, 0.01), 1.0);
+}
+
+TEST(SortedPercentileTest, FractionalRankRoundsUp) {
+  // Ranks between elements take the next one up (nearest-rank definition).
+  const std::vector<double> three = {10.0, 20.0, 30.0};
+  EXPECT_EQ(SortedPercentile(three, 0.5), 20.0);    // ceil(1.5) = 2nd
+  EXPECT_EQ(SortedPercentile(three, 0.34), 20.0);   // ceil(1.02) = 2nd
+  EXPECT_EQ(SortedPercentile(three, 0.33), 10.0);   // ceil(0.99) = 1st
+  EXPECT_EQ(SortedPercentile(three, 0.67), 30.0);   // ceil(2.01) = 3rd
+}
+
+TEST(SortedPercentileTest, ExtremesClampToEnds) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(SortedPercentile(values, 0.0), 1.0);
+  EXPECT_EQ(SortedPercentile(values, 1.0), 4.0);
+  // q past 1.0 still clamps to the last element instead of reading out of
+  // bounds.
+  EXPECT_EQ(SortedPercentile(values, 1.5), 4.0);
+}
+
+}  // namespace
+}  // namespace hisrect::bench

@@ -93,6 +93,44 @@ TEST(HistogramTest, BucketBoundariesAreClosedOpen) {
   EXPECT_DOUBLE_EQ(histogram->Sum(), 5.0);
 }
 
+// HistogramPercentile clamps quantiles that land in the zero-width overflow
+// bucket to the last boundary — documented behavior — and reports it through
+// the `saturated` out-param so callers can flag the value as a lower bound
+// instead of an estimate.
+TEST(HistogramTest, PercentileReportsOverflowSaturation) {
+  const std::vector<double> boundaries = {0.001, 0.01, 0.1};
+
+  // All mass below the last boundary: no saturation, interpolation as usual.
+  bool saturated = true;
+  const std::vector<uint64_t> inside = {2, 6, 2, 0};
+  const double p50 =
+      obs::HistogramPercentile(boundaries, inside, 0.5, &saturated);
+  EXPECT_GT(p50, 0.001);
+  EXPECT_LE(p50, 0.01);
+  EXPECT_FALSE(saturated);
+
+  // Overflow mass, but the quantile resolves below it: still not saturated.
+  const std::vector<uint64_t> mixed = {0, 8, 0, 2};
+  EXPECT_LE(obs::HistogramPercentile(boundaries, mixed, 0.5, &saturated),
+            0.01);
+  EXPECT_FALSE(saturated);
+
+  // The quantile lands in the overflow bucket: clamped to the last boundary
+  // and flagged.
+  EXPECT_EQ(obs::HistogramPercentile(boundaries, mixed, 0.99, &saturated),
+            0.1);
+  EXPECT_TRUE(saturated);
+
+  // Everything overflows: every quantile is a clamped lower bound.
+  const std::vector<uint64_t> all_over = {0, 0, 0, 5};
+  EXPECT_EQ(obs::HistogramPercentile(boundaries, all_over, 0.5, &saturated),
+            0.1);
+  EXPECT_TRUE(saturated);
+
+  // The out-param is optional — the legacy call shape still works.
+  EXPECT_EQ(obs::HistogramPercentile(boundaries, all_over, 0.5), 0.1);
+}
+
 TEST(HistogramTest, ConcurrentObservationsSumExactly) {
   obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
       "hisrect.test.concurrent_histogram", {0.5});

@@ -565,7 +565,7 @@ TEST_F(ServeRobustnessFixture, SwapRacesShutdownWithoutDropsOrDeadlock) {
   });
   server->Shutdown();
   deployer.join();
-  registry.Attach(nullptr);  // Detach before the server dies.
+  registry.Detach();  // Detach before the server dies.
   for (Ticket& ticket : tickets) {
     ASSERT_TRUE(ticket.future().get().ok());
   }

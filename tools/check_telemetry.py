@@ -34,6 +34,14 @@ Checks (any subset, per the flags given):
                            ≥1.2x int8-vs-plan throughput gate lives in
                            run_benches.sh, not here — throughput belongs to
                            the bench harness, correctness to this checker.)
+                           If a "router" record is present (hash-sharded
+                           ShardRouter phase): admitted burst capacity must
+                           be monotone in shard count with zero dropped
+                           futures, the replay must be bitwise-identical with
+                           zero drops across an injected one-shard-failed
+                           fleet deploy (exactly one rollback, then a clean
+                           redeploy that advances the version), and shard
+                           occupancy must stay within the max/min bound.
   --admin snapshots.jsonl  Admin-endpoint poll capture (one JSON object per
                            line, each {"statusz": ..., "metrics": ...} as
                            scraped from a live --admin-port server): required
@@ -550,6 +558,82 @@ def check_serving(path):
         if admin["requests_per_mode"] < 100:
             fail(f"{path}: admin A/B scored only "
                  f"{admin['requests_per_mode']} requests per mode")
+    router = record.get("router")
+    if router is not None:
+        for key in ("ran", "scaling", "replay", "balance", "ok"):
+            if key not in router:
+                fail(f"{path}: router record missing '{key}'")
+                return
+        if router["ran"] is not True:
+            fail(f"{path}: router phase never ran")
+        if router["ok"] is not True:
+            fail(f"{path}: router gate failed")
+        scaling = router["scaling"]
+        for key in ("shard_counts", "burst_offered", "per_shard_queue_bound",
+                    "admitted", "dropped", "ok"):
+            if key not in scaling:
+                fail(f"{path}: router scaling record missing '{key}'")
+                return
+        admitted = scaling["admitted"]
+        if len(admitted) != len(scaling["shard_counts"]):
+            fail(f"{path}: router scaling admitted/shard_counts mismatch")
+        elif any(b < a for a, b in zip(admitted, admitted[1:])):
+            fail(
+                f"{path}: router admitted capacity not monotone in shard "
+                f"count: {admitted}"
+            )
+        if scaling["dropped"] != 0:
+            fail(f"{path}: router burst left {scaling['dropped']} future(s) "
+                 "unresolved across drain")
+        if scaling["ok"] is not True:
+            fail(f"{path}: router capacity did not scale with shard count: "
+                 f"{admitted} admitted for {scaling['shard_counts']} shards")
+        replay = router["replay"]
+        for key in ("shards", "offered", "completed", "shed", "dropped",
+                    "bitwise_identical", "incumbent_version", "fleet_version",
+                    "responses_fleet", "failed_deploy_rolled_back",
+                    "swap_rollbacks", "ok"):
+            if key not in replay:
+                fail(f"{path}: router replay record missing '{key}'")
+                return
+        if replay["dropped"] != 0:
+            fail(f"{path}: {replay['dropped']} request(s) dropped across the "
+                 "router fleet deploy")
+        if replay["bitwise_identical"] is not True:
+            fail(f"{path}: scores served through the router diverged from "
+                 "offline eval")
+        if replay["failed_deploy_rolled_back"] is not True:
+            fail(f"{path}: injected one-shard warmup failure did not roll "
+                 "the fleet deploy back")
+        if replay["swap_rollbacks"] != 1:
+            fail(f"{path}: want exactly 1 swap rollback from the injected "
+                 f"failed fleet deploy, got {replay['swap_rollbacks']}")
+        if replay["fleet_version"] <= replay["incumbent_version"]:
+            fail(f"{path}: clean fleet redeploy did not advance the version "
+                 f"({replay['incumbent_version']} -> "
+                 f"{replay['fleet_version']})")
+        if replay["responses_fleet"] <= 0:
+            fail(f"{path}: no response attributable to the fleet-deployed "
+                 "version")
+        balance = router["balance"]
+        for key in ("shards", "requests", "routed_per_shard", "max_min_ratio",
+                    "bound", "ok"):
+            if key not in balance:
+                fail(f"{path}: router balance record missing '{key}'")
+                return
+        if len(balance["routed_per_shard"]) != balance["shards"]:
+            fail(f"{path}: router balance routed_per_shard has "
+                 f"{len(balance['routed_per_shard'])} entries for "
+                 f"{balance['shards']} shards")
+        if min(balance["routed_per_shard"], default=0) <= 0:
+            fail(f"{path}: router balance left a shard with zero routed "
+                 "requests")
+        if balance["max_min_ratio"] > balance["bound"]:
+            fail(
+                f"{path}: router shard occupancy imbalanced — max/min "
+                f"{balance['max_min_ratio']:.3f} exceeds bound "
+                f"{balance['bound']}"
+            )
     variants = record.get("variants")
     if variants is not None:
         by_name = {}

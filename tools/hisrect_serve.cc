@@ -8,13 +8,22 @@
 //                 [--deadline-ms N] [--priority interactive|batch]
 //                 [--metrics-out FILE] [--failpoints SPEC]
 //                 [--plan] [--fuse] [--int8]
-//                 [--admin-port N] [--linger-ms N]
+//                 [--admin-port N] [--linger-ms N] [--router-shards N]
 //
 // Loads a model saved by `hisrect_cli train --out FILE` (or trains one from
 // scratch when neither --model nor --registry-dir is given), stands up a
 // JudgementServer (DESIGN.md §10, failure model §13), drives --requests
 // co-location queries sampled from the held-out test split through it, and
 // prints a sample of judgements plus the server / encoder-cache statistics.
+//
+// `--router-shards N` (N >= 2) serves through a hash-sharded
+// serve::ShardRouter instead of a single server (DESIGN.md §15): N
+// in-process shards, each request routed by the canonical (min_uid,
+// max_uid) pair hash. Queue bounds apply per shard. With --registry-dir,
+// SIGHUP fans the reload out as an all-or-nothing fleet deploy — one
+// instance per shard, nothing published unless every shard's warmup
+// passes — and the admin plane serves fleet-merged /statusz + /tracez with
+// per-shard breakdowns.
 //
 // `--registry-dir DIR` serves through a serve::ModelRegistry instead of a
 // fixed model: the newest *.bin checkpoint in DIR is deployed (loaded,
@@ -56,6 +65,7 @@
 #include "serve/introspection.h"
 #include "serve/judgement_server.h"
 #include "serve/model_registry.h"
+#include "serve/shard_router.h"
 #include "util/fail_point.h"
 #include "util/status.h"
 #include "util/table.h"
@@ -97,6 +107,9 @@ struct ServeCliOptions {
   bool int8 = false;
   /// Admin endpoint port: -1 off (default), 0 ephemeral, else fixed.
   int admin_port = -1;
+  /// >= 2 serves through a hash-sharded ShardRouter (DESIGN.md §15);
+  /// 1 keeps the single-server path. Queue bounds apply per shard.
+  size_t router_shards = 1;
   /// Keep the process alive this long after the request sweep (admin
   /// endpoint stays scrapeable; SIGHUP reloads still apply).
   uint64_t linger_ms = 0;
@@ -116,8 +129,13 @@ int Usage() {
                "[--priority interactive|batch]\n"
                "                     [--metrics-out FILE] [--failpoints SPEC]\n"
                "                     [--plan] [--fuse] [--int8]\n"
-               "                     [--admin-port N] [--linger-ms N]\n"
+               "                     [--admin-port N] [--linger-ms N] "
+               "[--router-shards N]\n"
                "\n"
+               "--router-shards N: N >= 2 serves through a hash-sharded "
+               "router fleet;\n"
+               "                   SIGHUP reloads deploy to every shard "
+               "all-or-nothing.\n"
                "--admin-port N: serve /metrics /healthz /statusz /tracez on "
                "127.0.0.1:N\n"
                "                (0 = ephemeral; the bound port is printed at "
@@ -199,6 +217,9 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions& options) {
     } else if (arg == "--linger-ms") {
       if ((v = next()) == nullptr) return false;
       options.linger_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--router-shards") {
+      if ((v = next()) == nullptr) return false;
+      options.router_shards = static_cast<size_t>(std::atoll(v));
     } else if (arg == "--plan") {
       options.plan = true;
     } else if (arg == "--fuse") {
@@ -238,6 +259,9 @@ int Validate(const ServeCliOptions& options) {
   }
   if (options.admin_port > 65535) {
     return Invalid("--admin-port must be in [0, 65535]");
+  }
+  if (options.router_shards == 0 || options.router_shards > 64) {
+    return Invalid("--router-shards must be in [1, 64]");
   }
   if (!options.model_path.empty() && !options.registry_dir.empty()) {
     return Invalid("--model and --registry-dir are mutually exclusive");
@@ -328,7 +352,17 @@ int Run(int argc, char** argv) {
     }
     std::printf("deployed %s as v%llu\n", newest.c_str(),
                 static_cast<unsigned long long>(version.value()));
-    std::signal(SIGHUP, HandleSighup);
+    // sigaction with SA_RESTART instead of std::signal: reload signals
+    // landing mid-syscall restart the interrupted accept/read/write on the
+    // admin thread rather than surfacing EINTR, and the handler stays
+    // installed across deliveries on every libc (std::signal leaves both
+    // properties implementation-defined).
+    struct sigaction reload_action;
+    std::memset(&reload_action, 0, sizeof(reload_action));
+    reload_action.sa_handler = HandleSighup;
+    sigemptyset(&reload_action.sa_mask);
+    reload_action.sa_flags = SA_RESTART;
+    sigaction(SIGHUP, &reload_action, nullptr);
   } else if (!options.model_path.empty()) {
     local_model.InitializeForLoad(dataset, text_model);
     util::Status status = local_model.Load(options.model_path);
@@ -358,15 +392,38 @@ int Run(int argc, char** argv) {
     serve_options.stage_trace_capacity = 1u << 14;
     serve_options.stats_window_s = 10.0;
   }
-  auto server =
-      use_registry
-          ? std::make_unique<serve::JudgementServer>(
-                registry.current(), serve_options, registry.current_version())
-          : std::make_unique<serve::JudgementServer>(&local_model,
-                                                     serve_options);
-  if (use_registry) registry.Attach(server.get());
+  // Single server by default; --router-shards N >= 2 stands up a
+  // hash-sharded fleet instead. Exactly one of the two exists, and with
+  // --registry-dir the registry attaches to whichever does, so SIGHUP
+  // reloads publish to the single server or fan out fleet-wide.
+  const bool use_router = options.router_shards >= 2;
+  std::unique_ptr<serve::JudgementServer> server;
+  std::unique_ptr<serve::ShardRouter> router;
+  if (use_router) {
+    serve::RouterOptions router_options;
+    router_options.num_shards = options.router_shards;
+    router_options.shard_options = serve_options;
+    router = use_registry
+                 ? std::make_unique<serve::ShardRouter>(
+                       registry.current(), router_options,
+                       registry.current_version())
+                 : std::make_unique<serve::ShardRouter>(&local_model,
+                                                        router_options);
+    if (use_registry) registry.Attach(router.get());
+    std::printf("router: %zu shards\n", router->num_shards());
+  } else {
+    server = use_registry
+                 ? std::make_unique<serve::JudgementServer>(
+                       registry.current(), serve_options,
+                       registry.current_version())
+                 : std::make_unique<serve::JudgementServer>(&local_model,
+                                                            serve_options);
+    if (use_registry) registry.Attach(server.get());
+  }
 
-  serve::ServerIntrospection introspection(server.get());
+  serve::ServerIntrospection introspection =
+      use_router ? serve::ServerIntrospection(router.get())
+                 : serve::ServerIntrospection(server.get());
   obs::AdminServer admin;
   if (options.admin_port >= 0) {
     introspection.RegisterHandlers(&admin);
@@ -417,6 +474,10 @@ int Run(int argc, char** argv) {
   };
 
   // Submit everything up front (the server batches), then collect.
+  auto submit = [&](serve::JudgementRequest request) {
+    return use_router ? router->Submit(std::move(request))
+                      : server->Submit(std::move(request));
+  };
   const auto start = std::chrono::steady_clock::now();
   std::vector<serve::Ticket> tickets;
   std::vector<std::pair<data::UserId, data::UserId>> who;
@@ -429,7 +490,7 @@ int Run(int argc, char** argv) {
     request.priority = priority;
     request.timeout_us = options.deadline_ms * 1000;
     who.emplace_back(request.a.uid, request.b.uid);
-    auto result = server->Submit(std::move(request));
+    auto result = submit(std::move(request));
     if (result.ok()) {
       tickets.push_back(std::move(result).value());
     } else {
@@ -480,12 +541,17 @@ int Run(int argc, char** argv) {
   // Graceful shutdown: advertise the drain first so /healthz flips to
   // "draining" while admitted requests are still being resolved.
   introspection.SetDraining(true);
-  server->Shutdown();
-  if (use_registry) registry.Attach(nullptr);
+  if (use_router) {
+    router->Shutdown();
+  } else {
+    server->Shutdown();
+  }
+  if (use_registry) registry.Detach();
 
   std::printf("== sample judgements ==\n");
   sample.Print(std::cout);
-  serve::JudgementServer::Stats stats = server->stats();
+  serve::JudgementServer::Stats stats =
+      use_router ? router->stats() : server->stats();
   std::printf(
       "served %zu/%zu requests in %.3fs (%.1f/s), %zu rejected, "
       "%zu expired, %llu batches, %llu swaps, %zu judged co-located\n",
@@ -494,13 +560,23 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(stats.batches),
       static_cast<unsigned long long>(stats.swaps), positive);
   const core::HisRectModel& model =
-      use_registry ? *server->model() : local_model;
+      use_router ? *router->shard(0).model()
+                 : (use_registry ? *server->model() : local_model);
   std::printf(
       "encoder cache: capacity=%zu size=%zu hits=%zu misses=%zu "
       "evictions=%zu\n",
       model.encoder().cache_capacity(), model.encoder().cache_size(),
       model.encoder().cache_hits(), model.encoder().cache_misses(),
       model.encoder().cache_evictions());
+  if (use_router) {
+    const std::vector<uint64_t> routed = router->routed_per_shard();
+    std::string per_shard;
+    for (size_t i = 0; i < routed.size(); ++i) {
+      if (i > 0) per_shard += " ";
+      per_shard += std::to_string(routed[i]);
+    }
+    std::printf("router: routed per shard: [%s]\n", per_shard.c_str());
+  }
 
   if (!options.metrics_out.empty()) {
     util::Status status = obs::WriteMetricsJsonFile(options.metrics_out);

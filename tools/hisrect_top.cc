@@ -391,6 +391,38 @@ int Run(int argc, char** argv) {
           traces->Num("recorded"), traces->Num("slow_retained"),
           FormatSeconds(traces->Num("slow_threshold_seconds")).c_str());
     }
+    // Router fleets (--router-shards) publish a per-shard breakdown; the
+    // top-level fields above are the fleet-merged totals.
+    const JsonValue* shards = statusz.Find("shards");
+    if (shards != nullptr && shards->kind == JsonValue::Kind::kArray &&
+        !shards->array.empty()) {
+      std::printf(
+          "shard   ver     routed   admitted  completed    shed  "
+          "qI    qB    cache      traced\n");
+      for (const JsonValue& shard : shards->array) {
+        if (shard.kind != JsonValue::Kind::kObject) continue;
+        const JsonValue* shard_stats = shard.Find("stats");
+        const JsonValue* shard_queues = shard.Find("queue_depth");
+        const JsonValue* shard_cache = shard.Find("encoder_cache");
+        const JsonValue* shard_traces = shard.Find("stage_traces");
+        std::printf(
+            "  %3.0f  v%-4.0f %9.0f  %9.0f  %9.0f  %6.0f  %4.0f  %4.0f  "
+            "%4.0f/%-4.0f  %8.0f\n",
+            shard.Num("shard"), shard.Num("model_version"),
+            shard.Num("routed"),
+            shard_stats != nullptr ? shard_stats->Num("admitted") : 0.0,
+            shard_stats != nullptr ? shard_stats->Num("completed") : 0.0,
+            shard_stats != nullptr ? shard_stats->Num("rejected") : 0.0,
+            shard_queues != nullptr ? shard_queues->Num("interactive") : 0.0,
+            shard_queues != nullptr ? shard_queues->Num("batch") : 0.0,
+            shard_cache != nullptr ? shard_cache->Num("size") : 0.0,
+            shard_cache != nullptr ? shard_cache->Num("capacity") : 0.0,
+            shard_traces != nullptr &&
+                    shard_traces->kind == JsonValue::Kind::kObject
+                ? shard_traces->Num("recorded")
+                : 0.0);
+      }
+    }
     std::fflush(stdout);
 
     if (options.iterations != 0 && iteration + 1 == options.iterations) break;

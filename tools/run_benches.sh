@@ -55,20 +55,24 @@ python3 tools/check_telemetry.py \
 # recorded-plan serving path doing zero steady-state tensor allocations, and
 # the open-loop overload record (interactive p99 within 2x uncontended while
 # batch traffic is shed, plus a zero-downtime hot swap with every response
-# attributable to exactly one model version).
+# attributable to exactly one model version), and the hash-sharded router
+# record (capacity scaling with shard count, bitwise-identical scores across
+# an all-or-nothing fleet deploy drill, balanced shard occupancy).
 (cd "$BUILD_DIR" && ctest -L serve --output-on-failure)
+(cd "$BUILD_DIR" && ctest -L router --output-on-failure)
 HISRECT_BENCH_OUT="$OUT_DIR" "$BUILD_DIR/bench/bench_serving"
 python3 tools/check_telemetry.py --serving "$OUT_DIR/BENCH_serving.json"
 
 # Admin-plane smoke gate (DESIGN.md §14): stand up hisrect_serve with the
-# live introspection endpoint, poll /statusz + /metrics 10x at 10 Hz while
-# the process serves and then lingers, and validate the capture (required
-# keys, monotonic counters, ordered live percentiles, stage-trace
-# accounting) with check_telemetry.py --admin.
+# live introspection endpoint — through a 2-shard router, so the smoke
+# exercises the fleet-merged /statusz + /tracez surfaces — poll /statusz +
+# /metrics 10x at 10 Hz while the process serves and then lingers, and
+# validate the capture (required keys, monotonic counters, ordered live
+# percentiles, stage-trace accounting) with check_telemetry.py --admin.
 admin_dir="$OUT_DIR/admin_smoke"
 mkdir -p "$admin_dir"
 "$BUILD_DIR/tools/hisrect_serve" --preset nyc --scale 0.1 --seed 7 \
-  --ssl-steps 60 --judge-steps 40 --requests 64 \
+  --ssl-steps 60 --judge-steps 40 --requests 64 --router-shards 2 \
   --admin-port 0 --linger-ms 20000 > "$admin_dir/serve.log" 2>&1 &
 serve_pid=$!
 admin_port=""
@@ -163,6 +167,48 @@ print(
     f"offered qps (uncontended {overload['p99_uncontended_ms']:.2f}ms), "
     f"{overload['batch_shed']} batch shed, swap v{overload['swapped_version']} "
     f"with {overload['dropped']} dropped"
+)
+EOF
+
+# Router gate (DESIGN.md §15): restate the hash-sharded router record —
+# burst admission capacity must scale with shard count, the diurnal/burst
+# replay must be bitwise-identical with zero drops across the injected
+# one-shard-failed fleet deploy (full rollback, then a clean redeploy), and
+# shard occupancy must stay within the max/min balance bound.
+python3 - "$OUT_DIR/BENCH_serving.json" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+router = doc.get("router")
+if not router:
+    print("run_benches: BENCH_serving.json has no router record")
+    sys.exit(1)
+if router.get("ok") is not True:
+    print(f"run_benches: router gate failed: {router}")
+    sys.exit(1)
+scaling = router["scaling"]
+replay = router["replay"]
+balance = router["balance"]
+if any(b < a for a, b in zip(scaling["admitted"], scaling["admitted"][1:])):
+    print(f"run_benches: router capacity not monotone: {scaling['admitted']}")
+    sys.exit(1)
+if replay["dropped"] != 0 or replay["bitwise_identical"] is not True:
+    print(f"run_benches: router replay dropped/diverged: {replay}")
+    sys.exit(1)
+if replay["failed_deploy_rolled_back"] is not True or \
+        replay["swap_rollbacks"] != 1:
+    print(f"run_benches: router fleet-deploy drill failed: {replay}")
+    sys.exit(1)
+if balance["max_min_ratio"] > balance["bound"]:
+    print(f"run_benches: router shards imbalanced: {balance}")
+    sys.exit(1)
+print(
+    "run_benches: router OK — admitted "
+    f"{scaling['admitted']} for {scaling['shard_counts']} shards, replay "
+    f"v{replay['incumbent_version']}->v{replay['fleet_version']} bitwise with "
+    f"{replay['dropped']} dropped across the rollback drill, balance "
+    f"max/min {balance['max_min_ratio']:.2f} (bound {balance['bound']})"
 )
 EOF
 

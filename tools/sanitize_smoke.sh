@@ -12,7 +12,9 @@
 # `serve` and `robustness` labels, so its cancel-vs-drain,
 # deadline-vs-flush, and registry-swap-vs-Shutdown races run under TSan and
 # its failpoint faults (serve.slow_batch, serve.score_abort,
-# registry.corrupt_load) run under ASan/UBSan as well.
+# registry.corrupt_load) run under ASan/UBSan as well. The router suite
+# rides along under TSan: shard fan-out, fleet swaps, and the routed_
+# counters cross the router, shard batchers, and registry threads.
 #
 # Knobs:
 #   SANITIZERS   space-separated subset of "address undefined thread"
@@ -30,7 +32,7 @@ CTEST_LABEL=${CTEST_LABEL:-}
 
 label_for() {
   case "$1" in
-    thread) echo "obs|serve|fusion" ;;  # ctest -L takes a regex
+    thread) echo "obs|serve|fusion|router" ;;  # ctest -L takes a regex
     *) echo "robustness|plan|fusion|quant" ;;
   esac
 }
